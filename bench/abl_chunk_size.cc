@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Ablation: chunk size — the paper's Section 2.2 argument.
+ *
+ * Scalable TCC and SRC reported commit as a non-issue using 10K-40K
+ * instruction transactions; this paper's environment runs unmodified code
+ * as 2000-instruction chunks, committing an order of magnitude more often.
+ * The sweep shows commit overhead of the serializing protocols melting
+ * away as chunks grow — and ScalableBulk flat at every size.
+ */
+
+#include "bench/common.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace sbulk;
+    using namespace sbulk::bench;
+    Options opt = Options::parse(argc, argv);
+    banner("Ablation (chunk size)",
+           "Section 2.2: commit criticality vs. chunk size, Radix @ 64p");
+
+    const AppSpec* app = findApp(opt.onlyApp.empty() ? "Radix"
+                                                     : opt.onlyApp.c_str());
+    SBULK_ASSERT(app != nullptr);
+
+    constexpr ProtocolKind kProtos[] = {
+        ProtocolKind::ScalableBulk, ProtocolKind::TCC, ProtocolKind::SEQ};
+
+    std::printf("%-13s %8s %10s %9s %9s %7s\n", "protocol", "chunk",
+                "makespan", "commitLat", "commit%", "dirs");
+    for (ProtocolKind proto : kProtos) {
+        for (std::uint32_t instrs : {500u, 1000u, 2000u, 4000u, 8000u,
+                                     16000u}) {
+            RunConfig cfg;
+            cfg.app = app;
+            cfg.procs = 64;
+            cfg.protocol = proto;
+            cfg.chunkInstrs = instrs;
+            // Keep total instructions fixed across the sweep.
+            cfg.totalChunks =
+                std::max<std::uint64_t>(64, opt.chunks * 2000 / instrs);
+            const RunResult r = runExperiment(cfg);
+            std::printf(
+                "%-13s %8u %10llu %9.0f %8.1f%% %7.1f\n",
+                protocolName(proto), instrs,
+                (unsigned long long)r.makespan, r.commitLatencyMean,
+                100.0 * r.breakdown.commit / r.breakdown.total(),
+                r.dirsPerCommitMean);
+        }
+    }
+    std::printf("\nLarger chunks commit less often (and touch more\n"
+                "directories); the serializing protocols' commit share\n"
+                "shrinks toward Scalable TCC's reported regime, while\n"
+                "ScalableBulk is already flat at 2000 instructions.\n");
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared plumbing for the figure-regeneration benches: CLI parsing, run
+ * caching, and table formatting. Each bench binary reproduces one figure
+ * of the paper's evaluation (Section 6); see DESIGN.md for the index.
+ */
+
+#ifndef SBULK_BENCH_COMMON_HH
+#define SBULK_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "system/experiment.hh"
+
+namespace sbulk
+{
+namespace bench
+{
+
+/** Command-line options shared by every figure bench. */
+struct Options
+{
+    /** Total chunks of work per run (divided over the cores). */
+    std::uint64_t chunks = 1280;
+    /** Restrict to one application (empty = the figure's full set). */
+    std::string onlyApp;
+    /** Quick mode: fewer chunks, for smoke runs. */
+    bool quick = false;
+
+    static Options
+    parse(int argc, char** argv)
+    {
+        Options opt;
+        for (int i = 1; i < argc; ++i) {
+            if (!std::strcmp(argv[i], "--quick")) {
+                opt.quick = true;
+                opt.chunks = 320;
+            } else if (!std::strcmp(argv[i], "--chunks") && i + 1 < argc) {
+                opt.chunks = std::strtoull(argv[++i], nullptr, 10);
+            } else if (!std::strcmp(argv[i], "--app") && i + 1 < argc) {
+                opt.onlyApp = argv[++i];
+            } else {
+                std::fprintf(stderr,
+                             "usage: %s [--quick] [--chunks N] [--app NAME]\n",
+                             argv[0]);
+                std::exit(2);
+            }
+        }
+        return opt;
+    }
+
+    /** The figure's application list, filtered by --app. */
+    std::vector<const AppSpec*>
+    select(const std::vector<AppSpec>& apps) const
+    {
+        std::vector<const AppSpec*> out;
+        for (const auto& app : apps)
+            if (onlyApp.empty() || onlyApp == app.name)
+                out.push_back(&app);
+        return out;
+    }
+};
+
+/** Run one experiment with the bench's standard knobs. */
+inline RunResult
+run(const AppSpec& app, std::uint32_t procs, ProtocolKind proto,
+    const Options& opt)
+{
+    RunConfig cfg;
+    cfg.app = &app;
+    cfg.procs = procs;
+    cfg.protocol = proto;
+    cfg.totalChunks = opt.chunks;
+    RunResult r = runExperiment(cfg);
+    std::fflush(stdout);
+    return r;
+}
+
+/** Header banner naming the figure being regenerated. */
+inline void
+banner(const char* figure, const char* what)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", figure, what);
+    std::printf("(shape reproduction; absolute numbers differ from the paper's\n"
+                " testbed — see EXPERIMENTS.md)\n");
+    std::printf("==============================================================\n");
+}
+
+} // namespace bench
+} // namespace sbulk
+
+#endif // SBULK_BENCH_COMMON_HH

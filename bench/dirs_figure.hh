@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared implementation of Figures 9/10 (average directories per chunk
+ * commit, split into Write Group and Read Group) and Figures 11/12 (the
+ * distribution of directories per commit at 64 processors).
+ */
+
+#ifndef SBULK_BENCH_DIRS_FIGURE_HH
+#define SBULK_BENCH_DIRS_FIGURE_HH
+
+#include "bench/common.hh"
+
+namespace sbulk
+{
+namespace bench
+{
+
+/** Figures 9/10: averages at 32 and 64 processors, ScalableBulk. */
+inline void
+runDirsAverageFigure(const char* figure, const std::vector<AppSpec>& suite,
+                     const Options& opt)
+{
+    banner(figure, "avg directories per chunk commit (Write/Read group)");
+    std::printf("%-14s %5s %10s %11s %10s\n", "app", "procs", "total",
+                "writeGroup", "readGroup");
+    double sum_total[2] = {0, 0}, sum_write[2] = {0, 0};
+    int n[2] = {0, 0};
+    for (const AppSpec* app : opt.select(suite)) {
+        for (int si = 0; si < 2; ++si) {
+            const std::uint32_t procs = si == 0 ? 32 : 64;
+            const RunResult r =
+                run(*app, procs, ProtocolKind::ScalableBulk, opt);
+            const double read_group =
+                r.dirsPerCommitMean - r.writeDirsPerCommitMean;
+            std::printf("%-14s %5u %10.2f %11.2f %10.2f\n",
+                        app->name.c_str(), procs, r.dirsPerCommitMean,
+                        r.writeDirsPerCommitMean, read_group);
+            sum_total[si] += r.dirsPerCommitMean;
+            sum_write[si] += r.writeDirsPerCommitMean;
+            ++n[si];
+        }
+    }
+    for (int si = 0; si < 2; ++si) {
+        if (n[si] == 0)
+            continue;
+        std::printf("%-14s %5u %10.2f %11.2f %10.2f\n", "AVERAGE",
+                    si == 0 ? 32 : 64, sum_total[si] / n[si],
+                    sum_write[si] / n[si],
+                    (sum_total[si] - sum_write[si]) / n[si]);
+    }
+}
+
+/** Figures 11/12: per-app distribution at 64 processors. */
+inline void
+runDirsDistributionFigure(const char* figure,
+                          const std::vector<AppSpec>& suite,
+                          const Options& opt)
+{
+    banner(figure,
+           "distribution of directories per chunk commit, 64 processors");
+    std::printf("%-14s", "app");
+    for (int d = 0; d <= 14; ++d)
+        std::printf(" %5d", d);
+    std::printf(" %5s\n", "more");
+
+    for (const AppSpec* app : opt.select(suite)) {
+        const RunResult r = run(*app, 64, ProtocolKind::ScalableBulk, opt);
+        const auto& hist = r.dirsPerCommit;
+        const double total = double(hist.count());
+        std::printf("%-14s", app->name.c_str());
+        double more = 0;
+        for (std::size_t b = 0; b < hist.buckets().size(); ++b) {
+            if (b <= 14)
+                continue;
+            more += double(hist.buckets()[b]);
+        }
+        for (int d = 0; d <= 14; ++d) {
+            const double pct =
+                total > 0 ? 100.0 * double(hist.buckets()[std::size_t(d)]) /
+                                total
+                          : 0.0;
+            std::printf(" %4.1f%%", pct);
+        }
+        std::printf(" %4.1f%%\n", total > 0 ? 100.0 * more / total : 0.0);
+    }
+}
+
+} // namespace bench
+} // namespace sbulk
+
+#endif // SBULK_BENCH_DIRS_FIGURE_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared implementation of Figures 7 and 8: execution time of every
+ * application under the four protocols at 32 and 64 processors, normalized
+ * to a one-processor ScalableBulk run of the same total work, broken into
+ * the paper's four categories (Useful / Cache Miss / Commit / Squash).
+ */
+
+#ifndef SBULK_BENCH_EXEC_FIGURE_HH
+#define SBULK_BENCH_EXEC_FIGURE_HH
+
+#include "bench/common.hh"
+
+namespace sbulk
+{
+namespace bench
+{
+
+inline void
+runExecFigure(const char* figure, const std::vector<AppSpec>& suite,
+              const Options& opt)
+{
+    banner(figure,
+           "normalized execution time and speedups, 4 protocols x {32,64}p");
+
+    constexpr ProtocolKind kProtos[] = {
+        ProtocolKind::ScalableBulk, ProtocolKind::TCC, ProtocolKind::SEQ,
+        ProtocolKind::BulkSC};
+
+    std::printf("%-14s %5s %-13s %8s %8s %8s %8s %8s %8s\n", "app", "procs",
+                "protocol", "normTime", "useful", "cacheMiss", "commit",
+                "squash", "speedup");
+
+    // Per-protocol running sums for the AVERAGE rows.
+    struct Sum
+    {
+        double norm = 0, useful = 0, miss = 0, commit = 0, squash = 0,
+               speedup = 0;
+        int n = 0;
+    };
+    Sum sums[4][2]; // [protocol][procs index]
+
+    for (const AppSpec* app : opt.select(suite)) {
+        // The paper's baseline: the same total work on one processor
+        // running ScalableBulk.
+        const RunResult base =
+            run(*app, 1, ProtocolKind::ScalableBulk, opt);
+
+        for (int pi = 0; pi < 4; ++pi) {
+            for (int si = 0; si < 2; ++si) {
+                const std::uint32_t procs = si == 0 ? 32 : 64;
+                const RunResult r = run(*app, procs, kProtos[pi], opt);
+                const double norm =
+                    double(r.makespan) / double(base.makespan);
+                const double total = r.breakdown.total();
+                const double f_useful = r.breakdown.useful / total;
+                const double f_miss = r.breakdown.cacheMiss / total;
+                const double f_commit = r.breakdown.commit / total;
+                const double f_squash = r.breakdown.squash / total;
+                const double sp = speedup(base, r);
+                std::printf(
+                    "%-14s %5u %-13s %8.4f %7.1f%% %8.1f%% %7.1f%% %7.1f%% %8.1f\n",
+                    app->name.c_str(), procs, protocolName(kProtos[pi]),
+                    norm, 100 * f_useful, 100 * f_miss, 100 * f_commit,
+                    100 * f_squash, sp);
+                Sum& s = sums[pi][si];
+                s.norm += norm;
+                s.useful += f_useful;
+                s.miss += f_miss;
+                s.commit += f_commit;
+                s.squash += f_squash;
+                s.speedup += sp;
+                ++s.n;
+            }
+        }
+    }
+
+    std::printf("\n-- AVERAGE over applications --\n");
+    for (int pi = 0; pi < 4; ++pi) {
+        for (int si = 0; si < 2; ++si) {
+            const Sum& s = sums[pi][si];
+            if (s.n == 0)
+                continue;
+            std::printf(
+                "%-14s %5u %-13s %8.4f %7.1f%% %8.1f%% %7.1f%% %7.1f%% %8.1f\n",
+                "AVERAGE", si == 0 ? 32 : 64, protocolName(kProtos[pi]),
+                s.norm / s.n, 100 * s.useful / s.n, 100 * s.miss / s.n,
+                100 * s.commit / s.n, 100 * s.squash / s.n,
+                s.speedup / s.n);
+        }
+    }
+}
+
+} // namespace bench
+} // namespace sbulk
+
+#endif // SBULK_BENCH_EXEC_FIGURE_HH

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 7: execution times of the SPLASH-2 programs under ScalableBulk,
+ * TCC, SEQ, and BulkSC at 32/64 processors, normalized to single-processor
+ * runs, with the Useful / Cache Miss / Commit / Squash breakdown.
+ */
+
+#include "bench/exec_figure.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace sbulk;
+    using namespace sbulk::bench;
+    const Options opt = Options::parse(argc, argv);
+    runExecFigure("Figure 7 (SPLASH-2 execution time)", splash2Apps(), opt);
+    return 0;
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 9 (SPLASH-2 directories per commit); see dirs_figure.hh.
+ */
+
+#include "bench/dirs_figure.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace sbulk;
+    using namespace sbulk::bench;
+    const Options opt = Options::parse(argc, argv);
+    runDirsAverageFigure("Figure 9 (SPLASH-2 directories per commit)", splash2Apps(), opt);
+    return 0;
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 10 (PARSEC directories per commit); see dirs_figure.hh.
+ */
+
+#include "bench/dirs_figure.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace sbulk;
+    using namespace sbulk::bench;
+    const Options opt = Options::parse(argc, argv);
+    runDirsAverageFigure("Figure 10 (PARSEC directories per commit)", parsecApps(), opt);
+    return 0;
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 11 (SPLASH-2 directory-count distribution); see dirs_figure.hh.
+ */
+
+#include "bench/dirs_figure.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace sbulk;
+    using namespace sbulk::bench;
+    const Options opt = Options::parse(argc, argv);
+    runDirsDistributionFigure("Figure 11 (SPLASH-2 directory-count distribution)", splash2Apps(), opt);
+    return 0;
+}

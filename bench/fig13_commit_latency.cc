@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 13: the distribution of chunk-commit latency for each protocol,
+ * aggregated over all applications, at 64 processors — plus the 32- and
+ * 64-processor means the paper quotes (Section 6.3: ScalableBulk/TCC/SEQ/
+ * BulkSC = 91/411/153/2954 cycles at 64p and 74/402/107/98 at 32p).
+ */
+
+#include "bench/common.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace sbulk;
+    using namespace sbulk::bench;
+    const Options opt = Options::parse(argc, argv);
+    banner("Figure 13 (commit latency distribution)",
+           "all applications, per protocol");
+
+    constexpr ProtocolKind kProtos[] = {
+        ProtocolKind::ScalableBulk, ProtocolKind::TCC, ProtocolKind::SEQ,
+        ProtocolKind::BulkSC};
+
+    for (ProtocolKind proto : kProtos) {
+        Distribution merged(25, 400);
+        double mean32_sum = 0, mean64_sum = 0;
+        int n = 0;
+        for (const AppSpec* app : opt.select(allApps())) {
+            const RunResult r64 = run(*app, 64, proto, opt);
+            const RunResult r32 = run(*app, 32, proto, opt);
+            mean64_sum += r64.commitLatencyMean;
+            mean32_sum += r32.commitLatencyMean;
+            ++n;
+            // Merge the 64p histograms bucket-wise for the distribution.
+            const auto& b = r64.commitLatency.buckets();
+            for (std::size_t i = 0; i < b.size(); ++i)
+                for (std::uint64_t k = 0; k < b[i]; ++k)
+                    merged.sample(i * r64.commitLatency.bucketWidth());
+        }
+        std::printf("\n%s: mean latency  64p = %.0f cycles   32p = %.0f "
+                    "cycles  (paper: SB 91/74, TCC 411/402, SEQ 153/107, "
+                    "BulkSC 2954/98)\n",
+                    protocolName(proto), mean64_sum / n, mean32_sum / n);
+        std::printf("  64p distribution (bucket = %llu cycles, %% of "
+                    "commits):\n",
+                    (unsigned long long)merged.bucketWidth());
+        const double total = double(merged.count());
+        // Print the first buckets covering most of the mass.
+        double cum = 0;
+        for (std::size_t i = 0; i < merged.buckets().size() && cum < 99.0;
+             ++i) {
+            const double pct = 100.0 * double(merged.buckets()[i]) / total;
+            cum += pct;
+            if (pct >= 0.05) {
+                std::printf("    [%6zu..%6zu) %6.2f%%  cum %6.2f%%\n",
+                            i * merged.bucketWidth(),
+                            (i + 1) * merged.bucketWidth(), pct, cum);
+            }
+        }
+    }
+    return 0;
+}

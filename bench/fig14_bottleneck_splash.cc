@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 14 (SPLASH-2 bottleneck ratio); see serialization_figure.hh.
+ */
+
+#include "bench/serialization_figure.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace sbulk;
+    using namespace sbulk::bench;
+    const Options opt = Options::parse(argc, argv);
+    runBottleneckFigure("Figure 14 (SPLASH-2 bottleneck ratio)", splash2Apps(), opt);
+    return 0;
+}

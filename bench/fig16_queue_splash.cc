@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 16 (SPLASH-2 chunk queue length); see serialization_figure.hh.
+ */
+
+#include "bench/serialization_figure.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace sbulk;
+    using namespace sbulk::bench;
+    const Options opt = Options::parse(argc, argv);
+    runQueueFigure("Figure 16 (SPLASH-2 chunk queue length)", splash2Apps(), opt);
+    return 0;
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 17 (PARSEC chunk queue length); see serialization_figure.hh.
+ */
+
+#include "bench/serialization_figure.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace sbulk;
+    using namespace sbulk::bench;
+    const Options opt = Options::parse(argc, argv);
+    runQueueFigure("Figure 17 (PARSEC chunk queue length)", parsecApps(), opt);
+    return 0;
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 18 (SPLASH-2 message characterization); see traffic_figure.hh.
+ */
+
+#include "bench/traffic_figure.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace sbulk;
+    using namespace sbulk::bench;
+    const Options opt = Options::parse(argc, argv);
+    runTrafficFigure("Figure 18 (SPLASH-2 message characterization)", splash2Apps(), opt);
+    return 0;
+}

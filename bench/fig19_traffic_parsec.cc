@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 19 (PARSEC message characterization); see traffic_figure.hh.
+ */
+
+#include "bench/traffic_figure.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace sbulk;
+    using namespace sbulk::bench;
+    const Options opt = Options::parse(argc, argv);
+    runTrafficFigure("Figure 19 (PARSEC message characterization)", parsecApps(), opt);
+    return 0;
+}

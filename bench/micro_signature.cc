@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Micro-benchmarks of the hot simulator primitives: signature insert,
+ * membership, intersection (the operation every directory performs per
+ * commit compatibility check), and union.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sig/signature.hh"
+#include "sim/random.hh"
+
+namespace
+{
+
+using namespace sbulk;
+
+void
+BM_SignatureInsert(benchmark::State& state)
+{
+    Rng rng(1);
+    Signature sig;
+    Addr a = 0x12345;
+    for (auto _ : state) {
+        sig.insert(a);
+        a = a * 6364136223846793005ull + 1;
+    }
+}
+BENCHMARK(BM_SignatureInsert);
+
+void
+BM_SignatureContains(benchmark::State& state)
+{
+    Rng rng(2);
+    Signature sig;
+    for (int i = 0; i < int(state.range(0)); ++i)
+        sig.insert(rng.next() >> 7);
+    Addr a = 0x98765;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sig.contains(a));
+        a = a * 6364136223846793005ull + 1;
+    }
+}
+BENCHMARK(BM_SignatureContains)->Arg(8)->Arg(32)->Arg(128);
+
+void
+BM_SignatureIntersects(benchmark::State& state)
+{
+    Rng rng(3);
+    Signature a, b;
+    for (int i = 0; i < int(state.range(0)); ++i) {
+        a.insert(rng.next() >> 7);
+        b.insert(rng.next() >> 7);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.intersects(b));
+}
+BENCHMARK(BM_SignatureIntersects)->Arg(8)->Arg(32)->Arg(128);
+
+void
+BM_SignatureUnion(benchmark::State& state)
+{
+    Rng rng(4);
+    Signature a, b;
+    for (int i = 0; i < 64; ++i)
+        b.insert(rng.next() >> 7);
+    for (auto _ : state) {
+        Signature c = a;
+        c.unionWith(b);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_SignatureUnion);
+
+void
+BM_CompatibilityCheck(benchmark::State& state)
+{
+    // The full Section 3.2.1 test a directory runs per admitted entry.
+    Rng rng(5);
+    Signature r0, w0, r1, w1;
+    for (int i = 0; i < 30; ++i) {
+        r0.insert(rng.next() >> 7);
+        r1.insert(rng.next() >> 7);
+    }
+    for (int i = 0; i < 12; ++i) {
+        w0.insert(rng.next() >> 7);
+        w1.insert(rng.next() >> 7);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(chunksCompatible(r0, w0, r1, w1));
+}
+BENCHMARK(BM_CompatibilityCheck);
+
+} // namespace
+
+BENCHMARK_MAIN();

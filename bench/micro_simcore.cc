@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Micro-benchmarks of the simulation substrate: event-queue throughput,
+ * torus message delivery, and cache tag-array operations — the per-event
+ * costs that bound how many simulated cycles per wall-second the figure
+ * benches achieve.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/cache_array.hh"
+#include "net/network.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+namespace
+{
+
+using namespace sbulk;
+
+void
+BM_EventQueueScheduleRun(benchmark::State& state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(Tick(i % 97), [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_TorusMessageDelivery(benchmark::State& state)
+{
+    EventQueue eq;
+    TorusNetwork net(eq, 64);
+    std::uint64_t delivered = 0;
+    for (NodeId n = 0; n < 64; ++n)
+        net.registerHandler(n, Port::Dir,
+                            [&delivered](MessagePtr) { ++delivered; });
+    Rng rng(7);
+    for (auto _ : state) {
+        for (int i = 0; i < 100; ++i) {
+            const NodeId src = NodeId(rng.below(64));
+            const NodeId dst = NodeId(rng.below(64));
+            net.send(std::make_unique<Message>(
+                src, dst, Port::Dir, MsgClass::SmallCMessage, 0, 8));
+        }
+        eq.run();
+    }
+    benchmark::DoNotOptimize(delivered);
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_TorusMessageDelivery);
+
+void
+BM_CacheLookupHit(benchmark::State& state)
+{
+    CacheArray cache(CacheConfig{512 * 1024, 8, 32, 8, 64});
+    Rng rng(9);
+    std::vector<Addr> lines;
+    for (int i = 0; i < 256; ++i) {
+        Addr line = rng.next() >> 10;
+        cache.insert(line, LineState::Shared);
+        lines.push_back(line);
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.lookup(lines[i]));
+        i = (i + 1) % lines.size();
+    }
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void
+BM_CacheSignatureWalk(benchmark::State& state)
+{
+    // The bulk-invalidation signature walk over a full L1.
+    CacheArray cache(CacheConfig{32 * 1024, 4, 32, 2, 8});
+    Rng rng(11);
+    for (int i = 0; i < 1024; ++i)
+        cache.insert(rng.next() >> 10, LineState::Shared);
+    Signature w;
+    for (int i = 0; i < 16; ++i)
+        w.insert(rng.next() >> 10);
+    for (auto _ : state) {
+        CacheArray copy = cache;
+        benchmark::DoNotOptimize(copy.invalidateMatching(w));
+    }
+}
+BENCHMARK(BM_CacheSignatureWalk);
+
+} // namespace
+
+BENCHMARK_MAIN();

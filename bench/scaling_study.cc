@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Scalability study beyond the paper's two machine sizes: speedup and
+ * commit overhead for all four protocols from 2 to 64 processors on three
+ * representative codes (local LU, irregular Barnes, scatter-write Radix).
+ *
+ * The paper's Figures 7/8 sample only 32 and 64; the full curve shows
+ * *where* each baseline departs from ScalableBulk: SEQ already at 16-32
+ * on scatter codes, TCC at 32-64, BulkSC wherever the arbiter saturates.
+ */
+
+#include "bench/common.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace sbulk;
+    using namespace sbulk::bench;
+    Options opt = Options::parse(argc, argv);
+    banner("Scaling study (extension)",
+           "speedup & commit overhead, 2..64 processors");
+
+    const char* kApps[] = {"LU", "Barnes", "Radix"};
+    constexpr ProtocolKind kProtos[] = {
+        ProtocolKind::ScalableBulk, ProtocolKind::TCC, ProtocolKind::SEQ,
+        ProtocolKind::BulkSC};
+
+    std::printf("%-10s %-13s %5s %10s %8s %9s\n", "app", "protocol",
+                "procs", "makespan", "speedup", "commit%");
+    for (const char* name : kApps) {
+        if (!opt.onlyApp.empty() && opt.onlyApp != name)
+            continue;
+        const AppSpec* app = findApp(name);
+        const RunResult base = run(*app, 1, ProtocolKind::ScalableBulk,
+                                   opt);
+        for (ProtocolKind proto : kProtos) {
+            for (std::uint32_t procs : {2u, 4u, 8u, 16u, 32u, 64u}) {
+                const RunResult r = run(*app, procs, proto, opt);
+                std::printf("%-10s %-13s %5u %10llu %8.1f %8.1f%%\n", name,
+                            protocolName(proto), procs,
+                            (unsigned long long)r.makespan,
+                            speedup(base, r),
+                            100.0 * r.breakdown.commit /
+                                r.breakdown.total());
+            }
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared implementation of Figures 14/15 (bottleneck ratio: chunks forming
+ * groups over chunks committing, sampled at each group formation) and
+ * Figures 16/17 (chunk queue length in TCC and SEQ).
+ */
+
+#ifndef SBULK_BENCH_SERIALIZATION_FIGURE_HH
+#define SBULK_BENCH_SERIALIZATION_FIGURE_HH
+
+#include "bench/common.hh"
+
+namespace sbulk
+{
+namespace bench
+{
+
+/** Figures 14/15: bottleneck ratio for ScalableBulk, TCC, SEQ. */
+inline void
+runBottleneckFigure(const char* figure, const std::vector<AppSpec>& suite,
+                    const Options& opt)
+{
+    banner(figure, "bottleneck ratio (forming / committing), {32,64}p");
+    std::printf("%-14s %5s %14s %10s %10s\n", "app", "procs",
+                "ScalableBulk", "TCC", "SEQ");
+    double sums[3][2] = {};
+    int n[2] = {0, 0};
+    for (const AppSpec* app : opt.select(suite)) {
+        for (int si = 0; si < 2; ++si) {
+            const std::uint32_t procs = si == 0 ? 32 : 64;
+            const RunResult sb =
+                run(*app, procs, ProtocolKind::ScalableBulk, opt);
+            const RunResult tcc = run(*app, procs, ProtocolKind::TCC, opt);
+            const RunResult seq = run(*app, procs, ProtocolKind::SEQ, opt);
+            std::printf("%-14s %5u %14.2f %10.2f %10.2f\n",
+                        app->name.c_str(), procs, sb.bottleneckRatio,
+                        tcc.bottleneckRatio, seq.bottleneckRatio);
+            sums[0][si] += sb.bottleneckRatio;
+            sums[1][si] += tcc.bottleneckRatio;
+            sums[2][si] += seq.bottleneckRatio;
+            ++n[si];
+        }
+    }
+    for (int si = 0; si < 2; ++si) {
+        if (n[si] == 0)
+            continue;
+        std::printf("%-14s %5u %14.2f %10.2f %10.2f\n", "AVERAGE",
+                    si == 0 ? 32 : 64, sums[0][si] / n[si],
+                    sums[1][si] / n[si], sums[2][si] / n[si]);
+    }
+}
+
+/** Figures 16/17: chunk queue length in TCC and SEQ. */
+inline void
+runQueueFigure(const char* figure, const std::vector<AppSpec>& suite,
+               const Options& opt)
+{
+    banner(figure, "chunk queue length (TCC, SEQ), {32,64}p");
+    std::printf("%-14s %5s %10s %10s\n", "app", "procs", "TCC", "SEQ");
+    double sums[2][2] = {};
+    int n[2] = {0, 0};
+    for (const AppSpec* app : opt.select(suite)) {
+        for (int si = 0; si < 2; ++si) {
+            const std::uint32_t procs = si == 0 ? 32 : 64;
+            const RunResult tcc = run(*app, procs, ProtocolKind::TCC, opt);
+            const RunResult seq = run(*app, procs, ProtocolKind::SEQ, opt);
+            std::printf("%-14s %5u %10.2f %10.2f\n", app->name.c_str(),
+                        procs, tcc.chunkQueueLength, seq.chunkQueueLength);
+            sums[0][si] += tcc.chunkQueueLength;
+            sums[1][si] += seq.chunkQueueLength;
+            ++n[si];
+        }
+    }
+    for (int si = 0; si < 2; ++si) {
+        if (n[si] == 0)
+            continue;
+        std::printf("%-14s %5u %10.2f %10.2f\n", "AVERAGE",
+                    si == 0 ? 32 : 64, sums[0][si] / n[si],
+                    sums[1][si] / n[si]);
+    }
+}
+
+} // namespace bench
+} // namespace sbulk
+
+#endif // SBULK_BENCH_SERIALIZATION_FIGURE_HH

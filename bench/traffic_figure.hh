@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared implementation of Figures 18/19: number and class mix of network
+ * messages per protocol, normalized to TCC (which the paper shows
+ * generating the most traffic, dominated by small commit messages — the
+ * probe/skip broadcast).
+ *
+ * Classes follow the paper: MemRd / RemoteShRd / RemoteDirtyRd (reads by
+ * data source; each counts its request + reply pair) and LargeCMessage /
+ * SmallCMessage (commit protocol).
+ */
+
+#ifndef SBULK_BENCH_TRAFFIC_FIGURE_HH
+#define SBULK_BENCH_TRAFFIC_FIGURE_HH
+
+#include "bench/common.hh"
+
+namespace sbulk
+{
+namespace bench
+{
+
+struct TrafficRow
+{
+    double memRd = 0, remoteSh = 0, remoteDirty = 0, largeC = 0,
+           smallC = 0;
+    double total() const
+    {
+        return memRd + remoteSh + remoteDirty + largeC + smallC;
+    }
+};
+
+inline TrafficRow
+classify(const TrafficStats& t)
+{
+    TrafficRow row;
+    // A read transaction = request + classified reply (+ a forward hop
+    // for dirty reads); fold the control messages into the read classes
+    // as the paper does.
+    row.memRd = 2.0 * double(t.messages(MsgClass::MemRd));
+    row.remoteSh = 2.0 * double(t.messages(MsgClass::RemoteShRd));
+    row.remoteDirty = 3.0 * double(t.messages(MsgClass::RemoteDirtyRd));
+    row.largeC = double(t.messages(MsgClass::LargeCMessage));
+    row.smallC = double(t.messages(MsgClass::SmallCMessage));
+    return row;
+}
+
+inline void
+runTrafficFigure(const char* figure, const std::vector<AppSpec>& suite,
+                 const Options& opt)
+{
+    banner(figure, "message count and mix, normalized to TCC, 64p");
+
+    constexpr ProtocolKind kProtos[] = {
+        ProtocolKind::ScalableBulk, ProtocolKind::TCC, ProtocolKind::SEQ,
+        ProtocolKind::BulkSC};
+
+    std::printf("%-14s %-13s %8s %8s %9s %11s %8s %8s\n", "app", "protocol",
+                "total%", "MemRd%", "RemShRd%", "RemDirtyRd%", "LargeC%",
+                "SmallC%");
+
+    for (const AppSpec* app : opt.select(suite)) {
+        TrafficRow rows[4];
+        for (int pi = 0; pi < 4; ++pi)
+            rows[pi] = classify(run(*app, 64, kProtos[pi], opt).traffic);
+        const double tcc_total = rows[1].total();
+        for (int pi = 0; pi < 4; ++pi) {
+            const TrafficRow& r = rows[pi];
+            std::printf(
+                "%-14s %-13s %7.1f%% %7.1f%% %8.1f%% %10.1f%% %7.1f%% %7.1f%%\n",
+                app->name.c_str(), protocolName(kProtos[pi]),
+                100 * r.total() / tcc_total, 100 * r.memRd / tcc_total,
+                100 * r.remoteSh / tcc_total,
+                100 * r.remoteDirty / tcc_total, 100 * r.largeC / tcc_total,
+                100 * r.smallC / tcc_total);
+        }
+    }
+}
+
+} // namespace bench
+} // namespace sbulk
+
+#endif // SBULK_BENCH_TRAFFIC_FIGURE_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Run one of the paper's 18 applications under all four protocols and
+ * print a side-by-side comparison — a command-line tour of the evaluation.
+ *
+ * Usage: protocol_faceoff [app] [procs] [total-chunks]
+ *        (defaults: Radix 64 1280; see `protocol_faceoff list`)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "system/experiment.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace sbulk;
+
+    if (argc > 1 && !std::strcmp(argv[1], "list")) {
+        for (const auto& app : allApps())
+            std::printf("%-14s (%s)\n", app.name.c_str(),
+                        app.suite.c_str());
+        return 0;
+    }
+
+    const char* name = argc > 1 ? argv[1] : "Radix";
+    const AppSpec* app = findApp(name);
+    if (!app) {
+        std::fprintf(stderr,
+                     "unknown application '%s' (try: protocol_faceoff "
+                     "list)\n",
+                     name);
+        return 1;
+    }
+    const std::uint32_t procs =
+        argc > 2 ? std::uint32_t(std::atoi(argv[2])) : 64;
+    const std::uint64_t chunks =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1280;
+
+    std::printf("%s (%s), %u processors, %llu chunks total\n\n",
+                app->name.c_str(), app->suite.c_str(), procs,
+                (unsigned long long)chunks);
+    std::printf("%-13s %10s %10s %9s %8s %8s %8s %9s\n", "protocol",
+                "makespan", "commitLat", "commit%", "queue", "bneck",
+                "squash", "messages");
+
+    for (ProtocolKind proto :
+         {ProtocolKind::ScalableBulk, ProtocolKind::TCC, ProtocolKind::SEQ,
+          ProtocolKind::BulkSC}) {
+        RunConfig cfg;
+        cfg.app = app;
+        cfg.procs = procs;
+        cfg.totalChunks = chunks;
+        cfg.protocol = proto;
+        const RunResult r = runExperiment(cfg);
+        std::printf(
+            "%-13s %10llu %10.1f %8.1f%% %8.2f %8.2f %8llu %9llu\n",
+            protocolName(proto), (unsigned long long)r.makespan,
+            r.commitLatencyMean,
+            100.0 * r.breakdown.commit / r.breakdown.total(),
+            r.chunkQueueLength, r.bottleneckRatio,
+            (unsigned long long)(r.squashesTrueConflict +
+                                 r.squashesAliasing),
+            (unsigned long long)r.traffic.totalMessages());
+    }
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The paper's motivating scenario (Section 2.1), isolated: chunks from
+ * different processors write *disjoint* addresses that live in the *same*
+ * directory module. A truly scalable protocol overlaps their commits; the
+ * baselines serialize them.
+ *
+ * Two cores run scripted Radix-style bucket writes into one shared page
+ * under each protocol; the commit latency and stall directly expose the
+ * serialization.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "system/system.hh"
+
+namespace
+{
+
+using namespace sbulk;
+
+/** A stream cycling a fixed script of operations. */
+class ScriptedStream : public ThreadStream
+{
+  public:
+    explicit ScriptedStream(std::vector<MemOp> script)
+        : _script(std::move(script))
+    {}
+
+    MemOp
+    next() override
+    {
+        MemOp op = _script[_idx];
+        _idx = (_idx + 1) % _script.size();
+        return op;
+    }
+
+  private:
+    std::vector<MemOp> _script;
+    std::size_t _idx = 0;
+};
+
+/** Core c writes lines [c*16, c*16+8) of page 0 — disjoint, same home. */
+std::vector<std::unique_ptr<ThreadStream>>
+bucketStreams(int cores)
+{
+    std::vector<std::unique_ptr<ThreadStream>> streams;
+    for (int c = 0; c < cores; ++c) {
+        std::vector<MemOp> script;
+        for (int i = 0; i < 8; ++i) {
+            script.push_back(MemOp{3, true, Addr(c * 16 + i) * 32});
+            script.push_back(MemOp{3, false, Addr(c * 16 + i) * 32});
+        }
+        streams.push_back(std::make_unique<ScriptedStream>(script));
+    }
+    return streams;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace sbulk;
+
+    std::printf("Eight cores, disjoint bucket writes, one home directory\n");
+    std::printf("(Section 2.1: TCC and SEQ serialize these; ScalableBulk\n"
+                " and the BulkSC arbiter overlap them)\n\n");
+    std::printf("%-13s %12s %12s %14s %8s\n", "protocol", "makespan",
+                "commitLat", "commitStall%", "fails");
+
+    for (ProtocolKind proto :
+         {ProtocolKind::ScalableBulk, ProtocolKind::TCC, ProtocolKind::SEQ,
+          ProtocolKind::BulkSC}) {
+        SystemConfig cfg;
+        cfg.numProcs = 8;
+        cfg.protocol = proto;
+        cfg.core.chunkInstrs = 120; // small chunks: commits dominate
+        cfg.core.chunksToRun = 100;
+        System sys(cfg, bucketStreams(8));
+        const Tick end = sys.run();
+        const auto b = sys.breakdown();
+        std::printf("%-13s %12llu %12.1f %13.1f%% %8llu\n",
+                    protocolName(proto), (unsigned long long)end,
+                    sys.metrics().commitLatency.mean(),
+                    100.0 * b.commit / b.total(),
+                    (unsigned long long)sys.metrics()
+                        .commitFailures.value());
+    }
+    std::printf("\nEvery chunk pair is collision-free, so any serialization"
+                "\nabove is purely the same-directory artifact the paper"
+                "\neliminates.\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A tour of the Bulk-style address signatures underlying the protocol:
+ * how occupancy grows, when membership aliases, and how the banked-AND
+ * intersection test's false-positive rate scales with set size and
+ * signature geometry — the trade the paper leans on (false positives can
+ * only cause unnecessary nacks/squashes, never incorrectness).
+ */
+
+#include <cstdio>
+
+#include "sig/signature.hh"
+#include "sim/random.hh"
+
+namespace
+{
+
+using namespace sbulk;
+
+/** Measured false-positive rate of intersects() for disjoint sets. */
+double
+intersectionFpRate(SigConfig cfg, int set_size, int trials, Rng& rng)
+{
+    int fp = 0;
+    for (int t = 0; t < trials; ++t) {
+        Signature a(cfg), b(cfg);
+        for (int i = 0; i < set_size; ++i) {
+            a.insert((rng.next() >> 5) * 2);     // even lines
+            b.insert((rng.next() >> 5) * 2 + 1); // odd lines: disjoint
+        }
+        fp += a.intersects(b);
+    }
+    return double(fp) / trials;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace sbulk;
+    Rng rng(2026);
+
+    std::printf("Signature occupancy (2 Kbit, 4 banks):\n");
+    Signature sig;
+    for (int n : {1, 8, 32, 64, 128, 256}) {
+        Signature s;
+        for (int i = 0; i < n; ++i)
+            s.insert(rng.next() >> 7);
+        std::printf("  %4d addresses -> %4u/%u bits set\n", n,
+                    s.popcount(), s.config().totalBits);
+    }
+
+    std::printf("\nIntersection false-positive rate (disjoint sets):\n");
+    std::printf("%-18s %6s %6s %6s %6s\n", "geometry", "n=10", "n=20",
+                "n=40", "n=80");
+    for (SigConfig cfg : {SigConfig{512, 4}, SigConfig{1024, 4},
+                          SigConfig{2048, 4}, SigConfig{4096, 4},
+                          SigConfig{2048, 8}}) {
+        std::printf("%5u bits/%u banks ", cfg.totalBits, cfg.numBanks);
+        for (int n : {10, 20, 40, 80})
+            std::printf(" %4.1f%%",
+                        100 * intersectionFpRate(cfg, n, 400, rng));
+        std::printf("\n");
+    }
+
+    std::printf("\nTakeaway: at the paper's 2-Kbit size, chunks must keep\n"
+                "their footprints to a few dozen distinct lines for the\n"
+                "compatibility test to stay selective — which 2000-\n"
+                "instruction chunks with ordinary locality do.\n");
+    return 0;
+}

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Plot the paper's key figures from an sbulk-sweep CSV.
+
+Usage:
+    ./build/tools/sbulk-sweep > sweep.csv          # (or --chunks 640 for speed)
+    python3 scripts/plot_figures.py sweep.csv outdir/
+
+Produces, in the spirit of the paper's evaluation:
+    exec_breakdown_{32,64}.png   stacked Useful/CacheMiss/Commit/Squash bars
+                                 per app x protocol (Figures 7/8)
+    dirs_per_commit.png          write/read-group stacked bars (Figures 9/10)
+    commit_latency.png           per-protocol mean latency, 32 vs 64 (Figure 13)
+    queue_length.png             TCC/SEQ chunk queue lengths (Figures 16/17)
+
+Requires matplotlib; everything else is the standard library.
+"""
+
+import csv
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:  # pragma: no cover
+    sys.exit("matplotlib is required: pip install matplotlib")
+
+PROTOCOLS = ["ScalableBulk", "TCC", "SEQ", "BulkSC"]
+CATEGORIES = [
+    ("usefulFrac", "Useful", "#4477aa"),
+    ("cacheMissFrac", "Cache Miss", "#66ccee"),
+    ("commitFrac", "Commit", "#ee6677"),
+    ("squashFrac", "Squash", "#aa3377"),
+]
+
+
+def load(path):
+    rows = []
+    with open(path) as f:
+        for row in csv.DictReader(f):
+            rows.append(row)
+    return rows
+
+
+def exec_breakdown(rows, procs, out):
+    data = [r for r in rows if int(r["procs"]) == procs]
+    apps = sorted({r["app"] for r in data})
+    if not data:
+        return
+    fig, ax = plt.subplots(figsize=(max(8, len(apps) * 1.3), 4.5))
+    width = 0.8 / len(PROTOCOLS)
+    for pi, proto in enumerate(PROTOCOLS):
+        xs, bottoms = [], []
+        for ai, app in enumerate(apps):
+            match = [r for r in data if r["app"] == app and
+                     r["protocol"] == proto]
+            xs.append(ai + pi * width)
+            bottoms.append(match[0] if match else None)
+        bottom_acc = [0.0] * len(apps)
+        for key, label, color in CATEGORIES:
+            vals = [float(r[key]) if r else 0.0 for r in bottoms]
+            ax.bar(xs, vals, width=width, bottom=bottom_acc, color=color,
+                   label=label if pi == 0 else None, edgecolor="none")
+            bottom_acc = [b + v for b, v in zip(bottom_acc, vals)]
+    ax.set_xticks([i + 0.3 for i in range(len(apps))])
+    ax.set_xticklabels(apps, rotation=45, ha="right")
+    ax.set_ylabel("fraction of execution time")
+    ax.set_title(f"Execution breakdown, {procs} processors "
+                 "(bars per app: SB, TCC, SEQ, BulkSC)")
+    ax.legend(loc="upper right", fontsize=8)
+    fig.tight_layout()
+    fig.savefig(out / f"exec_breakdown_{procs}.png", dpi=150)
+    plt.close(fig)
+
+
+def dirs_per_commit(rows, out):
+    data = [r for r in rows if int(r["procs"]) == 64 and
+            r["protocol"] == "ScalableBulk"]
+    if not data:
+        return
+    apps = [r["app"] for r in data]
+    write = [float(r["writeDirs"]) for r in data]
+    read = [float(r["dirs"]) - float(r["writeDirs"]) for r in data]
+    fig, ax = plt.subplots(figsize=(max(8, len(apps) * 0.8), 4))
+    ax.bar(apps, write, label="Write Group", color="#ee6677")
+    ax.bar(apps, read, bottom=write, label="Read Group", color="#4477aa")
+    ax.set_ylabel("directories per chunk commit")
+    ax.set_title("Directories accessed per commit (64p, ScalableBulk)")
+    plt.setp(ax.get_xticklabels(), rotation=45, ha="right")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(out / "dirs_per_commit.png", dpi=150)
+    plt.close(fig)
+
+
+def commit_latency(rows, out):
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for procs, offset in ((32, -0.2), (64, 0.2)):
+        means = []
+        for proto in PROTOCOLS:
+            sel = [float(r["latMean"]) for r in rows
+                   if r["protocol"] == proto and int(r["procs"]) == procs]
+            means.append(sum(sel) / len(sel) if sel else 0.0)
+        ax.bar([i + offset for i in range(len(PROTOCOLS))], means,
+               width=0.4, label=f"{procs}p")
+    ax.set_xticks(range(len(PROTOCOLS)))
+    ax.set_xticklabels(PROTOCOLS)
+    ax.set_ylabel("mean commit latency (cycles)")
+    ax.set_yscale("log")
+    ax.set_title("Commit latency by protocol (cf. paper Figure 13)")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(out / "commit_latency.png", dpi=150)
+    plt.close(fig)
+
+
+def queue_length(rows, out):
+    data = defaultdict(dict)
+    for r in rows:
+        if int(r["procs"]) == 64 and r["protocol"] in ("TCC", "SEQ"):
+            data[r["app"]][r["protocol"]] = float(r["queue"])
+    if not data:
+        return
+    apps = sorted(data)
+    fig, ax = plt.subplots(figsize=(max(8, len(apps) * 0.8), 4))
+    xs = range(len(apps))
+    ax.bar([x - 0.2 for x in xs],
+           [data[a].get("TCC", 0.0) for a in apps], width=0.4,
+           label="TCC", color="#ee6677")
+    ax.bar([x + 0.2 for x in xs],
+           [data[a].get("SEQ", 0.0) for a in apps], width=0.4,
+           label="SEQ", color="#4477aa")
+    ax.set_xticks(list(xs))
+    ax.set_xticklabels(apps, rotation=45, ha="right")
+    ax.set_ylabel("chunk queue length")
+    ax.set_title("Chunk queue length, 64p (cf. paper Figures 16/17)")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(out / "queue_length.png", dpi=150)
+    plt.close(fig)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    rows = load(sys.argv[1])
+    out = Path(sys.argv[2])
+    out.mkdir(parents=True, exist_ok=True)
+    exec_breakdown(rows, 32, out)
+    exec_breakdown(rows, 64, out)
+    dirs_per_commit(rows, out)
+    commit_latency(rows, out)
+    queue_length(rows, out)
+    print(f"wrote plots to {out}/")
+
+
+if __name__ == "__main__":
+    main()

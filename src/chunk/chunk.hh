@@ -1,0 +1,185 @@
+/**
+ * @file
+ * A chunk: a dynamic group of consecutive instructions executed atomically.
+ *
+ * The chunk owns its read/write signatures, its exact write set (the
+ * simulator's functional stand-in for hardware signature expansion), the
+ * masks of home directories it touched (the paper's g_vec), replayable
+ * operation history for squash/restart, and the timing marks the evaluation
+ * metrics are computed from.
+ */
+
+#ifndef SBULK_CHUNK_CHUNK_HH
+#define SBULK_CHUNK_CHUNK_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sig/signature.hh"
+#include "sim/types.hh"
+
+namespace sbulk
+{
+
+/** One memory operation of a workload stream. */
+struct MemOp
+{
+    /** Non-memory instructions executed before this one (1 cycle each). */
+    std::uint32_t gap = 0;
+    bool isWrite = false;
+    Addr addr = 0;
+};
+
+/** Lifecycle of a chunk. */
+enum class ChunkState : std::uint8_t
+{
+    Executing,  ///< instructions still issuing
+    Completed,  ///< execution done; waiting to send the commit request
+    Committing, ///< commit requested (maybe retrying)
+    Committed,  ///< commit success received
+    Squashed,   ///< killed by a conflicting remote commit; will restart
+};
+
+/**
+ * Per-chunk architectural and bookkeeping state.
+ *
+ * Chunks are created by the core and handed (by reference) to the commit
+ * protocol; the core keeps ownership.
+ */
+class Chunk
+{
+  public:
+    Chunk(ChunkTag tag, unsigned slot, SigConfig sig_cfg)
+        : _tag(tag), _slot(slot), _rSig(sig_cfg), _wSig(sig_cfg)
+    {}
+
+    const ChunkTag& tag() const { return _tag; }
+    /**
+     * Assign a fresh tag for re-execution after a squash: the replayed
+     * chunk is a new commit identity (stale recalls and starvation
+     * counters at directories refer to the dead one).
+     */
+    void rename(ChunkTag tag) { _tag = tag; }
+    /** Cache speculative-state slot (0 or 1) this chunk uses. */
+    unsigned slot() const { return _slot; }
+
+    ChunkState state() const { return _state; }
+    void setState(ChunkState s) { _state = s; }
+
+    const Signature& rSig() const { return _rSig; }
+    const Signature& wSig() const { return _wSig; }
+
+    /** Record a load of @p line homed at directory @p home. */
+    void
+    recordRead(Addr line, NodeId home)
+    {
+        _rSig.insert(line);
+        _dirsRead |= std::uint64_t(1) << home;
+        _readSet.insert(line);
+    }
+
+    /** Record a store to @p line homed at directory @p home. */
+    void
+    recordWrite(Addr line, NodeId home)
+    {
+        _wSig.insert(line);
+        _dirsWritten |= std::uint64_t(1) << home;
+        if (_writeSet.insert(line).second)
+            _writesByHome[home].push_back(line);
+    }
+
+    /** Home directories of all lines read (bit per tile). */
+    std::uint64_t dirsRead() const { return _dirsRead; }
+    /** Home directories of lines written (bit per tile). */
+    std::uint64_t dirsWritten() const { return _dirsWritten; }
+    /** The paper's g_vec: all participating directories. */
+    std::uint64_t gVec() const { return _dirsRead | _dirsWritten; }
+
+    /** Exact lines written (functional stand-in for W expansion). */
+    const std::unordered_set<Addr>& writeSet() const { return _writeSet; }
+    /** Written lines grouped by home directory. */
+    const std::unordered_map<NodeId, std::vector<Addr>>&
+    writesByHome() const
+    {
+        return _writesByHome;
+    }
+    /** Written lines as a flat list (for bulk-invalidation payloads). */
+    std::vector<Addr>
+    writeLines() const
+    {
+        return {_writeSet.begin(), _writeSet.end()};
+    }
+
+    /**
+     * True if @p w_lines truly overlaps this chunk's read or write set.
+     * Used to tell real conflicts from signature-aliasing squashes.
+     */
+    bool
+    trulyConflictsWith(const std::vector<Addr>& w_lines) const
+    {
+        for (Addr line : w_lines)
+            if (_readSet.count(line) || _writeSet.count(line))
+                return true;
+        return false;
+    }
+
+    /// @name Replay support
+    /// @{
+    /** Append an operation to the replay log as it is first generated. */
+    void logOp(const MemOp& op) { _ops.push_back(op); }
+    const std::vector<MemOp>& ops() const { return _ops; }
+
+    /**
+     * Reset architectural state for re-execution after a squash. The replay
+     * log and tag survive; signatures, sets and dir masks are rebuilt.
+     */
+    void
+    resetForReplay()
+    {
+        _rSig.clear();
+        _wSig.clear();
+        _writeSet.clear();
+        _readSet.clear();
+        _writesByHome.clear();
+        _dirsRead = 0;
+        _dirsWritten = 0;
+        _state = ChunkState::Executing;
+        ++_timesSquashed;
+    }
+    std::uint32_t timesSquashed() const { return _timesSquashed; }
+    /// @}
+
+    /// @name Timing marks (set by core/protocol; consumed by metrics)
+    /// @{
+    Tick execStart = 0;       ///< first instruction issued
+    Tick execComplete = 0;    ///< last instruction done; commit next
+    Tick commitRequested = 0; ///< first commit_request sent
+    Tick committedAt = 0;     ///< commit success received
+    /** Cycles charged to useful/miss buckets; recategorized on squash. */
+    std::uint64_t usefulCycles = 0;
+    std::uint64_t missStallCycles = 0;
+    /// @}
+
+    /** Commit-attempt counter (retries after commit_failure). */
+    std::uint32_t commitAttempts = 0;
+
+  private:
+    ChunkTag _tag;
+    unsigned _slot;
+    ChunkState _state = ChunkState::Executing;
+    Signature _rSig;
+    Signature _wSig;
+    std::uint64_t _dirsRead = 0;
+    std::uint64_t _dirsWritten = 0;
+    std::unordered_set<Addr> _writeSet;
+    std::unordered_set<Addr> _readSet;
+    std::unordered_map<NodeId, std::vector<Addr>> _writesByHome;
+    std::vector<MemOp> _ops;
+    std::uint32_t _timesSquashed = 0;
+};
+
+} // namespace sbulk
+
+#endif // SBULK_CHUNK_CHUNK_HH

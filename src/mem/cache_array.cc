@@ -1,0 +1,167 @@
+#include "mem/cache_array.hh"
+
+#include <bit>
+
+namespace sbulk
+{
+
+CacheArray::CacheArray(CacheConfig cfg) : _cfg(cfg)
+{
+    SBULK_ASSERT(std::has_single_bit(_cfg.numSets()),
+                 "cache sets must be a power of two (size %u assoc %u line %u)",
+                 _cfg.sizeBytes, _cfg.assoc, _cfg.lineBytes);
+    _lines.resize(std::size_t(_cfg.numSets()) * _cfg.assoc);
+}
+
+CacheLine*
+CacheArray::lookup(Addr line)
+{
+    CacheLine* ways = waysOf(line);
+    for (std::uint32_t w = 0; w < _cfg.assoc; ++w) {
+        if (ways[w].valid() && ways[w].line == line) {
+            ways[w].lastUse = ++_useClock;
+            return &ways[w];
+        }
+    }
+    return nullptr;
+}
+
+const CacheLine*
+CacheArray::probe(Addr line) const
+{
+    const CacheLine* ways = waysOf(line);
+    for (std::uint32_t w = 0; w < _cfg.assoc; ++w)
+        if (ways[w].valid() && ways[w].line == line)
+            return &ways[w];
+    return nullptr;
+}
+
+std::optional<Eviction>
+CacheArray::insert(Addr line, LineState state)
+{
+    CacheLine* ways = waysOf(line);
+
+    // Already present: refresh LRU; only ever upgrade the state (a refetch
+    // reply must not downgrade a line that committed Dirty meanwhile).
+    for (std::uint32_t w = 0; w < _cfg.assoc; ++w) {
+        if (ways[w].valid() && ways[w].line == line) {
+            if (state == LineState::Dirty)
+                ways[w].state = LineState::Dirty;
+            ways[w].lastUse = ++_useClock;
+            return Eviction{};
+        }
+    }
+
+    // Prefer an invalid way.
+    CacheLine* victim = nullptr;
+    for (std::uint32_t w = 0; w < _cfg.assoc; ++w) {
+        if (!ways[w].valid()) {
+            victim = &ways[w];
+            break;
+        }
+    }
+    // Otherwise LRU among non-speculative lines: speculative data has
+    // nowhere to go, so it must not be displaced.
+    if (!victim) {
+        for (std::uint32_t w = 0; w < _cfg.assoc; ++w) {
+            if (ways[w].speculative())
+                continue;
+            if (!victim || ways[w].lastUse < victim->lastUse)
+                victim = &ways[w];
+        }
+    }
+    if (!victim)
+        return std::nullopt; // every way speculative: chunk overflow
+
+    Eviction ev;
+    if (victim->valid()) {
+        ev.happened = true;
+        ev.line = victim->line;
+        ev.state = victim->state;
+        ev.speculative = victim->speculative();
+    }
+    victim->line = line;
+    victim->state = state;
+    victim->specMask = 0;
+    victim->lastUse = ++_useClock;
+    return ev;
+}
+
+bool
+CacheArray::invalidate(Addr line)
+{
+    CacheLine* ways = waysOf(line);
+    for (std::uint32_t w = 0; w < _cfg.assoc; ++w) {
+        if (ways[w].valid() && ways[w].line == line) {
+            ways[w] = CacheLine{};
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+CacheArray::markSpeculative(Addr line, unsigned slot)
+{
+    SBULK_ASSERT(slot < 8);
+    CacheLine* entry = lookup(line);
+    SBULK_ASSERT(entry, "marking absent line speculative");
+    entry->specMask |= std::uint8_t(1u << slot);
+}
+
+void
+CacheArray::commitSlot(unsigned slot)
+{
+    const std::uint8_t bit = std::uint8_t(1u << slot);
+    for (auto& entry : _lines) {
+        if (entry.valid() && (entry.specMask & bit)) {
+            entry.specMask &= std::uint8_t(~bit);
+            entry.state = LineState::Dirty;
+        }
+    }
+}
+
+void
+CacheArray::squashSlot(unsigned slot)
+{
+    const std::uint8_t bit = std::uint8_t(1u << slot);
+    for (auto& entry : _lines) {
+        if (entry.valid() && (entry.specMask & bit))
+            entry = CacheLine{};
+    }
+}
+
+std::uint32_t
+CacheArray::invalidateMatching(const Signature& w,
+                               const std::function<void(Addr)>& on_drop)
+{
+    std::uint32_t dropped = 0;
+    for (auto& entry : _lines) {
+        if (entry.valid() && w.contains(entry.line)) {
+            if (on_drop)
+                on_drop(entry.line);
+            entry = CacheLine{};
+            ++dropped;
+        }
+    }
+    return dropped;
+}
+
+void
+CacheArray::forEachValid(const std::function<void(const CacheLine&)>& fn) const
+{
+    for (const auto& entry : _lines)
+        if (entry.valid())
+            fn(entry);
+}
+
+std::uint32_t
+CacheArray::numValid() const
+{
+    std::uint32_t n = 0;
+    for (const auto& entry : _lines)
+        n += entry.valid();
+    return n;
+}
+
+} // namespace sbulk

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * A set-associative tag array with LRU replacement and speculative
+ * (chunk-written, uncommitted) line state.
+ *
+ * The simulator is timing-only: no data is stored. Speculative state tracks
+ * which of a core's (up to two) in-flight chunks wrote a line, so commits
+ * and squashes can retire or discard exactly those lines.
+ */
+
+#ifndef SBULK_MEM_CACHE_ARRAY_HH
+#define SBULK_MEM_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "mem/config.hh"
+#include "sig/signature.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace sbulk
+{
+
+/** Stable coherence state of a cached line. */
+enum class LineState : std::uint8_t
+{
+    Invalid,
+    Shared, ///< clean copy; others may cache it too
+    Dirty,  ///< committed modified copy; this cache is the owner
+};
+
+/** One tag-array entry. */
+struct CacheLine
+{
+    Addr line = 0; ///< full line address (tag+index combined)
+    LineState state = LineState::Invalid;
+    /** Bit s set: chunk slot s of the owning core wrote this line and has
+     *  not committed yet. */
+    std::uint8_t specMask = 0;
+    /** LRU timestamp (higher = more recent). */
+    std::uint64_t lastUse = 0;
+
+    bool valid() const { return state != LineState::Invalid; }
+    bool speculative() const { return specMask != 0; }
+};
+
+/** Outcome of an insertion: the victim, if a valid line was displaced. */
+struct Eviction
+{
+    Addr line = 0;
+    LineState state = LineState::Invalid;
+    bool happened = false;
+    bool speculative = false;
+};
+
+/**
+ * Set-associative LRU tag array.
+ *
+ * Victim selection prefers invalid ways, then the least-recently-used
+ * non-speculative line. If every way is speculative the insertion fails and
+ * the caller (the core) must resolve the overflow — in chunk architectures
+ * that truncates the chunk (forces an early commit), as the paper notes
+ * when discussing reduced average chunk sizes.
+ */
+class CacheArray
+{
+  public:
+    explicit CacheArray(CacheConfig cfg);
+
+    const CacheConfig& config() const { return _cfg; }
+
+    /** Find a valid entry for @p line, updating LRU on hit. */
+    CacheLine* lookup(Addr line);
+    /** Find without touching LRU state (for probes/invalidations). */
+    const CacheLine* probe(Addr line) const;
+
+    /**
+     * Insert @p line in @p state. Returns the eviction that made room, or
+     * std::nullopt if all ways are speculative (overflow: caller decides).
+     */
+    std::optional<Eviction> insert(Addr line, LineState state);
+
+    /** Drop @p line if present. Returns true if it was. */
+    bool invalidate(Addr line);
+
+    /** Mark @p line written by chunk slot @p slot (line must be present). */
+    void markSpeculative(Addr line, unsigned slot);
+
+    /**
+     * Commit chunk slot @p slot: its speculative lines become Dirty
+     * (committed). Lines also written by the other slot stay speculative
+     * for that slot.
+     */
+    void commitSlot(unsigned slot);
+
+    /** Squash chunk slot @p slot: invalidate the lines it wrote. */
+    void squashSlot(unsigned slot);
+
+    /**
+     * Invalidate all valid lines matching @p w (signature walk: the bulk
+     * invalidation a sharer performs on receiving a W signature).
+     * @return number of lines dropped.
+     */
+    std::uint32_t invalidateMatching(const Signature& w,
+                                     const std::function<void(Addr)>&
+                                         on_drop = nullptr);
+
+    /** Visit every valid line (diagnostics/tests). */
+    void forEachValid(const std::function<void(const CacheLine&)>& fn) const;
+
+    std::uint32_t numValid() const;
+
+  private:
+    std::uint32_t setOf(Addr line) const { return line & (_cfg.numSets() - 1); }
+    CacheLine* waysOf(Addr line)
+    {
+        return &_lines[std::size_t(setOf(line)) * _cfg.assoc];
+    }
+    const CacheLine* waysOf(Addr line) const
+    {
+        return &_lines[std::size_t(setOf(line)) * _cfg.assoc];
+    }
+
+    CacheConfig _cfg;
+    std::vector<CacheLine> _lines;
+    std::uint64_t _useClock = 0;
+};
+
+} // namespace sbulk
+
+#endif // SBULK_MEM_CACHE_ARRAY_HH

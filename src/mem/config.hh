@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Memory-subsystem configuration mirroring Table 2 of the paper.
+ */
+
+#ifndef SBULK_MEM_CONFIG_HH
+#define SBULK_MEM_CONFIG_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace sbulk
+{
+
+/** Geometry and timing of one cache level. */
+struct CacheConfig
+{
+    std::uint32_t sizeBytes = 32 * 1024;
+    std::uint32_t assoc = 4;
+    std::uint32_t lineBytes = 32;
+    /** Round-trip hit latency in cycles. */
+    Tick hitLatency = 2;
+    /** Outstanding-miss registers. */
+    std::uint32_t mshrs = 8;
+
+    std::uint32_t numSets() const { return sizeBytes / (assoc * lineBytes); }
+};
+
+/** The whole per-core hierarchy plus memory timing. */
+struct MemConfig
+{
+    /** Private write-through D-L1: 32KB/4-way/32B, 2-cycle (Table 2). */
+    CacheConfig l1{32 * 1024, 4, 32, 2, 8};
+    /** Private write-back L2: 512KB/8-way/32B, 8-cycle (Table 2). */
+    CacheConfig l2{512 * 1024, 8, 32, 8, 64};
+    /** Memory round-trip, cycles (Table 2: 300). */
+    Tick memLatency = 300;
+    /** Page size for first-touch home assignment. */
+    std::uint32_t pageBytes = 4096;
+    /** Cycles a nacked read waits before retrying. */
+    Tick readRetryDelay = 30;
+
+    Addr lineOf(Addr byte_addr) const { return byte_addr / l2.lineBytes; }
+    Addr pageOf(Addr byte_addr) const { return byte_addr / pageBytes; }
+    Addr pageOfLine(Addr line) const
+    {
+        return line * l2.lineBytes / pageBytes;
+    }
+};
+
+} // namespace sbulk
+
+#endif // SBULK_MEM_CONFIG_HH

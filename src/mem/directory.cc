@@ -1,0 +1,140 @@
+#include "mem/directory.hh"
+
+#include "sim/event_queue.hh"
+
+namespace sbulk
+{
+
+namespace
+{
+/** Directory SRAM access/occupancy before a local reply can leave. */
+constexpr Tick kDirAccessLatency = 6;
+} // namespace
+
+Directory::Directory(NodeId self, Network& net, const MemConfig& cfg)
+    : _self(self), _net(net), _cfg(cfg)
+{}
+
+void
+Directory::handleMessage(MessagePtr msg)
+{
+    switch (msg->kind) {
+      case kReadReq:
+        handleReadReq(static_cast<const ReadReqMsg&>(*msg));
+        break;
+      case kWriteback:
+        handleWriteback(static_cast<const WritebackMsg&>(*msg));
+        break;
+      default:
+        SBULK_PANIC("directory %u got unexpected mem message kind %u", _self,
+                    msg->kind);
+    }
+}
+
+void
+Directory::handleReadReq(const ReadReqMsg& req)
+{
+    _stats.reads.inc();
+    const Addr line = req.line;
+    const NodeId requester = req.src;
+
+    if (_gate && _gate(line)) {
+        // Line is covered by a committing chunk's W signature: bounce the
+        // read; the requester retries (Section 3.1).
+        _stats.readNacks.inc();
+        _net.send(std::make_unique<ReadNackMsg>(_self, requester, line));
+        return;
+    }
+
+    DirEntry& entry = _entries[line];
+    auto& eq = _net.eventQueue();
+
+    if (entry.dirty && entry.owner != requester) {
+        // Dirty in a remote cache: forward; the owner sources the data and
+        // downgrades. Presence: both become sharers, line no longer dirty.
+        _stats.remoteDirtyReads.inc();
+        const NodeId owner = entry.owner;
+        entry.sharers |= (ProcMask(1) << requester) | (ProcMask(1) << owner);
+        entry.dirty = false;
+        entry.owner = kInvalidNode;
+        eq.scheduleIn(kDirAccessLatency, [this, owner, line, requester] {
+            _net.send(
+                std::make_unique<FwdReadMsg>(_self, owner, line, requester));
+        });
+        return;
+    }
+
+    const ProcMask others = entry.sharers & ~(ProcMask(1) << requester);
+    entry.sharers |= ProcMask(1) << requester;
+    if (entry.dirty && entry.owner == requester) {
+        // Refetch by the owner itself (e.g. after a squash dropped it).
+        entry.sharers = ProcMask(1) << requester;
+    }
+
+    if (others != 0 || (entry.dirty && entry.owner == requester)) {
+        // Some cache has it shared (or this very cache owns it): the data
+        // comes from on-chip.
+        _stats.remoteShReads.inc();
+        eq.scheduleIn(kDirAccessLatency, [this, line, requester] {
+            _net.send(std::make_unique<ReadReplyMsg>(
+                _self, requester, line, MsgClass::RemoteShRd));
+        });
+    } else {
+        _stats.memReads.inc();
+        eq.scheduleIn(kDirAccessLatency + _cfg.memLatency,
+                      [this, line, requester] {
+                          _net.send(std::make_unique<ReadReplyMsg>(
+                              _self, requester, line, MsgClass::MemRd));
+                      });
+    }
+}
+
+void
+Directory::handleWriteback(const WritebackMsg& wb)
+{
+    _stats.writebacks.inc();
+    auto it = _entries.find(wb.line);
+    if (it == _entries.end())
+        return;
+    DirEntry& entry = it->second;
+    if (entry.dirty && entry.owner == wb.src) {
+        entry.dirty = false;
+        entry.owner = kInvalidNode;
+    }
+    entry.sharers &= ~(ProcMask(1) << wb.src);
+    if (entry.sharers == 0)
+        _entries.erase(it);
+}
+
+ProcMask
+Directory::commitLine(Addr line, NodeId committer)
+{
+    _stats.commitLineUpdates.inc();
+    DirEntry& entry = _entries[line];
+    const ProcMask victims = entry.sharers & ~(ProcMask(1) << committer);
+    entry.sharers = ProcMask(1) << committer;
+    entry.dirty = true;
+    entry.owner = committer;
+    return victims;
+}
+
+ProcMask
+Directory::sharersOf(Addr line, NodeId except) const
+{
+    auto it = _entries.find(line);
+    if (it == _entries.end())
+        return 0;
+    ProcMask mask = it->second.sharers;
+    if (except != kInvalidNode)
+        mask &= ~(ProcMask(1) << except);
+    return mask;
+}
+
+const DirEntry*
+Directory::peek(Addr line) const
+{
+    auto it = _entries.find(line);
+    return it == _entries.end() ? nullptr : &it->second;
+}
+
+} // namespace sbulk

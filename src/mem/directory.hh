@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The functional half of a directory module: full-map presence state and the
+ * read transaction. Commit protocols plug in through two hooks: a read gate
+ * (to nack loads that hit a committing W signature, Section 3.1) and the
+ * commitLine() state update applied when a chunk's writes become visible.
+ */
+
+#ifndef SBULK_MEM_DIRECTORY_HH
+#define SBULK_MEM_DIRECTORY_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/config.hh"
+#include "mem/messages.hh"
+#include "net/network.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace sbulk
+{
+
+/** Sharer set as a bit mask; the simulator supports up to 64 tiles. */
+using ProcMask = std::uint64_t;
+
+/** Presence state of one line homed at this directory. */
+struct DirEntry
+{
+    ProcMask sharers = 0;
+    /** Valid only when dirty: which cache owns the modified copy. */
+    NodeId owner = kInvalidNode;
+    bool dirty = false;
+};
+
+/**
+ * One directory module (one per tile). Handles the read path; exposes
+ * presence state to the commit protocol's directory controller.
+ */
+class Directory
+{
+  public:
+    /** Decides whether a load to @p line must be nacked right now. */
+    using ReadGate = std::function<bool(Addr line)>;
+
+    Directory(NodeId self, Network& net, const MemConfig& cfg);
+
+    NodeId nodeId() const { return _self; }
+
+    /** Install the commit protocol's load gate (may be empty: never nack). */
+    void setReadGate(ReadGate gate) { _gate = std::move(gate); }
+
+    /** Entry point for Port::Dir messages with mem kinds. */
+    void handleMessage(MessagePtr msg);
+
+    /**
+     * Apply the directory-state side of committing one written line:
+     * invalidate all other sharers, make @p committer the dirty owner.
+     *
+     * @return mask of processors (excluding the committer) that held the
+     *         line and must receive an invalidation.
+     */
+    ProcMask commitLine(Addr line, NodeId committer);
+
+    /** Sharers of @p line other than @p except (0 if line unknown). */
+    ProcMask sharersOf(Addr line, NodeId except = kInvalidNode) const;
+
+    /** Presence entry, or nullptr. */
+    const DirEntry* peek(Addr line) const;
+
+    /** Number of lines with live presence info. */
+    std::size_t residentLines() const { return _entries.size(); }
+
+    /** Statistics. */
+    struct Stats
+    {
+        Scalar reads;
+        Scalar readNacks;
+        Scalar memReads;
+        Scalar remoteShReads;
+        Scalar remoteDirtyReads;
+        Scalar writebacks;
+        Scalar commitLineUpdates;
+    };
+    const Stats& stats() const { return _stats; }
+
+  private:
+    void handleReadReq(const ReadReqMsg& req);
+    void handleWriteback(const WritebackMsg& wb);
+
+    NodeId _self;
+    Network& _net;
+    const MemConfig& _cfg;
+    ReadGate _gate;
+    std::unordered_map<Addr, DirEntry> _entries;
+    Stats _stats;
+};
+
+} // namespace sbulk
+
+#endif // SBULK_MEM_DIRECTORY_HH

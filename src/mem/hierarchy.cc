@@ -1,0 +1,231 @@
+#include "mem/hierarchy.hh"
+
+#include "sim/event_queue.hh"
+
+namespace sbulk
+{
+
+CacheHierarchy::CacheHierarchy(NodeId self, Network& net,
+                               FirstTouchMap& pages, const MemConfig& cfg)
+    : _self(self), _net(net), _pages(pages), _cfg(cfg), _l1(cfg.l1),
+      _l2(cfg.l2)
+{}
+
+NodeId
+CacheHierarchy::homeOf(Addr byte_addr)
+{
+    return _pages.homeOf(_cfg.pageOf(byte_addr), _self);
+}
+
+bool
+CacheHierarchy::load(Addr byte_addr, std::function<void()> done)
+{
+    _stats.loads.inc();
+    const Addr line = lineOf(byte_addr);
+
+    if (_l1.lookup(line)) {
+        _stats.l1Hits.inc();
+        return true;
+    }
+
+    auto& eq = _net.eventQueue();
+    if (_l2.lookup(line)) {
+        _stats.l2Hits.inc();
+        // Fill L1 from L2 (clean copy; L1 is write-through).
+        if (auto ev = _l1.insert(line, LineState::Shared); ev && ev->happened) {
+            // L1 victims are clean; nothing to do.
+        }
+        eq.scheduleIn(_cfg.l2.hitLatency, std::move(done));
+        return false;
+    }
+
+    _stats.misses.inc();
+    startMiss(line, std::move(done));
+    return false;
+}
+
+StoreResult
+CacheHierarchy::store(Addr byte_addr, unsigned slot)
+{
+    _stats.stores.inc();
+    const Addr line = lineOf(byte_addr);
+
+    if (!_l2.lookup(line)) {
+        // Allocate the line speculatively; the data fetch happens in the
+        // background (the store itself retires through the write buffer).
+        auto ev = _l2.insert(line, LineState::Shared);
+        if (!ev) {
+            _stats.overflows.inc();
+            return StoreResult::Overflow;
+        }
+        if (ev->happened)
+            applyEviction(*ev);
+        _stats.storeFetches.inc();
+        // Touch the page (allocation counts as first touch) and fetch.
+        homeOf(byte_addr);
+        startMiss(line, nullptr);
+    }
+    _l2.markSpeculative(line, slot);
+
+    // Keep an L1 copy so subsequent loads of this line hit.
+    _l1.insert(line, LineState::Shared);
+    return StoreResult::Done;
+}
+
+void
+CacheHierarchy::startMiss(Addr line, std::function<void()> done)
+{
+    auto it = _mshrs.find(line);
+    if (it != _mshrs.end()) {
+        // Merge into the outstanding miss.
+        if (done) {
+            it->second.waiters.push_back(std::move(done));
+            it->second.demandLoad = true;
+        }
+        return;
+    }
+
+    if (_mshrs.size() >= _cfg.l2.mshrs) {
+        _mshrWaitList.emplace_back(line, std::move(done));
+        return;
+    }
+
+    Mshr& mshr = _mshrs[line];
+    if (done) {
+        mshr.waiters.push_back(std::move(done));
+        mshr.demandLoad = true;
+    }
+    sendReadReq(line);
+}
+
+void
+CacheHierarchy::sendReadReq(Addr line)
+{
+    const NodeId home =
+        _pages.homeOf(_cfg.pageOfLine(line), _self);
+    _net.send(std::make_unique<ReadReqMsg>(_self, home, line));
+}
+
+void
+CacheHierarchy::handleMessage(MessagePtr msg)
+{
+    switch (msg->kind) {
+      case kReadReply:
+        handleReadReply(static_cast<const ReadReplyMsg&>(*msg));
+        break;
+      case kReadNack:
+        handleReadNack(static_cast<const ReadNackMsg&>(*msg));
+        break;
+      case kFwdRead:
+        handleFwdRead(static_cast<const FwdReadMsg&>(*msg));
+        break;
+      default:
+        SBULK_PANIC("hierarchy %u got unexpected mem message kind %u", _self,
+                    msg->kind);
+    }
+}
+
+void
+CacheHierarchy::handleReadReply(const ReadReplyMsg& msg)
+{
+    const Addr line = msg.line;
+    fill(line);
+
+    auto it = _mshrs.find(line);
+    if (it != _mshrs.end()) {
+        auto waiters = std::move(it->second.waiters);
+        _mshrs.erase(it);
+        for (auto& done : waiters)
+            done();
+    }
+
+    // A freed MSHR may admit a queued miss.
+    while (!_mshrWaitList.empty() && _mshrs.size() < _cfg.l2.mshrs) {
+        auto [wline, wdone] = std::move(_mshrWaitList.front());
+        _mshrWaitList.pop_front();
+        startMiss(wline, std::move(wdone));
+    }
+}
+
+void
+CacheHierarchy::handleReadNack(const ReadNackMsg& msg)
+{
+    _stats.readNacks.inc();
+    const Addr line = msg.line;
+    if (!_mshrs.count(line))
+        return; // the miss was satisfied/cancelled meanwhile
+    _net.eventQueue().scheduleIn(_cfg.readRetryDelay, [this, line] {
+        if (_mshrs.count(line))
+            sendReadReq(line);
+    });
+}
+
+void
+CacheHierarchy::handleFwdRead(const FwdReadMsg& msg)
+{
+    // We own a dirty copy some other core wants: source it and downgrade.
+    if (CacheLine* entry = _l2.lookup(msg.line)) {
+        if (entry->state == LineState::Dirty && !entry->speculative())
+            entry->state = LineState::Shared;
+    }
+    auto& eq = _net.eventQueue();
+    eq.scheduleIn(_cfg.l2.hitLatency, [this, line = msg.line,
+                                       requester = msg.requester] {
+        _net.send(std::make_unique<ReadReplyMsg>(
+            _self, requester, line, MsgClass::RemoteDirtyRd));
+    });
+}
+
+void
+CacheHierarchy::fill(Addr line)
+{
+    auto ev = _l2.insert(line, LineState::Shared);
+    if (!ev) {
+        // Set full of speculative lines: leave uncached (rare; the access
+        // that triggered the miss still completes).
+        return;
+    }
+    if (ev->happened)
+        applyEviction(*ev);
+    _l1.insert(line, LineState::Shared);
+}
+
+void
+CacheHierarchy::applyEviction(const Eviction& ev)
+{
+    SBULK_ASSERT(!ev.speculative, "victim selection must spare spec lines");
+    // Inclusion: the L1 copy goes too.
+    _l1.invalidate(ev.line);
+    if (ev.state == LineState::Dirty) {
+        _stats.writebacks.inc();
+        const NodeId home = _pages.homeOf(_cfg.pageOfLine(ev.line), _self);
+        _net.send(std::make_unique<WritebackMsg>(_self, home, ev.line));
+    }
+}
+
+void
+CacheHierarchy::invalidateLines(const std::vector<Addr>& lines)
+{
+    for (Addr line : lines) {
+        bool had = _l2.invalidate(line);
+        had |= _l1.invalidate(line);
+        if (had)
+            _stats.invalidationsReceived.inc();
+    }
+}
+
+void
+CacheHierarchy::commitSlot(unsigned slot)
+{
+    _l2.commitSlot(slot);
+}
+
+void
+CacheHierarchy::squashSlot(unsigned slot, const std::vector<Addr>& written)
+{
+    _l2.squashSlot(slot);
+    for (Addr line : written)
+        _l1.invalidate(line);
+}
+
+} // namespace sbulk

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The private two-level cache hierarchy of one core: write-through L1,
+ * write-back L2 with speculative chunk state, MSHRs, and the read-miss
+ * transaction against the home directories.
+ *
+ * Timing-only: no data values are stored. Loads either hit in L1
+ * (no stall) or invoke a completion callback when the data arrives;
+ * speculative stores never block the core (they retire through the write
+ * buffer) but do generate fetch traffic and can overflow the L2, which the
+ * core resolves by truncating the chunk.
+ */
+
+#ifndef SBULK_MEM_HIERARCHY_HH
+#define SBULK_MEM_HIERARCHY_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/cache_array.hh"
+#include "mem/config.hh"
+#include "mem/messages.hh"
+#include "mem/page_map.hh"
+#include "net/network.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace sbulk
+{
+
+/** Immediate outcome of a store. */
+enum class StoreResult : std::uint8_t
+{
+    Done,     ///< retired into the L2 (hit or allocate)
+    Overflow, ///< L2 set full of speculative lines; chunk must truncate
+};
+
+/**
+ * One core's private L1+L2 and its miss path.
+ */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(NodeId self, Network& net, FirstTouchMap& pages,
+                   const MemConfig& cfg);
+
+    NodeId nodeId() const { return _self; }
+    const MemConfig& config() const { return _cfg; }
+
+    /**
+     * Issue a load of the line containing @p byte_addr.
+     *
+     * @return true on an L1 hit (data available this cycle, no stall). On
+     *         false, @p done fires at the tick the data becomes available
+     *         (L2 hit after its latency, or after the remote miss path).
+     */
+    bool load(Addr byte_addr, std::function<void()> done);
+
+    /**
+     * Retire a speculative store by chunk slot @p slot.
+     *
+     * A store to an absent line allocates it speculatively and issues a
+     * background fetch (no stall). StoreResult::Overflow means every way of
+     * the set already holds speculative data.
+     */
+    StoreResult store(Addr byte_addr, unsigned slot);
+
+    /** Entry point for Port::Proc messages with mem kinds. */
+    void handleMessage(MessagePtr msg);
+
+    /** Home directory of the page containing @p byte_addr (first-touch). */
+    NodeId homeOf(Addr byte_addr);
+
+    /**
+     * Invalidate exact lines (bulk invalidation from a remote commit).
+     * Drops them from both levels. Speculative lines are dropped too; the
+     * caller decides separately (by signature) whether chunks squash.
+     */
+    void invalidateLines(const std::vector<Addr>& lines);
+
+    /**
+     * Commit chunk slot @p slot: speculative L2 lines become dirty, and the
+     * home directories' presence was already updated by the protocol.
+     */
+    void commitSlot(unsigned slot);
+
+    /**
+     * Squash chunk slot @p slot: drop the lines it wrote from L2, plus
+     * their (stale) L1 copies, which the caller names exactly.
+     */
+    void squashSlot(unsigned slot, const std::vector<Addr>& written_lines);
+
+    /** The line address containing @p byte_addr. */
+    Addr lineOf(Addr byte_addr) const { return _cfg.lineOf(byte_addr); }
+
+    struct Stats
+    {
+        Scalar loads;
+        Scalar stores;
+        Scalar l1Hits;
+        Scalar l2Hits;
+        Scalar misses;
+        Scalar storeFetches;
+        Scalar readNacks;
+        Scalar writebacks;
+        Scalar overflows;
+        Scalar invalidationsReceived;
+    };
+    const Stats& stats() const { return _stats; }
+
+    /** Test hooks. */
+    CacheArray& l1() { return _l1; }
+    CacheArray& l2() { return _l2; }
+    std::uint32_t outstandingMisses() const { return std::uint32_t(_mshrs.size()); }
+
+  private:
+    struct Mshr
+    {
+        /** Completions to fire when the line arrives. */
+        std::vector<std::function<void()>> waiters;
+        /** True if a core load is blocked on this line (vs. store fetch). */
+        bool demandLoad = false;
+    };
+
+    /** Start (or merge into) a miss for @p line. */
+    void startMiss(Addr line, std::function<void()> done);
+    void sendReadReq(Addr line);
+    void handleReadReply(const ReadReplyMsg& msg);
+    void handleReadNack(const ReadNackMsg& msg);
+    void handleFwdRead(const FwdReadMsg& msg);
+    /** Fill both levels with @p line; emits writebacks for dirty victims. */
+    void fill(Addr line);
+    void applyEviction(const Eviction& ev);
+
+    NodeId _self;
+    Network& _net;
+    FirstTouchMap& _pages;
+    MemConfig _cfg;
+    CacheArray _l1;
+    CacheArray _l2;
+    std::unordered_map<Addr, Mshr> _mshrs;
+    /** Misses waiting for a free MSHR: (line, done). */
+    std::deque<std::pair<Addr, std::function<void()>>> _mshrWaitList;
+    Stats _stats;
+};
+
+} // namespace sbulk
+
+#endif // SBULK_MEM_HIERARCHY_HH

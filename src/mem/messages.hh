@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Messages of the read/data path (common to all commit protocols).
+ *
+ * Kinds below kProtoKindBase are reserved for these; each commit protocol
+ * defines its own kinds above it.
+ */
+
+#ifndef SBULK_MEM_MESSAGES_HH
+#define SBULK_MEM_MESSAGES_HH
+
+#include "net/message.hh"
+#include "sim/types.hh"
+
+namespace sbulk
+{
+
+/** Memory-system message kinds. */
+enum MemMsgKind : std::uint16_t
+{
+    kReadReq = 1,   ///< proc -> home dir: fetch a line
+    kReadReply = 2, ///< dir or owner -> proc: line data
+    kReadNack = 3,  ///< dir -> proc: line is under a committing W sig; retry
+    kFwdRead = 4,   ///< dir -> owner proc: source the dirty line
+    kWriteback = 5, ///< proc -> dir: evicted dirty line
+};
+
+/** Sizes (bytes): header-only control vs. line-carrying data messages. */
+inline constexpr std::uint32_t kCtrlBytes = 8;
+inline constexpr std::uint32_t kDataBytes = 40; // 32B line + header
+
+struct ReadReqMsg : Message
+{
+    Addr line;
+
+    ReadReqMsg(NodeId src_, NodeId dst_, Addr line_)
+        : Message(src_, dst_, Port::Dir, MsgClass::Other, kReadReq,
+                  kCtrlBytes),
+          line(line_)
+    {}
+};
+
+struct ReadReplyMsg : Message
+{
+    Addr line;
+
+    ReadReplyMsg(NodeId src_, NodeId dst_, Addr line_, MsgClass source_cls)
+        : Message(src_, dst_, Port::Proc, source_cls, kReadReply,
+                  kDataBytes),
+          line(line_)
+    {}
+};
+
+struct ReadNackMsg : Message
+{
+    Addr line;
+
+    ReadNackMsg(NodeId src_, NodeId dst_, Addr line_)
+        : Message(src_, dst_, Port::Proc, MsgClass::Other, kReadNack,
+                  kCtrlBytes),
+          line(line_)
+    {}
+};
+
+struct FwdReadMsg : Message
+{
+    Addr line;
+    NodeId requester;
+
+    FwdReadMsg(NodeId src_, NodeId owner, Addr line_, NodeId requester_)
+        : Message(src_, owner, Port::Proc, MsgClass::Other, kFwdRead,
+                  kCtrlBytes),
+          line(line_), requester(requester_)
+    {}
+};
+
+struct WritebackMsg : Message
+{
+    Addr line;
+
+    WritebackMsg(NodeId src_, NodeId dst_, Addr line_)
+        : Message(src_, dst_, Port::Dir, MsgClass::Other, kWriteback,
+                  kDataBytes),
+          line(line_)
+    {}
+};
+
+} // namespace sbulk
+
+#endif // SBULK_MEM_MESSAGES_HH

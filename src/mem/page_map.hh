@@ -1,0 +1,54 @@
+/**
+ * @file
+ * First-touch virtual-page to home-directory mapping (Section 5: "a simple
+ * first-touch policy is used to map virtual pages to physical pages in the
+ * directory modules").
+ */
+
+#ifndef SBULK_MEM_PAGE_MAP_HH
+#define SBULK_MEM_PAGE_MAP_HH
+
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace sbulk
+{
+
+/**
+ * Assigns each page a home directory module: the tile of the first
+ * processor to touch it. Shared by all tiles of a System.
+ */
+class FirstTouchMap
+{
+  public:
+    explicit FirstTouchMap(std::uint32_t num_nodes) : _numNodes(num_nodes) {}
+
+    /**
+     * Home directory of @p page; assigns @p toucher 's tile on first touch.
+     */
+    NodeId
+    homeOf(Addr page, NodeId toucher)
+    {
+        auto [it, inserted] = _map.try_emplace(page, toucher % _numNodes);
+        return it->second;
+    }
+
+    /** Home of an already-mapped page; kInvalidNode if never touched. */
+    NodeId
+    peek(Addr page) const
+    {
+        auto it = _map.find(page);
+        return it == _map.end() ? kInvalidNode : it->second;
+    }
+
+    std::size_t mappedPages() const { return _map.size(); }
+
+  private:
+    std::uint32_t _numNodes;
+    std::unordered_map<Addr, NodeId> _map;
+};
+
+} // namespace sbulk
+
+#endif // SBULK_MEM_PAGE_MAP_HH

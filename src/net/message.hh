@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Base network message and the traffic classes of the paper's Figures 18/19.
+ *
+ * Protocol payloads subclass Message; the network treats messages opaquely
+ * and only looks at routing fields, size, and traffic class.
+ */
+
+#ifndef SBULK_NET_MESSAGE_HH
+#define SBULK_NET_MESSAGE_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/types.hh"
+
+namespace sbulk
+{
+
+/**
+ * Traffic classes used in the paper's message characterization
+ * (Figures 18/19), plus the class of data replies accompanying reads.
+ */
+enum class MsgClass : std::uint8_t
+{
+    /** Read of a cache line serviced from memory. */
+    MemRd,
+    /** Read of a cache line serviced from another cache in state shared. */
+    RemoteShRd,
+    /** Read of a cache line serviced from another cache in state dirty. */
+    RemoteDirtyRd,
+    /** Commit-protocol message carrying a signature (or a line list). */
+    LargeCMessage,
+    /** All other commit-protocol messages. */
+    SmallCMessage,
+    /** Anything not in the paper's taxonomy (e.g. data reply hops). */
+    Other,
+};
+
+/** Number of MsgClass values, for stat arrays. */
+inline constexpr std::size_t kNumMsgClasses = 6;
+
+const char* msgClassName(MsgClass cls);
+
+/** Destination endpoint on a tile. */
+enum class Port : std::uint8_t
+{
+    Proc,  ///< the processor/core controller
+    Dir,   ///< the directory-module controller
+    Agent, ///< a centralized agent (BulkSC arbiter, TCC TID vendor)
+};
+
+inline constexpr std::size_t kNumPorts = 3;
+
+/**
+ * Base class of everything sent over the interconnect.
+ *
+ * Concrete protocol messages subclass this; receivers downcast based on a
+ * protocol-specific discriminator they define (each protocol module defines
+ * its own message kinds).
+ */
+struct Message
+{
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    Port dstPort = Port::Proc;
+    MsgClass cls = MsgClass::Other;
+    /**
+     * Discriminator for demultiplexing at the receiving tile. Kinds below
+     * kProtoKindBase belong to the memory system (read path); commit
+     * protocols define their own kinds starting at kProtoKindBase.
+     */
+    std::uint16_t kind = 0;
+    /** Payload size in bytes; determines serialization latency. */
+    std::uint32_t bytes = 8;
+    /** Tick at which the message entered the network (set by the network). */
+    Tick sentAt = 0;
+
+    Message() = default;
+    Message(NodeId src_, NodeId dst_, Port port, MsgClass cls_,
+            std::uint16_t kind_, std::uint32_t bytes_)
+        : src(src_), dst(dst_), dstPort(port), cls(cls_), kind(kind_),
+          bytes(bytes_)
+    {}
+    virtual ~Message() = default;
+};
+
+/** First message kind available to commit protocols. */
+inline constexpr std::uint16_t kProtoKindBase = 100;
+
+using MessagePtr = std::unique_ptr<Message>;
+
+} // namespace sbulk
+
+#endif // SBULK_NET_MESSAGE_HH

@@ -1,0 +1,153 @@
+#include "net/network.hh"
+
+#include <cmath>
+
+namespace sbulk
+{
+
+const char*
+msgClassName(MsgClass cls)
+{
+    switch (cls) {
+      case MsgClass::MemRd: return "MemRd";
+      case MsgClass::RemoteShRd: return "RemoteShRd";
+      case MsgClass::RemoteDirtyRd: return "RemoteDirtyRd";
+      case MsgClass::LargeCMessage: return "LargeCMessage";
+      case MsgClass::SmallCMessage: return "SmallCMessage";
+      case MsgClass::Other: return "Other";
+    }
+    return "?";
+}
+
+void
+Network::deliver(MessagePtr msg)
+{
+    SBULK_ASSERT(msg->dst < _handlers.size(), "message to unknown node %u",
+                 msg->dst);
+    auto& handler = _handlers[msg->dst][std::size_t(msg->dstPort)];
+    SBULK_ASSERT(handler != nullptr, "no handler at node %u port %u",
+                 msg->dst, unsigned(msg->dstPort));
+    handler(std::move(msg));
+}
+
+void
+DirectNetwork::send(MessagePtr msg)
+{
+    msg->sentAt = _eq.now();
+    _traffic.record(msg->cls, msg->bytes, msg->src == msg->dst ? 0 : 1);
+    Tick latency = msg->src == msg->dst ? 1 : _latency;
+    Message* raw = msg.release();
+    _eq.scheduleIn(latency, [this, raw] { deliver(MessagePtr(raw)); });
+}
+
+namespace
+{
+
+/** Pick the most-square factorization w*h == n with w >= h. */
+void
+squarestDims(std::uint32_t n, std::uint32_t& w, std::uint32_t& h)
+{
+    h = 1;
+    for (std::uint32_t d = 1; d * d <= n; ++d)
+        if (n % d == 0)
+            h = d;
+    w = n / h;
+}
+
+} // namespace
+
+TorusNetwork::TorusNetwork(EventQueue& eq, std::uint32_t num_nodes,
+                           TorusConfig cfg)
+    : Network(eq, num_nodes), _cfg(cfg)
+{
+    SBULK_ASSERT(num_nodes > 0);
+    squarestDims(num_nodes, _width, _height);
+    _linkFree.assign(std::size_t(num_nodes) * 4, 0);
+    _linkBusy.assign(std::size_t(num_nodes) * 4, 0);
+}
+
+Tick
+TorusNetwork::maxLinkBusy() const
+{
+    Tick best = 0;
+    for (Tick busy : _linkBusy)
+        best = std::max(best, busy);
+    return best;
+}
+
+std::uint32_t
+TorusNetwork::hopCount(NodeId a, NodeId b) const
+{
+    auto wrapDist = [](std::uint32_t p, std::uint32_t q, std::uint32_t dim) {
+        std::uint32_t d = p > q ? p - q : q - p;
+        return std::min(d, dim - d);
+    };
+    return wrapDist(xOf(a), xOf(b), _width) +
+           wrapDist(yOf(a), yOf(b), _height);
+}
+
+NodeId
+TorusNetwork::nextHop(NodeId cur, NodeId dst, Dir& dir_out) const
+{
+    std::uint32_t cx = xOf(cur), cy = yOf(cur);
+    std::uint32_t dx = xOf(dst), dy = yOf(dst);
+    if (cx != dx) {
+        // X first; choose the shorter way around the ring.
+        std::uint32_t fwd = (dx + _width - cx) % _width; // going east
+        if (fwd <= _width - fwd) {
+            dir_out = East;
+            return nodeAt((cx + 1) % _width, cy);
+        }
+        dir_out = West;
+        return nodeAt((cx + _width - 1) % _width, cy);
+    }
+    SBULK_ASSERT(cy != dy);
+    std::uint32_t fwd = (dy + _height - cy) % _height; // going south
+    if (fwd <= _height - fwd) {
+        dir_out = South;
+        return nodeAt(cx, (cy + 1) % _height);
+    }
+    dir_out = North;
+    return nodeAt(cx, (cy + _height - 1) % _height);
+}
+
+void
+TorusNetwork::send(MessagePtr msg)
+{
+    msg->sentAt = _eq.now();
+    _traffic.record(msg->cls, msg->bytes, hopCount(msg->src, msg->dst));
+    if (msg->src == msg->dst) {
+        // Same-tile communication bypasses the router fabric.
+        Message* raw = msg.release();
+        _eq.scheduleIn(1, [this, raw] { deliver(MessagePtr(raw)); });
+        return;
+    }
+    const NodeId start = msg->src;
+    hop(msg.release(), start);
+}
+
+void
+TorusNetwork::hop(Message* msg, NodeId cur)
+{
+    Dir dir;
+    NodeId next = nextHop(cur, msg->dst, dir);
+
+    // Serialization: the link is busy for one cycle per flit.
+    const Tick ser =
+        std::max<Tick>(1, (msg->bytes + _cfg.flitBytes - 1) / _cfg.flitBytes);
+    Tick& free_at = linkFree(cur, dir);
+    const Tick depart = std::max(_eq.now() + _cfg.routerLatency, free_at);
+    free_at = depart + ser;
+    _linkBusy[cur * 4 + dir] += ser;
+    const Tick arrive = depart + ser + _cfg.linkLatency;
+
+    _eq.schedule(arrive, [this, msg, next] {
+        if (next == msg->dst) {
+            deliver(MessagePtr(msg));
+        } else {
+            hop(msg, next);
+        }
+    });
+}
+
+} // namespace sbulk

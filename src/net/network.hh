@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Network interface, per-class traffic accounting, and two implementations:
+ * a contention-free fixed-latency network for unit tests and the 2D-torus
+ * model used for evaluation (Table 2: 7-cycle links).
+ */
+
+#ifndef SBULK_NET_NETWORK_HH
+#define SBULK_NET_NETWORK_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/message.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace sbulk
+{
+
+/** Per-class message/byte/hop counters (Figures 18/19). */
+class TrafficStats
+{
+  public:
+    void
+    record(MsgClass cls, std::uint32_t bytes, std::uint32_t hops)
+    {
+        auto i = std::size_t(cls);
+        ++_messages[i];
+        _bytes[i] += bytes;
+        _hops[i] += hops;
+    }
+
+    std::uint64_t messages(MsgClass cls) const { return _messages[std::size_t(cls)]; }
+    std::uint64_t bytes(MsgClass cls) const { return _bytes[std::size_t(cls)]; }
+    std::uint64_t hops(MsgClass cls) const { return _hops[std::size_t(cls)]; }
+
+    std::uint64_t
+    totalMessages() const
+    {
+        std::uint64_t n = 0;
+        for (auto m : _messages)
+            n += m;
+        return n;
+    }
+
+    void
+    reset()
+    {
+        _messages.fill(0);
+        _bytes.fill(0);
+        _hops.fill(0);
+    }
+
+  private:
+    std::array<std::uint64_t, kNumMsgClasses> _messages{};
+    std::array<std::uint64_t, kNumMsgClasses> _bytes{};
+    std::array<std::uint64_t, kNumMsgClasses> _hops{};
+};
+
+/**
+ * Abstract message transport between tiles.
+ *
+ * Components register one handler per (node, port); send() takes ownership
+ * of the message and delivers it to the destination handler after the
+ * model's latency.
+ */
+class Network
+{
+  public:
+    using Handler = std::function<void(MessagePtr)>;
+
+    explicit Network(EventQueue& eq, std::uint32_t num_nodes)
+        : _eq(eq), _handlers(num_nodes)
+    {}
+    virtual ~Network() = default;
+    Network(const Network&) = delete;
+    Network& operator=(const Network&) = delete;
+
+    /** Install the receive callback for @p port of tile @p node. */
+    void
+    registerHandler(NodeId node, Port port, Handler handler)
+    {
+        SBULK_ASSERT(node < _handlers.size());
+        _handlers[node][std::size_t(port)] = std::move(handler);
+    }
+
+    /** Inject @p msg; it is delivered to the destination handler later. */
+    virtual void send(MessagePtr msg) = 0;
+
+    std::uint32_t numNodes() const { return std::uint32_t(_handlers.size()); }
+    const TrafficStats& traffic() const { return _traffic; }
+    TrafficStats& traffic() { return _traffic; }
+    EventQueue& eventQueue() { return _eq; }
+
+  protected:
+    /** Hand @p msg to its destination handler (immediately). */
+    void deliver(MessagePtr msg);
+
+    EventQueue& _eq;
+    TrafficStats _traffic;
+
+  private:
+    std::vector<std::array<Handler, kNumPorts>> _handlers;
+};
+
+/**
+ * Contention-free network with a fixed point-to-point latency.
+ *
+ * Used by protocol unit tests, where deterministic timing makes message
+ * orderings easy to construct, and as a best-case interconnect ablation.
+ */
+class DirectNetwork : public Network
+{
+  public:
+    DirectNetwork(EventQueue& eq, std::uint32_t num_nodes, Tick latency = 10)
+        : Network(eq, num_nodes), _latency(latency)
+    {}
+
+    void send(MessagePtr msg) override;
+
+  private:
+    Tick _latency;
+};
+
+/** Configuration of the torus model. */
+struct TorusConfig
+{
+    /** Per-hop link traversal latency, cycles (Table 2: 7). */
+    Tick linkLatency = 7;
+    /** Router pipeline latency per hop, cycles. */
+    Tick routerLatency = 1;
+    /** Link width: bytes accepted per cycle (flit size). */
+    std::uint32_t flitBytes = 16;
+};
+
+/**
+ * 2D torus with dimension-order (X then Y) routing and per-link
+ * serialization/contention.
+ *
+ * Each directed link tracks when it next becomes free; a message occupies
+ * each link on its path for ceil(bytes/flitBytes) cycles. This captures the
+ * first-order congestion effects (hot links near centralized agents, bursts
+ * of commit traffic) without a flit-level router model.
+ */
+class TorusNetwork : public Network
+{
+  public:
+    TorusNetwork(EventQueue& eq, std::uint32_t num_nodes,
+                 TorusConfig cfg = TorusConfig{});
+
+    void send(MessagePtr msg) override;
+
+    /** Minimal hop count between two tiles on the torus. */
+    std::uint32_t hopCount(NodeId a, NodeId b) const;
+
+    std::uint32_t width() const { return _width; }
+    std::uint32_t height() const { return _height; }
+
+    /** Busy cycles accumulated on the given directed link (0..3 = E,W,N,S
+     *  out of @p node); divide by elapsed time for utilization. */
+    Tick linkBusy(NodeId node, unsigned dir) const
+    {
+        return _linkBusy[node * 4 + dir];
+    }
+
+    /** The most-utilized link's busy cycles (hot-spot detection). */
+    Tick maxLinkBusy() const;
+
+  private:
+    /** Directions of the four outgoing links of a router. */
+    enum Dir : std::uint8_t { East, West, North, South };
+
+    std::uint32_t xOf(NodeId n) const { return n % _width; }
+    std::uint32_t yOf(NodeId n) const { return n / _width; }
+    NodeId nodeAt(std::uint32_t x, std::uint32_t y) const
+    {
+        return y * _width + x;
+    }
+
+    /** Next hop from @p cur toward @p dst under X-then-Y routing. */
+    NodeId nextHop(NodeId cur, NodeId dst, Dir& dir_out) const;
+
+    Tick& linkFree(NodeId node, Dir d) { return _linkFree[node * 4 + d]; }
+
+    /** Advance @p msg one hop; delivers on arrival at dst. */
+    void hop(Message* msg, NodeId cur);
+
+    TorusConfig _cfg;
+    std::uint32_t _width = 0;
+    std::uint32_t _height = 0;
+    std::vector<Tick> _linkFree;
+    /** Cumulative serialization cycles per directed link. */
+    std::vector<Tick> _linkBusy;
+};
+
+} // namespace sbulk
+
+#endif // SBULK_NET_NETWORK_HH

@@ -1,0 +1,313 @@
+#include "proto/bulksc/bulksc.hh"
+
+#include <bit>
+
+namespace sbulk
+{
+namespace bk
+{
+
+// ---------------------------------------------------------------- arbiter
+
+BkArbiter::BkArbiter(NodeId self, ProtoContext ctx) : _self(self), _ctx(ctx)
+{}
+
+void
+BkArbiter::handleMessage(MessagePtr msg)
+{
+    switch (msg->kind) {
+      case kArbRequest: {
+        // Serialize: one request occupies the arbiter for the service
+        // time; later arrivals queue behind it.
+        ++_ctx.metrics.forming;
+        const Tick start = std::max(_ctx.eq.now(), _nextFree);
+        _nextFree = start + _ctx.cfg.arbiterServiceTime;
+        Message* raw = msg.release();
+        _ctx.eq.schedule(_nextFree, [this, raw] {
+            process(MessagePtr(raw));
+        });
+        break;
+      }
+      case kDirDone:
+        onDirDone(static_cast<const DirDoneMsg&>(*msg));
+        break;
+      default:
+        SBULK_PANIC("BkArbiter: unexpected message kind %u", msg->kind);
+    }
+}
+
+void
+BkArbiter::process(MessagePtr msg)
+{
+    auto& req = static_cast<ArbRequestMsg&>(*msg);
+
+    // Check the request against every currently-committing chunk:
+    // disjoint-W and R-clean required.
+    for (const auto& [id, tx] : _committing) {
+        if (req.wSig.intersects(tx.wSig) || req.rSig.intersects(tx.wSig)) {
+            --_ctx.metrics.forming;
+            _ctx.net.send(std::make_unique<ArbReplyMsg>(kArbDeny, _self,
+                                                        req.src, req.id));
+            return;
+        }
+    }
+
+    --_ctx.metrics.forming;
+    ++_ctx.metrics.committing;
+    _ctx.metrics.sampleOnGroupFormed();
+    _ctx.net.send(
+        std::make_unique<ArbReplyMsg>(kArbGrant, _self, req.src, req.id));
+
+    Tx tx;
+    tx.wSig = req.wSig;
+    tx.committer = req.src;
+    tx.dirsPending = std::uint32_t(req.writesByHome.size());
+    if (tx.dirsPending == 0) {
+        // Nothing to invalidate anywhere: complete immediately.
+        --_ctx.metrics.committing;
+        _ctx.net.send(std::make_unique<ArbReplyMsg>(kArbCommitOk, _self,
+                                                    req.src, req.id));
+        return;
+    }
+    for (auto& [home, lines] : req.writesByHome) {
+        _ctx.net.send(std::make_unique<DirCommitMsg>(
+            _self, home, req.id, req.wSig, std::move(lines), req.allWrites,
+            req.src));
+    }
+    _committing.emplace(req.id, std::move(tx));
+}
+
+void
+BkArbiter::onDirDone(const DirDoneMsg& msg)
+{
+    auto it = _committing.find(msg.id);
+    SBULK_ASSERT(it != _committing.end(), "DirDone for unknown commit");
+    if (--it->second.dirsPending == 0) {
+        const NodeId committer = it->second.committer;
+        _committing.erase(it);
+        --_ctx.metrics.committing;
+        _ctx.net.send(std::make_unique<ArbReplyMsg>(kArbCommitOk, _self,
+                                                    committer, msg.id));
+    }
+}
+
+// -------------------------------------------------------------- directory
+
+BkDirCtrl::BkDirCtrl(NodeId self, ProtoContext ctx, Directory& dir,
+                     NodeId agent)
+    : _self(self), _ctx(ctx), _dir(dir), _agent(agent)
+{
+    _dir.setReadGate([this](Addr line) { return loadBlocked(line); });
+}
+
+bool
+BkDirCtrl::loadBlocked(Addr line) const
+{
+    for (const auto& [id, active] : _active)
+        if (active.wSig.contains(line))
+            return true;
+    return false;
+}
+
+void
+BkDirCtrl::handleMessage(MessagePtr msg)
+{
+    switch (msg->kind) {
+      case kDirCommit:
+        onDirCommit(static_cast<const DirCommitMsg&>(*msg));
+        break;
+      case kBkBulkInvAck: {
+        const auto& ack = static_cast<const BkBulkInvAckMsg&>(*msg);
+        auto it = _active.find(ack.id);
+        SBULK_ASSERT(it != _active.end(), "ack for inactive commit");
+        if (--it->second.acksPending == 0) {
+            _active.erase(it);
+            _ctx.net.send(
+                std::make_unique<DirDoneMsg>(_self, _agent, ack.id));
+        }
+        break;
+      }
+      case kBkBulkInvNack: {
+        // The sharer is awaiting an arbiter decision (conservative
+        // initiation): retry until it consumes the invalidation.
+        const auto& nack = static_cast<const BkBulkInvAckMsg&>(*msg);
+        const CommitId id = nack.id;
+        const NodeId target = nack.src;
+        _ctx.eq.scheduleIn(_ctx.cfg.invRetryDelay, [this, id, target] {
+            auto it = _active.find(id);
+            if (it == _active.end())
+                return;
+            _ctx.net.send(std::make_unique<BkBulkInvMsg>(
+                _self, target, id, it->second.wSig, it->second.allWrites,
+                it->second.committer));
+        });
+        break;
+      }
+      default:
+        SBULK_PANIC("BkDirCtrl %u: unexpected message kind %u", _self,
+                    msg->kind);
+    }
+}
+
+void
+BkDirCtrl::onDirCommit(const DirCommitMsg& msg)
+{
+    // Gather invalidation targets, then apply the ownership updates.
+    ProcMask targets = 0;
+    for (Addr line : msg.writesHere)
+        targets |= _dir.sharersOf(line, msg.committer);
+    for (Addr line : msg.writesHere)
+        _dir.commitLine(line, msg.committer);
+
+    if (targets == 0) {
+        _ctx.net.send(std::make_unique<DirDoneMsg>(_self, _agent, msg.id));
+        return;
+    }
+    Active active;
+    active.wSig = msg.wSig;
+    active.allWrites = msg.allWrites;
+    active.committer = msg.committer;
+    active.acksPending = std::uint32_t(std::popcount(targets));
+    _active.emplace(msg.id, std::move(active));
+    for (NodeId proc = 0; proc < 64; ++proc) {
+        if (targets & (ProcMask(1) << proc)) {
+            _ctx.net.send(std::make_unique<BkBulkInvMsg>(
+                _self, proc, msg.id, msg.wSig, msg.allWrites,
+                msg.committer));
+        }
+    }
+}
+
+// -------------------------------------------------------------- processor
+
+BkProcCtrl::BkProcCtrl(NodeId self, ProtoContext ctx, NodeId agent)
+    : _self(self), _ctx(ctx), _agent(agent)
+{}
+
+void
+BkProcCtrl::startCommit(Chunk& chunk)
+{
+    SBULK_ASSERT(_chunk == nullptr, "BulkSC commit already in flight");
+    _chunk = &chunk;
+    _granted = false;
+
+    if (chunk.gVec() == 0) {
+        Chunk* c = _chunk;
+        _chunk = nullptr;
+        _ctx.eq.scheduleIn(1, [this, c] {
+            _ctx.metrics.recordCommit(*c, _ctx.eq.now());
+            _core->chunkCommitted(c->tag());
+        });
+        return;
+    }
+    sendRequest();
+}
+
+void
+BkProcCtrl::sendRequest()
+{
+    Chunk& chunk = *_chunk;
+    ++chunk.commitAttempts;
+    _current = CommitId{chunk.tag(), chunk.commitAttempts};
+    _awaitingDecision = true;
+
+    std::unordered_map<NodeId, std::vector<Addr>> writes =
+        chunk.writesByHome();
+    _ctx.net.send(std::make_unique<ArbRequestMsg>(
+        _self, _agent, _current, chunk.rSig(), chunk.wSig(),
+        std::move(writes), chunk.writeLines()));
+}
+
+void
+BkProcCtrl::abortCommit(ChunkTag tag)
+{
+    if (_chunk && _current.tag == tag) {
+        _chunk = nullptr;
+        _awaitingDecision = false;
+        _granted = false;
+    }
+}
+
+void
+BkProcCtrl::handleMessage(MessagePtr msg)
+{
+    switch (msg->kind) {
+      case kArbGrant: {
+        const auto& reply = static_cast<const ArbReplyMsg&>(*msg);
+        if (_chunk && reply.id == _current) {
+            _awaitingDecision = false;
+            _granted = true;
+        }
+        break;
+      }
+      case kArbDeny: {
+        const auto& reply = static_cast<const ArbReplyMsg&>(*msg);
+        if (!_chunk || reply.id != _current)
+            break;
+        _awaitingDecision = false;
+        _ctx.metrics.commitFailures.inc();
+        _ctx.metrics.commitRetries.inc();
+        const Tick factor = std::min<Tick>(_chunk->commitAttempts, 20);
+        const Tick delay = _ctx.cfg.commitRetryDelay * factor + (_self % 16);
+        const CommitId failed = _current;
+        _ctx.eq.scheduleIn(delay, [this, failed] {
+            if (_chunk && _current == failed)
+                sendRequest();
+        });
+        break;
+      }
+      case kArbCommitOk: {
+        const auto& reply = static_cast<const ArbReplyMsg&>(*msg);
+        if (!_chunk || reply.id != _current)
+            break;
+        Chunk* chunk = _chunk;
+        _chunk = nullptr;
+        _granted = false;
+        _ctx.metrics.recordCommit(*chunk, _ctx.eq.now());
+        _core->chunkCommitted(chunk->tag());
+        break;
+      }
+      case kBkBulkInv:
+        onBulkInv(static_cast<const BkBulkInvMsg&>(*msg));
+        break;
+      default:
+        SBULK_PANIC("BkProcCtrl %u: unexpected message kind %u", _self,
+                    msg->kind);
+    }
+}
+
+void
+BkProcCtrl::onBulkInv(const BkBulkInvMsg& msg)
+{
+    if (_awaitingDecision) {
+        // Conservative initiation: bounce everything until the arbiter
+        // answers (the very behaviour OCI eliminates).
+        _ctx.net.send(std::make_unique<BkBulkInvAckMsg>(
+            kBkBulkInvNack, _self, msg.ackTo, msg.id));
+        return;
+    }
+
+    // A granted chunk is already ordered before the invalidating one and
+    // must not squash.
+    const ChunkTag exempt =
+        (_granted && _chunk) ? _current.tag : ChunkTag{};
+    const InvOutcome outcome =
+        _core->applyBulkInv(msg.wSig, msg.lines, msg.id.tag, exempt);
+    if (outcome.squashedAny) {
+        if (outcome.wasTrueConflict)
+            _ctx.metrics.squashesTrueConflict.inc();
+        else
+            _ctx.metrics.squashesAliasing.inc();
+        if (outcome.squashedCommitting &&
+            outcome.committingTag == _current.tag) {
+            // The chunk was denied and waiting to retry; the conflict
+            // settled it. Drop the pending retry.
+            _chunk = nullptr;
+        }
+    }
+    _ctx.net.send(std::make_unique<BkBulkInvAckMsg>(kBkBulkInvAck, _self,
+                                                    msg.ackTo, msg.id));
+}
+
+} // namespace bk
+} // namespace sbulk

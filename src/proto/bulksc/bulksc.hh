@@ -1,0 +1,229 @@
+/**
+ * @file
+ * The BulkSC baseline (Ceze et al., ISCA'07; Table 3 "BulkSC"): commit
+ * permission is granted by a *centralized arbiter* placed at the center of
+ * the die. The arbiter serializes all commit decisions — it intersects each
+ * request's (R,W) signatures against every currently-committing W — and
+ * forwards granted W signatures to the write-set directories, which perform
+ * the bulk invalidations.
+ *
+ * Commit initiation is conservative: while a processor waits for the
+ * arbiter's decision it nacks incoming bulk invalidations (the behaviour
+ * ScalableBulk's OCI removes, Section 3.3 / Figure 4(c)).
+ *
+ * The non-scalability the paper measures (mean commit latency 98 cycles at
+ * 32 processors vs. ~3000 at 64) emerges here from arbiter occupancy,
+ * center-of-die link congestion, and deny-retry traffic.
+ */
+
+#ifndef SBULK_PROTO_BULKSC_BULKSC_HH
+#define SBULK_PROTO_BULKSC_BULKSC_HH
+
+#include <unordered_map>
+
+#include "mem/directory.hh"
+#include "proto/commit_protocol.hh"
+#include "sig/signature.hh"
+
+namespace sbulk
+{
+namespace bk
+{
+
+/** BulkSC message kinds. */
+enum BkMsgKind : std::uint16_t
+{
+    kArbRequest = kProtoKindBase + 50,
+    kArbGrant = kProtoKindBase + 51,
+    kArbDeny = kProtoKindBase + 52,
+    kArbCommitOk = kProtoKindBase + 53,
+    kDirCommit = kProtoKindBase + 54,
+    kDirDone = kProtoKindBase + 55,
+    kBkBulkInv = kProtoKindBase + 56,
+    kBkBulkInvAck = kProtoKindBase + 57,
+    kBkBulkInvNack = kProtoKindBase + 58,
+};
+
+struct ArbRequestMsg : Message
+{
+    CommitId id;
+    Signature rSig;
+    Signature wSig;
+    std::unordered_map<NodeId, std::vector<Addr>> writesByHome;
+    std::vector<Addr> allWrites;
+
+    ArbRequestMsg(NodeId src_, NodeId agent, CommitId id_,
+                  const Signature& r, const Signature& w,
+                  std::unordered_map<NodeId, std::vector<Addr>> writes,
+                  std::vector<Addr> all_writes)
+        : Message(src_, agent, Port::Agent, MsgClass::LargeCMessage,
+                  kArbRequest, kLargeCBytes),
+          id(id_), rSig(r), wSig(w), writesByHome(std::move(writes)),
+          allWrites(std::move(all_writes))
+    {}
+};
+
+/** Grant / deny / completion: small control messages arbiter -> proc. */
+struct ArbReplyMsg : Message
+{
+    CommitId id;
+
+    ArbReplyMsg(std::uint16_t kind_, NodeId src_, NodeId dst_, CommitId id_)
+        : Message(src_, dst_, Port::Proc, MsgClass::SmallCMessage, kind_,
+                  kSmallCBytes),
+          id(id_)
+    {}
+};
+
+/** Arbiter -> write-set directory: apply this chunk's writes. */
+struct DirCommitMsg : Message
+{
+    CommitId id;
+    Signature wSig;
+    std::vector<Addr> writesHere;
+    std::vector<Addr> allWrites;
+    NodeId committer;
+
+    DirCommitMsg(NodeId src_, NodeId dst_, CommitId id_, const Signature& w,
+                 std::vector<Addr> writes_here, std::vector<Addr> all,
+                 NodeId committer_)
+        : Message(src_, dst_, Port::Dir, MsgClass::LargeCMessage,
+                  kDirCommit, kLargeCBytes),
+          id(id_), wSig(w), writesHere(std::move(writes_here)),
+          allWrites(std::move(all)), committer(committer_)
+    {}
+};
+
+struct DirDoneMsg : Message
+{
+    CommitId id;
+
+    DirDoneMsg(NodeId src_, NodeId agent, CommitId id_)
+        : Message(src_, agent, Port::Agent, MsgClass::SmallCMessage,
+                  kDirDone, kSmallCBytes),
+          id(id_)
+    {}
+};
+
+struct BkBulkInvMsg : Message
+{
+    CommitId id;
+    Signature wSig;
+    std::vector<Addr> lines;
+    NodeId committer;
+    NodeId ackTo; ///< the directory that sent the invalidation
+
+    BkBulkInvMsg(NodeId src_, NodeId dst_, CommitId id_, const Signature& w,
+                 std::vector<Addr> lines_, NodeId committer_)
+        : Message(src_, dst_, Port::Proc, MsgClass::LargeCMessage,
+                  kBkBulkInv, kLargeCBytes),
+          id(id_), wSig(w), lines(std::move(lines_)), committer(committer_),
+          ackTo(src_)
+    {}
+};
+
+struct BkBulkInvAckMsg : Message
+{
+    CommitId id;
+
+    BkBulkInvAckMsg(std::uint16_t kind_, NodeId src_, NodeId dst_,
+                    CommitId id_)
+        : Message(src_, dst_, Port::Dir, MsgClass::SmallCMessage, kind_,
+                  kSmallCBytes),
+          id(id_)
+    {}
+};
+
+/**
+ * The centralized arbiter. Requests are processed strictly one at a time
+ * with a fixed occupancy (cfg.arbiterServiceTime) — the serialization that
+ * makes BulkSC non-scalable.
+ */
+class BkArbiter : public CentralAgent
+{
+  public:
+    BkArbiter(NodeId self, ProtoContext ctx);
+
+    void handleMessage(MessagePtr msg) override;
+    NodeId nodeId() const override { return _self; }
+
+    std::size_t committingNow() const { return _committing.size(); }
+
+  private:
+    struct Tx
+    {
+        Signature wSig;
+        NodeId committer = kInvalidNode;
+        std::uint32_t dirsPending = 0;
+    };
+
+    void process(MessagePtr msg);
+    void onDirDone(const DirDoneMsg& msg);
+
+    NodeId _self;
+    ProtoContext _ctx;
+    std::unordered_map<CommitId, Tx> _committing;
+    /** Tick at which the arbiter pipeline is free again. */
+    Tick _nextFree = 0;
+};
+
+/** BulkSC per-tile directory-side controller. */
+class BkDirCtrl : public DirProtocol
+{
+  public:
+    BkDirCtrl(NodeId self, ProtoContext ctx, Directory& dir, NodeId agent);
+
+    void handleMessage(MessagePtr msg) override;
+    bool loadBlocked(Addr line) const override;
+
+  private:
+    struct Active
+    {
+        Signature wSig;
+        std::vector<Addr> allWrites;
+        NodeId committer = kInvalidNode;
+        std::uint32_t acksPending = 0;
+    };
+
+    void onDirCommit(const DirCommitMsg& msg);
+
+    NodeId _self;
+    ProtoContext _ctx;
+    Directory& _dir;
+    NodeId _agent;
+    std::unordered_map<CommitId, Active> _active;
+};
+
+/** BulkSC per-core controller (conservative commit initiation). */
+class BkProcCtrl : public ProcProtocol
+{
+  public:
+    BkProcCtrl(NodeId self, ProtoContext ctx, NodeId agent);
+
+    void setCore(CoreHooks* core) { _core = core; }
+
+    void startCommit(Chunk& chunk) override;
+    void abortCommit(ChunkTag tag) override;
+    void handleMessage(MessagePtr msg) override;
+
+  private:
+    void sendRequest();
+    void onBulkInv(const BkBulkInvMsg& msg);
+
+    NodeId _self;
+    ProtoContext _ctx;
+    NodeId _agent;
+    CoreHooks* _core = nullptr;
+
+    Chunk* _chunk = nullptr;
+    CommitId _current{};
+    /** Between request send and grant/deny: nack all invalidations. */
+    bool _awaitingDecision = false;
+    /** Grant received: the chunk is ordered and can no longer squash. */
+    bool _granted = false;
+};
+
+} // namespace bk
+} // namespace sbulk
+
+#endif // SBULK_PROTO_BULKSC_BULKSC_HH

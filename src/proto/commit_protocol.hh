@@ -1,0 +1,333 @@
+/**
+ * @file
+ * The commit-protocol framework: interfaces between the core and the
+ * pluggable protocols (ScalableBulk, Scalable TCC, SEQ, BulkSC), shared
+ * configuration, and the metrics every protocol reports (Figures 13-17).
+ */
+
+#ifndef SBULK_PROTO_COMMIT_PROTOCOL_HH
+#define SBULK_PROTO_COMMIT_PROTOCOL_HH
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "chunk/chunk.hh"
+#include "net/message.hh"
+#include "net/network.hh"
+#include "sig/signature.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace sbulk
+{
+
+/** Message sizes of the commit protocols (bytes). */
+inline constexpr std::uint32_t kSmallCBytes = 8;
+/** Carries a compressed signature pair. */
+inline constexpr std::uint32_t kLargeCBytes = 64;
+
+/** Tunables shared by all protocol implementations. */
+struct ProtoConfig
+{
+    /** Cycles a processor waits after commit_failure before retrying. */
+    Tick commitRetryDelay = 50;
+    /** Cycles a nacked bulk invalidation waits before re-delivery. */
+    Tick invRetryDelay = 30;
+    /**
+     * ScalableBulk starvation threshold: after a directory sees the same
+     * chunk fail MAX times it reserves itself for that chunk
+     * (Section 3.2.2).
+     */
+    std::uint32_t starvationMax = 24;
+    /**
+     * Safety valve on reservations: a reservation that has not led to the
+     * reserved chunk's commit within this many cycles is dropped. Without
+     * it, two directories that (due to message reordering) reserve for
+     * *different* overlapping chunks deadlock each other — a corner the
+     * paper's "all directories see every squash" argument glosses over.
+     */
+    Tick starvationTimeout = 4000;
+    /** Enable Optimistic Commit Initiation (Section 3.3). */
+    bool oci = true;
+    /**
+     * Leader-priority rotation interval in cycles (0 = never rotate);
+     * the long-term fairness scheme of Section 3.2.2.
+     */
+    Tick leaderRotationInterval = 0;
+    /** BulkSC arbiter occupancy per request processed, cycles. */
+    Tick arbiterServiceTime = 68;
+};
+
+/**
+ * Outcome of applying a remote commit's bulk invalidation at a core
+ * (cache invalidation + chunk disambiguation).
+ */
+struct InvOutcome
+{
+    /** Some local chunk's R/W signature intersected the incoming W. */
+    bool squashedAny = false;
+    /** The squashed chunk had already sent its commit request (OCI case:
+     *  a commit recall must be issued). */
+    bool squashedCommitting = false;
+    /** Tag of the squashed committing chunk (valid if squashedCommitting).*/
+    ChunkTag committingTag{};
+    /** The squash was a true data conflict (false: signature aliasing). */
+    bool wasTrueConflict = false;
+};
+
+/**
+ * Services the core provides to its protocol controller.
+ */
+class CoreHooks
+{
+  public:
+    virtual ~CoreHooks() = default;
+
+    /**
+     * Apply a remote chunk's bulk invalidation: drop the named lines from
+     * the caches and disambiguate the incoming W signature against all
+     * in-flight local chunks, squashing on intersection.
+     *
+     * @param exempt A local chunk that must not squash (a protocol whose
+     *        ordering already placed it before the invalidating chunk,
+     *        e.g. a BulkSC chunk already granted by the arbiter).
+     */
+    virtual InvOutcome applyBulkInv(const Signature& w,
+                                    const std::vector<Addr>& lines,
+                                    ChunkTag committer,
+                                    ChunkTag exempt = ChunkTag{}) = 0;
+
+    /**
+     * Exact-line variant for protocols without signatures (Scalable TCC):
+     * same cache invalidation, but disambiguation compares the line list
+     * against the chunks' exact read/write sets (no aliasing).
+     */
+    virtual InvOutcome applyLineInv(const std::vector<Addr>& lines,
+                                    ChunkTag committer,
+                                    ChunkTag exempt = ChunkTag{}) = 0;
+
+    /** The chunk's commit completed; the core retires it. */
+    virtual void chunkCommitted(ChunkTag tag) = 0;
+
+    /**
+     * The protocol asks the core to squash the chunk (e.g. a conservative
+     * protocol decided to kill the loser instead of retrying).
+     */
+    virtual void chunkMustSquash(ChunkTag tag) = 0;
+};
+
+/**
+ * Tracks which in-flight commits are blocked behind older commits at one
+ * or more directories (TCC's TID ordering, SEQ's occupy queues). The
+ * number of distinct blocked chunks is the paper's Chunk Queue Length.
+ */
+class BlockedChunkTracker
+{
+  public:
+    /** One more directory blocks @p key (keys are hashed CommitIds). */
+    void
+    block(std::size_t key)
+    {
+        ++_counts[key];
+    }
+
+    /** One directory unblocked @p key. */
+    void
+    unblock(std::size_t key)
+    {
+        auto it = _counts.find(key);
+        if (it == _counts.end())
+            return;
+        if (--it->second <= 0)
+            _counts.erase(it);
+    }
+
+    /** Remove @p key entirely (its commit finished or aborted). */
+    void clear(std::size_t key) { _counts.erase(key); }
+
+    /** Number of distinct chunks blocked somewhere. */
+    std::int32_t distinct() const { return std::int32_t(_counts.size()); }
+
+  private:
+    std::unordered_map<std::size_t, std::int32_t> _counts;
+};
+
+/**
+ * Commit/serialization statistics, shared per System.
+ *
+ * Gauges (forming/committing/queued) are maintained by the protocols;
+ * sampling happens on every group-formation-like event, mirroring the
+ * paper's methodology (Section 6.4).
+ */
+class CommitMetrics
+{
+  public:
+    /// Distribution of commit latency, cycles (Figure 13).
+    Distribution commitLatency{25, 400};
+    /// Directories accessed per committed chunk (Figures 9-12).
+    Distribution dirsPerCommit{1, 66};
+    /// ... of which directories holding writes (Write Group).
+    Distribution writeDirsPerCommit{1, 66};
+    /// Bottleneck ratio samples (Figures 14/15).
+    Average bottleneckRatio;
+    /// Chunk queue length samples (Figures 16/17).
+    Average chunkQueueLength;
+
+    Scalar commits;
+    Scalar commitFailures;
+    Scalar commitRetries;
+    Scalar squashesTrueConflict;
+    Scalar squashesAliasing;
+    Scalar commitRecalls;
+    Scalar starvationReservations;
+    Scalar readNacksAtDirs;
+
+    /// @name Gauges
+    /// @{
+    /** Chunks whose groups are forming (commit requested, not yet formed).*/
+    std::int32_t forming = 0;
+    /** Chunks with formed groups still completing their commit. */
+    std::int32_t committing = 0;
+    /** Completed chunks queued behind others, waiting to start commit. */
+    std::int32_t queued = 0;
+    /** In-flight commits (TCC/SEQ use this + blocked to derive gauges). */
+    std::int32_t inflight = 0;
+    /** Chunks blocked behind older commits at some directory (TCC/SEQ). */
+    BlockedChunkTracker blocked;
+
+    /**
+     * TCC/SEQ helper: derive forming/committing/queued from the blocked
+     * tracker and the in-flight count, then sample. Call at each
+     * commit-processing-start event (the "group formed" analog).
+     */
+    void
+    sampleQueueProtocols()
+    {
+        queued = blocked.distinct();
+        forming = queued;
+        committing = inflight - forming;
+        if (committing < 1)
+            committing = 1;
+        sampleOnGroupFormed();
+    }
+    /// @}
+
+    /** Take the per-formation samples (call when a group forms). */
+    void
+    sampleOnGroupFormed()
+    {
+        const double denom = committing > 0 ? double(committing) : 1.0;
+        bottleneckRatio.sample(double(forming < 0 ? 0 : forming) / denom);
+        chunkQueueLength.sample(double(queued < 0 ? 0 : queued));
+    }
+
+    /** Record a successful commit's footprint and latency. */
+    void
+    recordCommit(const Chunk& chunk, Tick success_tick)
+    {
+        commits.inc();
+        commitLatency.sample(success_tick - chunk.commitRequested);
+        dirsPerCommit.sample(std::uint64_t(std::popcount(chunk.gVec())));
+        writeDirsPerCommit.sample(
+            std::uint64_t(std::popcount(chunk.dirsWritten())));
+    }
+};
+
+/**
+ * Identity of one commit *attempt*: retries after commit_failure reuse the
+ * chunk tag but bump the attempt, so late messages from a dead attempt can
+ * never be confused with the current one.
+ */
+struct CommitId
+{
+    ChunkTag tag{};
+    std::uint32_t attempt = 0;
+
+    bool operator==(const CommitId&) const = default;
+};
+
+/**
+ * Per-core protocol controller: turns completed chunks into commit
+ * transactions and reacts to protocol messages addressed to the processor.
+ *
+ * Retry-on-failure policy lives inside the protocol; the core only sees
+ * chunkCommitted() or a squash.
+ */
+class ProcProtocol
+{
+  public:
+    virtual ~ProcProtocol() = default;
+
+    /**
+     * Begin committing @p chunk (execution is complete). The protocol
+     * may keep a reference until the chunk commits or squashes.
+     */
+    virtual void startCommit(Chunk& chunk) = 0;
+
+    /**
+     * The core squashed this chunk (via bulk-inv disambiguation) while its
+     * commit was in flight; the protocol cleans up (OCI: sends the recall).
+     */
+    virtual void abortCommit(ChunkTag tag) = 0;
+
+    /** Protocol messages delivered to Port::Proc with kind >= base. */
+    virtual void handleMessage(MessagePtr msg) = 0;
+};
+
+/**
+ * Per-tile directory-side protocol controller.
+ */
+class DirProtocol
+{
+  public:
+    virtual ~DirProtocol() = default;
+
+    /** Protocol messages delivered to Port::Dir with kind >= base. */
+    virtual void handleMessage(MessagePtr msg) = 0;
+
+    /**
+     * Read gate (Section 3.1): true if a load to @p line must be nacked
+     * because the line is covered by a committing chunk's W signature.
+     */
+    virtual bool loadBlocked(Addr line) const = 0;
+};
+
+/** Everything a protocol controller needs from its environment. */
+struct ProtoContext
+{
+    EventQueue& eq;
+    Network& net;
+    CommitMetrics& metrics;
+    ProtoConfig cfg;
+};
+
+/**
+ * A centralized protocol agent living on one tile: BulkSC's arbiter or
+ * Scalable TCC's TID vendor. Receives Port::Agent messages.
+ */
+class CentralAgent
+{
+  public:
+    virtual ~CentralAgent() = default;
+    virtual void handleMessage(MessagePtr msg) = 0;
+    /** The tile this agent lives on. */
+    virtual NodeId nodeId() const = 0;
+};
+
+} // namespace sbulk
+
+// Hash support so CommitId can key the Chunk State Tables.
+template <>
+struct std::hash<sbulk::CommitId>
+{
+    std::size_t
+    operator()(const sbulk::CommitId& id) const noexcept
+    {
+        std::size_t h = std::hash<sbulk::ChunkTag>{}(id.tag);
+        return h ^ (std::size_t(id.attempt) * 0x9e3779b97f4a7c15ull);
+    }
+};
+
+#endif // SBULK_PROTO_COMMIT_PROTOCOL_HH

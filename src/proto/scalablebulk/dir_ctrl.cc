@@ -1,0 +1,496 @@
+#include "proto/scalablebulk/dir_ctrl.hh"
+
+#include <bit>
+
+#include "sim/trace.hh"
+
+namespace sbulk
+{
+namespace sb
+{
+
+SbDirCtrl::SbDirCtrl(NodeId self, ProtoContext ctx, Directory& dir)
+    : _self(self), _ctx(ctx), _dir(dir)
+{
+    _dir.setReadGate([this](Addr line) { return loadBlocked(line); });
+}
+
+void
+SbDirCtrl::handleMessage(MessagePtr msg)
+{
+    switch (msg->kind) {
+      case kCommitRequest:
+        onCommitRequest(static_cast<const CommitRequestMsg&>(*msg));
+        break;
+      case kGrab:
+        onGrab(static_cast<const GrabMsg&>(*msg));
+        break;
+      case kGFailure:
+        onGFailure(static_cast<const GFailureMsg&>(*msg));
+        break;
+      case kGSuccess:
+        onGSuccess(static_cast<const GSuccessMsg&>(*msg));
+        break;
+      case kBulkInvAck:
+        onBulkInvAck(static_cast<const BulkInvAckMsg&>(*msg));
+        break;
+      case kBulkInvNack:
+        onBulkInvNack(static_cast<const BulkInvNackMsg&>(*msg));
+        break;
+      case kCommitDone:
+        onCommitDone(static_cast<const CommitDoneMsg&>(*msg));
+        break;
+      default:
+        SBULK_PANIC("SbDirCtrl %u: unexpected message kind %u", _self,
+                    msg->kind);
+    }
+}
+
+bool
+SbDirCtrl::loadBlocked(Addr line) const
+{
+    // Section 3.1: from (R,W) reception until commit_done / failure, loads
+    // matching a held W signature bounce. Signature aliasing can nack
+    // unnecessarily — harmless.
+    for (const auto& [id, entry] : _cst) {
+        if (entry.haveRequest && !entry.failed && entry.wSig.contains(line))
+            return true;
+    }
+    return false;
+}
+
+CstEntry&
+SbDirCtrl::getEntry(const CommitId& id)
+{
+    auto [it, inserted] = _cst.try_emplace(id);
+    if (inserted)
+        it->second.id = id;
+    return it->second;
+}
+
+void
+SbDirCtrl::onCommitRequest(const CommitRequestMsg& msg)
+{
+    CstEntry& entry = getEntry(msg.id);
+    if (_validator)
+        _validator->note(msg.id, DirEvent::RecvCommitRequest);
+
+    if (entry.failed) {
+        // A g_failure beat the request here (Appendix A, "after Collision
+        // module" with reordering). Resolve: the leader reports failure.
+        const bool was_leader =
+            !msg.order.empty() && msg.order.front() == _self;
+        if (was_leader) {
+            if (_validator)
+                _validator->note(msg.id, DirEvent::SendCommitFailure);
+            _ctx.net.send(std::make_unique<CommitFailureMsg>(
+                _self, msg.src, msg.id));
+        }
+        if (_validator)
+            _validator->resolve(msg.id, was_leader, /*success=*/false);
+        deallocate(msg.id);
+        return;
+    }
+
+    entry.haveRequest = true;
+    entry.rSig = msg.rSig;
+    entry.wSig = msg.wSig;
+    entry.gVec = msg.gVec;
+    entry.order = msg.order;
+    entry.committer = msg.src;
+    entry.writesHere = msg.writesHere;
+    entry.allWrites = msg.allWrites;
+    entry.leader = !msg.order.empty() && msg.order.front() == _self;
+
+    // Expand W against the local directory state: sharers of the lines
+    // written here are the module's inval_vec contribution (computed in
+    // parallel with group formation — not on the critical path).
+    entry.myInval = 0;
+    for (Addr line : entry.writesHere)
+        entry.myInval |= _dir.sharersOf(line, entry.committer);
+
+    if (entry.leader)
+        ++_ctx.metrics.forming;
+
+    tryAdmit(entry);
+}
+
+void
+SbDirCtrl::onGrab(const GrabMsg& msg)
+{
+    CstEntry& entry = getEntry(msg.id);
+    if (entry.failed)
+        return; // racing failure already resolved this group here
+    if (_validator)
+        _validator->note(msg.id, DirEvent::RecvGrab);
+    entry.haveGrab = true;
+    entry.grabInval |= msg.invalVec;
+    if (entry.order.empty())
+        entry.order = msg.order;
+
+    if (entry.leader) {
+        // The g came back around the ring: the group is formed.
+        SBULK_ASSERT(entry.hold, "g returned to a leader that never sent it");
+        if (!entry.confirmed) {
+            entry.confirmed = true;
+            confirmAsLeader(entry);
+        }
+        return;
+    }
+    tryAdmit(entry);
+}
+
+void
+SbDirCtrl::tryAdmit(CstEntry& entry)
+{
+    if (entry.failed || entry.hold || !entry.haveRequest)
+        return;
+    if (!entry.leader && !entry.haveGrab)
+        return; // the g has not reached us yet
+
+    // A commit recall for this chunk: the committer squashed; fail the
+    // group now that both pieces have arrived (Section 3.4).
+    if (entry.recallArmed) {
+        failGroup(entry, /*collision=*/false);
+        return;
+    }
+
+    // Starvation reservation: behave as if every other chunk collided and
+    // lost (Section 3.2.2). A stale reservation (its chunk died or is
+    // itself blocked elsewhere) expires so it cannot wedge the module.
+    if (_reservedFor &&
+        _ctx.eq.now() - _reservedSince > _ctx.cfg.starvationTimeout) {
+        _failCounts.erase(*_reservedFor);
+        _reservedFor.reset();
+    }
+    if (_reservedFor && *_reservedFor != entry.id.tag) {
+        failGroup(entry, /*collision=*/false);
+        return;
+    }
+
+    // Compatibility against every chunk admitted at this module: all of
+    // Ri∩Wj, Rj∩Wi, Wi∩Wj must be null (Section 3.2.1). This module is
+    // the Collision module for any group it fails here.
+    for (const auto& [oid, other] : _cst) {
+        if (oid == entry.id || !other.hold || other.failed)
+            continue;
+        if (!chunksCompatible(entry.rSig, entry.wSig, other.rSig,
+                              other.wSig)) {
+            SBULK_TRACE(trace::Cat::Group, _ctx.eq.now(),
+                        "dir %u is the Collision module: (%u,%llu) loses "
+                        "to (%u,%llu)",
+                        _self, entry.id.tag.proc,
+                        (unsigned long long)entry.id.tag.seq,
+                        other.id.tag.proc,
+                        (unsigned long long)other.id.tag.seq);
+            failGroup(entry, /*collision=*/true);
+            return;
+        }
+    }
+
+    // Admitted: hold the module for this group and pass the g on.
+    entry.hold = true;
+    const ProcMask inval = entry.grabInval | entry.myInval;
+
+    if (entry.leader && entry.order.size() == 1) {
+        // Single-module group: formed on the spot.
+        entry.confirmed = true;
+        entry.grabInval = inval;
+        confirmAsLeader(entry);
+        return;
+    }
+    if (_validator)
+        _validator->note(entry.id, DirEvent::SendGrab);
+    _ctx.net.send(std::make_unique<GrabMsg>(_self, nextInOrder(entry),
+                                            entry.id, inval, entry.order));
+}
+
+NodeId
+SbDirCtrl::nextInOrder(const CstEntry& entry) const
+{
+    for (std::size_t i = 0; i < entry.order.size(); ++i) {
+        if (entry.order[i] == _self)
+            return entry.order[(i + 1) % entry.order.size()];
+    }
+    SBULK_PANIC("module %u not in its group order", _self);
+}
+
+void
+SbDirCtrl::multicastGFailure(const CstEntry& entry, bool collision)
+{
+    for (NodeId member : entry.order) {
+        if (member == _self)
+            continue;
+        _ctx.net.send(std::make_unique<GFailureMsg>(_self, member,
+                                                    entry.id, collision));
+    }
+}
+
+void
+SbDirCtrl::failGroup(CstEntry& entry, bool collision)
+{
+    entry.failed = true;
+    if (collision)
+        noteFailure(entry);
+    if (_validator)
+        _validator->note(entry.id, DirEvent::SendGFailure);
+    multicastGFailure(entry, collision);
+    if (entry.leader) {
+        --_ctx.metrics.forming;
+        if (_validator)
+            _validator->note(entry.id, DirEvent::SendCommitFailure);
+        _ctx.net.send(std::make_unique<CommitFailureMsg>(
+            _self, entry.committer, entry.id));
+    }
+    if (_validator)
+        _validator->resolve(entry.id, entry.leader, /*success=*/false);
+    deallocate(entry.id);
+}
+
+void
+SbDirCtrl::onGFailure(const GFailureMsg& msg)
+{
+    CstEntry& entry = getEntry(msg.id);
+    if (entry.failed)
+        return;
+    if (_validator)
+        _validator->note(msg.id, DirEvent::RecvGFailure);
+    entry.failed = true;
+    if (msg.countsForStarvation)
+        noteFailure(entry);
+    if (entry.haveRequest) {
+        if (entry.leader) {
+            --_ctx.metrics.forming;
+            if (_validator)
+                _validator->note(msg.id, DirEvent::SendCommitFailure);
+            _ctx.net.send(std::make_unique<CommitFailureMsg>(
+                _self, entry.committer, entry.id));
+        }
+        if (_validator)
+            _validator->resolve(msg.id, entry.leader, /*success=*/false);
+        deallocate(msg.id);
+    }
+    // else: keep the failed tombstone until the commit_request arrives.
+}
+
+void
+SbDirCtrl::confirmAsLeader(CstEntry& entry)
+{
+    SBULK_TRACE(trace::Cat::Group, _ctx.eq.now(),
+                "dir %u formed group for (%u,%llu): %zu members", _self,
+                entry.id.tag.proc, (unsigned long long)entry.id.tag.seq,
+                entry.order.size());
+    --_ctx.metrics.forming;
+    ++_ctx.metrics.committing;
+    _ctx.metrics.sampleOnGroupFormed();
+
+    // Figure 3(c)/(d): g_success to the members, commit success to the
+    // processor, bulk invalidations to the sharers.
+    if (_validator && entry.order.size() > 1)
+        _validator->note(entry.id, DirEvent::SendGSuccess);
+    for (NodeId member : entry.order) {
+        if (member == _self)
+            continue;
+        _ctx.net.send(
+            std::make_unique<GSuccessMsg>(_self, member, entry.id));
+    }
+    if (_validator)
+        _validator->note(entry.id, DirEvent::SendCommitSuccess);
+    _ctx.net.send(std::make_unique<CommitSuccessMsg>(
+        _self, entry.committer, entry.id));
+
+    applyCommitUpdates(entry);
+    sendBulkInvs(entry);
+    if (entry.acksPending == 0)
+        finishAsLeader(entry);
+}
+
+void
+SbDirCtrl::sendBulkInvs(CstEntry& entry)
+{
+    const ProcMask targets =
+        (entry.grabInval | entry.myInval) &
+        ~(ProcMask(1) << entry.committer);
+    entry.acksPending = std::uint32_t(std::popcount(targets));
+    if (_validator && targets != 0)
+        _validator->note(entry.id, DirEvent::SendBulkInv);
+    for (NodeId proc = 0; proc < 64; ++proc) {
+        if (targets & (ProcMask(1) << proc)) {
+            _ctx.net.send(std::make_unique<BulkInvMsg>(
+                _self, proc, entry.id, entry.wSig, entry.allWrites,
+                entry.committer, _self));
+        }
+    }
+}
+
+void
+SbDirCtrl::onGSuccess(const GSuccessMsg& msg)
+{
+    CstEntry& entry = getEntry(msg.id);
+    SBULK_ASSERT(entry.haveRequest && !entry.failed,
+                 "g_success for a group not held here");
+    if (_validator)
+        _validator->note(msg.id, DirEvent::RecvGSuccess);
+    entry.confirmed = true;
+    applyCommitUpdates(entry);
+}
+
+void
+SbDirCtrl::applyCommitUpdates(CstEntry& entry)
+{
+    for (Addr line : entry.writesHere)
+        _dir.commitLine(line, entry.committer);
+}
+
+void
+SbDirCtrl::onBulkInvAck(const BulkInvAckMsg& msg)
+{
+    auto it = _cst.find(msg.id);
+    SBULK_ASSERT(it != _cst.end() && it->second.leader,
+                 "bulk_inv_ack at a non-leader");
+    CstEntry& entry = it->second;
+    if (_validator)
+        _validator->note(msg.id, DirEvent::RecvBulkInvAck);
+
+    if (msg.recall.valid) {
+        _ctx.metrics.commitRecalls.inc();
+        // Route the recall to the Collision module: the lowest member
+        // common to the winner (this group) and the loser (Section 3.4).
+        const std::uint64_t common = entry.gVec & msg.recall.gVec;
+        if (common != 0) {
+            const NodeId collision = NodeId(std::countr_zero(common));
+            entry.recalls.push_back(RecallNote{msg.recall.id, collision});
+        }
+        // No common module: the two groups share no directory (the squash
+        // came from signature aliasing at the processor). The loser's
+        // group can form independently; the processor discards its
+        // outcome (see SbProcCtrl).
+    }
+
+    SBULK_ASSERT(entry.acksPending > 0);
+    if (--entry.acksPending == 0)
+        finishAsLeader(entry);
+}
+
+void
+SbDirCtrl::onBulkInvNack(const BulkInvNackMsg& msg)
+{
+    // Conservative initiation (OCI off): the sharer is itself waiting on a
+    // commit outcome and bounced our W; retry until it consumes it
+    // (Figure 4(c)).
+    auto it = _cst.find(msg.id);
+    if (it == _cst.end())
+        return;
+    CstEntry& entry = it->second;
+    const NodeId target = msg.src;
+    const CommitId id = msg.id;
+    _ctx.eq.scheduleIn(_ctx.cfg.invRetryDelay, [this, id, target] {
+        auto it2 = _cst.find(id);
+        if (it2 == _cst.end())
+            return;
+        CstEntry& e = it2->second;
+        _ctx.net.send(std::make_unique<BulkInvMsg>(
+            _self, target, e.id, e.wSig, e.allWrites, e.committer, _self));
+    });
+    (void)entry;
+}
+
+void
+SbDirCtrl::finishAsLeader(CstEntry& entry)
+{
+    --_ctx.metrics.committing;
+
+    if (_validator && entry.order.size() > 1)
+        _validator->note(entry.id, DirEvent::SendCommitDone);
+    for (NodeId member : entry.order) {
+        if (member == _self)
+            continue;
+        _ctx.net.send(std::make_unique<CommitDoneMsg>(_self, member,
+                                                      entry.id,
+                                                      entry.recalls));
+    }
+    // The leader acts on recalls addressed to itself.
+    for (const RecallNote& note : entry.recalls) {
+        if (note.collision == _self) {
+            // Handled below via the same path members use.
+            if (_validator)
+                _validator->note(note.id, DirEvent::RecvCommitRecall);
+            CstEntry& loser = getEntry(note.id);
+            if (!loser.failed && !loser.hold) {
+                loser.recallArmed = true;
+                if (_reservedFor && *_reservedFor == note.id.tag)
+                    _reservedFor.reset();
+                tryAdmit(loser);
+            }
+        }
+    }
+
+    if (_reservedFor && *_reservedFor == entry.id.tag) {
+        _reservedFor.reset();
+        _failCounts.erase(entry.id.tag);
+    }
+    if (_validator)
+        _validator->resolve(entry.id, /*leader=*/true, /*success=*/true);
+    deallocate(entry.id);
+}
+
+void
+SbDirCtrl::onCommitDone(const CommitDoneMsg& msg)
+{
+    auto it = _cst.find(msg.id);
+    SBULK_ASSERT(it != _cst.end() && it->second.confirmed,
+                 "commit_done for an unconfirmed group");
+    if (_validator)
+        _validator->note(msg.id, DirEvent::RecvCommitDone);
+
+    for (const RecallNote& note : msg.recalls) {
+        if (note.collision != _self)
+            continue;
+        if (_validator)
+            _validator->note(note.id, DirEvent::RecvCommitRecall);
+        CstEntry& loser = getEntry(note.id);
+        if (loser.failed || loser.hold) {
+            // Already failed (discard, per Section 3.4) or already past
+            // the point of recall.
+            continue;
+        }
+        loser.recallArmed = true;
+        if (_reservedFor && *_reservedFor == note.id.tag)
+            _reservedFor.reset();
+        // If both (R,W) and g are already here, fail the group now.
+        tryAdmit(loser);
+    }
+
+    if (_reservedFor && *_reservedFor == msg.id.tag) {
+        _reservedFor.reset();
+        _failCounts.erase(msg.id.tag);
+    }
+    if (_validator)
+        _validator->resolve(msg.id, /*leader=*/false, /*success=*/true);
+    deallocate(msg.id);
+}
+
+void
+SbDirCtrl::noteFailure(const CstEntry& entry)
+{
+    const std::uint32_t count = ++_failCounts[entry.id.tag];
+    if (count < _ctx.cfg.starvationMax)
+        return;
+    // Reserve for the *globally smallest* starving tag: directories that
+    // disagree (different failure-observation orders) converge on the
+    // same chunk, so overlapping reservations cannot deadlock.
+    if (!_reservedFor || entry.id.tag < *_reservedFor) {
+        _reservedFor = entry.id.tag;
+        _reservedSince = _ctx.eq.now();
+        _ctx.metrics.starvationReservations.inc();
+    }
+}
+
+void
+SbDirCtrl::deallocate(const CommitId& id)
+{
+    _cst.erase(id);
+}
+
+} // namespace sb
+} // namespace sbulk

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The ScalableBulk directory-module controller: the Chunk State Table (CST)
+ * of Figure 6 and the protocol state machine of Sections 3.1-3.4 and
+ * Appendix A.
+ *
+ * Each module:
+ *  - admits compatible committing chunks concurrently and fails colliding
+ *    ones (the module where a loser's request-and-g pair meets an admitted
+ *    winner is, by construction of the ascending traversal, the paper's
+ *    Collision module);
+ *  - nacks loads covered by a held W signature (read gate, Section 3.1);
+ *  - passes the g (grab) message along the group order, accumulating the
+ *    sharer inval_vec;
+ *  - as leader, confirms the group, triggers bulk invalidation, collects
+ *    acks (with piggy-backed commit recalls), and multicasts commit_done;
+ *  - arms commit recalls so a squashed optimistic committer's group is
+ *    reliably failed even after the winner's signature is deallocated
+ *    (Section 3.4);
+ *  - reserves itself for a starving chunk after MAX failures
+ *    (Section 3.2.2).
+ */
+
+#ifndef SBULK_PROTO_SCALABLEBULK_DIR_CTRL_HH
+#define SBULK_PROTO_SCALABLEBULK_DIR_CTRL_HH
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mem/directory.hh"
+#include "proto/commit_protocol.hh"
+#include "proto/scalablebulk/messages.hh"
+#include "proto/scalablebulk/ordering.hh"
+
+namespace sbulk
+{
+namespace sb
+{
+
+/** One CST entry (Figure 6: C_Tag, Sigs, state, inval_vec, g_vec, l/h/c).*/
+struct CstEntry
+{
+    CommitId id;
+    Signature rSig;
+    Signature wSig;
+    std::uint64_t gVec = 0;
+    std::vector<NodeId> order;
+    NodeId committer = kInvalidNode;
+    /** Sharers of lines written *here* that need invalidation. */
+    ProcMask myInval = 0;
+    /** inval_vec accumulated by the g message up to this module. */
+    ProcMask grabInval = 0;
+    /** Exact written lines homed at this module. */
+    std::vector<Addr> writesHere;
+    /** Every written line (leader keeps it for the bulk-inv payload). */
+    std::vector<Addr> allWrites;
+
+    bool haveRequest = false;
+    bool haveGrab = false;
+    /** l: this module leads the group. */
+    bool leader = false;
+    /** h: admitted here — the module passed (or is passing) its g. */
+    bool hold = false;
+    /** c: group confirmed formed. */
+    bool confirmed = false;
+    bool failed = false;
+    /** A commit recall arrived before request+g: fail on their arrival. */
+    bool recallArmed = false;
+
+    /** Leader bookkeeping: outstanding bulk-inv acks and recall notes. */
+    std::uint32_t acksPending = 0;
+    std::vector<RecallNote> recalls;
+};
+
+/**
+ * ScalableBulk's per-tile directory-side controller.
+ */
+class SbDirCtrl : public DirProtocol
+{
+  public:
+    SbDirCtrl(NodeId self, ProtoContext ctx, Directory& dir);
+
+    void handleMessage(MessagePtr msg) override;
+    bool loadBlocked(Addr line) const override;
+
+    /** Attach the Appendix-A message-ordering validator (optional). */
+    void setOrderingValidator(OrderingValidator* v) { _validator = v; }
+
+    /** Active CST entries — test hook. */
+    std::size_t cstSize() const { return _cst.size(); }
+    /** Current starvation reservation — test hook. */
+    std::optional<ChunkTag> reservedFor() const { return _reservedFor; }
+
+  private:
+    void onCommitRequest(const CommitRequestMsg& msg);
+    void onGrab(const GrabMsg& msg);
+    void onGFailure(const GFailureMsg& msg);
+    void onGSuccess(const GSuccessMsg& msg);
+    void onBulkInvAck(const BulkInvAckMsg& msg);
+    void onBulkInvNack(const BulkInvNackMsg& msg);
+    void onCommitDone(const CommitDoneMsg& msg);
+
+    /**
+     * Try to admit @p entry: it must have its request (and its g, unless
+     * leader), be compatible with every admitted entry, match a live
+     * starvation reservation if one is set, and not be recall-armed.
+     * On admission the g moves on; on collision the group is failed.
+     */
+    void tryAdmit(CstEntry& entry);
+    /** This module declares the group failed. @p collision is true for a
+     *  genuine group collision (counts toward starvation), false for
+     *  reservation- or recall-inflicted failures. */
+    void failGroup(CstEntry& entry, bool collision);
+    /** Group formed (leader context): success + bulk invalidation. */
+    void confirmAsLeader(CstEntry& entry);
+    /** All acks in: release the group. */
+    void finishAsLeader(CstEntry& entry);
+    /** Apply directory presence updates for the lines written here. */
+    void applyCommitUpdates(CstEntry& entry);
+    /** Erase the entry (CST deallocation). */
+    void deallocate(const CommitId& id);
+    /** Record a failure for starvation tracking (Section 3.2.2). */
+    void noteFailure(const CstEntry& entry);
+    /** Send the bulk invalidations for a confirmed group (leader). */
+    void sendBulkInvs(CstEntry& entry);
+    /** Next module after this one in the entry's order. */
+    NodeId nextInOrder(const CstEntry& entry) const;
+    /** Multicast g_failure to every member except this module. */
+    void multicastGFailure(const CstEntry& entry, bool collision);
+
+    CstEntry& getEntry(const CommitId& id);
+
+    NodeId _self;
+    ProtoContext _ctx;
+    Directory& _dir;
+    std::unordered_map<CommitId, CstEntry> _cst;
+    /** Failure counts per chunk tag (stable across retry attempts). */
+    std::unordered_map<ChunkTag, std::uint32_t> _failCounts;
+    /** When set, only this chunk may commit here (starvation rescue). */
+    std::optional<ChunkTag> _reservedFor;
+    /** Tick the current reservation was installed (for the timeout). */
+    Tick _reservedSince = 0;
+    /** Optional Appendix-A conformance recorder. */
+    OrderingValidator* _validator = nullptr;
+};
+
+} // namespace sb
+} // namespace sbulk
+
+#endif // SBULK_PROTO_SCALABLEBULK_DIR_CTRL_HH

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * The ten ScalableBulk message types of Table 1.
+ *
+ * Functional-only fields (exact write-line lists, group order vectors) ride
+ * along for the simulator's bookkeeping; the modeled message *sizes* follow
+ * the paper: signature-carrying messages are LargeCMessage, the rest are
+ * SmallCMessage.
+ */
+
+#ifndef SBULK_PROTO_SCALABLEBULK_MESSAGES_HH
+#define SBULK_PROTO_SCALABLEBULK_MESSAGES_HH
+
+#include <vector>
+
+#include "mem/directory.hh"
+#include "proto/commit_protocol.hh"
+#include "sig/signature.hh"
+
+namespace sbulk
+{
+namespace sb
+{
+
+/** ScalableBulk message kinds (Table 1). */
+enum SbMsgKind : std::uint16_t
+{
+    kCommitRequest = kProtoKindBase + 0,
+    kGrab = kProtoKindBase + 1,          ///< "g"
+    kGFailure = kProtoKindBase + 2,
+    kGSuccess = kProtoKindBase + 3,
+    kCommitFailure = kProtoKindBase + 4,
+    kCommitSuccess = kProtoKindBase + 5,
+    kBulkInv = kProtoKindBase + 6,
+    kBulkInvAck = kProtoKindBase + 7,
+    kCommitDone = kProtoKindBase + 8,
+    // commit recall (kind 9 in Table 1) is piggy-backed on bulk_inv_ack
+    // and commit_done, exactly as the paper specifies; it has no
+    // standalone message.
+    kBulkInvNack = kProtoKindBase + 9, ///< conservative (no-OCI) bounce
+};
+
+/** The recall payload piggy-backed on acks and commit_done. */
+struct Recall
+{
+    /** The squashed committing chunk (the *loser*'s identity). */
+    CommitId id{};
+    /** g_vec of the loser, so the winner's leader can locate the
+     *  Collision module (lowest common member). */
+    std::uint64_t gVec = 0;
+    bool valid = false;
+};
+
+/**
+ * commit_request: C_Tag, W_Sig, R_Sig, g_vec — Proc -> Dir(s).
+ */
+struct CommitRequestMsg : Message
+{
+    CommitId id;
+    Signature rSig;
+    Signature wSig;
+    /** Participating directories (bit per tile). */
+    std::uint64_t gVec;
+    /** Traversal order (ascending priority); order[0] is the leader. */
+    std::vector<NodeId> order;
+    /** Exact lines written that are homed at the destination module. */
+    std::vector<Addr> writesHere;
+    /** Every line written by the chunk (the leader's bulk-inv payload). */
+    std::vector<Addr> allWrites;
+
+    CommitRequestMsg(NodeId src_, NodeId dst_, CommitId id_,
+                     const Signature& r, const Signature& w,
+                     std::uint64_t g_vec, std::vector<NodeId> order_,
+                     std::vector<Addr> writes_here,
+                     std::vector<Addr> all_writes)
+        : Message(src_, dst_, Port::Dir, MsgClass::LargeCMessage,
+                  kCommitRequest, kLargeCBytes),
+          id(id_), rSig(r), wSig(w), gVec(g_vec), order(std::move(order_)),
+          writesHere(std::move(writes_here)),
+          allWrites(std::move(all_writes))
+    {}
+};
+
+/**
+ * g (grab): C_Tag, inval_vec — Dir -> Dir. Carries the accumulating sharer
+ * set and the group order (so a module reached by g before its
+ * commit_request still knows the membership).
+ */
+struct GrabMsg : Message
+{
+    CommitId id;
+    ProcMask invalVec;
+    std::vector<NodeId> order;
+
+    GrabMsg(NodeId src_, NodeId dst_, CommitId id_, ProcMask inval,
+            std::vector<NodeId> order_)
+        : Message(src_, dst_, Port::Dir, MsgClass::SmallCMessage, kGrab,
+                  kSmallCBytes),
+          id(id_), invalVec(inval), order(std::move(order_))
+    {}
+};
+
+/** g_failure: C_Tag — Dir -> Dir(s). */
+struct GFailureMsg : Message
+{
+    CommitId id;
+    /**
+     * True when the failure was a genuine group collision, which counts
+     * toward the loser's starvation threshold. Failures inflicted by a
+     * module's own starvation reservation (or by a commit recall for an
+     * already-dead chunk) must not, or reservations cascade: every chunk
+     * bounced off a reserved module would itself start "starving".
+     */
+    bool countsForStarvation;
+
+    GFailureMsg(NodeId src_, NodeId dst_, CommitId id_, bool starves)
+        : Message(src_, dst_, Port::Dir, MsgClass::SmallCMessage, kGFailure,
+                  kSmallCBytes),
+          id(id_), countsForStarvation(starves)
+    {}
+};
+
+/** g_success: C_Tag — Leader -> Dir(s). */
+struct GSuccessMsg : Message
+{
+    CommitId id;
+
+    GSuccessMsg(NodeId src_, NodeId dst_, CommitId id_)
+        : Message(src_, dst_, Port::Dir, MsgClass::SmallCMessage, kGSuccess,
+                  kSmallCBytes),
+          id(id_)
+    {}
+};
+
+/** commit_failure: C_Tag — Leader -> Proc. */
+struct CommitFailureMsg : Message
+{
+    CommitId id;
+
+    CommitFailureMsg(NodeId src_, NodeId dst_, CommitId id_)
+        : Message(src_, dst_, Port::Proc, MsgClass::SmallCMessage,
+                  kCommitFailure, kSmallCBytes),
+          id(id_)
+    {}
+};
+
+/** commit_success: C_Tag — Leader -> Proc. */
+struct CommitSuccessMsg : Message
+{
+    CommitId id;
+
+    CommitSuccessMsg(NodeId src_, NodeId dst_, CommitId id_)
+        : Message(src_, dst_, Port::Proc, MsgClass::SmallCMessage,
+                  kCommitSuccess, kSmallCBytes),
+          id(id_)
+    {}
+};
+
+/** bulk_inv: C_Tag, W_Sig — Leader -> sharer Proc(s). */
+struct BulkInvMsg : Message
+{
+    CommitId id;
+    Signature wSig;
+    /** Exact written lines (functional stand-in for W expansion). */
+    std::vector<Addr> lines;
+    /** The committing processor (excluded from disambiguation... it is the
+     *  writer); also identifies the owner of the lines. */
+    NodeId committer;
+    /** Where the ack goes. */
+    NodeId leader;
+
+    BulkInvMsg(NodeId src_, NodeId dst_, CommitId id_, const Signature& w,
+               std::vector<Addr> lines_, NodeId committer_, NodeId leader_)
+        : Message(src_, dst_, Port::Proc, MsgClass::LargeCMessage, kBulkInv,
+                  kLargeCBytes),
+          id(id_), wSig(w), lines(std::move(lines_)), committer(committer_),
+          leader(leader_)
+    {}
+};
+
+/** bulk_inv_ack: C_Tag (+ piggy-backed commit recall) — Proc -> Dir. */
+struct BulkInvAckMsg : Message
+{
+    CommitId id;
+    Recall recall;
+
+    BulkInvAckMsg(NodeId src_, NodeId dst_, CommitId id_, Recall recall_)
+        : Message(src_, dst_, Port::Dir, MsgClass::SmallCMessage,
+                  kBulkInvAck, kSmallCBytes),
+          id(id_), recall(recall_)
+    {}
+};
+
+/**
+ * bulk_inv nack: conservative commit initiation only (OCI disabled): a
+ * processor with an outstanding commit request bounces incoming bulk
+ * invalidations (Figure 4(c)).
+ */
+struct BulkInvNackMsg : Message
+{
+    CommitId id;
+
+    BulkInvNackMsg(NodeId src_, NodeId dst_, CommitId id_)
+        : Message(src_, dst_, Port::Dir, MsgClass::SmallCMessage,
+                  kBulkInvNack, kSmallCBytes),
+          id(id_)
+    {}
+};
+
+/** A recall routed with commit_done: Table 1's (C_Tag, Dir ID) format. */
+struct RecallNote
+{
+    /** The squashed chunk's commit identity. */
+    CommitId id{};
+    /** Collision module that must act (Table 1's Dir ID). */
+    NodeId collision = kInvalidNode;
+};
+
+/**
+ * commit_done: C_Tag (+ piggy-backed recalls, one per squashed sharer)
+ * — Leader -> Dir(s).
+ */
+struct CommitDoneMsg : Message
+{
+    CommitId id;
+    std::vector<RecallNote> recalls;
+
+    CommitDoneMsg(NodeId src_, NodeId dst_, CommitId id_,
+                  std::vector<RecallNote> recalls_)
+        : Message(src_, dst_, Port::Dir, MsgClass::SmallCMessage,
+                  kCommitDone, kSmallCBytes),
+          id(id_), recalls(std::move(recalls_))
+    {}
+};
+
+} // namespace sb
+} // namespace sbulk
+
+#endif // SBULK_PROTO_SCALABLEBULK_MESSAGES_HH

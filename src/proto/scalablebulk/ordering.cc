@@ -1,0 +1,183 @@
+#include "proto/scalablebulk/ordering.hh"
+
+#include <algorithm>
+
+namespace sbulk
+{
+namespace sb
+{
+
+const char*
+dirEventName(DirEvent ev)
+{
+    switch (ev) {
+      case DirEvent::RecvCommitRequest: return "R:req";
+      case DirEvent::SendGrab: return "S:g";
+      case DirEvent::RecvGrab: return "R:g";
+      case DirEvent::SendGSuccess: return "S:g_succ";
+      case DirEvent::RecvGSuccess: return "R:g_succ";
+      case DirEvent::SendGFailure: return "S:g_fail";
+      case DirEvent::RecvGFailure: return "R:g_fail";
+      case DirEvent::SendCommitSuccess: return "S:succ";
+      case DirEvent::SendCommitFailure: return "S:fail";
+      case DirEvent::SendBulkInv: return "S:inv";
+      case DirEvent::RecvBulkInvAck: return "R:ack";
+      case DirEvent::SendCommitDone: return "S:done";
+      case DirEvent::RecvCommitDone: return "R:done";
+      case DirEvent::RecvCommitRecall: return "R:recall";
+    }
+    return "?";
+}
+
+std::string
+OrderingValidator::render(const std::vector<DirEvent>& seq)
+{
+    std::string out;
+    for (DirEvent ev : seq) {
+        if (!out.empty())
+            out += " -> ";
+        out += dirEventName(ev);
+    }
+    return out;
+}
+
+namespace
+{
+
+bool
+contains(const std::vector<DirEvent>& seq, DirEvent ev)
+{
+    return std::find(seq.begin(), seq.end(), ev) != seq.end();
+}
+
+/** Index of the first occurrence, or -1. */
+int
+indexOf(const std::vector<DirEvent>& seq, DirEvent ev)
+{
+    auto it = std::find(seq.begin(), seq.end(), ev);
+    return it == seq.end() ? -1 : int(it - seq.begin());
+}
+
+} // namespace
+
+const char*
+OrderingValidator::checkLeaderSuccess(const std::vector<DirEvent>& seq)
+{
+    // R:req -> [S:g -> R:g ->] (S:succ & S:g_succ* & S:inv*)
+    //        -> R:ack* -> S:done*; single-member groups skip the g leg.
+    const int req = indexOf(seq, DirEvent::RecvCommitRequest);
+    const int succ = indexOf(seq, DirEvent::SendCommitSuccess);
+    if (req != 0)
+        return "leader must start with R:req";
+    if (succ < 0)
+        return "leader never sent commit_success";
+    const int sg = indexOf(seq, DirEvent::SendGrab);
+    const int rg = indexOf(seq, DirEvent::RecvGrab);
+    if (sg >= 0) {
+        // Multi-member: the ring must complete before the success.
+        if (rg < 0)
+            return "leader sent g but the ring never returned it";
+        if (!(req < sg && sg < rg && rg < succ))
+            return "leader g exchange out of order";
+    }
+    // Acks precede done; invs precede acks.
+    const int first_ack = indexOf(seq, DirEvent::RecvBulkInvAck);
+    const int done = indexOf(seq, DirEvent::SendCommitDone);
+    const int inv = indexOf(seq, DirEvent::SendBulkInv);
+    if (first_ack >= 0 && inv >= 0 && inv > first_ack)
+        return "ack received before any bulk_inv was sent";
+    if (done >= 0 && first_ack >= 0 && done < first_ack)
+        return "commit_done sent before acks arrived";
+    if (contains(seq, DirEvent::SendGFailure) ||
+        contains(seq, DirEvent::RecvGFailure) ||
+        contains(seq, DirEvent::SendCommitFailure)) {
+        return "failure events in a successful commit";
+    }
+    return nullptr;
+}
+
+const char*
+OrderingValidator::checkMemberSuccess(const std::vector<DirEvent>& seq)
+{
+    // (R:req & R:g in any order) -> S:g -> R:g_succ -> R:done
+    const int req = indexOf(seq, DirEvent::RecvCommitRequest);
+    const int rg = indexOf(seq, DirEvent::RecvGrab);
+    const int sg = indexOf(seq, DirEvent::SendGrab);
+    const int gs = indexOf(seq, DirEvent::RecvGSuccess);
+    const int done = indexOf(seq, DirEvent::RecvCommitDone);
+    if (req < 0 || rg < 0)
+        return "member missing request or g";
+    if (sg < 0)
+        return "member never forwarded its g";
+    if (sg < req || sg < rg)
+        return "member forwarded g before holding both request and g";
+    if (gs < 0 || gs < sg)
+        return "g_success must follow the member's g forward";
+    if (done < 0 || done < gs)
+        return "commit_done must be the member's last step";
+    if (contains(seq, DirEvent::SendCommitSuccess))
+        return "non-leader sent commit_success";
+    return nullptr;
+}
+
+const char*
+OrderingValidator::checkFailure(const std::vector<DirEvent>& seq,
+                                bool was_leader)
+{
+    // A failed commit must contain a failure edge: either this module
+    // declared it (S:g_fail) or learned of it (R:g_fail / R:recall).
+    const bool declared = contains(seq, DirEvent::SendGFailure);
+    const bool learned = contains(seq, DirEvent::RecvGFailure) ||
+                         contains(seq, DirEvent::RecvCommitRecall);
+    if (!declared && !learned)
+        return "failed commit with no failure event";
+    // A failed group never confirms or completes here.
+    if (contains(seq, DirEvent::RecvGSuccess) ||
+        contains(seq, DirEvent::SendGSuccess) ||
+        contains(seq, DirEvent::SendCommitDone) ||
+        contains(seq, DirEvent::RecvCommitDone)) {
+        return "failed commit carries success events";
+    }
+    if (contains(seq, DirEvent::SendCommitSuccess))
+        return "failed commit sent commit_success";
+    // The leader reports the failure to the processor (once it has the
+    // request; a tombstone resolution also counts).
+    if (was_leader && !contains(seq, DirEvent::SendCommitFailure))
+        return "leader failed silently";
+    if (!was_leader && contains(seq, DirEvent::SendCommitFailure))
+        return "non-leader sent commit_failure";
+    return nullptr;
+}
+
+void
+OrderingValidator::resolve(const CommitId& id, bool was_leader,
+                           bool success)
+{
+    auto it = _events.find(id);
+    const std::vector<DirEvent> seq =
+        it == _events.end() ? std::vector<DirEvent>{} : it->second;
+    if (it != _events.end())
+        _events.erase(it);
+    ++_resolved;
+
+    const char* reason = nullptr;
+    if (success && was_leader)
+        reason = checkLeaderSuccess(seq);
+    else if (success)
+        reason = checkMemberSuccess(seq);
+    else
+        reason = checkFailure(seq, was_leader);
+    if (reason)
+        fail(id, seq, reason);
+}
+
+void
+OrderingValidator::fail(const CommitId& id,
+                        const std::vector<DirEvent>& seq,
+                        const char* reason)
+{
+    _violations.push_back(Violation{_module, id, render(seq), reason});
+}
+
+} // namespace sb
+} // namespace sbulk

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Executable form of the paper's Appendix A: the legal orderings of
+ * messages sent (S:) and received (R:) by a ScalableBulk directory module
+ * during one chunk commit (Tables 4 and 5).
+ *
+ * The validator attaches to a directory controller, records the module's
+ * per-commit event sequence, and — when the commit resolves — checks the
+ * sequence against the appendix's grammars:
+ *
+ *   Successful commit, leader:
+ *     R:req -> S:g -> R:g -> (S:success & S:g_success* & S:bulk_inv*)
+ *            -> R:ack* -> S:done*
+ *   Successful commit, non-leader:
+ *     (R:req & R:g) -> S:g -> R:g_success -> R:done
+ *   Failed commit — the module observes some prefix of the above followed
+ *   by S:g_failure* (it is the Collision module / enforces a reservation
+ *   or recall) or R:g_failure, with the leader additionally sending
+ *   S:commit_failure. Either piece (request or g) may arrive first, and a
+ *   g_failure may precede the request (Appendix A, "after Collision
+ *   module" with network reordering).
+ *
+ * Single-module groups skip the g exchange entirely (the leader is the
+ * whole ring).
+ */
+
+#ifndef SBULK_PROTO_SCALABLEBULK_ORDERING_HH
+#define SBULK_PROTO_SCALABLEBULK_ORDERING_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/commit_protocol.hh"
+
+namespace sbulk
+{
+namespace sb
+{
+
+/** The per-module protocol events of Appendix A. */
+enum class DirEvent : std::uint8_t
+{
+    RecvCommitRequest,
+    SendGrab,
+    RecvGrab,
+    SendGSuccess,
+    RecvGSuccess,
+    SendGFailure,
+    RecvGFailure,
+    SendCommitSuccess,
+    SendCommitFailure,
+    SendBulkInv,
+    RecvBulkInvAck,
+    SendCommitDone,
+    RecvCommitDone,
+    RecvCommitRecall,
+};
+
+const char* dirEventName(DirEvent ev);
+
+/**
+ * Records one directory module's event streams per commit attempt and
+ * validates them against the Appendix-A orderings at resolution time.
+ */
+class OrderingValidator
+{
+  public:
+    /** A sequence that matched no legal ordering. */
+    struct Violation
+    {
+        NodeId module = kInvalidNode;
+        CommitId id{};
+        std::string sequence;
+        std::string reason;
+    };
+
+    explicit OrderingValidator(NodeId module) : _module(module) {}
+
+    /** Record an event for @p id. */
+    void
+    note(const CommitId& id, DirEvent ev)
+    {
+        _events[id].push_back(ev);
+    }
+
+    /**
+     * The module deallocated the entry: validate and forget.
+     * @param was_leader The module led this group.
+     * @param success The commit completed (vs. failed/recalled).
+     */
+    void resolve(const CommitId& id, bool was_leader, bool success);
+
+    const std::vector<Violation>& violations() const { return _violations; }
+    std::uint64_t resolved() const { return _resolved; }
+
+  private:
+    void fail(const CommitId& id, const std::vector<DirEvent>& seq,
+              const char* reason);
+
+    static std::string render(const std::vector<DirEvent>& seq);
+
+    /** Grammar checks (return the violation reason or null). */
+    static const char* checkLeaderSuccess(const std::vector<DirEvent>& seq);
+    static const char* checkMemberSuccess(const std::vector<DirEvent>& seq);
+    static const char* checkFailure(const std::vector<DirEvent>& seq,
+                                    bool was_leader);
+
+    NodeId _module;
+    std::unordered_map<CommitId, std::vector<DirEvent>> _events;
+    std::vector<Violation> _violations;
+    std::uint64_t _resolved = 0;
+};
+
+} // namespace sb
+} // namespace sbulk
+
+#endif // SBULK_PROTO_SCALABLEBULK_ORDERING_HH

@@ -1,0 +1,219 @@
+#include "proto/scalablebulk/proc_ctrl.hh"
+
+#include <algorithm>
+
+#include "sim/trace.hh"
+
+namespace sbulk
+{
+namespace sb
+{
+
+std::vector<NodeId>
+LeaderPolicy::order(std::uint64_t g_vec, Tick now) const
+{
+    // Baseline: ascending module id (leader = lowest). With rotation, the
+    // priority origin moves every interval (Section 3.2.2), giving
+    // long-term fairness to processors near high-numbered modules.
+    std::uint32_t offset = 0;
+    if (_interval > 0)
+        offset = std::uint32_t((now / _interval) % _numNodes);
+
+    std::vector<NodeId> members;
+    for (NodeId n = 0; n < _numNodes; ++n)
+        if (g_vec & (std::uint64_t(1) << n))
+            members.push_back(n);
+    std::sort(members.begin(), members.end(),
+              [this, offset](NodeId a, NodeId b) {
+                  return (a + _numNodes - offset) % _numNodes <
+                         (b + _numNodes - offset) % _numNodes;
+              });
+    return members;
+}
+
+SbProcCtrl::SbProcCtrl(NodeId self, ProtoContext ctx,
+                       const LeaderPolicy& policy)
+    : _self(self), _ctx(ctx), _policy(policy)
+{}
+
+void
+SbProcCtrl::startCommit(Chunk& chunk)
+{
+    SBULK_ASSERT(_chunk == nullptr,
+                 "core %u started a commit while one is in flight", _self);
+    _chunk = &chunk;
+
+    if (chunk.gVec() == 0) {
+        // A chunk with no memory operations commits trivially.
+        Chunk* c = _chunk;
+        _chunk = nullptr;
+        _ctx.eq.scheduleIn(1, [this, c] {
+            _ctx.metrics.recordCommit(*c, _ctx.eq.now());
+            _core->chunkCommitted(c->tag());
+        });
+        return;
+    }
+    sendRequest();
+}
+
+void
+SbProcCtrl::sendRequest()
+{
+    Chunk& chunk = *_chunk;
+    ++chunk.commitAttempts;
+    _current = CommitId{chunk.tag(), chunk.commitAttempts};
+    _currentGVec = chunk.gVec();
+    _awaitingOutcome = true;
+
+    const std::vector<NodeId> order =
+        _policy.order(_currentGVec, _ctx.eq.now());
+    const std::vector<Addr> all_writes = chunk.writeLines();
+    SBULK_TRACE(trace::Cat::Commit, _ctx.eq.now(),
+                "proc %u requests commit of (%u,%llu) attempt %u over %zu "
+                "dirs",
+                _self, _current.tag.proc,
+                (unsigned long long)_current.tag.seq, _current.attempt,
+                order.size());
+
+    for (NodeId member : order) {
+        std::vector<Addr> writes_here;
+        if (auto it = chunk.writesByHome().find(member);
+            it != chunk.writesByHome().end()) {
+            writes_here = it->second;
+        }
+        _ctx.net.send(std::make_unique<CommitRequestMsg>(
+            _self, member, _current, chunk.rSig(), chunk.wSig(),
+            _currentGVec, order, std::move(writes_here), all_writes));
+    }
+}
+
+void
+SbProcCtrl::abortCommit(ChunkTag tag)
+{
+    if (_chunk && _current.tag == tag) {
+        _aborted = true;
+        _abortedId = _current;
+        _chunk = nullptr;
+        _awaitingOutcome = false;
+    }
+}
+
+void
+SbProcCtrl::handleMessage(MessagePtr msg)
+{
+    switch (msg->kind) {
+      case kCommitSuccess:
+        onCommitSuccess(static_cast<const CommitSuccessMsg&>(*msg));
+        break;
+      case kCommitFailure:
+        onCommitFailure(static_cast<const CommitFailureMsg&>(*msg));
+        break;
+      case kBulkInv:
+        onBulkInv(std::move(msg));
+        break;
+      default:
+        SBULK_PANIC("SbProcCtrl %u: unexpected message kind %u", _self,
+                    msg->kind);
+    }
+}
+
+void
+SbProcCtrl::onCommitSuccess(const CommitSuccessMsg& msg)
+{
+    if (_aborted && msg.id == _abortedId) {
+        // OCI corner: the chunk was squashed by an *aliased* invalidation
+        // from a group sharing no directory with ours, so our group formed
+        // anyway. The processor discards the outcome (the chunk re-executes
+        // and commits again under a fresh tag).
+        _aborted = false;
+        return;
+    }
+    if (!_chunk || msg.id != _current)
+        return; // stale attempt
+    _awaitingOutcome = false;
+    SBULK_TRACE(trace::Cat::Commit, _ctx.eq.now(),
+                "proc %u commit (%u,%llu) SUCCESS after %llu cycles", _self,
+                _current.tag.proc, (unsigned long long)_current.tag.seq,
+                (unsigned long long)(_ctx.eq.now() -
+                                     _chunk->commitRequested));
+    Chunk* chunk = _chunk;
+    _chunk = nullptr;
+    _ctx.metrics.recordCommit(*chunk, _ctx.eq.now());
+    _core->chunkCommitted(chunk->tag());
+}
+
+void
+SbProcCtrl::onCommitFailure(const CommitFailureMsg& msg)
+{
+    if (_aborted && msg.id == _abortedId) {
+        // The recall did its job; nothing to retry (Section 3.3).
+        _aborted = false;
+        return;
+    }
+    if (!_chunk || msg.id != _current)
+        return; // stale attempt
+    _awaitingOutcome = false;
+    SBULK_TRACE(trace::Cat::Commit, _ctx.eq.now(),
+                "proc %u commit (%u,%llu) FAILED (attempt %u), backing off",
+                _self, _current.tag.proc,
+                (unsigned long long)_current.tag.seq, _current.attempt);
+    _ctx.metrics.commitFailures.inc();
+    _ctx.metrics.commitRetries.inc();
+    // Wait a while, then retry (Section 3.2). Linear backoff drains
+    // collision storms; the id-based skew avoids lockstep retries.
+    const Tick factor = std::min<Tick>(_chunk->commitAttempts, 20);
+    const Tick delay = _ctx.cfg.commitRetryDelay * factor + (_self % 16);
+    const CommitId failed = _current;
+    _ctx.eq.scheduleIn(delay, [this, failed] {
+        if (_chunk && _current == failed)
+            sendRequest();
+    });
+}
+
+void
+SbProcCtrl::onBulkInv(MessagePtr msg)
+{
+    auto& inv = static_cast<BulkInvMsg&>(*msg);
+
+    if (!_ctx.cfg.oci && _chunk != nullptr && _awaitingOutcome) {
+        // Conservative commit initiation (the BulkSC behaviour the paper
+        // improves on, kept as an ablation): bounce the W until our own
+        // commit outcome arrives (Figure 4(c)).
+        _ctx.net.send(std::make_unique<BulkInvNackMsg>(_self, inv.leader,
+                                                       inv.id));
+        return;
+    }
+
+    const InvOutcome outcome =
+        _core->applyBulkInv(inv.wSig, inv.lines, inv.id.tag);
+
+    if (outcome.squashedAny) {
+        if (outcome.wasTrueConflict)
+            _ctx.metrics.squashesTrueConflict.inc();
+        else
+            _ctx.metrics.squashesAliasing.inc();
+    }
+
+    Recall recall;
+    if (outcome.squashedCommitting && _chunk &&
+        outcome.committingTag == _current.tag) {
+        // Our optimistically-initiated commit is dead: squash locally and
+        // piggy-back a commit recall on the ack (Figure 4(d)).
+        SBULK_TRACE(trace::Cat::Inv, _ctx.eq.now(),
+                    "proc %u squashed while committing (%u,%llu): sending "
+                    "commit recall",
+                    _self, _current.tag.proc,
+                    (unsigned long long)_current.tag.seq);
+        recall.valid = true;
+        recall.id = _current;
+        recall.gVec = _currentGVec;
+        _aborted = true;
+        _abortedId = _current;
+        _chunk = nullptr;
+    }
+    _ctx.net.send(std::make_unique<BulkInvAckMsg>(_self, inv.leader, inv.id,
+                                                  recall));
+}
+
+} // namespace sb
+} // namespace sbulk

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The ScalableBulk processor-side controller: sends commit requests to the
+ * home directories of the chunk's read/write sets, retries on failure, and
+ * implements Optimistic Commit Initiation — incoming bulk invalidations are
+ * consumed even while a commit is outstanding, with a commit recall
+ * piggy-backed on the ack if the in-flight chunk is squashed
+ * (Sections 3.3/3.4).
+ */
+
+#ifndef SBULK_PROTO_SCALABLEBULK_PROC_CTRL_HH
+#define SBULK_PROTO_SCALABLEBULK_PROC_CTRL_HH
+
+#include <deque>
+
+#include "proto/commit_protocol.hh"
+#include "proto/scalablebulk/messages.hh"
+
+namespace sbulk
+{
+namespace sb
+{
+
+/** Leader/traversal-priority policy (Section 3.2.2 fairness rotation). */
+class LeaderPolicy
+{
+  public:
+    LeaderPolicy(std::uint32_t num_nodes, Tick rotation_interval)
+        : _numNodes(num_nodes), _interval(rotation_interval)
+    {}
+
+    /**
+     * Group members of @p g_vec sorted by current priority (highest
+     * first); element 0 is the leader.
+     */
+    std::vector<NodeId> order(std::uint64_t g_vec, Tick now) const;
+
+  private:
+    std::uint32_t _numNodes;
+    Tick _interval;
+};
+
+/**
+ * Per-core ScalableBulk controller.
+ */
+class SbProcCtrl : public ProcProtocol
+{
+  public:
+    SbProcCtrl(NodeId self, ProtoContext ctx, const LeaderPolicy& policy);
+
+    /** Wire the core (must precede any traffic). */
+    void setCore(CoreHooks* core) { _core = core; }
+
+    void startCommit(Chunk& chunk) override;
+    void abortCommit(ChunkTag tag) override;
+    void handleMessage(MessagePtr msg) override;
+
+    /** Attempts issued for the in-flight chunk — test hook. */
+    std::uint32_t currentAttempt() const { return _current.attempt; }
+    bool hasInFlight() const { return _chunk != nullptr; }
+
+  private:
+    void onCommitSuccess(const CommitSuccessMsg& msg);
+    void onCommitFailure(const CommitFailureMsg& msg);
+    void onBulkInv(MessagePtr msg);
+    void sendRequest();
+
+    NodeId _self;
+    ProtoContext _ctx;
+    const LeaderPolicy& _policy;
+    CoreHooks* _core = nullptr;
+
+    /** The chunk whose commit is in flight (one per core). */
+    Chunk* _chunk = nullptr;
+    CommitId _current{};
+    std::uint64_t _currentGVec = 0;
+    /** Set when the core squashed the in-flight chunk (OCI): discard the
+     *  eventual failure (or stale success) for this id. */
+    bool _aborted = false;
+    CommitId _abortedId{};
+    /** Conservative (no-OCI) mode: true between sending a commit request
+     *  and hearing its outcome — the only window where invalidations are
+     *  nacked (Figure 4(c)); nacking during retry backoff would deadlock
+     *  two mutually-invalidating committers. */
+    bool _awaitingOutcome = false;
+};
+
+} // namespace sb
+} // namespace sbulk
+
+#endif // SBULK_PROTO_SCALABLEBULK_PROC_CTRL_HH

@@ -1,0 +1,296 @@
+#include "proto/seq/seq.hh"
+
+#include <algorithm>
+#include <bit>
+
+namespace sbulk
+{
+namespace sq
+{
+
+namespace
+{
+std::size_t
+keyOf(const CommitId& id)
+{
+    return std::hash<CommitId>{}(id);
+}
+} // namespace
+
+// -------------------------------------------------------------- directory
+
+SeqDirCtrl::SeqDirCtrl(NodeId self, ProtoContext ctx, Directory& dir)
+    : _self(self), _ctx(ctx), _dir(dir)
+{
+    _dir.setReadGate([this](Addr line) { return loadBlocked(line); });
+}
+
+bool
+SeqDirCtrl::loadBlocked(Addr line) const
+{
+    return _active && _active->wSig.contains(line);
+}
+
+void
+SeqDirCtrl::grantNext()
+{
+    _occupant.reset();
+    _occupantProc = kInvalidNode;
+    _active.reset();
+    if (_queue.empty())
+        return;
+    Waiting next = _queue.front();
+    _queue.pop_front();
+    _ctx.metrics.blocked.unblock(keyOf(next.id));
+    _occupant = next.id;
+    _occupantProc = next.proc;
+    _ctx.net.send(std::make_unique<SeqCtrlMsg>(kOccupyGrant, _self,
+                                               next.proc, Port::Proc,
+                                               next.id));
+}
+
+void
+SeqDirCtrl::handleMessage(MessagePtr msg)
+{
+    switch (msg->kind) {
+      case kOccupy: {
+        const auto& req = static_cast<const SeqCtrlMsg&>(*msg);
+        if (!_occupant) {
+            _occupant = req.id;
+            _occupantProc = req.src;
+            _ctx.net.send(std::make_unique<SeqCtrlMsg>(
+                kOccupyGrant, _self, req.src, Port::Proc, req.id));
+        } else {
+            // Taken: the transaction blocks (SEQ-PRO's serialization).
+            _queue.push_back(Waiting{req.id, req.src});
+            _ctx.metrics.blocked.block(keyOf(req.id));
+        }
+        break;
+      }
+      case kOccupyCancel: {
+        const auto& req = static_cast<const SeqCtrlMsg&>(*msg);
+        if (_occupant && *_occupant == req.id) {
+            grantNext();
+        } else {
+            auto it = std::find_if(_queue.begin(), _queue.end(),
+                                   [&](const Waiting& w) {
+                                       return w.id == req.id;
+                                   });
+            if (it != _queue.end()) {
+                _ctx.metrics.blocked.unblock(keyOf(req.id));
+                _queue.erase(it);
+            }
+        }
+        break;
+      }
+      case kSeqCommit: {
+        auto& req = static_cast<SeqCommitMsg&>(*msg);
+        SBULK_ASSERT(_occupant && *_occupant == req.id,
+                     "SeqCommit from a non-occupant");
+        ProcMask targets = 0;
+        for (Addr line : req.writesHere)
+            targets |= _dir.sharersOf(line, req.src);
+        for (Addr line : req.writesHere)
+            _dir.commitLine(line, req.src);
+        if (targets == 0) {
+            _ctx.net.send(std::make_unique<SeqCtrlMsg>(
+                kSeqDirDone, _self, req.src, Port::Proc, req.id));
+            break;
+        }
+        ActiveCommit active;
+        active.wSig = req.wSig;
+        active.allWrites = req.allWrites;
+        active.committer = req.src;
+        active.acksPending = std::uint32_t(std::popcount(targets));
+        _active = std::move(active);
+        for (NodeId proc = 0; proc < 64; ++proc) {
+            if (targets & (ProcMask(1) << proc)) {
+                _ctx.net.send(std::make_unique<SeqBulkInvMsg>(
+                    _self, proc, req.id, req.wSig, req.allWrites, req.src));
+            }
+        }
+        break;
+      }
+      case kSeqBulkInvAck: {
+        const auto& ack = static_cast<const SeqCtrlMsg&>(*msg);
+        SBULK_ASSERT(_active && _occupant && *_occupant == ack.id,
+                     "stray SEQ inv ack");
+        if (--_active->acksPending == 0) {
+            _ctx.net.send(std::make_unique<SeqCtrlMsg>(
+                kSeqDirDone, _self, _occupantProc, Port::Proc, ack.id));
+            _active.reset();
+        }
+        break;
+      }
+      case kSeqRelease: {
+        const auto& rel = static_cast<const SeqCtrlMsg&>(*msg);
+        SBULK_ASSERT(_occupant && *_occupant == rel.id,
+                     "release from a non-occupant");
+        grantNext();
+        break;
+      }
+      default:
+        SBULK_PANIC("SeqDirCtrl %u: unexpected message kind %u", _self,
+                    msg->kind);
+    }
+}
+
+// -------------------------------------------------------------- processor
+
+SeqProcCtrl::SeqProcCtrl(NodeId self, ProtoContext ctx)
+    : _self(self), _ctx(ctx)
+{}
+
+void
+SeqProcCtrl::startCommit(Chunk& chunk)
+{
+    SBULK_ASSERT(_chunk == nullptr, "SEQ commit already in flight");
+    _chunk = &chunk;
+    ++chunk.commitAttempts;
+    _current = CommitId{chunk.tag(), chunk.commitAttempts};
+    _allOccupied = false;
+    _nextToOccupy = 0;
+    _donesPending = 0;
+
+    _members.clear();
+    _writeDirs.clear();
+    for (NodeId n = 0; n < 64; ++n) {
+        if (chunk.gVec() & (std::uint64_t(1) << n))
+            _members.push_back(n);
+        if (chunk.dirsWritten() & (std::uint64_t(1) << n))
+            _writeDirs.push_back(n);
+    }
+
+    if (_members.empty()) {
+        Chunk* c = _chunk;
+        _chunk = nullptr;
+        _ctx.eq.scheduleIn(1, [this, c] {
+            _ctx.metrics.recordCommit(*c, _ctx.eq.now());
+            _core->chunkCommitted(c->tag());
+        });
+        return;
+    }
+    ++_ctx.metrics.inflight;
+    occupyNext();
+}
+
+void
+SeqProcCtrl::occupyNext()
+{
+    _ctx.net.send(std::make_unique<SeqCtrlMsg>(
+        kOccupy, _self, _members[_nextToOccupy], Port::Dir, _current));
+}
+
+void
+SeqProcCtrl::onAllOccupied()
+{
+    _allOccupied = true;
+    _ctx.metrics.sampleQueueProtocols();
+
+    if (_writeDirs.empty()) {
+        finish();
+        return;
+    }
+    _donesPending = std::uint32_t(_writeDirs.size());
+    for (NodeId dir : _writeDirs) {
+        std::vector<Addr> writes_here;
+        if (auto it = _chunk->writesByHome().find(dir);
+            it != _chunk->writesByHome().end()) {
+            writes_here = it->second;
+        }
+        _ctx.net.send(std::make_unique<SeqCommitMsg>(
+            _self, dir, _current, _chunk->wSig(), std::move(writes_here),
+            _chunk->writeLines()));
+    }
+}
+
+void
+SeqProcCtrl::finish()
+{
+    for (NodeId dir : _members) {
+        _ctx.net.send(std::make_unique<SeqCtrlMsg>(kSeqRelease, _self, dir,
+                                                   Port::Dir, _current));
+    }
+    Chunk* chunk = _chunk;
+    _chunk = nullptr;
+    --_ctx.metrics.inflight;
+    _ctx.metrics.blocked.clear(keyOf(_current));
+    _ctx.metrics.recordCommit(*chunk, _ctx.eq.now());
+    _core->chunkCommitted(chunk->tag());
+}
+
+void
+SeqProcCtrl::cancelOccupations()
+{
+    // Release what we hold and leave the queue we are waiting in.
+    for (std::size_t i = 0; i <= _nextToOccupy && i < _members.size(); ++i) {
+        _ctx.net.send(std::make_unique<SeqCtrlMsg>(
+            kOccupyCancel, _self, _members[i], Port::Dir, _current));
+    }
+    _ctx.metrics.blocked.clear(keyOf(_current));
+    --_ctx.metrics.inflight;
+    _chunk = nullptr;
+}
+
+void
+SeqProcCtrl::abortCommit(ChunkTag tag)
+{
+    if (_chunk && _current.tag == tag)
+        cancelOccupations();
+}
+
+void
+SeqProcCtrl::handleMessage(MessagePtr msg)
+{
+    switch (msg->kind) {
+      case kOccupyGrant: {
+        const auto& grant = static_cast<const SeqCtrlMsg&>(*msg);
+        if (!_chunk || grant.id != _current)
+            break; // cancelled meanwhile; the cancel releases the grant
+        ++_nextToOccupy;
+        if (_nextToOccupy < _members.size())
+            occupyNext();
+        else
+            onAllOccupied();
+        break;
+      }
+      case kSeqDirDone: {
+        const auto& done = static_cast<const SeqCtrlMsg&>(*msg);
+        if (!_chunk || done.id != _current)
+            break;
+        SBULK_ASSERT(_donesPending > 0);
+        if (--_donesPending == 0)
+            finish();
+        break;
+      }
+      case kSeqBulkInv: {
+        auto& inv = static_cast<SeqBulkInvMsg&>(*msg);
+        // A fully-occupied chunk holds every directory its footprint
+        // touches, so a true conflict with a concurrent committer is
+        // impossible; only signature aliasing could hit it. Exempt it.
+        const ChunkTag exempt =
+            (_chunk && _allOccupied) ? _current.tag : ChunkTag{};
+        const InvOutcome outcome =
+            _core->applyBulkInv(inv.wSig, inv.lines, inv.id.tag, exempt);
+        if (outcome.squashedAny) {
+            if (outcome.wasTrueConflict)
+                _ctx.metrics.squashesTrueConflict.inc();
+            else
+                _ctx.metrics.squashesAliasing.inc();
+            if (outcome.squashedCommitting && _chunk &&
+                outcome.committingTag == _current.tag) {
+                cancelOccupations();
+            }
+        }
+        _ctx.net.send(std::make_unique<SeqCtrlMsg>(
+            kSeqBulkInvAck, _self, inv.ackTo, Port::Dir, inv.id));
+        break;
+      }
+      default:
+        SBULK_PANIC("SeqProcCtrl %u: unexpected message kind %u", _self,
+                    msg->kind);
+    }
+}
+
+} // namespace sq
+} // namespace sbulk

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The SEQ baseline (SEQ-PRO from SRC, Pugsley et al., PACT'08; Table 3
+ * "SEQ"): a committing processor *sequentially occupies* the directories in
+ * its read/write sets in ascending order — dir by dir — blocking whenever a
+ * directory is already taken. Once every directory is held, the writes are
+ * published (bulk invalidations), then all directories are released.
+ *
+ * The ascending traversal makes occupation deadlock-free, but two chunks
+ * that touch the same directory serialize even when their addresses are
+ * disjoint — the shortcoming ScalableBulk removes (Section 2.1).
+ */
+
+#ifndef SBULK_PROTO_SEQ_SEQ_HH
+#define SBULK_PROTO_SEQ_SEQ_HH
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "mem/directory.hh"
+#include "proto/commit_protocol.hh"
+#include "sig/signature.hh"
+
+namespace sbulk
+{
+namespace sq
+{
+
+/** SEQ message kinds. */
+enum SeqMsgKind : std::uint16_t
+{
+    kOccupy = kProtoKindBase + 70,
+    kOccupyGrant = kProtoKindBase + 71,
+    kOccupyCancel = kProtoKindBase + 72,
+    kSeqCommit = kProtoKindBase + 73,
+    kSeqDirDone = kProtoKindBase + 74,
+    kSeqRelease = kProtoKindBase + 75,
+    kSeqBulkInv = kProtoKindBase + 76,
+    kSeqBulkInvAck = kProtoKindBase + 77,
+};
+
+/** Small control message with just a commit id (most SEQ messages). */
+struct SeqCtrlMsg : Message
+{
+    CommitId id;
+
+    SeqCtrlMsg(std::uint16_t kind_, NodeId src_, NodeId dst_, Port port,
+               CommitId id_)
+        : Message(src_, dst_, port, MsgClass::SmallCMessage, kind_,
+                  kSmallCBytes),
+          id(id_)
+    {}
+};
+
+/** proc -> occupied write-set dir: publish this chunk's writes. */
+struct SeqCommitMsg : Message
+{
+    CommitId id;
+    Signature wSig;
+    std::vector<Addr> writesHere;
+    std::vector<Addr> allWrites;
+
+    SeqCommitMsg(NodeId src_, NodeId dst_, CommitId id_, const Signature& w,
+                 std::vector<Addr> writes_here, std::vector<Addr> all)
+        : Message(src_, dst_, Port::Dir, MsgClass::LargeCMessage,
+                  kSeqCommit, kLargeCBytes),
+          id(id_), wSig(w), writesHere(std::move(writes_here)),
+          allWrites(std::move(all))
+    {}
+};
+
+struct SeqBulkInvMsg : Message
+{
+    CommitId id;
+    Signature wSig;
+    std::vector<Addr> lines;
+    NodeId committer;
+    NodeId ackTo;
+
+    SeqBulkInvMsg(NodeId src_, NodeId dst_, CommitId id_,
+                  const Signature& w, std::vector<Addr> lines_,
+                  NodeId committer_)
+        : Message(src_, dst_, Port::Proc, MsgClass::LargeCMessage,
+                  kSeqBulkInv, kLargeCBytes),
+          id(id_), wSig(w), lines(std::move(lines_)), committer(committer_),
+          ackTo(src_)
+    {}
+};
+
+/** SEQ per-tile directory controller: a mutex with a FIFO queue. */
+class SeqDirCtrl : public DirProtocol
+{
+  public:
+    SeqDirCtrl(NodeId self, ProtoContext ctx, Directory& dir);
+
+    void handleMessage(MessagePtr msg) override;
+    bool loadBlocked(Addr line) const override;
+
+    bool occupied() const { return _occupant.has_value(); }
+    std::size_t queueLength() const { return _queue.size(); }
+
+  private:
+    struct Waiting
+    {
+        CommitId id;
+        NodeId proc;
+    };
+
+    struct ActiveCommit
+    {
+        Signature wSig;
+        std::vector<Addr> allWrites;
+        NodeId committer = kInvalidNode;
+        std::uint32_t acksPending = 0;
+    };
+
+    void grantNext();
+
+    NodeId _self;
+    ProtoContext _ctx;
+    Directory& _dir;
+    std::optional<CommitId> _occupant;
+    NodeId _occupantProc = kInvalidNode;
+    std::deque<Waiting> _queue;
+    /** The occupant's write publication, when it has one here. */
+    std::optional<ActiveCommit> _active;
+};
+
+/** SEQ per-core controller. */
+class SeqProcCtrl : public ProcProtocol
+{
+  public:
+    SeqProcCtrl(NodeId self, ProtoContext ctx);
+
+    void setCore(CoreHooks* core) { _core = core; }
+
+    void startCommit(Chunk& chunk) override;
+    void abortCommit(ChunkTag tag) override;
+    void handleMessage(MessagePtr msg) override;
+
+  private:
+    void occupyNext();
+    void onAllOccupied();
+    void finish();
+    void cancelOccupations();
+
+    NodeId _self;
+    ProtoContext _ctx;
+    CoreHooks* _core = nullptr;
+
+    Chunk* _chunk = nullptr;
+    CommitId _current{};
+    std::vector<NodeId> _members;   ///< ascending-id occupation order
+    std::vector<NodeId> _writeDirs; ///< members holding writes
+    std::size_t _nextToOccupy = 0;
+    std::uint32_t _donesPending = 0;
+    bool _allOccupied = false;
+};
+
+} // namespace sq
+} // namespace sbulk
+
+#endif // SBULK_PROTO_SEQ_SEQ_HH

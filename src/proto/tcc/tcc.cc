@@ -1,0 +1,354 @@
+#include "proto/tcc/tcc.hh"
+
+#include <bit>
+
+namespace sbulk
+{
+namespace tcc
+{
+
+namespace
+{
+std::size_t
+keyOf(const CommitId& id)
+{
+    return std::hash<CommitId>{}(id);
+}
+} // namespace
+
+// -------------------------------------------------------------- directory
+
+TccDirCtrl::TccDirCtrl(NodeId self, ProtoContext ctx, Directory& dir)
+    : _self(self), _ctx(ctx), _dir(dir)
+{
+    _dir.setReadGate([this](Addr line) { return loadBlocked(line); });
+}
+
+bool
+TccDirCtrl::loadBlocked(Addr line) const
+{
+    return _lockedLines.count(line) > 0;
+}
+
+void
+TccDirCtrl::handleMessage(MessagePtr msg)
+{
+    switch (msg->kind) {
+      case kProbe: {
+        const auto& probe = static_cast<const ProbeMsg&>(*msg);
+        PendingTx& tx = _pending[probe.tid];
+        tx.id = probe.id;
+        tx.proc = probe.src;
+        tx.probed = true;
+        tx.marksExpected = probe.marksExpected;
+        if (probe.tid > _nextTid && !tx.counted) {
+            // Blocked behind older transactions at this module.
+            tx.counted = true;
+            _ctx.metrics.blocked.block(keyOf(probe.id));
+        }
+        break;
+      }
+      case kSkip: {
+        const auto& skip = static_cast<const SkipMsg&>(*msg);
+        _pending[skip.tid].skip = true;
+        break;
+      }
+      case kMark: {
+        const auto& mark = static_cast<const MarkMsg&>(*msg);
+        _pending[mark.tid].marks.push_back(mark.line);
+        break;
+      }
+      case kCommitGo: {
+        const auto& go = static_cast<const CommitGoMsg&>(*msg);
+        if (go.tid < _nextTid)
+            break; // raced with an abort that already advanced us
+        PendingTx& tx = _pending[go.tid];
+        tx.goReceived = true;
+        break; // fall through to pump()
+      }
+      case kTccAbort: {
+        const auto& abort = static_cast<const TccAbortMsg&>(*msg);
+        if (abort.tid < _nextTid)
+            break; // raced with completion here; nothing to do
+        PendingTx& tx = _pending[abort.tid];
+        if (tx.processing)
+            break; // already committing here; let it finish
+        tx.aborted = true;
+        if (tx.counted) {
+            tx.counted = false;
+            _ctx.metrics.blocked.unblock(keyOf(abort.id));
+        }
+        break;
+      }
+      case kTccInvAck: {
+        const auto& ack = static_cast<const TccInvAckMsg&>(*msg);
+        // The ack belongs to the tx currently processing at _nextTid.
+        auto it = _pending.find(_nextTid);
+        SBULK_ASSERT(it != _pending.end() && it->second.processing &&
+                     it->second.id == ack.id,
+                     "TCC inv ack out of order");
+        if (--it->second.acksPending == 0)
+            finishProcessing(_nextTid);
+        return; // pump already ran inside finishProcessing
+      }
+      default:
+        SBULK_PANIC("TccDirCtrl %u: unexpected message kind %u", _self,
+                    msg->kind);
+    }
+    pump();
+}
+
+void
+TccDirCtrl::pump()
+{
+    while (true) {
+        auto it = _pending.find(_nextTid);
+        if (it == _pending.end())
+            return; // haven't heard of this tid yet
+        PendingTx& tx = it->second;
+        if (tx.skip || tx.aborted) {
+            _pending.erase(it);
+            ++_nextTid;
+            continue;
+        }
+        if (!tx.probed || tx.marks.size() < tx.marksExpected)
+            return; // waiting for the probe or the marks
+        if (tx.processing)
+            return; // invalidations outstanding
+        if (!tx.responded) {
+            // Our turn: answer the probe and hold the module until the
+            // processor's commit-go. While held, later TIDs wait — the
+            // same-directory serialization the paper criticizes.
+            tx.responded = true;
+            if (tx.counted) {
+                tx.counted = false;
+                _ctx.metrics.blocked.unblock(keyOf(tx.id));
+            }
+            _ctx.net.send(
+                std::make_unique<ProbeRespMsg>(_self, tx.proc, tx.id));
+            return;
+        }
+        if (!tx.goReceived)
+            return; // held: waiting for the processor's commit-go
+        if (startProcessing(tx))
+            return;
+        // Processing completed synchronously (no sharers): loop on.
+    }
+}
+
+bool
+TccDirCtrl::startProcessing(PendingTx& tx)
+{
+    if (tx.counted) {
+        tx.counted = false;
+        _ctx.metrics.blocked.unblock(keyOf(tx.id));
+    }
+    _ctx.metrics.sampleQueueProtocols();
+
+    ProcMask targets = 0;
+    for (Addr line : tx.marks)
+        targets |= _dir.sharersOf(line, tx.proc);
+    for (Addr line : tx.marks)
+        _dir.commitLine(line, tx.proc);
+
+    if (targets == 0) {
+        // Done on the spot.
+        _ctx.net.send(
+            std::make_unique<TccDirDoneMsg>(_self, tx.proc, tx.id));
+        _pending.erase(_nextTid);
+        ++_nextTid;
+        return false;
+    }
+
+    tx.processing = true;
+    tx.acksPending = std::uint32_t(std::popcount(targets));
+    for (Addr line : tx.marks)
+        _lockedLines.insert(line);
+    for (NodeId proc = 0; proc < 64; ++proc) {
+        if (targets & (ProcMask(1) << proc)) {
+            _ctx.net.send(std::make_unique<TccInvMsg>(
+                _self, proc, tx.id, tx.marks, tx.proc));
+        }
+    }
+    return true;
+}
+
+void
+TccDirCtrl::finishProcessing(Tid tid)
+{
+    auto it = _pending.find(tid);
+    SBULK_ASSERT(it != _pending.end());
+    for (Addr line : it->second.marks)
+        _lockedLines.erase(line);
+    _ctx.net.send(std::make_unique<TccDirDoneMsg>(_self, it->second.proc,
+                                                  it->second.id));
+    _pending.erase(it);
+    ++_nextTid;
+    pump();
+}
+
+// -------------------------------------------------------------- processor
+
+TccProcCtrl::TccProcCtrl(NodeId self, ProtoContext ctx, NodeId agent,
+                         std::uint32_t num_dirs)
+    : _self(self), _ctx(ctx), _agent(agent), _numDirs(num_dirs)
+{}
+
+void
+TccProcCtrl::startCommit(Chunk& chunk)
+{
+    SBULK_ASSERT(_chunk == nullptr, "TCC commit already in flight");
+    _chunk = &chunk;
+    ++chunk.commitAttempts;
+    _current = CommitId{chunk.tag(), chunk.commitAttempts};
+    _tid = 0;
+    // Even an empty chunk takes a TID: every transaction must order
+    // itself (and plug its TID at every directory).
+    ++_ctx.metrics.inflight;
+    _ctx.net.send(
+        std::make_unique<TidRequestMsg>(_self, _agent, _current));
+}
+
+void
+TccProcCtrl::onTidReply(const TidReplyMsg& msg)
+{
+    if (_deadBeforeTid.erase(keyOf(msg.id)) > 0) {
+        // The chunk squashed while the TID was in flight: plug the hole.
+        for (NodeId d = 0; d < _numDirs; ++d)
+            _ctx.net.send(std::make_unique<SkipMsg>(_self, d, msg.tid));
+        return;
+    }
+    if (!_chunk || msg.id != _current)
+        return;
+    _tid = msg.tid;
+
+    const std::uint64_t members = _chunk->gVec();
+    _memberVec = members;
+    _donesPending = std::uint32_t(std::popcount(members));
+    _respsPending = _donesPending;
+
+    if (_donesPending == 0) {
+        // No directories involved: broadcast skips and finish.
+        for (NodeId d = 0; d < _numDirs; ++d)
+            _ctx.net.send(std::make_unique<SkipMsg>(_self, d, _tid));
+        Chunk* chunk = _chunk;
+        _chunk = nullptr;
+        --_ctx.metrics.inflight;
+        _ctx.metrics.recordCommit(*chunk, _ctx.eq.now());
+        _core->chunkCommitted(chunk->tag());
+        return;
+    }
+
+    // Probe the participating directories (with their mark counts), skip
+    // all the others, and stream one mark per written line.
+    for (NodeId d = 0; d < _numDirs; ++d) {
+        if (members & (std::uint64_t(1) << d)) {
+            std::uint32_t marks = 0;
+            if (auto it = _chunk->writesByHome().find(d);
+                it != _chunk->writesByHome().end()) {
+                marks = std::uint32_t(it->second.size());
+            }
+            _ctx.net.send(std::make_unique<ProbeMsg>(_self, d, _current,
+                                                     _tid, marks));
+        } else {
+            _ctx.net.send(std::make_unique<SkipMsg>(_self, d, _tid));
+        }
+    }
+    for (const auto& [home, lines] : _chunk->writesByHome())
+        for (Addr line : lines)
+            _ctx.net.send(std::make_unique<MarkMsg>(_self, home, _current,
+                                                    _tid, line));
+}
+
+void
+TccProcCtrl::abortInFlight()
+{
+    if (_tid == 0) {
+        // TID still in flight; remember to plug the hole on arrival.
+        _deadBeforeTid.insert(keyOf(_current));
+    } else {
+        // Tell the participating directories to treat our TID as a skip
+        // (the others already have a real skip).
+        for (NodeId d = 0; d < 64; ++d) {
+            if (_memberVec & (std::uint64_t(1) << d)) {
+                _ctx.net.send(std::make_unique<TccAbortMsg>(_self, d,
+                                                            _current,
+                                                            _tid));
+            }
+        }
+    }
+    _ctx.metrics.blocked.clear(keyOf(_current));
+    --_ctx.metrics.inflight;
+    _chunk = nullptr;
+    _tid = 0;
+}
+
+void
+TccProcCtrl::abortCommit(ChunkTag tag)
+{
+    if (_chunk && _current.tag == tag)
+        abortInFlight();
+}
+
+void
+TccProcCtrl::handleMessage(MessagePtr msg)
+{
+    switch (msg->kind) {
+      case kTidReply:
+        onTidReply(static_cast<const TidReplyMsg&>(*msg));
+        break;
+      case kProbeResp: {
+        const auto& resp = static_cast<const ProbeRespMsg&>(*msg);
+        if (!_chunk || resp.id != _current)
+            break; // a held module will be released by our abort
+        SBULK_ASSERT(_respsPending > 0);
+        if (--_respsPending == 0) {
+            // Every module is simultaneously at our TID: commit.
+            for (NodeId d = 0; d < 64; ++d) {
+                if (_memberVec & (std::uint64_t(1) << d)) {
+                    _ctx.net.send(std::make_unique<CommitGoMsg>(
+                        _self, d, _current, _tid));
+                }
+            }
+        }
+        break;
+      }
+      case kTccDirDone: {
+        const auto& done = static_cast<const TccDirDoneMsg&>(*msg);
+        if (!_chunk || done.id != _current)
+            break; // from an attempt aborted after the dir committed
+        SBULK_ASSERT(_donesPending > 0);
+        if (--_donesPending == 0) {
+            Chunk* chunk = _chunk;
+            _chunk = nullptr;
+            _tid = 0;
+            --_ctx.metrics.inflight;
+            _ctx.metrics.blocked.clear(keyOf(_current));
+            _ctx.metrics.recordCommit(*chunk, _ctx.eq.now());
+            _core->chunkCommitted(chunk->tag());
+        }
+        break;
+      }
+      case kTccInv: {
+        auto& inv = static_cast<TccInvMsg&>(*msg);
+        const InvOutcome outcome =
+            _core->applyLineInv(inv.lines, inv.id.tag);
+        if (outcome.squashedAny) {
+            _ctx.metrics.squashesTrueConflict.inc();
+            if (outcome.squashedCommitting && _chunk &&
+                outcome.committingTag == _current.tag) {
+                abortInFlight();
+            }
+        }
+        _ctx.net.send(std::make_unique<TccInvAckMsg>(_self, inv.ackTo,
+                                                     inv.id));
+        break;
+      }
+      default:
+        SBULK_PANIC("TccProcCtrl %u: unexpected message kind %u", _self,
+                    msg->kind);
+    }
+}
+
+} // namespace tcc
+} // namespace sbulk

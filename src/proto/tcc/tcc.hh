@@ -1,0 +1,317 @@
+/**
+ * @file
+ * The Scalable TCC baseline (Chafi et al., HPCA'07; Table 3 "TCC").
+ *
+ * Commit of a chunk:
+ *  1. obtain a TID from a centralized vendor (global commit order);
+ *  2. send a *probe* to every directory in the chunk's read/write sets and
+ *     a *skip* to every other directory in the machine (the broadcast the
+ *     paper criticizes, Section 2.1);
+ *  3. send one *mark* per written cache line to its home directory;
+ *  4. each directory processes TIDs strictly in order: when a chunk's turn
+ *     arrives, the directory invalidates the sharers of its marked lines,
+ *     collects acks, then acknowledges the committer.
+ *
+ * Two chunks that touch the same directory serialize even with disjoint
+ * addresses — and every commit costs O(#directories) skip messages, which
+ * dominates the traffic mix (Figures 18/19).
+ *
+ * TCC tracks exact read/write sets (no signatures), so disambiguation at
+ * processors is alias-free (applyLineInv).
+ */
+
+#ifndef SBULK_PROTO_TCC_TCC_HH
+#define SBULK_PROTO_TCC_TCC_HH
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "mem/directory.hh"
+#include "proto/commit_protocol.hh"
+
+namespace sbulk
+{
+namespace tcc
+{
+
+/** Global transaction id (commit order). */
+using Tid = std::uint64_t;
+
+/** TCC message kinds. */
+enum TccMsgKind : std::uint16_t
+{
+    kTidRequest = kProtoKindBase + 90,
+    kTidReply = kProtoKindBase + 91,
+    kProbe = kProtoKindBase + 92,
+    kSkip = kProtoKindBase + 93,
+    kMark = kProtoKindBase + 94,
+    kTccAbort = kProtoKindBase + 95,
+    kTccDirDone = kProtoKindBase + 96,
+    kTccInv = kProtoKindBase + 97,
+    kTccInvAck = kProtoKindBase + 98,
+    /** dir -> proc: your TID is next here; the module is held for you. */
+    kProbeResp = kProtoKindBase + 99,
+    /** proc -> dirs: every module answered; apply the writes. */
+    kCommitGo = kProtoKindBase + 100,
+};
+
+struct TidRequestMsg : Message
+{
+    CommitId id;
+
+    TidRequestMsg(NodeId src_, NodeId agent, CommitId id_)
+        : Message(src_, agent, Port::Agent, MsgClass::SmallCMessage,
+                  kTidRequest, kSmallCBytes),
+          id(id_)
+    {}
+};
+
+struct TidReplyMsg : Message
+{
+    CommitId id;
+    Tid tid;
+
+    TidReplyMsg(NodeId src_, NodeId dst_, CommitId id_, Tid tid_)
+        : Message(src_, dst_, Port::Proc, MsgClass::SmallCMessage,
+                  kTidReply, kSmallCBytes),
+          id(id_), tid(tid_)
+    {}
+};
+
+/** probe: "transaction tid will commit at your module; expect N marks". */
+struct ProbeMsg : Message
+{
+    CommitId id;
+    Tid tid;
+    std::uint32_t marksExpected;
+
+    ProbeMsg(NodeId src_, NodeId dst_, CommitId id_, Tid tid_,
+             std::uint32_t marks)
+        : Message(src_, dst_, Port::Dir, MsgClass::SmallCMessage, kProbe,
+                  kSmallCBytes),
+          id(id_), tid(tid_), marksExpected(marks)
+    {}
+};
+
+/** skip: "transaction tid does not involve your module". */
+struct SkipMsg : Message
+{
+    Tid tid;
+
+    SkipMsg(NodeId src_, NodeId dst_, Tid tid_)
+        : Message(src_, dst_, Port::Dir, MsgClass::SmallCMessage, kSkip,
+                  kSmallCBytes),
+          tid(tid_)
+    {}
+};
+
+/** mark: one written line (sent per line, as in the paper). */
+struct MarkMsg : Message
+{
+    CommitId id;
+    Tid tid;
+    Addr line;
+
+    MarkMsg(NodeId src_, NodeId dst_, CommitId id_, Tid tid_, Addr line_)
+        : Message(src_, dst_, Port::Dir, MsgClass::SmallCMessage, kMark,
+                  kSmallCBytes),
+          id(id_), tid(tid_), line(line_)
+    {}
+};
+
+/** abort: the transaction squashed; treat its tid as a skip. */
+struct TccAbortMsg : Message
+{
+    CommitId id;
+    Tid tid;
+
+    TccAbortMsg(NodeId src_, NodeId dst_, CommitId id_, Tid tid_)
+        : Message(src_, dst_, Port::Dir, MsgClass::SmallCMessage, kTccAbort,
+                  kSmallCBytes),
+          id(id_), tid(tid_)
+    {}
+};
+
+struct TccDirDoneMsg : Message
+{
+    CommitId id;
+
+    TccDirDoneMsg(NodeId src_, NodeId dst_, CommitId id_)
+        : Message(src_, dst_, Port::Proc, MsgClass::SmallCMessage,
+                  kTccDirDone, kSmallCBytes),
+          id(id_)
+    {}
+};
+
+/** dir -> proc: this module reached your TID and is held for you. */
+struct ProbeRespMsg : Message
+{
+    CommitId id;
+
+    ProbeRespMsg(NodeId src_, NodeId dst_, CommitId id_)
+        : Message(src_, dst_, Port::Proc, MsgClass::SmallCMessage,
+                  kProbeResp, kSmallCBytes),
+          id(id_)
+    {}
+};
+
+/** proc -> dir: all modules are held; apply the marked writes. */
+struct CommitGoMsg : Message
+{
+    CommitId id;
+    Tid tid;
+
+    CommitGoMsg(NodeId src_, NodeId dst_, CommitId id_, Tid tid_)
+        : Message(src_, dst_, Port::Dir, MsgClass::SmallCMessage,
+                  kCommitGo, kSmallCBytes),
+          id(id_), tid(tid_)
+    {}
+};
+
+/** Line invalidations to one sharer (exact lines; no signatures). */
+struct TccInvMsg : Message
+{
+    CommitId id;
+    std::vector<Addr> lines;
+    NodeId committer;
+    NodeId ackTo;
+
+    TccInvMsg(NodeId src_, NodeId dst_, CommitId id_,
+              std::vector<Addr> lines_, NodeId committer_)
+        : Message(src_, dst_, Port::Proc, MsgClass::SmallCMessage, kTccInv,
+                  2 * kSmallCBytes),
+          id(id_), lines(std::move(lines_)), committer(committer_),
+          ackTo(src_)
+    {}
+};
+
+struct TccInvAckMsg : Message
+{
+    CommitId id;
+
+    TccInvAckMsg(NodeId src_, NodeId dst_, CommitId id_)
+        : Message(src_, dst_, Port::Dir, MsgClass::SmallCMessage,
+                  kTccInvAck, kSmallCBytes),
+          id(id_)
+    {}
+};
+
+/** The centralized TID vendor. */
+class TccTidVendor : public CentralAgent
+{
+  public:
+    TccTidVendor(NodeId self, ProtoContext ctx) : _self(self), _ctx(ctx) {}
+
+    void
+    handleMessage(MessagePtr msg) override
+    {
+        SBULK_ASSERT(msg->kind == kTidRequest);
+        const auto& req = static_cast<const TidRequestMsg&>(*msg);
+        _ctx.net.send(std::make_unique<TidReplyMsg>(_self, req.src, req.id,
+                                                    _nextTid++));
+    }
+
+    NodeId nodeId() const override { return _self; }
+    Tid issued() const { return _nextTid - 1; }
+
+  private:
+    NodeId _self;
+    ProtoContext _ctx;
+    Tid _nextTid = 1;
+};
+
+/**
+ * TCC per-tile directory controller: processes TIDs strictly in order.
+ */
+class TccDirCtrl : public DirProtocol
+{
+  public:
+    TccDirCtrl(NodeId self, ProtoContext ctx, Directory& dir);
+
+    void handleMessage(MessagePtr msg) override;
+    bool loadBlocked(Addr line) const override;
+
+    Tid nextTid() const { return _nextTid; }
+    std::size_t pendingTids() const { return _pending.size(); }
+
+  private:
+    struct PendingTx
+    {
+        CommitId id{};
+        NodeId proc = kInvalidNode;
+        bool probed = false;
+        bool skip = false;
+        bool aborted = false;
+        std::uint32_t marksExpected = 0;
+        std::vector<Addr> marks;
+        /** Probe answered: the module is *held* for this transaction
+         *  until its commit-go (or abort) arrives — the coupling that
+         *  serializes same-directory commits (Section 2.1). */
+        bool responded = false;
+        bool goReceived = false;
+        bool processing = false;
+        std::uint32_t acksPending = 0;
+        bool counted = false; ///< in the blocked tracker
+    };
+
+    /** Advance through resolved TIDs; start processing when possible. */
+    void pump();
+    /**
+     * Begin committing the front transaction. Returns true if
+     * invalidation acks are outstanding (asynchronous completion); on
+     * false the entry was already erased and _nextTid advanced.
+     */
+    bool startProcessing(PendingTx& tx);
+    void finishProcessing(Tid tid);
+
+    NodeId _self;
+    ProtoContext _ctx;
+    Directory& _dir;
+    std::map<Tid, PendingTx> _pending;
+    Tid _nextTid = 1;
+    /** Lines under invalidation right now (read gate). */
+    std::unordered_set<Addr> _lockedLines;
+};
+
+/** TCC per-core controller. */
+class TccProcCtrl : public ProcProtocol
+{
+  public:
+    TccProcCtrl(NodeId self, ProtoContext ctx, NodeId agent,
+                std::uint32_t num_dirs);
+
+    void setCore(CoreHooks* core) { _core = core; }
+
+    void startCommit(Chunk& chunk) override;
+    void abortCommit(ChunkTag tag) override;
+    void handleMessage(MessagePtr msg) override;
+
+  private:
+    void onTidReply(const TidReplyMsg& msg);
+    void abortInFlight();
+
+    NodeId _self;
+    ProtoContext _ctx;
+    NodeId _agent;
+    std::uint32_t _numDirs;
+    CoreHooks* _core = nullptr;
+
+    Chunk* _chunk = nullptr;
+    CommitId _current{};
+    Tid _tid = 0;
+    /** Directories probed for the in-flight commit (stable copy: the core
+     *  resets the chunk's own g_vec when it squashes it). */
+    std::uint64_t _memberVec = 0;
+    /** Probe responses still outstanding (phase 1 of the commit). */
+    std::uint32_t _respsPending = 0;
+    std::uint32_t _donesPending = 0;
+    /** Commit ids squashed before their TID reply arrived: the TID hole
+     *  must still be plugged with skips. */
+    std::unordered_set<std::size_t> _deadBeforeTid;
+};
+
+} // namespace tcc
+} // namespace sbulk
+
+#endif // SBULK_PROTO_TCC_TCC_HH

@@ -1,0 +1,55 @@
+#include "sig/signature.hh"
+
+namespace sbulk
+{
+
+bool
+Signature::intersects(const Signature& other) const
+{
+    SBULK_ASSERT(_cfg.totalBits == other._cfg.totalBits &&
+                 _cfg.numBanks == other._cfg.numBanks,
+                 "intersecting signatures of different geometry");
+    // A real common address sets one bit per bank in both signatures, so it
+    // survives the AND in *every* bank. Check banks independently: an
+    // all-zero AND in any bank proves emptiness.
+    const std::uint32_t per = _cfg.bitsPerBank();
+    for (std::uint32_t bank = 0; bank < _cfg.numBanks; ++bank) {
+        const std::uint32_t lo = bank * per;
+        const std::uint32_t hi = lo + per; // exclusive
+        bool bank_hit = false;
+        for (std::uint32_t w = lo >> 6; w < (hi + 63) >> 6 && !bank_hit;
+             ++w) {
+            std::uint64_t a = _words[w] & other._words[w];
+            const std::uint32_t base = w << 6;
+            // Mask bits of this word that fall outside [lo, hi).
+            if (base < lo)
+                a &= ~0ull << (lo - base);
+            if (hi < base + 64)
+                a &= (1ull << (hi - base)) - 1;
+            bank_hit = a != 0;
+        }
+        if (!bank_hit)
+            return false;
+    }
+    return !empty() && !other.empty();
+}
+
+void
+Signature::unionWith(const Signature& other)
+{
+    SBULK_ASSERT(_cfg.totalBits == other._cfg.totalBits &&
+                 _cfg.numBanks == other._cfg.numBanks,
+                 "unioning signatures of different geometry");
+    for (std::size_t i = 0; i < _words.size(); ++i)
+        _words[i] |= other._words[i];
+}
+
+bool
+chunksCompatible(const Signature& r_i, const Signature& w_i,
+                 const Signature& r_j, const Signature& w_j)
+{
+    return !w_i.intersects(w_j) && !r_i.intersects(w_j) &&
+           !r_j.intersects(w_i);
+}
+
+} // namespace sbulk

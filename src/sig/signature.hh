@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Hardware address signatures in the style of Bulk (Ceze et al., ISCA'06).
+ *
+ * A signature is a banked Bloom filter over cache-line addresses. Each bank
+ * covers the whole address through an independent H3-style hash; an address
+ * sets exactly one bit per bank. This gives the operations the ScalableBulk
+ * protocol relies on:
+ *
+ *  - membership: all per-bank bits set (may alias — false positives);
+ *  - intersection: bitwise AND; the intersection is provably empty when any
+ *    bank ANDs to zero, because a real common address would contribute one
+ *    bit to every bank;
+ *  - union: bitwise OR;
+ *  - expansion: filtering a candidate address set through membership — how a
+ *    directory module recovers the (superset of) lines a W signature names.
+ *
+ * False positives are modeled faithfully; they can squash chunks or
+ * invalidate lines unnecessarily, but never affect correctness (Section 3.1
+ * of the paper).
+ */
+
+#ifndef SBULK_SIG_SIGNATURE_HH
+#define SBULK_SIG_SIGNATURE_HH
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace sbulk
+{
+
+/** Geometry of a signature: total bits and number of hash banks. */
+struct SigConfig
+{
+    /** Total SRAM bits; the paper uses 2 Kbit (Table 2). */
+    std::uint32_t totalBits = 2048;
+    /** Independent hash banks; an address sets one bit in each. */
+    std::uint32_t numBanks = 4;
+
+    std::uint32_t bitsPerBank() const { return totalBits / numBanks; }
+
+    bool operator==(const SigConfig&) const = default;
+
+    bool
+    valid() const
+    {
+        return numBanks > 0 && totalBits % numBanks == 0 &&
+               bitsPerBank() >= 2;
+    }
+};
+
+/**
+ * A banked-Bloom address signature over cache-line addresses.
+ *
+ * Addresses inserted are *line* addresses (byte address >> line shift); the
+ * caller is responsible for consistent granularity.
+ */
+class Signature
+{
+  public:
+    explicit Signature(SigConfig cfg = SigConfig{})
+        : _cfg(cfg), _words(wordCount(cfg), 0)
+    {
+        SBULK_ASSERT(cfg.valid(), "bad signature geometry %u/%u",
+                     cfg.totalBits, cfg.numBanks);
+    }
+
+    const SigConfig& config() const { return _cfg; }
+
+    /** Insert a line address. */
+    void
+    insert(Addr line)
+    {
+        for (std::uint32_t b = 0; b < _cfg.numBanks; ++b)
+            setBit(bankBit(line, b));
+    }
+
+    /** Membership test (may report aliases as present). */
+    bool
+    contains(Addr line) const
+    {
+        for (std::uint32_t b = 0; b < _cfg.numBanks; ++b)
+            if (!getBit(bankBit(line, b)))
+                return false;
+        return true;
+    }
+
+    /** True when no address was ever inserted (all bits clear). */
+    bool
+    empty() const
+    {
+        for (std::uint64_t w : _words)
+            if (w)
+                return false;
+        return true;
+    }
+
+    /**
+     * True if this signature and @p other may share an address.
+     *
+     * Implemented as banked AND: if any bank of the AND is all-zero the
+     * intersection is definitely empty; otherwise it is *possibly*
+     * non-empty (aliasing can make two disjoint sets appear to overlap).
+     */
+    bool intersects(const Signature& other) const;
+
+    /** OR @p other into this signature. Geometries must match. */
+    void unionWith(const Signature& other);
+
+    /** Remove all addresses. */
+    void
+    clear()
+    {
+        std::fill(_words.begin(), _words.end(), 0);
+    }
+
+    /** Number of set bits — occupancy, for aliasing diagnostics. */
+    std::uint32_t
+    popcount() const
+    {
+        std::uint32_t n = 0;
+        for (std::uint64_t w : _words)
+            n += std::uint32_t(std::popcount(w));
+        return n;
+    }
+
+    /**
+     * Expand against a candidate set: keep the candidates the signature
+     * (conservatively) contains. This is how a directory controller turns a
+     * W signature into the set of its resident lines to act on.
+     */
+    template <typename InputIt, typename OutputIt>
+    void
+    expand(InputIt first, InputIt last, OutputIt out) const
+    {
+        for (; first != last; ++first)
+            if (contains(*first))
+                *out++ = *first;
+    }
+
+    bool operator==(const Signature& other) const = default;
+
+  private:
+    static std::size_t
+    wordCount(const SigConfig& cfg)
+    {
+        return (cfg.totalBits + 63) / 64;
+    }
+
+    /**
+     * Global bit index for @p line in bank @p bank: an H3-style hash using
+     * per-bank odd multiplicative constants, folded into the bank's bit
+     * range.
+     */
+    std::uint32_t
+    bankBit(Addr line, std::uint32_t bank) const
+    {
+        static constexpr std::uint64_t kMul[8] = {
+            0x9e3779b97f4a7c15ull, 0xc2b2ae3d27d4eb4full,
+            0x165667b19e3779f9ull, 0xd6e8feb86659fd93ull,
+            0xff51afd7ed558ccdull, 0xc4ceb9fe1a85ec53ull,
+            0x2545f4914f6cdd1dull, 0x5851f42d4c957f2dull,
+        };
+        std::uint64_t h = line * kMul[bank % 8];
+        h ^= h >> 29;
+        h *= kMul[(bank + 3) % 8];
+        h ^= h >> 32;
+        std::uint32_t per = _cfg.bitsPerBank();
+        return bank * per + std::uint32_t(h % per);
+    }
+
+    void setBit(std::uint32_t i) { _words[i >> 6] |= 1ull << (i & 63); }
+    bool
+    getBit(std::uint32_t i) const
+    {
+        return (_words[i >> 6] >> (i & 63)) & 1;
+    }
+
+    SigConfig _cfg;
+    std::vector<std::uint64_t> _words;
+};
+
+/**
+ * The pairwise compatibility test from Section 3.2.1: two committing chunks
+ * i and j are compatible iff Ri∩Wj, Rj∩Wi and Wi∩Wj are all null.
+ */
+bool chunksCompatible(const Signature& r_i, const Signature& w_i,
+                      const Signature& r_j, const Signature& w_j);
+
+} // namespace sbulk
+
+#endif // SBULK_SIG_SIGNATURE_HH

@@ -1,0 +1,50 @@
+#include "sim/event_queue.hh"
+
+namespace sbulk
+{
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t executed = 0;
+    while (!_heap.empty()) {
+        const Entry& top = _heap.top();
+        if (top.when > limit)
+            break;
+        if (auto it = _cancelled.find(top.seq); it != _cancelled.end()) {
+            _cancelled.erase(it);
+            _heap.pop();
+            continue;
+        }
+        SBULK_ASSERT(top.when >= _now, "event queue went back in time");
+        _now = top.when;
+        // Move the callback out before popping: running it may schedule new
+        // events, which mutates the heap.
+        auto fn = std::move(const_cast<Entry&>(top).fn);
+        _heap.pop();
+        fn();
+        ++executed;
+    }
+    return executed;
+}
+
+bool
+EventQueue::step()
+{
+    while (!_heap.empty()) {
+        const Entry& top = _heap.top();
+        if (auto it = _cancelled.find(top.seq); it != _cancelled.end()) {
+            _cancelled.erase(it);
+            _heap.pop();
+            continue;
+        }
+        _now = top.when;
+        auto fn = std::move(const_cast<Entry&>(top).fn);
+        _heap.pop();
+        fn();
+        return true;
+    }
+    return false;
+}
+
+} // namespace sbulk

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Deterministic discrete-event simulation kernel.
+ *
+ * All simulator components share one EventQueue. Events are plain callbacks
+ * scheduled at an absolute Tick; ties are broken by insertion order, so a
+ * simulation with the same inputs always replays identically.
+ */
+
+#ifndef SBULK_SIM_EVENT_QUEUE_HH
+#define SBULK_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace sbulk
+{
+
+/**
+ * A time-ordered queue of callbacks driving the whole simulation.
+ *
+ * Components capture what they need in the callback; there is no Event class
+ * hierarchy to subclass. Cancellation is supported through EventHandle.
+ */
+class EventQueue
+{
+  public:
+    /** Opaque ticket identifying a scheduled event, usable to cancel it. */
+    using EventHandle = std::uint64_t;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     *
+     * @param when Absolute tick; must be >= now().
+     * @param fn Callback to invoke.
+     * @return Handle that can be passed to cancel().
+     */
+    EventHandle
+    schedule(Tick when, std::function<void()> fn)
+    {
+        SBULK_ASSERT(when >= _now,
+                     "scheduling in the past: when=%llu now=%llu",
+                     (unsigned long long)when, (unsigned long long)_now);
+        EventHandle h = _nextSeq++;
+        _heap.push(Entry{when, h, std::move(fn)});
+        return h;
+    }
+
+    /** Schedule @p fn to run @p delta ticks from now. */
+    EventHandle
+    scheduleIn(Tick delta, std::function<void()> fn)
+    {
+        return schedule(_now + delta, std::move(fn));
+    }
+
+    /**
+     * Cancel a previously-scheduled event.
+     *
+     * Must only be called for events that have not run yet (the caller —
+     * e.g. a timeout being descheduled — is in a position to know).
+     * Cancelling the same handle twice is a no-op.
+     */
+    void cancel(EventHandle h) { _cancelled.insert(h); }
+
+    /** Number of events scheduled but not yet run or cancelled. */
+    std::size_t pending() const { return _heap.size() - _cancelled.size(); }
+
+    /** True when no runnable events remain. */
+    bool empty() const { return pending() == 0; }
+
+    /**
+     * Run events in time order until the queue drains or @p limit is hit.
+     *
+     * @param limit Stop once now() would exceed this tick.
+     * @return Number of events executed.
+     */
+    std::uint64_t run(Tick limit = kMaxTick);
+
+    /**
+     * Run a single event (the earliest pending one).
+     * @return false if the queue was empty.
+     */
+    bool step();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        EventHandle seq;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry& a, const Entry& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    std::unordered_set<EventHandle> _cancelled;
+    Tick _now = 0;
+    EventHandle _nextSeq = 0;
+};
+
+} // namespace sbulk
+
+#endif // SBULK_SIM_EVENT_QUEUE_HH

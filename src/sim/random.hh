@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload models.
+ *
+ * A small xoshiro256** generator: fast, seedable, and independent of the
+ * standard library's unspecified distributions, so runs are reproducible
+ * across compilers.
+ */
+
+#ifndef SBULK_SIM_RANDOM_HH
+#define SBULK_SIM_RANDOM_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+
+namespace sbulk
+{
+
+/** Deterministic, seedable RNG with the distributions workloads need. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5bd1e995u) { reseed(seed); }
+
+    /** Re-initialize state from @p seed via splitmix64. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        for (auto& word : _s)
+            word = splitmix64(seed);
+    }
+
+    /** Uniform 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
+        const std::uint64_t t = _s[1] << 17;
+        _s[2] ^= _s[0];
+        _s[3] ^= _s[1];
+        _s[1] ^= _s[2];
+        _s[0] ^= _s[3];
+        _s[2] ^= t;
+        _s[3] = rotl(_s[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        SBULK_ASSERT(bound > 0);
+        // Lemire's nearly-divisionless bounded generation.
+        unsigned __int128 m = (unsigned __int128)next() * bound;
+        return (std::uint64_t)(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        SBULK_ASSERT(lo <= hi);
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return double(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Geometric run length >= 1 with mean @p mean (mean must be >= 1).
+     * Used for spatial-locality run modeling.
+     */
+    std::uint64_t
+    runLength(double mean)
+    {
+        if (mean <= 1.0)
+            return 1;
+        double p = 1.0 / mean;
+        std::uint64_t len = 1;
+        // Cap to keep pathological parameters from spinning.
+        while (len < 1024 && !chance(p))
+            ++len;
+        return len;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static std::uint64_t
+    splitmix64(std::uint64_t& state)
+    {
+        state += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t _s[4];
+};
+
+} // namespace sbulk
+
+#endif // SBULK_SIM_RANDOM_HH

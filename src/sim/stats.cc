@@ -1,0 +1,23 @@
+#include "sim/stats.hh"
+
+#include "sim/logging.hh"
+
+namespace sbulk
+{
+
+double
+StatSet::get(const std::string& name) const
+{
+    auto it = _values.find(name);
+    SBULK_ASSERT(it != _values.end(), "unknown stat '%s'", name.c_str());
+    return it->second;
+}
+
+void
+StatSet::dump(std::ostream& os) const
+{
+    for (const auto& [name, value] : _values)
+        os << name << " = " << value << "\n";
+}
+
+} // namespace sbulk

@@ -1,0 +1,114 @@
+#include "sim/trace.hh"
+
+#include <cstdio>
+#include <iostream>
+
+namespace sbulk
+{
+namespace trace
+{
+
+namespace
+{
+std::array<bool, std::size_t(Cat::Count)> gEnabled{};
+std::ostream* gSink = nullptr;
+
+std::ostream&
+sink()
+{
+    return gSink ? *gSink : std::cerr;
+}
+} // namespace
+
+const char*
+catName(Cat cat)
+{
+    switch (cat) {
+      case Cat::Commit: return "commit";
+      case Cat::Group: return "group";
+      case Cat::Inv: return "inv";
+      case Cat::Squash: return "squash";
+      case Cat::Read: return "read";
+      case Cat::Count: break;
+    }
+    return "?";
+}
+
+Cat
+parseCat(const std::string& name)
+{
+    for (std::size_t c = 0; c < std::size_t(Cat::Count); ++c)
+        if (name == catName(Cat(c)))
+            return Cat(c);
+    return Cat::Count;
+}
+
+bool
+enabled(Cat cat)
+{
+    return gEnabled[std::size_t(cat)];
+}
+
+void
+enable(Cat cat, bool on)
+{
+    gEnabled[std::size_t(cat)] = on;
+}
+
+bool
+enableList(const std::string& list)
+{
+    if (list == "all") {
+        for (std::size_t c = 0; c < std::size_t(Cat::Count); ++c)
+            enable(Cat(c));
+        return true;
+    }
+    bool ok = true;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string name =
+            list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        if (!name.empty()) {
+            const Cat cat = parseCat(name);
+            if (cat == Cat::Count)
+                ok = false;
+            else
+                enable(cat);
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return ok;
+}
+
+void
+disableAll()
+{
+    gEnabled.fill(false);
+}
+
+void
+setSink(std::ostream* new_sink)
+{
+    gSink = new_sink;
+}
+
+void
+print(Cat cat, Tick now, const char* fmt, ...)
+{
+    char body[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(body, sizeof body, fmt, ap);
+    va_end(ap);
+    char line[600];
+    std::snprintf(line, sizeof line, "%10llu: %-6s: %s\n",
+                  (unsigned long long)now, catName(cat), body);
+    sink() << line;
+}
+
+} // namespace trace
+} // namespace sbulk

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fundamental simulator-wide type aliases and constants.
+ *
+ * These mirror the conventions of execution-driven architecture simulators:
+ * a global simulated time in cycles (Tick), byte addresses (Addr), and small
+ * integer identifiers for tiles, processors, and directory modules.
+ */
+
+#ifndef SBULK_SIM_TYPES_HH
+#define SBULK_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace sbulk
+{
+
+/** Simulated time, in processor clock cycles. */
+using Tick = std::uint64_t;
+
+/** A byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Identifier of a tile in the multicore (one core + one directory each). */
+using NodeId = std::uint32_t;
+
+/** Identifier of a chunk: originating processor ID + local sequence number. */
+struct ChunkTag
+{
+    NodeId proc = 0;
+    std::uint64_t seq = 0;
+
+    bool operator==(const ChunkTag&) const = default;
+    auto operator<=>(const ChunkTag&) const = default;
+
+    /** True for a default-constructed tag that names no chunk. */
+    bool
+    valid() const
+    {
+        return seq != 0;
+    }
+};
+
+/** Sentinel for "no tick scheduled". */
+inline constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+
+/** Sentinel node id. */
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+} // namespace sbulk
+
+// Hash support so ChunkTag can key unordered containers.
+template <>
+struct std::hash<sbulk::ChunkTag>
+{
+    std::size_t
+    operator()(const sbulk::ChunkTag& tag) const noexcept
+    {
+        std::uint64_t x = (std::uint64_t(tag.proc) << 48) ^ tag.seq;
+        // splitmix64 finalizer
+        x += 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return std::size_t(x ^ (x >> 31));
+    }
+};
+
+#endif // SBULK_SIM_TYPES_HH

@@ -1,0 +1,66 @@
+#include "system/experiment.hh"
+
+#include "workload/synthetic.hh"
+
+namespace sbulk
+{
+
+RunResult
+runExperiment(const RunConfig& cfg)
+{
+    SBULK_ASSERT(cfg.app != nullptr, "experiment needs an application");
+    SBULK_ASSERT(cfg.procs >= 1 && cfg.procs <= 64);
+
+    SystemConfig sys_cfg;
+    sys_cfg.numProcs = cfg.procs;
+    sys_cfg.protocol = cfg.protocol;
+    sys_cfg.proto = cfg.proto;
+    sys_cfg.core.chunkInstrs = cfg.chunkInstrs;
+    sys_cfg.core.sigCfg = cfg.sig;
+    sys_cfg.core.chunksToRun =
+        std::max<std::uint64_t>(1, cfg.totalChunks / cfg.procs);
+
+    const SyntheticParams params = streamParams(*cfg.app, cfg.procs);
+    std::vector<std::unique_ptr<ThreadStream>> streams;
+    for (NodeId n = 0; n < cfg.procs; ++n) {
+        streams.push_back(std::make_unique<SyntheticStream>(
+            params, n, cfg.procs, sys_cfg.mem.l2.lineBytes,
+            sys_cfg.mem.pageBytes));
+    }
+
+    System sys(sys_cfg, std::move(streams));
+    const Tick end = sys.run(cfg.tickLimit);
+
+    RunResult r;
+    r.app = cfg.app->name;
+    r.procs = cfg.procs;
+    r.protocol = cfg.protocol;
+    r.makespan = end;
+    r.breakdown = sys.breakdown();
+
+    const CommitMetrics& m = sys.metrics();
+    r.commits = m.commits.value();
+    r.commitLatencyMean = m.commitLatency.mean();
+    r.commitLatency = m.commitLatency;
+    r.dirsPerCommitMean = m.dirsPerCommit.mean();
+    r.writeDirsPerCommitMean = m.writeDirsPerCommit.mean();
+    r.dirsPerCommit = m.dirsPerCommit;
+    r.bottleneckRatio = m.bottleneckRatio.mean();
+    r.chunkQueueLength = m.chunkQueueLength.mean();
+    r.commitFailures = m.commitFailures.value();
+    r.squashesTrueConflict = m.squashesTrueConflict.value();
+    r.squashesAliasing = m.squashesAliasing.value();
+    r.commitRecalls = m.commitRecalls.value();
+    r.traffic = sys.traffic();
+
+    for (NodeId n = 0; n < cfg.procs; ++n) {
+        r.chunksSquashed += sys.core(n).stats().chunksSquashed.value();
+        const auto& h = sys.hierarchy(n).stats();
+        r.loads += h.loads.value();
+        r.l1Hits += h.l1Hits.value();
+        r.l2Misses += h.misses.value();
+    }
+    return r;
+}
+
+} // namespace sbulk

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The experiment harness: builds a System for (application, processor
+ * count, protocol), runs a fixed amount of total work, and harvests every
+ * metric the paper's figures need. All bench binaries are thin loops over
+ * runExperiment().
+ */
+
+#ifndef SBULK_SYSTEM_EXPERIMENT_HH
+#define SBULK_SYSTEM_EXPERIMENT_HH
+
+#include <string>
+
+#include "system/system.hh"
+#include "workload/apps.hh"
+
+namespace sbulk
+{
+
+/** One experiment's inputs. */
+struct RunConfig
+{
+    const AppSpec* app = nullptr;
+    std::uint32_t procs = 64;
+    ProtocolKind protocol = ProtocolKind::ScalableBulk;
+    /**
+     * Total chunks of work across all cores (fixed problem size, so
+     * speedups are measured against the same work on one processor).
+     */
+    std::uint64_t totalChunks = 3200;
+    /** Chunk size in instructions (Table 2: 2000). */
+    std::uint32_t chunkInstrs = 2000;
+    ProtoConfig proto{};
+    SigConfig sig{};
+    /** Safety stop. */
+    Tick tickLimit = 4'000'000'000ull;
+};
+
+/** Everything the figures read out of one run. */
+struct RunResult
+{
+    std::string app;
+    std::uint32_t procs = 0;
+    ProtocolKind protocol = ProtocolKind::ScalableBulk;
+
+    /** End-to-end simulated time (the denominator of speedups). */
+    Tick makespan = 0;
+    /** Per-core cycle breakdown summed over cores (Figures 7/8). */
+    System::Breakdown breakdown;
+
+    /** Commit statistics (Figures 9-17). */
+    std::uint64_t commits = 0;
+    double commitLatencyMean = 0;
+    Distribution commitLatency{25, 400};
+    double dirsPerCommitMean = 0;
+    double writeDirsPerCommitMean = 0;
+    Distribution dirsPerCommit{1, 66};
+    double bottleneckRatio = 0;
+    double chunkQueueLength = 0;
+    std::uint64_t commitFailures = 0;
+    std::uint64_t squashesTrueConflict = 0;
+    std::uint64_t squashesAliasing = 0;
+    std::uint64_t chunksSquashed = 0;
+    std::uint64_t commitRecalls = 0;
+
+    /** Message counts per class (Figures 18/19). */
+    TrafficStats traffic;
+
+    /** Aggregate cache behaviour (diagnostics). */
+    std::uint64_t loads = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Misses = 0;
+};
+
+/** Build, run, and harvest one experiment. */
+RunResult runExperiment(const RunConfig& cfg);
+
+/** Convenience: speedup of @p run against a one-processor reference. */
+inline double
+speedup(const RunResult& one_proc, const RunResult& run)
+{
+    return run.makespan == 0
+               ? 0.0
+               : double(one_proc.makespan) / double(run.makespan);
+}
+
+} // namespace sbulk
+
+#endif // SBULK_SYSTEM_EXPERIMENT_HH

@@ -1,0 +1,249 @@
+#include "system/system.hh"
+
+#include "proto/bulksc/bulksc.hh"
+#include "proto/scalablebulk/dir_ctrl.hh"
+#include "proto/seq/seq.hh"
+#include "proto/tcc/tcc.hh"
+
+namespace sbulk
+{
+
+const char*
+protocolName(ProtocolKind kind)
+{
+    switch (kind) {
+      case ProtocolKind::ScalableBulk: return "ScalableBulk";
+      case ProtocolKind::TCC: return "TCC";
+      case ProtocolKind::SEQ: return "SEQ";
+      case ProtocolKind::BulkSC: return "BulkSC";
+    }
+    return "?";
+}
+
+System::System(SystemConfig cfg,
+               std::vector<std::unique_ptr<ThreadStream>> streams)
+    : _cfg(cfg), _pages(cfg.numProcs),
+      _leaderPolicy(cfg.numProcs, cfg.proto.leaderRotationInterval),
+      _streams(std::move(streams))
+{
+    SBULK_ASSERT(_cfg.numProcs > 0 && _cfg.numProcs <= 64,
+                 "1..64 processors supported (ProcMask width)");
+    SBULK_ASSERT(_streams.size() == _cfg.numProcs,
+                 "need one stream per core");
+
+    if (_cfg.directNetwork) {
+        _net = std::make_unique<DirectNetwork>(_eq, _cfg.numProcs,
+                                               _cfg.directLatency);
+    } else {
+        _net = std::make_unique<TorusNetwork>(_eq, _cfg.numProcs,
+                                              _cfg.torus);
+    }
+
+    if (_cfg.validate)
+        _checker = std::make_unique<ConsistencyChecker>();
+
+    for (NodeId n = 0; n < _cfg.numProcs; ++n) {
+        _caches.push_back(
+            std::make_unique<CacheHierarchy>(n, *_net, _pages, _cfg.mem));
+        _dirs.push_back(std::make_unique<Directory>(n, *_net, _cfg.mem));
+        CoreConfig core_cfg = _cfg.core;
+        // Spread thread start-up across one chunk period so commit
+        // arrivals do not synchronize (threads of a real program never
+        // leave the barrier on the same cycle).
+        core_cfg.startDelay =
+            Tick(n) * (core_cfg.chunkInstrs / _cfg.numProcs + 1);
+        _cores.push_back(
+            std::make_unique<Core>(n, _eq, *_caches[n], core_cfg));
+        _cores[n]->setStream(_streams[n].get());
+        _cores[n]->setChecker(_checker.get());
+    }
+
+    buildProtocol();
+
+    // Wire the tile demultiplexers: mem-kind messages go to the memory
+    // system, protocol kinds to the protocol controllers.
+    for (NodeId n = 0; n < _cfg.numProcs; ++n) {
+        _net->registerHandler(n, Port::Proc, [this, n](MessagePtr msg) {
+            if (msg->kind < kProtoKindBase)
+                _caches[n]->handleMessage(std::move(msg));
+            else
+                _procProtos[n]->handleMessage(std::move(msg));
+        });
+        _net->registerHandler(n, Port::Dir, [this, n](MessagePtr msg) {
+            if (msg->kind < kProtoKindBase)
+                _dirs[n]->handleMessage(std::move(msg));
+            else
+                _dirProtos[n]->handleMessage(std::move(msg));
+        });
+        if (_agent) {
+            _net->registerHandler(n, Port::Agent, [this](MessagePtr msg) {
+                _agent->handleMessage(std::move(msg));
+            });
+        }
+    }
+}
+
+System::~System() = default;
+
+void
+System::buildProtocol()
+{
+    ProtoContext ctx{_eq, *_net, _metrics, _cfg.proto};
+
+    switch (_cfg.protocol) {
+      case ProtocolKind::ScalableBulk:
+        for (NodeId n = 0; n < _cfg.numProcs; ++n) {
+            auto proc =
+                std::make_unique<sb::SbProcCtrl>(n, ctx, _leaderPolicy);
+            proc->setCore(_cores[n].get());
+            _cores[n]->setProtocol(proc.get());
+            _procProtos.push_back(std::move(proc));
+            _dirProtos.push_back(
+                std::make_unique<sb::SbDirCtrl>(n, ctx, *_dirs[n]));
+        }
+        break;
+      case ProtocolKind::BulkSC: {
+        // The arbiter sits at the center of the die (Table 3).
+        const NodeId agent_node = _cfg.numProcs / 2;
+        _agent = std::make_unique<bk::BkArbiter>(agent_node, ctx);
+        for (NodeId n = 0; n < _cfg.numProcs; ++n) {
+            auto proc = std::make_unique<bk::BkProcCtrl>(n, ctx, agent_node);
+            proc->setCore(_cores[n].get());
+            _cores[n]->setProtocol(proc.get());
+            _procProtos.push_back(std::move(proc));
+            _dirProtos.push_back(std::make_unique<bk::BkDirCtrl>(
+                n, ctx, *_dirs[n], agent_node));
+        }
+        break;
+      }
+      case ProtocolKind::TCC: {
+        // The TID vendor is the centralized agent (Section 2.1).
+        const NodeId agent_node = _cfg.numProcs / 2;
+        _agent = std::make_unique<tcc::TccTidVendor>(agent_node, ctx);
+        for (NodeId n = 0; n < _cfg.numProcs; ++n) {
+            auto proc = std::make_unique<tcc::TccProcCtrl>(
+                n, ctx, agent_node, _cfg.numProcs);
+            proc->setCore(_cores[n].get());
+            _cores[n]->setProtocol(proc.get());
+            _procProtos.push_back(std::move(proc));
+            _dirProtos.push_back(
+                std::make_unique<tcc::TccDirCtrl>(n, ctx, *_dirs[n]));
+        }
+        break;
+      }
+      case ProtocolKind::SEQ:
+        for (NodeId n = 0; n < _cfg.numProcs; ++n) {
+            auto proc = std::make_unique<sq::SeqProcCtrl>(n, ctx);
+            proc->setCore(_cores[n].get());
+            _cores[n]->setProtocol(proc.get());
+            _procProtos.push_back(std::move(proc));
+            _dirProtos.push_back(
+                std::make_unique<sq::SeqDirCtrl>(n, ctx, *_dirs[n]));
+        }
+        break;
+    }
+}
+
+Tick
+System::run(Tick limit)
+{
+    for (auto& core : _cores)
+        core->start();
+
+    auto all_done = [this] {
+        for (const auto& core : _cores)
+            if (!core->done())
+                return false;
+        return true;
+    };
+
+    while (!all_done()) {
+        if (_eq.now() >= limit)
+            break;
+        if (!_eq.step()) {
+            SBULK_PANIC("deadlock: event queue drained at tick %llu with "
+                        "unfinished cores",
+                        (unsigned long long)_eq.now());
+        }
+    }
+    return _eq.now();
+}
+
+System::Breakdown
+System::breakdown() const
+{
+    Breakdown b;
+    double finish_sum = 0;
+    for (const auto& core : _cores) {
+        const auto& s = core->stats();
+        b.useful += double(s.usefulCycles.value());
+        b.cacheMiss += double(s.missStallCycles.value());
+        b.commit += double(s.commitStallCycles.value());
+        b.squash += double(s.squashWasteCycles.value());
+        finish_sum += double(s.finishTick);
+        b.makespan = std::max(b.makespan, s.finishTick);
+    }
+    b.meanFinish = finish_sum / double(_cores.size());
+    return b;
+}
+
+void
+System::recordStats(StatSet& set) const
+{
+    const CommitMetrics& m = _metrics;
+    set.record("commits", double(m.commits.value()));
+    set.record("commitFailures", double(m.commitFailures.value()));
+    set.record("squashesTrueConflict",
+               double(m.squashesTrueConflict.value()));
+    set.record("squashesAliasing", double(m.squashesAliasing.value()));
+    set.record("commitRecalls", double(m.commitRecalls.value()));
+    set.record("starvationReservations",
+               double(m.starvationReservations.value()));
+    set.record("commitLatency", m.commitLatency);
+    set.record("dirsPerCommit", m.dirsPerCommit);
+    set.record("writeDirsPerCommit", m.writeDirsPerCommit);
+    set.record("bottleneckRatio", m.bottleneckRatio);
+    set.record("chunkQueueLength", m.chunkQueueLength);
+
+    const TrafficStats& t = _net->traffic();
+    for (std::size_t c = 0; c < kNumMsgClasses; ++c) {
+        const MsgClass cls = MsgClass(c);
+        set.record(std::string("net.") + msgClassName(cls) + ".messages",
+                   double(t.messages(cls)));
+        set.record(std::string("net.") + msgClassName(cls) + ".bytes",
+                   double(t.bytes(cls)));
+    }
+
+    for (NodeId n = 0; n < _cfg.numProcs; ++n) {
+        const std::string core = "core" + std::to_string(n) + ".";
+        const auto& cs = _cores[n]->stats();
+        set.record(core + "useful", double(cs.usefulCycles.value()));
+        set.record(core + "missStall", double(cs.missStallCycles.value()));
+        set.record(core + "commitStall",
+                   double(cs.commitStallCycles.value()));
+        set.record(core + "squashWaste",
+                   double(cs.squashWasteCycles.value()));
+        set.record(core + "chunksCommitted",
+                   double(cs.chunksCommitted.value()));
+        set.record(core + "chunksSquashed",
+                   double(cs.chunksSquashed.value()));
+
+        const std::string dir = "dir" + std::to_string(n) + ".";
+        const auto& ds = _dirs[n]->stats();
+        set.record(dir + "reads", double(ds.reads.value()));
+        set.record(dir + "memReads", double(ds.memReads.value()));
+        set.record(dir + "remoteShReads",
+                   double(ds.remoteShReads.value()));
+        set.record(dir + "remoteDirtyReads",
+                   double(ds.remoteDirtyReads.value()));
+        set.record(dir + "readNacks", double(ds.readNacks.value()));
+
+        const std::string hier = "l2_" + std::to_string(n) + ".";
+        const auto& hs = _caches[n]->stats();
+        set.record(hier + "loads", double(hs.loads.value()));
+        set.record(hier + "l1Hits", double(hs.l1Hits.value()));
+        set.record(hier + "misses", double(hs.misses.value()));
+    }
+}
+
+} // namespace sbulk

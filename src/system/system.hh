@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The full simulated multicore (Figure 1): per-tile core + private L1/L2 +
+ * directory module, a 2D-torus interconnect, and one of the four commit
+ * protocols of Table 3 wired in. This is the library's main entry point.
+ */
+
+#ifndef SBULK_SYSTEM_SYSTEM_HH
+#define SBULK_SYSTEM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "mem/directory.hh"
+#include "mem/hierarchy.hh"
+#include "mem/page_map.hh"
+#include "net/network.hh"
+#include "proto/commit_protocol.hh"
+#include "proto/scalablebulk/proc_ctrl.hh"
+#include "system/consistency.hh"
+#include "sim/event_queue.hh"
+#include "workload/stream.hh"
+
+namespace sbulk
+{
+
+/** The evaluated protocols (Table 3). */
+enum class ProtocolKind
+{
+    ScalableBulk, ///< this paper
+    TCC,          ///< Scalable TCC [6]
+    SEQ,          ///< SEQ-PRO from SRC [14]
+    BulkSC,       ///< BulkSC [5], centralized arbiter
+};
+
+const char* protocolName(ProtocolKind kind);
+
+/** Everything needed to build a System. */
+struct SystemConfig
+{
+    std::uint32_t numProcs = 32;
+    ProtocolKind protocol = ProtocolKind::ScalableBulk;
+    MemConfig mem{};
+    CoreConfig core{};
+    ProtoConfig proto{};
+    TorusConfig torus{};
+    /** Use the contention-free network instead of the torus (tests). */
+    bool directNetwork = false;
+    Tick directLatency = 10;
+    /** Attach the chunk-atomicity oracle (see consistency.hh). */
+    bool validate = false;
+};
+
+/**
+ * A complete simulated machine. Construct, attach one ThreadStream per
+ * core, run(), then read the metrics.
+ */
+class System
+{
+  public:
+    /**
+     * @param cfg Machine configuration.
+     * @param streams One reference stream per core (size == numProcs).
+     */
+    System(SystemConfig cfg,
+           std::vector<std::unique_ptr<ThreadStream>> streams);
+    ~System();
+
+    /**
+     * Run until every core commits its chunk budget (or @p limit ticks).
+     * Panics on deadlock (event queue drained with cores unfinished).
+     * @return simulated end time.
+     */
+    Tick run(Tick limit = kMaxTick);
+
+    /// @name Results
+    /// @{
+    const CommitMetrics& metrics() const { return _metrics; }
+    const TrafficStats& traffic() const { return _net->traffic(); }
+    const Core& core(NodeId n) const { return *_cores[n]; }
+    const Directory& directory(NodeId n) const { return *_dirs[n]; }
+    const CacheHierarchy& hierarchy(NodeId n) const { return *_caches[n]; }
+    std::uint32_t numProcs() const { return _cfg.numProcs; }
+    EventQueue& eventQueue() { return _eq; }
+    /** The atomicity oracle (null unless cfg.validate). */
+    const ConsistencyChecker* consistency() const { return _checker.get(); }
+    /** The torus instance, or null when directNetwork was selected. */
+    const TorusNetwork*
+    torus() const
+    {
+        return dynamic_cast<const TorusNetwork*>(_net.get());
+    }
+
+    /** Aggregate execution-time breakdown over all cores (Figures 7/8). */
+    struct Breakdown
+    {
+        double useful = 0;
+        double cacheMiss = 0;
+        double commit = 0;
+        double squash = 0;
+        /** Sum of the four categories (cycles across all cores). */
+        double total() const { return useful + cacheMiss + commit + squash; }
+        /** Mean per-core finish tick. */
+        double meanFinish = 0;
+        /** Max per-core finish tick (the run's makespan). */
+        Tick makespan = 0;
+    };
+    Breakdown breakdown() const;
+
+    /**
+     * Snapshot every component's statistics into @p set, under
+     * hierarchical names ("core3.useful", "dir12.memReads", ...).
+     */
+    void recordStats(StatSet& set) const;
+    /// @}
+
+    /** Test hooks. */
+    ProcProtocol& procProtocol(NodeId n) { return *_procProtos[n]; }
+    DirProtocol& dirProtocol(NodeId n) { return *_dirProtos[n]; }
+
+  private:
+    void buildProtocol();
+
+    SystemConfig _cfg;
+    EventQueue _eq;
+    std::unique_ptr<Network> _net;
+    FirstTouchMap _pages;
+    CommitMetrics _metrics;
+    sb::LeaderPolicy _leaderPolicy;
+
+    std::vector<std::unique_ptr<CacheHierarchy>> _caches;
+    std::vector<std::unique_ptr<Directory>> _dirs;
+    std::vector<std::unique_ptr<Core>> _cores;
+    std::vector<std::unique_ptr<ThreadStream>> _streams;
+    std::vector<std::unique_ptr<ProcProtocol>> _procProtos;
+    std::vector<std::unique_ptr<DirProtocol>> _dirProtos;
+    std::unique_ptr<ConsistencyChecker> _checker;
+    /** Centralized agent (TCC TID vendor / BulkSC arbiter), when used. */
+    std::unique_ptr<CentralAgent> _agent;
+};
+
+} // namespace sbulk
+
+#endif // SBULK_SYSTEM_SYSTEM_HH

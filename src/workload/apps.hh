@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Per-application synthetic models for the 11 SPLASH-2 and 7 PARSEC codes
+ * of the paper's evaluation (Section 5).
+ *
+ * Each preset encodes the reference-stream properties that drive commit
+ * behaviour, chosen to reproduce what the paper reports per application:
+ * directories per chunk commit and their write fraction (Figures 9-12),
+ * which codes stress the serializing protocols (Radix, Barnes, Canneal,
+ * Blackscholes — Section 6.1), read-mostly scaling (Raytrace), and the
+ * big-footprint codes whose single-processor runs thrash one L2 and hence
+ * show superlinear parallel speedups (Ocean, Cholesky, Raytrace).
+ *
+ * AppSpec::privatePages is the *total* private footprint of the program;
+ * streamParams() divides it across threads, so one-processor runs carry
+ * the whole working set (the paper's normalization baseline).
+ */
+
+#ifndef SBULK_WORKLOAD_APPS_HH
+#define SBULK_WORKLOAD_APPS_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/synthetic.hh"
+
+namespace sbulk
+{
+
+/** One benchmark application's synthetic model. */
+struct AppSpec
+{
+    std::string name;
+    std::string suite; ///< "SPLASH-2" or "PARSEC"
+    /** Parameters with privatePages meaning the TOTAL private footprint. */
+    SyntheticParams params;
+};
+
+/** The 11 SPLASH-2 codes of Figure 7. */
+const std::vector<AppSpec>& splash2Apps();
+
+/** The 7 PARSEC codes of Figure 8. */
+const std::vector<AppSpec>& parsecApps();
+
+/** All 18, SPLASH-2 first. */
+const std::vector<AppSpec>& allApps();
+
+/** Find by name (case-sensitive); null if unknown. */
+const AppSpec* findApp(const std::string& name);
+
+/**
+ * Instantiate the per-thread parameters for a run with @p num_threads:
+ * splits the total private footprint across threads and folds the thread
+ * count into the seed.
+ */
+SyntheticParams streamParams(const AppSpec& app, std::uint32_t num_threads);
+
+} // namespace sbulk
+
+#endif // SBULK_WORKLOAD_APPS_HH

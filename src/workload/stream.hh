@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The interface between workload models and cores: an endless per-thread
+ * stream of memory operations. Chunk boundaries are drawn by the core
+ * (every ~2000 instructions, Table 2), not by the workload.
+ */
+
+#ifndef SBULK_WORKLOAD_STREAM_HH
+#define SBULK_WORKLOAD_STREAM_HH
+
+#include "chunk/chunk.hh"
+
+namespace sbulk
+{
+
+/** An endless instruction/memory-reference stream for one thread. */
+class ThreadStream
+{
+  public:
+    virtual ~ThreadStream() = default;
+
+    /** Produce the next memory operation (with its preceding gap). */
+    virtual MemOp next() = 0;
+};
+
+} // namespace sbulk
+
+#endif // SBULK_WORKLOAD_STREAM_HH

@@ -1,0 +1,159 @@
+#include "workload/synthetic.hh"
+
+namespace sbulk
+{
+
+SyntheticStream::SyntheticStream(const SyntheticParams& params,
+                                 NodeId thread_id,
+                                 std::uint32_t num_threads,
+                                 std::uint32_t line_bytes,
+                                 std::uint32_t page_bytes)
+    : _p(params), _tid(thread_id), _numThreads(num_threads),
+      _linesPerPage(page_bytes / line_bytes), _lineBytes(line_bytes),
+      _rng(params.seed * 0x9e3779b9u + thread_id * 0x85ebca6bu + 1),
+      _sharedZipf(params.sharedBlocks, params.zipfAlpha)
+{
+    SBULK_ASSERT(_linesPerPage > 0);
+}
+
+SyntheticStream::Run
+SyntheticStream::pickRun()
+{
+    // Temporal locality: usually revisit a recent base. Private revisits
+    // re-draw read/write (a structure read in one pass may be updated in
+    // the next); shared runs keep their role — a reader suddenly turned
+    // writer at an unpartitioned offset would fabricate conflicts the
+    // real program does not have.
+    if (!_history.empty() && _rng.chance(_p.temporalReuse)) {
+        Run run = _history[_rng.below(_history.size())];
+        if (!run.shared)
+            run.isWrite = _rng.chance(_p.writeFraction);
+        return run;
+    }
+    // Re-traversal of older, still-cache-resident data.
+    if (!_farHistory.empty() && _rng.chance(_p.farReuse)) {
+        Run run = _farHistory[_rng.below(_farHistory.size())];
+        if (!run.shared)
+            run.isWrite = _rng.chance(_p.writeFraction);
+        return run;
+    }
+
+    const std::uint64_t private_lines =
+        std::uint64_t(_p.privatePages) * _linesPerPage;
+    const std::uint64_t shared_lines =
+        std::uint64_t(_p.sharedPages) * _linesPerPage;
+    const std::uint64_t private_region =
+        std::uint64_t(_numThreads) * private_lines;
+
+    Run run;
+    if (_p.hotLines > 0 && _rng.chance(_p.hotFraction)) {
+        run.hot = true;
+        run.shared = true;
+        run.isWrite = _rng.chance(0.6);
+        run.regionLo = private_region + shared_lines;
+        run.regionHi = run.regionLo + _p.hotLines;
+        run.line = run.regionLo + _rng.below(_p.hotLines);
+    } else if (_rng.chance(_p.sharedFraction)) {
+        // Shared runs start on Zipf-popular *pages* that all threads
+        // agree on: page-level agreement is what produces true sharing
+        // (remote homes in g_vec, remote reads, occasional line-level
+        // conflicts).
+        run.shared = true;
+        run.regionLo = private_region;
+        run.regionHi = run.regionLo + shared_lines;
+        run.isWrite = _rng.chance(_p.sharedWriteFraction);
+
+        // Bulk-synchronous phasing: writers fill this phase's window of
+        // pages; readers consume the previous phase's.
+        std::uint32_t page = _sharedZipf.sample(_rng) % _p.sharedPages;
+        if (_p.phaseInstrs > 0) {
+            const std::uint32_t window = std::max<std::uint32_t>(
+                1, _p.sharedBlocks / std::max<std::uint32_t>(
+                       1, _p.phaseWindowDiv));
+            // Readers lag writers by two windows: thread-local phase
+            // clocks drift, and a two-window gap keeps a slow reader and
+            // a fast writer apart (+8 avoids underflow at startup).
+            const std::uint64_t phase =
+                _instrsIssued / _p.phaseInstrs + 8 -
+                (run.isWrite ? 0 : 2);
+            const std::uint32_t rank = _sharedZipf.sample(_rng) % window;
+            page = std::uint32_t((phase * window + rank) %
+                                 _p.sharedBlocks) %
+                   _p.sharedPages;
+        }
+        const std::uint64_t base = std::uint64_t(page) * _linesPerPage;
+        std::uint64_t offset;
+        if (_p.partitionSharedLines && run.isWrite) {
+            // Write runs are thread-partitioned: same pages (same
+            // directories), disjoint lines — no write-write conflicts.
+            // Reads roam the whole page: everyone reads everyone's
+            // output, so written lines have sharers to invalidate.
+            const std::uint64_t slots =
+                std::max<std::uint64_t>(1, _linesPerPage / _numThreads);
+            offset = (_tid + _numThreads * _rng.below(slots)) %
+                     _linesPerPage;
+            run.stride = _numThreads;
+        } else {
+            // Random line within the page: threads overlap at page level
+            // reliably and at line level occasionally.
+            offset = _rng.below(_linesPerPage);
+        }
+        run.line = run.regionLo + (base + offset) % shared_lines;
+    } else {
+        run.regionLo = std::uint64_t(_tid) * private_lines;
+        run.regionHi = run.regionLo + private_lines;
+        run.line = run.regionLo + _rng.below(private_lines);
+        run.isWrite = _rng.chance(_p.writeFraction);
+    }
+
+    // Remember the run start for future reuse. Hot (conflict) runs stay
+    // out of the histories so the true-conflict rate tracks hotFraction.
+    if (!run.hot) {
+        if (_history.size() < _p.reuseWindow) {
+            _history.push_back(run);
+        } else if (!_history.empty()) {
+            _history[_historyNext] = run;
+            _historyNext = (_historyNext + 1) % _history.size();
+        }
+        if (_farHistory.size() < _p.farWindow) {
+            _farHistory.push_back(run);
+        } else if (!_farHistory.empty()) {
+            _farHistory[_farNext] = run;
+            _farNext = (_farNext + 1) % _farHistory.size();
+        }
+    }
+    return run;
+}
+
+MemOp
+SyntheticStream::next()
+{
+    if (_lineAccessesLeft == 0) {
+        if (_runLinesLeft == 0) {
+            _run = pickRun();
+            _runLinesLeft =
+                std::uint32_t(_rng.runLength(_p.spatialRunMean));
+        } else {
+            // Advance to the next line (by the run's stride), wrapping
+            // within the region so runs never cross into another
+            // thread's data.
+            _run.line += _run.stride;
+            if (_run.line >= _run.regionHi)
+                _run.line = _run.regionLo + (_run.line - _run.regionHi);
+        }
+        --_runLinesLeft;
+        _lineAccessesLeft =
+            std::uint32_t(_rng.runLength(_p.accessesPerLine));
+    }
+    --_lineAccessesLeft;
+
+    MemOp op;
+    // Mean gap so that memFraction of instructions are memory ops.
+    op.gap = std::uint32_t(_rng.runLength(1.0 / _p.memFraction) - 1);
+    op.isWrite = _run.isWrite;
+    op.addr = _run.line * _lineBytes + _rng.below(_lineBytes);
+    _instrsIssued += op.gap + 1;
+    return op;
+}
+
+} // namespace sbulk

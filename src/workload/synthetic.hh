@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Parameterized synthetic memory-reference generator.
+ *
+ * This is the substitution for running real SPLASH-2/PARSEC binaries (see
+ * DESIGN.md): each application is modeled by the statistical properties the
+ * commit protocols actually observe — memory-op density, read/write mix,
+ * private vs. shared footprint, spatial/temporal/intra-line locality, and a
+ * shared hot region that produces true write conflicts. Per-application
+ * presets live in apps.hh.
+ */
+
+#ifndef SBULK_WORKLOAD_SYNTHETIC_HH
+#define SBULK_WORKLOAD_SYNTHETIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hh"
+#include "workload/stream.hh"
+#include "workload/zipf.hh"
+
+namespace sbulk
+{
+
+/** Knobs describing one application's reference behaviour. */
+struct SyntheticParams
+{
+    /** Fraction of instructions that are memory operations. */
+    double memFraction = 0.30;
+    /**
+     * Fraction of private *runs* that are write runs (an output array
+     * being produced). Deciding writes per run rather than per access
+     * keeps the write set a distinct, smaller subset of the lines touched
+     * — as in real code — instead of a near-copy of the read set.
+     */
+    double writeFraction = 0.30;
+
+    /** Pages of thread-private data (homed at the owner by first touch). */
+    std::uint32_t privatePages = 32;
+    /** Pages of global shared data (homes scatter by first touch). */
+    std::uint32_t sharedPages = 512;
+    /** Probability a fresh run targets the shared region. */
+    double sharedFraction = 0.25;
+    /**
+     * The shared heap is carved into this many blocks whose popularity
+     * follows a Zipf law that every thread agrees on — that agreement is
+     * what makes sharing *true* (remote reads, cross-thread conflicts).
+     */
+    std::uint32_t sharedBlocks = 256;
+    /** Zipf skew of shared-block popularity (0 = uniform). */
+    double zipfAlpha = 0.7;
+    /** Probability a *shared* run is a write run (else writeFraction). */
+    double sharedWriteFraction = 0.10;
+
+    /** Mean run of consecutive lines before jumping (spatial locality). */
+    double spatialRunMean = 6.0;
+    /** Mean accesses to a line before moving to the next (word reuse). */
+    double accessesPerLine = 4.0;
+    /**
+     * Probability a fresh run revisits a recently-touched base instead of
+     * jumping somewhere new (temporal locality; drives the L1 hit rate).
+     */
+    double temporalReuse = 0.90;
+    /** How many past run bases are eligible for near reuse. */
+    std::uint32_t reuseWindow = 32;
+    /**
+     * Of the non-reused runs, probability of revisiting an *older* base
+     * (data still L2-resident) rather than touching brand-new memory;
+     * controls the compulsory-miss rate, as real codes re-traverse their
+     * arrays.
+     */
+    double farReuse = 0.75;
+    /** How many older run bases are eligible for far reuse. */
+    std::uint32_t farWindow = 512;
+
+    /**
+     * When set, threads touch disjoint lines within shared pages (thread
+     * t takes lines with line % numThreads == t). This is how codes like
+     * Radix behave: every processor writes its own slots of the shared
+     * buckets — page-level (same-directory) sharing with *no* line-level
+     * conflicts, the paper's motivating pattern (Section 2.1).
+     */
+    bool partitionSharedLines = false;
+
+    /**
+     * Bulk-synchronous phase length in instructions (0 = no phasing).
+     * Writers target a rotating window of shared pages; readers read the
+     * *previous* phase's window. This is how barrier-structured codes
+     * behave: data written in one phase is consumed in the next, so
+     * written lines acquire sharers (invalidation work for the commit
+     * protocols) without the writer and its readers racing — keeping the
+     * true-conflict rate at the paper's ~1.5% instead of compounding over
+     * every commit in a chunk's lifetime.
+     */
+    std::uint32_t phaseInstrs = 30000;
+    /** Shared pages per phase window = sharedBlocks / phaseWindowDiv. */
+    std::uint32_t phaseWindowDiv = 8;
+
+    /**
+     * Conflict ("hot") lines contended by all threads; writes here create
+     * true inter-chunk conflicts.
+     */
+    std::uint32_t hotLines = 64;
+    /** Probability a fresh run goes to the hot region. */
+    double hotFraction = 0.0005;
+
+    /** RNG seed (combined with the thread id). */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * One thread's reference stream.
+ *
+ * The global address map (by line):
+ *   [0, threads*privatePages)          private, per-thread slices
+ *   [privateEnd, privateEnd+shared)    shared heap
+ *   [sharedEnd, sharedEnd+hotLines)    hot conflict region
+ */
+class SyntheticStream : public ThreadStream
+{
+  public:
+    SyntheticStream(const SyntheticParams& params, NodeId thread_id,
+                    std::uint32_t num_threads, std::uint32_t line_bytes,
+                    std::uint32_t page_bytes);
+
+    MemOp next() override;
+
+  private:
+    /** A spatial run: base line, region bounds (for wrapping), flags. */
+    struct Run
+    {
+        Addr line = 0;
+        Addr regionLo = 0;
+        Addr regionHi = 1;
+        /** Line step when the run advances (numThreads for partitioned
+         *  shared data, so a run never leaves the thread's slots). */
+        std::uint32_t stride = 1;
+        bool shared = false;
+        bool hot = false;
+        /** A write run: its accesses are stores. */
+        bool isWrite = false;
+    };
+
+    Run pickRun();
+
+    SyntheticParams _p;
+    NodeId _tid;
+    std::uint32_t _numThreads;
+    std::uint32_t _linesPerPage;
+    std::uint32_t _lineBytes;
+    Rng _rng;
+    ZipfSampler _sharedZipf;
+
+    Run _run;
+    std::uint32_t _runLinesLeft = 0;
+    std::uint32_t _lineAccessesLeft = 0;
+    /** Instructions issued so far (drives the phase index). */
+    std::uint64_t _instrsIssued = 0;
+    /** Ring of recent run starts for temporal reuse. */
+    std::vector<Run> _history;
+    std::size_t _historyNext = 0;
+    /** Larger ring of older run starts (still cache-resident data). */
+    std::vector<Run> _farHistory;
+    std::size_t _farNext = 0;
+};
+
+} // namespace sbulk
+
+#endif // SBULK_WORKLOAD_SYNTHETIC_HH

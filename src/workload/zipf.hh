@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A small Zipf(alpha) sampler over [0, n), used to give all threads the
+ * same popularity-skewed view of the shared heap — the mechanism that
+ * creates true data sharing (remote reads, multi-directory commits, and
+ * write conflicts) in the synthetic workloads.
+ */
+
+#ifndef SBULK_WORKLOAD_ZIPF_HH
+#define SBULK_WORKLOAD_ZIPF_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace sbulk
+{
+
+/** Samples ranks from a Zipf distribution via an inverse-CDF table. */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n Number of items.
+     * @param alpha Skew (0 = uniform; ~0.7-1.0 typical).
+     */
+    ZipfSampler(std::uint32_t n, double alpha) : _cdf(n)
+    {
+        SBULK_ASSERT(n > 0);
+        double sum = 0.0;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            sum += 1.0 / std::pow(double(i + 1), alpha);
+            _cdf[i] = sum;
+        }
+        for (double& v : _cdf)
+            v /= sum;
+    }
+
+    /** Draw a rank in [0, n); rank 0 is the most popular. */
+    std::uint32_t
+    sample(Rng& rng) const
+    {
+        const double u = rng.uniform();
+        // Binary search the CDF.
+        std::size_t lo = 0, hi = _cdf.size() - 1;
+        while (lo < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            if (_cdf[mid] < u)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return std::uint32_t(lo);
+    }
+
+    std::uint32_t size() const { return std::uint32_t(_cdf.size()); }
+
+  private:
+    std::vector<double> _cdf;
+};
+
+} // namespace sbulk
+
+#endif // SBULK_WORKLOAD_ZIPF_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for Chunk: set/signature tracking, g_vec assembly, replay
+ * support, conflict detection, and tag renaming.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chunk/chunk.hh"
+#include "proto/commit_protocol.hh"
+
+namespace sbulk
+{
+namespace
+{
+
+Chunk
+makeChunk()
+{
+    return Chunk(ChunkTag{3, 7}, 1, SigConfig{});
+}
+
+TEST(Chunk, StartsEmpty)
+{
+    Chunk c = makeChunk();
+    EXPECT_EQ(c.state(), ChunkState::Executing);
+    EXPECT_EQ(c.gVec(), 0u);
+    EXPECT_TRUE(c.writeSet().empty());
+    EXPECT_TRUE(c.rSig().empty());
+    EXPECT_TRUE(c.wSig().empty());
+    EXPECT_EQ(c.slot(), 1u);
+    EXPECT_EQ(c.tag().proc, 3u);
+    EXPECT_EQ(c.tag().seq, 7u);
+}
+
+TEST(Chunk, RecordReadUpdatesSigAndDirs)
+{
+    Chunk c = makeChunk();
+    c.recordRead(100, 5);
+    EXPECT_TRUE(c.rSig().contains(100));
+    EXPECT_EQ(c.dirsRead(), 1ull << 5);
+    EXPECT_EQ(c.dirsWritten(), 0u);
+    EXPECT_EQ(c.gVec(), 1ull << 5);
+}
+
+TEST(Chunk, RecordWriteUpdatesEverything)
+{
+    Chunk c = makeChunk();
+    c.recordWrite(200, 2);
+    c.recordWrite(201, 2);
+    c.recordWrite(300, 9);
+    EXPECT_TRUE(c.wSig().contains(200));
+    EXPECT_EQ(c.dirsWritten(), (1ull << 2) | (1ull << 9));
+    EXPECT_EQ(c.writeSet().size(), 3u);
+    ASSERT_EQ(c.writesByHome().count(2), 1u);
+    EXPECT_EQ(c.writesByHome().at(2).size(), 2u);
+    EXPECT_EQ(c.writesByHome().at(9).size(), 1u);
+}
+
+TEST(Chunk, DuplicateWritesAreDeduplicated)
+{
+    Chunk c = makeChunk();
+    c.recordWrite(200, 2);
+    c.recordWrite(200, 2);
+    EXPECT_EQ(c.writeSet().size(), 1u);
+    EXPECT_EQ(c.writesByHome().at(2).size(), 1u);
+}
+
+TEST(Chunk, TrueConflictDetection)
+{
+    Chunk c = makeChunk();
+    c.recordRead(10, 0);
+    c.recordWrite(20, 0);
+    EXPECT_TRUE(c.trulyConflictsWith({10}));   // read-write
+    EXPECT_TRUE(c.trulyConflictsWith({20}));   // write-write
+    EXPECT_FALSE(c.trulyConflictsWith({30}));  // disjoint
+    EXPECT_FALSE(c.trulyConflictsWith({}));
+}
+
+TEST(Chunk, OpLogAccumulates)
+{
+    Chunk c = makeChunk();
+    c.logOp(MemOp{2, false, 0x100});
+    c.logOp(MemOp{0, true, 0x200});
+    ASSERT_EQ(c.ops().size(), 2u);
+    EXPECT_EQ(c.ops()[1].addr, 0x200u);
+    EXPECT_TRUE(c.ops()[1].isWrite);
+}
+
+TEST(Chunk, ResetForReplayClearsArchitecturalStateKeepsLog)
+{
+    Chunk c = makeChunk();
+    c.logOp(MemOp{0, true, 0x200});
+    c.recordWrite(8, 1);
+    c.recordRead(9, 2);
+    c.setState(ChunkState::Committing);
+    c.resetForReplay();
+    EXPECT_EQ(c.state(), ChunkState::Executing);
+    EXPECT_TRUE(c.wSig().empty());
+    EXPECT_TRUE(c.rSig().empty());
+    EXPECT_EQ(c.gVec(), 0u);
+    EXPECT_TRUE(c.writeSet().empty());
+    EXPECT_EQ(c.ops().size(), 1u); // the replay log survives
+    EXPECT_EQ(c.timesSquashed(), 1u);
+}
+
+TEST(Chunk, RenameChangesIdentity)
+{
+    Chunk c = makeChunk();
+    c.rename(ChunkTag{3, 99});
+    EXPECT_EQ(c.tag().seq, 99u);
+}
+
+TEST(ChunkTag, OrderingAndValidity)
+{
+    EXPECT_FALSE(ChunkTag{}.valid());
+    EXPECT_TRUE((ChunkTag{0, 1}).valid());
+    EXPECT_LT((ChunkTag{1, 5}), (ChunkTag{2, 1}));
+    EXPECT_LT((ChunkTag{1, 5}), (ChunkTag{1, 6}));
+    EXPECT_EQ((ChunkTag{1, 5}), (ChunkTag{1, 5}));
+}
+
+TEST(ChunkTag, HashDistinguishes)
+{
+    std::hash<ChunkTag> h;
+    EXPECT_NE(h(ChunkTag{1, 5}), h(ChunkTag{1, 6}));
+    EXPECT_NE(h(ChunkTag{1, 5}), h(ChunkTag{2, 5}));
+}
+
+TEST(CommitId, EqualityIncludesAttempt)
+{
+    CommitId a{ChunkTag{1, 5}, 1};
+    CommitId b{ChunkTag{1, 5}, 2};
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a, (CommitId{ChunkTag{1, 5}, 1}));
+    std::hash<CommitId> h;
+    EXPECT_NE(h(a), h(b));
+}
+
+} // namespace
+} // namespace sbulk

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: ordering, determinism,
+ * cancellation, limits, and reentrant scheduling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace sbulk
+{
+namespace
+{
+
+TEST(EventQueue, StartsAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NowIsCorrectInsideCallback)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(42, [&] { seen = eq.now(); });
+    eq.run();
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5)
+            eq.scheduleIn(7, chain);
+    };
+    eq.scheduleIn(7, chain);
+    eq.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(eq.now(), 35u);
+}
+
+TEST(EventQueue, RunHonorsLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.schedule(30, [&] { ++fired; });
+    eq.run(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    int fired = 0;
+    auto h = eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.cancel(h);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelTwiceIsHarmless)
+{
+    EventQueue eq;
+    int fired = 0;
+    auto h = eq.schedule(10, [&] { ++fired; });
+    eq.schedule(15, [&] { ++fired; });
+    eq.cancel(h);
+    eq.cancel(h);
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, StepRunsExactlyOneEvent)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] { ++fired; });
+    eq.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ReturnsNumberExecuted)
+{
+    EventQueue eq;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(Tick(i), [] {});
+    EXPECT_EQ(eq.run(), 10u);
+}
+
+TEST(EventQueue, DeterministicAcrossRuns)
+{
+    auto trace = [] {
+        EventQueue eq;
+        std::vector<Tick> ticks;
+        std::function<void(int)> spawn = [&](int depth) {
+            ticks.push_back(eq.now());
+            if (depth > 0) {
+                eq.scheduleIn(3, [&, depth] { spawn(depth - 1); });
+                eq.scheduleIn(3, [&, depth] { spawn(depth - 1); });
+            }
+        };
+        eq.schedule(0, [&] { spawn(4); });
+        eq.run();
+        return ticks;
+    };
+    EXPECT_EQ(trace(), trace());
+}
+
+} // namespace
+} // namespace sbulk

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Integration tests of the read path: hierarchy + directory + network.
+ * Covers first-touch homing, the three read-source classes, nack/retry
+ * through the read gate, writebacks, MSHR limits, and invalidations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mem/directory.hh"
+#include "mem/hierarchy.hh"
+#include "mem/page_map.hh"
+#include "net/network.hh"
+#include "sim/event_queue.hh"
+
+namespace sbulk
+{
+namespace
+{
+
+/** A 4-tile testbench with caches and directories wired to a network. */
+class MemBench : public ::testing::Test
+{
+  protected:
+    static constexpr std::uint32_t kNodes = 4;
+
+    void
+    SetUp() override
+    {
+        net = std::make_unique<DirectNetwork>(eq, kNodes, 10);
+        pages = std::make_unique<FirstTouchMap>(kNodes);
+        for (NodeId n = 0; n < kNodes; ++n) {
+            caches.push_back(
+                std::make_unique<CacheHierarchy>(n, *net, *pages, cfg));
+            dirs.push_back(std::make_unique<Directory>(n, *net, cfg));
+            net->registerHandler(n, Port::Proc, [this, n](MessagePtr m) {
+                caches[n]->handleMessage(std::move(m));
+            });
+            net->registerHandler(n, Port::Dir, [this, n](MessagePtr m) {
+                dirs[n]->handleMessage(std::move(m));
+            });
+        }
+    }
+
+    /** Blocking load: run the queue until the load completes. */
+    Tick
+    loadAndWait(NodeId proc, Addr byte_addr)
+    {
+        bool done = false;
+        Tick when = 0;
+        bool hit = caches[proc]->load(byte_addr, [&] {
+            done = true;
+            when = eq.now();
+        });
+        if (hit)
+            return eq.now();
+        while (!done && eq.step()) {
+        }
+        EXPECT_TRUE(done) << "load never completed";
+        return when;
+    }
+
+    EventQueue eq;
+    MemConfig cfg;
+    std::unique_ptr<DirectNetwork> net;
+    std::unique_ptr<FirstTouchMap> pages;
+    std::vector<std::unique_ptr<CacheHierarchy>> caches;
+    std::vector<std::unique_ptr<Directory>> dirs;
+};
+
+TEST_F(MemBench, FirstTouchAssignsHome)
+{
+    EXPECT_EQ(pages->peek(0), kInvalidNode);
+    loadAndWait(2, 0x1000);
+    EXPECT_EQ(pages->peek(cfg.pageOf(0x1000)), 2u);
+    // Second toucher does not move the page.
+    loadAndWait(3, 0x1008);
+    EXPECT_EQ(pages->peek(cfg.pageOf(0x1000)), 2u);
+}
+
+TEST_F(MemBench, ColdMissGoesToMemory)
+{
+    Tick t0 = eq.now();
+    Tick done = loadAndWait(0, 0x4000);
+    EXPECT_GE(done - t0, cfg.memLatency);
+    EXPECT_EQ(dirs[0]->stats().memReads.value(), 1u);
+    EXPECT_EQ(net->traffic().messages(MsgClass::MemRd), 1u);
+}
+
+TEST_F(MemBench, SecondLoadHitsInL1)
+{
+    loadAndWait(0, 0x4000);
+    bool hit = caches[0]->load(0x4000, [] {});
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(caches[0]->stats().l1Hits.value(), 1u);
+}
+
+TEST_F(MemBench, SharedRemoteReadIsClassified)
+{
+    loadAndWait(0, 0x4000); // memory read, page homed at 0
+    loadAndWait(1, 0x4000); // now another cache has it shared
+    EXPECT_EQ(dirs[0]->stats().remoteShReads.value(), 1u);
+    EXPECT_EQ(net->traffic().messages(MsgClass::RemoteShRd), 1u);
+    // Remote-shared read is much faster than memory.
+    EXPECT_EQ(dirs[0]->stats().memReads.value(), 1u);
+}
+
+TEST_F(MemBench, DirtyRemoteReadForwardsToOwner)
+{
+    // Proc 0 touches the page (homed at 0), commits a written line.
+    loadAndWait(0, 0x4000);
+    caches[0]->store(0x4000, 0);
+    caches[0]->commitSlot(0);
+    dirs[0]->commitLine(cfg.lineOf(0x4000), 0);
+
+    loadAndWait(1, 0x4000);
+    EXPECT_EQ(dirs[0]->stats().remoteDirtyReads.value(), 1u);
+    EXPECT_EQ(net->traffic().messages(MsgClass::RemoteDirtyRd), 1u);
+    // Owner downgraded its copy.
+    EXPECT_EQ(caches[0]->l2().probe(cfg.lineOf(0x4000))->state,
+              LineState::Shared);
+}
+
+TEST_F(MemBench, ReadGateNacksAndRetrySucceeds)
+{
+    // Home the page at tile 0 while the gate is open.
+    loadAndWait(0, 0x8000);
+
+    // Close the gate; schedule it to open at t=500.
+    bool blocked = true;
+    dirs[0]->setReadGate([&](Addr) { return blocked; });
+    eq.schedule(eq.now() + 500, [&] { blocked = false; });
+    const Tick gate_opens = eq.now() + 500;
+
+    // Proc 1 misses on a different line of the same page: it must be
+    // nacked at least once and complete only after the gate opens.
+    Tick done = loadAndWait(1, 0x8040);
+    EXPECT_GE(done, gate_opens);
+    EXPECT_GE(dirs[0]->stats().readNacks.value(), 1u);
+    EXPECT_GE(caches[1]->stats().readNacks.value(), 1u);
+}
+
+TEST_F(MemBench, StoreAllocatesSpeculativeLine)
+{
+    EXPECT_EQ(caches[0]->store(0x9000, 0), StoreResult::Done);
+    const CacheLine* entry = caches[0]->l2().probe(cfg.lineOf(0x9000));
+    ASSERT_NE(entry, nullptr);
+    EXPECT_TRUE(entry->speculative());
+    EXPECT_EQ(caches[0]->stats().storeFetches.value(), 1u);
+    eq.run(); // background fetch completes without side effects
+}
+
+TEST_F(MemBench, CommitSlotMakesLinesDirty)
+{
+    caches[0]->store(0x9000, 0);
+    caches[0]->commitSlot(0);
+    const CacheLine* entry = caches[0]->l2().probe(cfg.lineOf(0x9000));
+    ASSERT_NE(entry, nullptr);
+    EXPECT_FALSE(entry->speculative());
+    EXPECT_EQ(entry->state, LineState::Dirty);
+}
+
+TEST_F(MemBench, SquashDropsWrittenLines)
+{
+    Addr line = cfg.lineOf(0x9000);
+    caches[0]->store(0x9000, 0);
+    caches[0]->squashSlot(0, {line});
+    EXPECT_EQ(caches[0]->l2().probe(line), nullptr);
+    EXPECT_EQ(caches[0]->l1().probe(line), nullptr);
+}
+
+TEST_F(MemBench, InvalidateLinesDropsBothLevels)
+{
+    loadAndWait(0, 0xa000);
+    Addr line = cfg.lineOf(0xa000);
+    EXPECT_NE(caches[0]->l2().probe(line), nullptr);
+    caches[0]->invalidateLines({line});
+    EXPECT_EQ(caches[0]->l2().probe(line), nullptr);
+    EXPECT_EQ(caches[0]->l1().probe(line), nullptr);
+    EXPECT_EQ(caches[0]->stats().invalidationsReceived.value(), 1u);
+}
+
+TEST_F(MemBench, DirectoryCommitLineReturnsInvalidationVictims)
+{
+    loadAndWait(0, 0xb000);
+    loadAndWait(1, 0xb000);
+    loadAndWait(2, 0xb000);
+    Addr line = cfg.lineOf(0xb000);
+    ProcMask victims = dirs[0]->commitLine(line, 0);
+    EXPECT_EQ(victims, (ProcMask(1) << 1) | (ProcMask(1) << 2));
+    const DirEntry* entry = dirs[0]->peek(line);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_TRUE(entry->dirty);
+    EXPECT_EQ(entry->owner, 0u);
+}
+
+TEST_F(MemBench, WritebackClearsOwnership)
+{
+    loadAndWait(0, 0xc000);
+    Addr line = cfg.lineOf(0xc000);
+    dirs[0]->commitLine(line, 0);
+    // Simulate the eviction writeback arriving.
+    dirs[0]->handleMessage(std::make_unique<WritebackMsg>(0, 0, line));
+    const DirEntry* entry = dirs[0]->peek(line);
+    EXPECT_EQ(entry, nullptr); // last sharer gone -> entry reclaimed
+}
+
+TEST_F(MemBench, MshrLimitQueuesExcessMisses)
+{
+    // Issue more distinct load misses than MSHRs; all must finish.
+    const std::uint32_t total = cfg.l2.mshrs + 8;
+    std::uint32_t done = 0;
+    for (std::uint32_t i = 0; i < total; ++i) {
+        bool hit = caches[0]->load(Addr(i) * 64 + 0x100000,
+                                   [&] { ++done; });
+        EXPECT_FALSE(hit);
+    }
+    EXPECT_LE(caches[0]->outstandingMisses(), cfg.l2.mshrs);
+    eq.run();
+    EXPECT_EQ(done, total);
+}
+
+TEST_F(MemBench, MergedMissesCompleteTogether)
+{
+    int done = 0;
+    caches[0]->load(0xd000, [&] { ++done; });
+    caches[0]->load(0xd004, [&] { ++done; }); // same line
+    EXPECT_EQ(caches[0]->outstandingMisses(), 1u);
+    eq.run();
+    EXPECT_EQ(done, 2);
+}
+
+} // namespace
+} // namespace sbulk

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Appendix-A conformance: the OrderingValidator's grammars themselves
+ * (direct sequences from Tables 4/5), then full-system runs with every
+ * directory module instrumented — all commits observed live must follow
+ * the appendix orderings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "proto/scalablebulk/dir_ctrl.hh"
+#include "proto/scalablebulk/ordering.hh"
+#include "system/system.hh"
+#include "workload/synthetic.hh"
+
+namespace sbulk
+{
+namespace
+{
+
+using namespace sb;
+
+CommitId
+cid(std::uint64_t seq)
+{
+    return CommitId{ChunkTag{0, seq}, 1};
+}
+
+// --------------------------------------------------------- grammar units
+
+TEST(OrderingGrammar, LeaderSuccessTable4)
+{
+    // Table 4 leader row: R:req -> S:g -> R:g -> (S:succ & S:g_succ &
+    // S:inv) -> R:ack -> S:done.
+    OrderingValidator v(0);
+    const CommitId id = cid(1);
+    for (DirEvent ev :
+         {DirEvent::RecvCommitRequest, DirEvent::SendGrab,
+          DirEvent::RecvGrab, DirEvent::SendCommitSuccess,
+          DirEvent::SendGSuccess, DirEvent::SendBulkInv,
+          DirEvent::RecvBulkInvAck, DirEvent::SendCommitDone})
+        v.note(id, ev);
+    v.resolve(id, /*leader=*/true, /*success=*/true);
+    EXPECT_TRUE(v.violations().empty()) << v.violations()[0].reason;
+}
+
+TEST(OrderingGrammar, LeaderSuccessSingleModule)
+{
+    // Single-member group: no g leg at all.
+    OrderingValidator v(0);
+    const CommitId id = cid(2);
+    v.note(id, DirEvent::RecvCommitRequest);
+    v.note(id, DirEvent::SendCommitSuccess);
+    v.resolve(id, true, true);
+    EXPECT_TRUE(v.violations().empty());
+}
+
+TEST(OrderingGrammar, MemberSuccessTable4)
+{
+    // Table 4 non-leader row: (R:req & R:g) -> S:g -> R:g_succ -> R:done.
+    OrderingValidator v(3);
+    const CommitId id = cid(3);
+    for (DirEvent ev :
+         {DirEvent::RecvGrab, DirEvent::RecvCommitRequest,
+          DirEvent::SendGrab, DirEvent::RecvGSuccess,
+          DirEvent::RecvCommitDone})
+        v.note(id, ev);
+    v.resolve(id, false, true);
+    EXPECT_TRUE(v.violations().empty()) << v.violations()[0].reason;
+}
+
+TEST(OrderingGrammar, RejectsGForwardBeforeBothPieces)
+{
+    OrderingValidator v(3);
+    const CommitId id = cid(4);
+    // S:g before R:req — illegal (the admit requires both).
+    for (DirEvent ev :
+         {DirEvent::RecvGrab, DirEvent::SendGrab,
+          DirEvent::RecvCommitRequest, DirEvent::RecvGSuccess,
+          DirEvent::RecvCommitDone})
+        v.note(id, ev);
+    v.resolve(id, false, true);
+    ASSERT_EQ(v.violations().size(), 1u);
+}
+
+TEST(OrderingGrammar, RejectsDoneBeforeAcks)
+{
+    OrderingValidator v(0);
+    const CommitId id = cid(5);
+    for (DirEvent ev :
+         {DirEvent::RecvCommitRequest, DirEvent::SendGrab,
+          DirEvent::RecvGrab, DirEvent::SendCommitSuccess,
+          DirEvent::SendBulkInv, DirEvent::SendCommitDone,
+          DirEvent::RecvBulkInvAck})
+        v.note(id, ev);
+    v.resolve(id, true, true);
+    ASSERT_EQ(v.violations().size(), 1u);
+}
+
+TEST(OrderingGrammar, FailureTable5CollisionModule)
+{
+    // Table 5 Collision row: (R:req & R:g) -> S:g_failure.
+    OrderingValidator v(2);
+    const CommitId id = cid(6);
+    for (DirEvent ev : {DirEvent::RecvCommitRequest, DirEvent::RecvGrab,
+                        DirEvent::SendGFailure})
+        v.note(id, ev);
+    v.resolve(id, false, false);
+    EXPECT_TRUE(v.violations().empty()) << v.violations()[0].reason;
+}
+
+TEST(OrderingGrammar, FailureLeaderReportsToProcessor)
+{
+    OrderingValidator v(1);
+    const CommitId id = cid(7);
+    for (DirEvent ev :
+         {DirEvent::RecvCommitRequest, DirEvent::SendGrab,
+          DirEvent::RecvGFailure, DirEvent::SendCommitFailure})
+        v.note(id, ev);
+    v.resolve(id, true, false);
+    EXPECT_TRUE(v.violations().empty()) << v.violations()[0].reason;
+}
+
+TEST(OrderingGrammar, RejectsSilentLeaderFailure)
+{
+    OrderingValidator v(1);
+    const CommitId id = cid(8);
+    for (DirEvent ev : {DirEvent::RecvCommitRequest, DirEvent::SendGrab,
+                        DirEvent::RecvGFailure})
+        v.note(id, ev);
+    v.resolve(id, true, false);
+    ASSERT_EQ(v.violations().size(), 1u);
+}
+
+TEST(OrderingGrammar, RejectsFailureWithNoFailureEvent)
+{
+    OrderingValidator v(4);
+    const CommitId id = cid(9);
+    v.note(id, DirEvent::RecvCommitRequest);
+    v.resolve(id, false, false);
+    ASSERT_EQ(v.violations().size(), 1u);
+}
+
+TEST(OrderingGrammar, RecallCountsAsFailureEdge)
+{
+    // Table 5 Collision row, recall variant: (R:req & R:recall) -> R:g ->
+    // S:g_failure.
+    OrderingValidator v(2);
+    const CommitId id = cid(10);
+    for (DirEvent ev :
+         {DirEvent::RecvCommitRecall, DirEvent::RecvCommitRequest,
+          DirEvent::RecvGrab, DirEvent::SendGFailure})
+        v.note(id, ev);
+    v.resolve(id, false, false);
+    EXPECT_TRUE(v.violations().empty()) << v.violations()[0].reason;
+}
+
+// ------------------------------------------------------ full-system runs
+
+TEST(OrderingConformance, ContendedSystemRunFollowsAppendixA)
+{
+    SystemConfig cfg;
+    cfg.numProcs = 16;
+    cfg.core.chunkInstrs = 500;
+    cfg.core.chunksToRun = 30;
+
+    SyntheticParams p;
+    p.sharedFraction = 0.5;
+    p.sharedWriteFraction = 0.25;
+    p.hotFraction = 0.05;
+    p.hotLines = 8;
+    p.temporalReuse = 0.7;
+
+    std::vector<std::unique_ptr<ThreadStream>> streams;
+    for (NodeId n = 0; n < cfg.numProcs; ++n)
+        streams.push_back(std::make_unique<SyntheticStream>(
+            p, n, cfg.numProcs, cfg.mem.l2.lineBytes, cfg.mem.pageBytes));
+
+    System sys(cfg, std::move(streams));
+
+    // Instrument every directory module.
+    std::vector<std::unique_ptr<OrderingValidator>> validators;
+    for (NodeId n = 0; n < cfg.numProcs; ++n) {
+        validators.push_back(std::make_unique<OrderingValidator>(n));
+        static_cast<sb::SbDirCtrl&>(sys.dirProtocol(n))
+            .setOrderingValidator(validators[n].get());
+    }
+
+    sys.run(1'000'000'000);
+    EXPECT_EQ(sys.metrics().commits.value(), 16u * 30u);
+    // This workload must exercise failures too, or the failure grammars
+    // go untested.
+    EXPECT_GT(sys.metrics().commitFailures.value() +
+                  sys.metrics().squashesTrueConflict.value(),
+              0u);
+
+    std::uint64_t resolved = 0;
+    for (auto& v : validators) {
+        resolved += v->resolved();
+        for (const auto& violation : v->violations()) {
+            ADD_FAILURE() << "module " << violation.module << " commit ("
+                          << violation.id.tag.proc << ","
+                          << violation.id.tag.seq << ") attempt "
+                          << violation.id.attempt << ": "
+                          << violation.reason << " — "
+                          << violation.sequence;
+        }
+    }
+    EXPECT_GT(resolved, 16u * 30u) << "validators saw too few commits";
+}
+
+} // namespace
+} // namespace sbulk

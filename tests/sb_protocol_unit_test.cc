@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Directed unit tests of the ScalableBulk directory-side state machine:
+ * group formation orderings (Figure 3 / Appendix A), the Collision module,
+ * commit recalls, starvation reservation, the read gate window, and CST
+ * deallocation. A fake processor harness injects commit requests and
+ * captures everything the modules send back.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "proto/scalablebulk/dir_ctrl.hh"
+#include "proto/scalablebulk/messages.hh"
+
+namespace sbulk
+{
+namespace
+{
+
+using namespace sb;
+
+/** Records protocol messages delivered to a processor port. */
+struct ProcLog
+{
+    std::vector<std::uint16_t> kinds;
+    std::vector<CommitId> ids;
+    std::deque<MessagePtr> msgs;
+
+    void
+    receive(MessagePtr msg)
+    {
+        kinds.push_back(msg->kind);
+        switch (msg->kind) {
+          case kCommitSuccess:
+            ids.push_back(static_cast<CommitSuccessMsg&>(*msg).id);
+            break;
+          case kCommitFailure:
+            ids.push_back(static_cast<CommitFailureMsg&>(*msg).id);
+            break;
+          case kBulkInv:
+            ids.push_back(static_cast<BulkInvMsg&>(*msg).id);
+            break;
+          default:
+            ids.push_back(CommitId{});
+        }
+        msgs.push_back(std::move(msg));
+    }
+
+    int
+    count(std::uint16_t kind) const
+    {
+        int n = 0;
+        for (auto k : kinds)
+            n += k == kind;
+        return n;
+    }
+
+    /** Bulk invs received but not yet acked by ackNewInvs(). */
+    std::size_t acked = 0;
+};
+
+class SbUnit : public ::testing::Test
+{
+  protected:
+    static constexpr std::uint32_t kNodes = 6;
+
+    void
+    SetUp() override
+    {
+        net = std::make_unique<DirectNetwork>(eq, kNodes, 5);
+        for (std::uint32_t i = 0; i < kNodes; ++i)
+            procs.push_back(std::make_unique<ProcLog>());
+        for (NodeId n = 0; n < kNodes; ++n) {
+            dirs.push_back(std::make_unique<Directory>(n, *net, memCfg));
+            ctrls.push_back(std::make_unique<SbDirCtrl>(
+                n, ProtoContext{eq, *net, metrics, protoCfg}, *dirs[n]));
+            net->registerHandler(n, Port::Dir, [this, n](MessagePtr m) {
+                if (m->kind < kProtoKindBase)
+                    dirs[n]->handleMessage(std::move(m));
+                else
+                    ctrls[n]->handleMessage(std::move(m));
+            });
+            net->registerHandler(n, Port::Proc, [this, n](MessagePtr m) {
+                procs[n]->receive(std::move(m));
+            });
+        }
+    }
+
+    /** Build a commit request for @p proc over @p members. */
+    MessagePtr
+    request(NodeId proc, CommitId id, std::vector<NodeId> members,
+            const std::vector<Addr>& reads,
+            const std::vector<Addr>& writes, NodeId dst)
+    {
+        Signature r, w;
+        for (Addr a : reads)
+            r.insert(a);
+        for (Addr a : writes)
+            w.insert(a);
+        std::uint64_t gvec = 0;
+        for (NodeId m : members)
+            gvec |= 1ull << m;
+        // Home every line at the *first* member for simplicity; tests
+        // that care pass per-dir write lists explicitly via writesHere.
+        return std::make_unique<CommitRequestMsg>(
+            proc, dst, id, r, w, gvec, members,
+            dst == members.front() ? writes : std::vector<Addr>{}, writes);
+    }
+
+    /** Send the request to every member and run to quiescence. */
+    void
+    commit(NodeId proc, CommitId id, std::vector<NodeId> members,
+           std::vector<Addr> reads, std::vector<Addr> writes,
+           bool run_to_idle = true)
+    {
+        for (NodeId m : members)
+            net->send(request(proc, id, members, reads, writes, m));
+        if (run_to_idle)
+            eq.run();
+    }
+
+    /** Ack every bulk invalidation any proc has received but not acked;
+     *  returns true if any ack was sent. */
+    bool
+    ackNewInvs()
+    {
+        bool any = false;
+        for (NodeId p = 0; p < kNodes; ++p) {
+            ProcLog& log = *procs[p];
+            for (std::size_t i = 0; i < log.msgs.size(); ++i) {
+                if (log.kinds[i] != kBulkInv)
+                    continue;
+                auto& inv = static_cast<BulkInvMsg&>(*log.msgs[i]);
+                if (i < log.acked)
+                    continue;
+                net->send(std::make_unique<BulkInvAckMsg>(
+                    p, inv.leader, inv.id, Recall{}));
+                any = true;
+            }
+            log.acked = log.msgs.size();
+        }
+        return any;
+    }
+
+    /** Run to quiescence, acking all invalidations as they appear. */
+    void
+    runAcking()
+    {
+        do {
+            eq.run();
+        } while (ackNewInvs());
+    }
+
+    EventQueue eq;
+    MemConfig memCfg;
+    ProtoConfig protoCfg;
+    CommitMetrics metrics;
+    std::unique_ptr<DirectNetwork> net;
+    std::vector<std::unique_ptr<Directory>> dirs;
+    std::vector<std::unique_ptr<SbDirCtrl>> ctrls;
+    std::vector<std::unique_ptr<ProcLog>> procs;
+};
+
+TEST_F(SbUnit, SingleModuleGroupCommits)
+{
+    CommitId id{ChunkTag{0, 1}, 1};
+    commit(/*proc=*/0, id, {2}, {0x10}, {0x20});
+    EXPECT_EQ(procs[0]->count(kCommitSuccess), 1);
+    EXPECT_EQ(procs[0]->count(kCommitFailure), 0);
+    EXPECT_EQ(ctrls[2]->cstSize(), 0u); // deallocated after commit
+    EXPECT_EQ(metrics.commits.value(), 0u); // proc-side records commits
+    EXPECT_EQ(metrics.forming, 0);
+    EXPECT_EQ(metrics.committing, 0);
+}
+
+TEST_F(SbUnit, MultiModuleGroupFormsViaGrabRing)
+{
+    CommitId id{ChunkTag{1, 1}, 1};
+    commit(1, id, {0, 2, 4}, {0x10}, {0x20});
+    EXPECT_EQ(procs[1]->count(kCommitSuccess), 1);
+    for (NodeId m : {0u, 2u, 4u})
+        EXPECT_EQ(ctrls[m]->cstSize(), 0u) << "module " << m;
+}
+
+TEST_F(SbUnit, CompatibleGroupsShareModulesConcurrently)
+{
+    // Two chunks, same modules, disjoint addresses: both must succeed
+    // without either failing (the headline primitive of Section 3.1).
+    CommitId id_a{ChunkTag{0, 1}, 1};
+    CommitId id_b{ChunkTag{1, 1}, 1};
+    commit(0, id_a, {2, 3}, {0x100}, {0x200}, /*run=*/false);
+    commit(1, id_b, {2, 3}, {0x300}, {0x400}, /*run=*/false);
+    eq.run();
+    EXPECT_EQ(procs[0]->count(kCommitSuccess), 1);
+    EXPECT_EQ(procs[1]->count(kCommitSuccess), 1);
+    EXPECT_EQ(procs[0]->count(kCommitFailure), 0);
+    EXPECT_EQ(procs[1]->count(kCommitFailure), 0);
+}
+
+TEST_F(SbUnit, IncompatibleGroupsOneWinsOneFails)
+{
+    // Same modules, overlapping writes: exactly one forms (Section 3.2.1
+    // guarantee: at least one of any set of colliding groups forms).
+    CommitId id_a{ChunkTag{0, 1}, 1};
+    CommitId id_b{ChunkTag{1, 1}, 1};
+    commit(0, id_a, {2, 3}, {}, {0x200}, /*run=*/false);
+    commit(1, id_b, {2, 3}, {}, {0x200}, /*run=*/false);
+    eq.run();
+    const int successes =
+        procs[0]->count(kCommitSuccess) + procs[1]->count(kCommitSuccess);
+    const int failures =
+        procs[0]->count(kCommitFailure) + procs[1]->count(kCommitFailure);
+    EXPECT_EQ(successes, 1);
+    EXPECT_EQ(failures, 1);
+    // Both CSTs drain either way.
+    EXPECT_EQ(ctrls[2]->cstSize(), 0u);
+    EXPECT_EQ(ctrls[3]->cstSize(), 0u);
+}
+
+TEST_F(SbUnit, ReadWriteOverlapAlsoCollides)
+{
+    // Register a sharer of 0x500 so the writer's commit stays active
+    // (awaiting the bulk-inv ack) when the reader's request arrives.
+    dirs[2]->handleMessage(std::make_unique<ReadReqMsg>(4, 2, 0x500));
+    eq.run();
+    CommitId id_a{ChunkTag{0, 1}, 1};
+    CommitId id_b{ChunkTag{1, 1}, 1};
+    commit(0, id_a, {2}, {}, {0x500}, false);      // writes 0x500
+    commit(1, id_b, {2}, {0x500}, {0x900}, false); // reads 0x500
+    eq.run();
+    // Release the writer's group.
+    if (procs[4]->count(kBulkInv) > 0) {
+        auto& inv = static_cast<BulkInvMsg&>(*procs[4]->msgs.back());
+        net->send(std::make_unique<BulkInvAckMsg>(4, inv.leader, inv.id,
+                                                  Recall{}));
+        eq.run();
+    }
+    EXPECT_EQ(procs[0]->count(kCommitSuccess) +
+                  procs[1]->count(kCommitSuccess),
+              1);
+    EXPECT_EQ(procs[0]->count(kCommitFailure) +
+                  procs[1]->count(kCommitFailure),
+              1);
+}
+
+TEST_F(SbUnit, ReadGateBlocksDuringCommitWindow)
+{
+    // A sharer keeps the commit window open until its ack arrives; the
+    // gate must nack matching loads exactly for that window.
+    dirs[2]->handleMessage(std::make_unique<ReadReqMsg>(4, 2, 0x20));
+    eq.run();
+    CommitId id{ChunkTag{0, 1}, 1};
+    net->send(request(0, id, {2}, {}, {0x20}, 2));
+    while (procs[4]->count(kBulkInv) == 0 && eq.step()) {
+    }
+    EXPECT_TRUE(ctrls[2]->loadBlocked(0x20));
+    EXPECT_FALSE(ctrls[2]->loadBlocked(0x999999));
+    auto& inv = static_cast<BulkInvMsg&>(*procs[4]->msgs.back());
+    net->send(std::make_unique<BulkInvAckMsg>(4, inv.leader, inv.id,
+                                              Recall{}));
+    eq.run(); // commit completes, gate opens
+    EXPECT_FALSE(ctrls[2]->loadBlocked(0x20));
+}
+
+TEST_F(SbUnit, FigureThreeGScenario)
+{
+    // Figure 3(g): three colliding groups — G0{0,2,3,4}, G1{1,2,3},
+    // G2{..}. At least one forms; all CSTs drain; every committer hears
+    // back exactly once per attempt.
+    CommitId g0{ChunkTag{0, 1}, 1};
+    CommitId g1{ChunkTag{1, 1}, 1};
+    CommitId g2{ChunkTag{2, 1}, 1};
+    commit(0, g0, {0, 2, 3, 4}, {}, {0xAAA}, false);
+    commit(1, g1, {1, 2, 3}, {}, {0xAAA}, false);
+    commit(2, g2, {3, 5}, {}, {0xAAA}, false);
+    eq.run();
+    int successes = 0, failures = 0;
+    for (NodeId p : {0u, 1u, 2u}) {
+        successes += procs[p]->count(kCommitSuccess);
+        failures += procs[p]->count(kCommitFailure);
+        EXPECT_EQ(procs[p]->count(kCommitSuccess) +
+                      procs[p]->count(kCommitFailure),
+                  1)
+            << "proc " << p << " must hear exactly one outcome";
+    }
+    EXPECT_GE(successes, 1) << "forward progress (Section 3.2.2)";
+    EXPECT_EQ(successes + failures, 3);
+    for (NodeId m = 0; m < kNodes; ++m)
+        EXPECT_EQ(ctrls[m]->cstSize(), 0u) << "module " << m;
+}
+
+TEST_F(SbUnit, BulkInvalidationReachesSharers)
+{
+    // Proc 5 reads line 0x20 homed at module 2 (registering as sharer),
+    // then proc 0 commits a write to it: module 2's group must send a
+    // bulk inv to proc 5 and complete after the ack.
+    dirs[2]->handleMessage(std::make_unique<ReadReqMsg>(5, 2, 0x20));
+    eq.run();
+    procs[5]->msgs.clear();
+    procs[5]->kinds.clear();
+
+    CommitId id{ChunkTag{0, 1}, 1};
+    commit(0, id, {2}, {}, {0x20}, false);
+    // Run until the bulk inv lands at proc 5.
+    while (procs[5]->count(kBulkInv) == 0 && eq.step()) {
+    }
+    ASSERT_EQ(procs[5]->count(kBulkInv), 1);
+    auto& inv = static_cast<BulkInvMsg&>(*procs[5]->msgs.back());
+    EXPECT_TRUE(inv.wSig.contains(0x20));
+    EXPECT_EQ(inv.committer, 0u);
+    // Ack (no recall): the leader finishes and deallocates.
+    net->send(std::make_unique<BulkInvAckMsg>(5, inv.leader, inv.id,
+                                              Recall{}));
+    eq.run();
+    EXPECT_EQ(procs[0]->count(kCommitSuccess), 1);
+    EXPECT_EQ(ctrls[2]->cstSize(), 0u);
+}
+
+TEST_F(SbUnit, CommitRecallFailsTheLosersGroup)
+{
+    // The Section 3.4 scenario: the winner's leader learns (via the
+    // bulk-inv ack) that a sharer squashed its own in-flight commit; the
+    // recall must reach the Collision module and fail the loser's group
+    // even though the winner's signature is deallocated by then.
+    // Setup: proc 5 shares line 0x20 (homed at 2).
+    dirs[2]->handleMessage(std::make_unique<ReadReqMsg>(5, 2, 0x20));
+    eq.run();
+
+    // Winner: proc 0 commits {2,3} writing 0x20.
+    CommitId winner{ChunkTag{0, 1}, 1};
+    commit(0, winner, {2, 3}, {}, {0x20}, false);
+    while (procs[5]->count(kBulkInv) == 0 && eq.step()) {
+    }
+    auto& inv = static_cast<BulkInvMsg&>(*procs[5]->msgs.back());
+
+    // Loser: proc 5's chunk (group {2,4}, reading 0x20) — squashed by
+    // the inv; its recall rides the ack. Its request is still in flight
+    // toward the modules (delivered after the recall arms).
+    CommitId loser{ChunkTag{5, 9}, 1};
+    Recall recall;
+    recall.valid = true;
+    recall.id = loser;
+    recall.gVec = (1ull << 2) | (1ull << 4);
+    net->send(std::make_unique<BulkInvAckMsg>(5, inv.leader, inv.id,
+                                              recall));
+    eq.run();
+    // Winner committed.
+    EXPECT_EQ(procs[0]->count(kCommitSuccess), 1);
+
+    // Now the (late) loser request+grab arrive at the collision module 2
+    // — it must be failed by the armed recall, not admitted.
+    commit(5, loser, {2, 4}, {0x20}, {0x3000});
+    EXPECT_EQ(procs[5]->count(kCommitSuccess), 0);
+    EXPECT_EQ(procs[5]->count(kCommitFailure), 1);
+    EXPECT_EQ(ctrls[2]->cstSize(), 0u);
+    EXPECT_EQ(ctrls[4]->cstSize(), 0u);
+}
+
+TEST_F(SbUnit, StarvationReservationAfterMaxFailures)
+{
+    protoCfg.starvationMax = 2; // rebuild controllers with a low MAX
+    ctrls.clear();
+    dirs.clear();
+    for (NodeId n = 0; n < kNodes; ++n) {
+        dirs.push_back(std::make_unique<Directory>(n, *net, memCfg));
+        ctrls.push_back(std::make_unique<SbDirCtrl>(
+            n, ProtoContext{eq, *net, metrics, protoCfg}, *dirs[n]));
+    }
+
+    // Make chunk T lose twice (collisions with held groups), then verify
+    // the module reserves itself for T.
+    ChunkTag tag{1, 7};
+    for (std::uint32_t attempt = 1; attempt <= 2; ++attempt) {
+        CommitId blocker{ChunkTag{0, attempt}, 1};
+        // The blocker holds module 2 while T arrives (blocker never
+        // acks its bulk inv -> stays admitted).
+        dirs[2]->handleMessage(std::make_unique<ReadReqMsg>(4, 2, 0x20));
+        eq.run();
+        commit(0, blocker, {2}, {}, {0x20}, false);
+        while (procs[4]->count(kBulkInv) < int(attempt) && eq.step()) {
+        }
+        // T collides at module 2 (write-write on 0x20).
+        commit(1, CommitId{tag, attempt}, {2}, {}, {0x20}, false);
+        eq.run();
+        // Unblock for the next round.
+        auto& inv = static_cast<BulkInvMsg&>(*procs[4]->msgs.back());
+        net->send(std::make_unique<BulkInvAckMsg>(4, inv.leader, inv.id,
+                                                  Recall{}));
+        procs[4]->acked = procs[4]->msgs.size();
+        eq.run();
+    }
+    ASSERT_TRUE(ctrls[2]->reservedFor().has_value());
+    EXPECT_EQ(*ctrls[2]->reservedFor(), tag);
+    EXPECT_GE(metrics.starvationReservations.value(), 1u);
+
+    // While reserved, another chunk is refused...
+    commit(3, CommitId{ChunkTag{3, 1}, 1}, {2}, {}, {0x999});
+    EXPECT_EQ(procs[3]->count(kCommitFailure), 1);
+    // ...and the starving chunk commits and clears the reservation
+    // (acking its invalidations so the group finishes).
+    commit(1, CommitId{tag, 3}, {2}, {}, {0x20}, false);
+    runAcking();
+    EXPECT_EQ(procs[1]->count(kCommitSuccess), 1);
+    EXPECT_FALSE(ctrls[2]->reservedFor().has_value());
+}
+
+TEST_F(SbUnit, GaugesBalanceAfterMixedOutcomes)
+{
+    CommitId a{ChunkTag{0, 1}, 1}, b{ChunkTag{1, 1}, 1};
+    commit(0, a, {2, 3}, {}, {0x111}, false);
+    commit(1, b, {2, 3}, {}, {0x111}, false);
+    eq.run();
+    EXPECT_EQ(metrics.forming, 0);
+    EXPECT_EQ(metrics.committing, 0);
+}
+
+} // namespace
+} // namespace sbulk

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Regression pins for the paper's headline *shapes* (EXPERIMENTS.md):
+ * these run small 64-processor experiments and assert the qualitative
+ * relationships the reproduction exists to demonstrate. If a refactor
+ * breaks one of these, the figures are broken too.
+ *
+ * Budgets are reduced (320 chunks) to keep the suite fast; thresholds are
+ * deliberately loose versions of the full-budget results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/experiment.hh"
+
+namespace sbulk
+{
+namespace
+{
+
+RunResult
+run64(const char* app, ProtocolKind proto,
+      std::uint64_t chunks = 320)
+{
+    RunConfig cfg;
+    cfg.app = findApp(app);
+    cfg.procs = 64;
+    cfg.protocol = proto;
+    cfg.totalChunks = chunks;
+    cfg.tickLimit = 2'000'000'000ull;
+    return runExperiment(cfg);
+}
+
+double
+commitShare(const RunResult& r)
+{
+    return r.breakdown.commit / r.breakdown.total();
+}
+
+TEST(ShapeRegression, ScalableBulkRemovesCommitStallsOnRadix)
+{
+    // Section 6.1 / Figure 7(a): SB has practically no commit overhead
+    // even on the most commit-bound code.
+    const RunResult sb = run64("Radix", ProtocolKind::ScalableBulk);
+    EXPECT_LT(commitShare(sb), 0.05);
+}
+
+TEST(ShapeRegression, TccSerializesRadix)
+{
+    // Figure 7(b): TCC's same-directory serialization dominates Radix.
+    const RunResult tcc = run64("Radix", ProtocolKind::TCC);
+    EXPECT_GT(commitShare(tcc), 0.20);
+    EXPECT_GT(tcc.chunkQueueLength, 1.0);
+}
+
+TEST(ShapeRegression, SeqSerializesRadix)
+{
+    const RunResult seq = run64("Radix", ProtocolKind::SEQ);
+    EXPECT_GT(commitShare(seq), 0.40);
+}
+
+TEST(ShapeRegression, BulkScArbiterSaturatesAtSixtyFour)
+{
+    // Figure 13 / Section 6.3: the centralized arbiter's latency explodes
+    // between 32 and 64 processors.
+    RunConfig cfg;
+    cfg.app = findApp("LU");
+    cfg.protocol = ProtocolKind::BulkSC;
+    cfg.totalChunks = 640;
+    cfg.procs = 32;
+    const RunResult at32 = runExperiment(cfg);
+    cfg.procs = 64;
+    const RunResult at64 = runExperiment(cfg);
+    EXPECT_GT(at64.commitLatencyMean, 3.0 * at32.commitLatencyMean);
+}
+
+TEST(ShapeRegression, ScalableBulkLatencyStaysFlat32To64)
+{
+    RunConfig cfg;
+    cfg.app = findApp("Barnes");
+    cfg.protocol = ProtocolKind::ScalableBulk;
+    cfg.totalChunks = 640;
+    cfg.procs = 32;
+    const RunResult at32 = runExperiment(cfg);
+    cfg.procs = 64;
+    const RunResult at64 = runExperiment(cfg);
+    EXPECT_LT(at64.commitLatencyMean, 2.5 * at32.commitLatencyMean);
+}
+
+TEST(ShapeRegression, RadixWriteGroupDominatesItsLargeFootprint)
+{
+    // Figure 9: Radix touches by far the most directories and nearly the
+    // whole group records writes.
+    const RunResult radix = run64("Radix", ProtocolKind::ScalableBulk);
+    const RunResult lu = run64("LU", ProtocolKind::ScalableBulk);
+    EXPECT_GT(radix.dirsPerCommitMean, 2.0 * lu.dirsPerCommitMean);
+    EXPECT_GT(radix.writeDirsPerCommitMean,
+              0.6 * radix.dirsPerCommitMean);
+}
+
+TEST(ShapeRegression, TccTrafficDominatedBySmallCommitMessages)
+{
+    // Figures 18/19: TCC's probe/skip broadcast makes it the message-count
+    // ceiling, overwhelmingly small commit messages.
+    const RunResult tcc = run64("Vips", ProtocolKind::TCC);
+    const RunResult sb = run64("Vips", ProtocolKind::ScalableBulk);
+    EXPECT_GT(double(tcc.traffic.messages(MsgClass::SmallCMessage)),
+              0.7 * double(tcc.traffic.totalMessages()));
+    EXPECT_GT(tcc.traffic.totalMessages(),
+              2 * sb.traffic.totalMessages());
+}
+
+TEST(ShapeRegression, ScalableBulkHasNoChunkQueue)
+{
+    const RunResult sb = run64("Canneal", ProtocolKind::ScalableBulk);
+    EXPECT_DOUBLE_EQ(sb.chunkQueueLength, 0.0);
+}
+
+} // namespace
+} // namespace sbulk

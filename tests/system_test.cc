@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests of System-level facilities: stats recording, the torus accessor
+ * and its link-occupancy counters, breakdown arithmetic, and validate-mode
+ * wiring.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "system/system.hh"
+#include "workload/synthetic.hh"
+
+namespace sbulk
+{
+namespace
+{
+
+System
+makeSystem(SystemConfig cfg)
+{
+    SyntheticParams p;
+    std::vector<std::unique_ptr<ThreadStream>> streams;
+    for (NodeId n = 0; n < cfg.numProcs; ++n)
+        streams.push_back(std::make_unique<SyntheticStream>(
+            p, n, cfg.numProcs, cfg.mem.l2.lineBytes, cfg.mem.pageBytes));
+    return System(cfg, std::move(streams));
+}
+
+SystemConfig
+tinyConfig()
+{
+    SystemConfig cfg;
+    cfg.numProcs = 8;
+    cfg.core.chunkInstrs = 300;
+    cfg.core.chunksToRun = 5;
+    return cfg;
+}
+
+TEST(SystemStats, RecordStatsCoversComponents)
+{
+    System sys = makeSystem(tinyConfig());
+    sys.run(100'000'000);
+    StatSet set;
+    sys.recordStats(set);
+    EXPECT_DOUBLE_EQ(set.get("commits"), 40.0);
+    EXPECT_TRUE(set.has("commitLatency.mean"));
+    EXPECT_TRUE(set.has("net.MemRd.messages"));
+    EXPECT_TRUE(set.has("core0.useful"));
+    EXPECT_TRUE(set.has("core7.chunksCommitted"));
+    EXPECT_TRUE(set.has("dir3.reads"));
+    EXPECT_TRUE(set.has("l2_5.loads"));
+    EXPECT_DOUBLE_EQ(set.get("core2.chunksCommitted"), 5.0);
+    // Dumping produces one line per stat.
+    std::ostringstream os;
+    set.dump(os);
+    EXPECT_GT(os.str().size(), 100u);
+}
+
+TEST(SystemStats, TorusAccessorAndLinkOccupancy)
+{
+    SystemConfig cfg = tinyConfig();
+    cfg.core.chunksToRun = 20;
+    SyntheticParams p;
+    p.sharedFraction = 0.6; // guarantee remote traffic
+    p.temporalReuse = 0.5;
+    std::vector<std::unique_ptr<ThreadStream>> streams;
+    for (NodeId n = 0; n < cfg.numProcs; ++n)
+        streams.push_back(std::make_unique<SyntheticStream>(
+            p, n, cfg.numProcs, cfg.mem.l2.lineBytes, cfg.mem.pageBytes));
+    System sys(cfg, std::move(streams));
+    ASSERT_NE(sys.torus(), nullptr);
+    sys.run(100'000'000);
+    const TorusNetwork& net = *sys.torus();
+    // Some link must have carried traffic.
+    EXPECT_GT(net.maxLinkBusy(), 0u);
+    // Occupancy never exceeds elapsed time.
+    for (NodeId n = 0; n < 8; ++n)
+        for (unsigned d = 0; d < 4; ++d)
+            EXPECT_LE(net.linkBusy(n, d), sys.eventQueue().now());
+}
+
+TEST(SystemStats, DirectNetworkHasNoTorus)
+{
+    SystemConfig cfg = tinyConfig();
+    cfg.directNetwork = true;
+    System sys = makeSystem(cfg);
+    EXPECT_EQ(sys.torus(), nullptr);
+}
+
+TEST(SystemStats, BreakdownTotalsAreSumOfParts)
+{
+    System sys = makeSystem(tinyConfig());
+    sys.run(100'000'000);
+    const auto b = sys.breakdown();
+    EXPECT_DOUBLE_EQ(b.total(),
+                     b.useful + b.cacheMiss + b.commit + b.squash);
+    EXPECT_GE(double(b.makespan), b.meanFinish);
+}
+
+TEST(SystemStats, ValidateModeAttachesOracle)
+{
+    SystemConfig cfg = tinyConfig();
+    cfg.validate = true;
+    System sys = makeSystem(cfg);
+    sys.run(100'000'000);
+    ASSERT_NE(sys.consistency(), nullptr);
+    EXPECT_EQ(sys.consistency()->commitsChecked(), 40u);
+    EXPECT_TRUE(sys.consistency()->violations().empty());
+}
+
+TEST(SystemStats, ValidateOffMeansNoOracle)
+{
+    System sys = makeSystem(tinyConfig());
+    EXPECT_EQ(sys.consistency(), nullptr);
+}
+
+} // namespace
+} // namespace sbulk

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for the category-gated trace facility.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/trace.hh"
+
+namespace sbulk
+{
+namespace
+{
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        trace::disableAll();
+        trace::setSink(&os);
+    }
+
+    void
+    TearDown() override
+    {
+        trace::disableAll();
+        trace::setSink(nullptr);
+    }
+
+    std::ostringstream os;
+};
+
+TEST_F(TraceTest, DisabledByDefault)
+{
+    EXPECT_FALSE(trace::enabled(trace::Cat::Commit));
+    SBULK_TRACE(trace::Cat::Commit, Tick(5), "nope %d", 1);
+    EXPECT_TRUE(os.str().empty());
+}
+
+TEST_F(TraceTest, EnabledCategoryEmitsStampedLine)
+{
+    trace::enable(trace::Cat::Group);
+    SBULK_TRACE(trace::Cat::Group, Tick(1234), "formed %d members", 3);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("1234"), std::string::npos);
+    EXPECT_NE(out.find("group"), std::string::npos);
+    EXPECT_NE(out.find("formed 3 members"), std::string::npos);
+}
+
+TEST_F(TraceTest, OtherCategoriesStaySilent)
+{
+    trace::enable(trace::Cat::Group);
+    SBULK_TRACE(trace::Cat::Inv, Tick(1), "hidden");
+    EXPECT_TRUE(os.str().empty());
+}
+
+TEST_F(TraceTest, EnableListParsesNames)
+{
+    EXPECT_TRUE(trace::enableList("commit,squash"));
+    EXPECT_TRUE(trace::enabled(trace::Cat::Commit));
+    EXPECT_TRUE(trace::enabled(trace::Cat::Squash));
+    EXPECT_FALSE(trace::enabled(trace::Cat::Read));
+}
+
+TEST_F(TraceTest, EnableListAll)
+{
+    EXPECT_TRUE(trace::enableList("all"));
+    for (std::size_t c = 0; c < std::size_t(trace::Cat::Count); ++c)
+        EXPECT_TRUE(trace::enabled(trace::Cat(c)));
+}
+
+TEST_F(TraceTest, EnableListRejectsUnknown)
+{
+    EXPECT_FALSE(trace::enableList("commit,bogus"));
+    // The valid prefix still took effect.
+    EXPECT_TRUE(trace::enabled(trace::Cat::Commit));
+}
+
+TEST_F(TraceTest, NamesRoundTrip)
+{
+    for (std::size_t c = 0; c < std::size_t(trace::Cat::Count); ++c) {
+        const trace::Cat cat = trace::Cat(c);
+        EXPECT_EQ(trace::parseCat(trace::catName(cat)), cat);
+    }
+    EXPECT_EQ(trace::parseCat("nonsense"), trace::Cat::Count);
+}
+
+} // namespace
+} // namespace sbulk

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * sbulk-sweep: run a cross-product of (applications x protocols x
+ * processor counts) and emit one CSV row per run — the bulk data source
+ * for plotting or regression-tracking the whole evaluation.
+ *
+ *   sbulk-sweep                          # 18 apps x 4 protocols x {32,64}
+ *   sbulk-sweep --apps Radix,LU --procs 16,32,64 --protocols scalablebulk
+ *   sbulk-sweep --chunks 640 > sweep.csv
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "system/experiment.hh"
+
+namespace
+{
+
+using namespace sbulk;
+
+std::vector<std::string>
+split(const std::string& list)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string item =
+            list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        if (!item.empty())
+            out.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+ProtocolKind
+parseProtocol(const std::string& name)
+{
+    if (name == "scalablebulk") return ProtocolKind::ScalableBulk;
+    if (name == "tcc") return ProtocolKind::TCC;
+    if (name == "seq") return ProtocolKind::SEQ;
+    if (name == "bulksc") return ProtocolKind::BulkSC;
+    std::fprintf(stderr, "unknown protocol '%s'\n", name.c_str());
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace sbulk;
+
+    std::vector<const AppSpec*> apps;
+    std::vector<ProtocolKind> protocols = {
+        ProtocolKind::ScalableBulk, ProtocolKind::TCC, ProtocolKind::SEQ,
+        ProtocolKind::BulkSC};
+    std::vector<std::uint32_t> procs = {32, 64};
+    std::uint64_t chunks = 1280;
+
+    for (int i = 1; i < argc; ++i) {
+        const char* a = argv[i];
+        auto need = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", a);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(a, "--apps")) {
+            for (const std::string& name : split(need())) {
+                const AppSpec* app = findApp(name);
+                if (!app) {
+                    std::fprintf(stderr, "unknown app '%s'\n",
+                                 name.c_str());
+                    return 2;
+                }
+                apps.push_back(app);
+            }
+        } else if (!std::strcmp(a, "--protocols")) {
+            protocols.clear();
+            for (const std::string& name : split(need()))
+                protocols.push_back(parseProtocol(name));
+        } else if (!std::strcmp(a, "--procs")) {
+            procs.clear();
+            for (const std::string& item : split(need()))
+                procs.push_back(std::uint32_t(std::atoi(item.c_str())));
+        } else if (!std::strcmp(a, "--chunks")) {
+            chunks = std::strtoull(need(), nullptr, 10);
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: sbulk-sweep [--apps A,B] [--protocols P,Q] "
+                "[--procs N,M] [--chunks N]\n");
+            return 2;
+        }
+    }
+    if (apps.empty())
+        for (const AppSpec& app : allApps())
+            apps.push_back(&app);
+
+    std::printf("app,suite,protocol,procs,makespan,commits,usefulFrac,"
+                "cacheMissFrac,commitFrac,squashFrac,latMean,latP90,dirs,"
+                "writeDirs,bottleneck,queue,failures,squashTrue,"
+                "squashAlias,recalls,messages,l1HitRate\n");
+    for (const AppSpec* app : apps) {
+        for (ProtocolKind proto : protocols) {
+            for (std::uint32_t p : procs) {
+                RunConfig cfg;
+                cfg.app = app;
+                cfg.procs = p;
+                cfg.protocol = proto;
+                cfg.totalChunks = chunks;
+                const RunResult r = runExperiment(cfg);
+                const double total = r.breakdown.total();
+                std::printf(
+                    "%s,%s,%s,%u,%llu,%llu,%.4f,%.4f,%.4f,%.4f,%.1f,"
+                    "%llu,%.2f,%.2f,%.2f,%.2f,%llu,%llu,%llu,%llu,%llu,"
+                    "%.4f\n",
+                    r.app.c_str(), app->suite.c_str(),
+                    protocolName(proto), p,
+                    (unsigned long long)r.makespan,
+                    (unsigned long long)r.commits,
+                    r.breakdown.useful / total,
+                    r.breakdown.cacheMiss / total,
+                    r.breakdown.commit / total,
+                    r.breakdown.squash / total, r.commitLatencyMean,
+                    (unsigned long long)r.commitLatency.percentile(0.9),
+                    r.dirsPerCommitMean, r.writeDirsPerCommitMean,
+                    r.bottleneckRatio, r.chunkQueueLength,
+                    (unsigned long long)r.commitFailures,
+                    (unsigned long long)r.squashesTrueConflict,
+                    (unsigned long long)r.squashesAliasing,
+                    (unsigned long long)r.commitRecalls,
+                    (unsigned long long)r.traffic.totalMessages(),
+                    r.loads ? double(r.l1Hits) / double(r.loads) : 0.0);
+                std::fflush(stdout);
+            }
+        }
+    }
+    return 0;
+}
