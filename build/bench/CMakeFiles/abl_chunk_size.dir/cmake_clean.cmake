@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_chunk_size.dir/abl_chunk_size.cc.o"
+  "CMakeFiles/abl_chunk_size.dir/abl_chunk_size.cc.o.d"
+  "abl_chunk_size"
+  "abl_chunk_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_chunk_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_oci.dir/abl_oci.cc.o"
+  "CMakeFiles/abl_oci.dir/abl_oci.cc.o.d"
+  "abl_oci"
+  "abl_oci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_oci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

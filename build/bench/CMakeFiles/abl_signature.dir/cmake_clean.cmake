@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_signature.dir/abl_signature.cc.o"
+  "CMakeFiles/abl_signature.dir/abl_signature.cc.o.d"
+  "abl_signature"
+  "abl_signature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_signature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

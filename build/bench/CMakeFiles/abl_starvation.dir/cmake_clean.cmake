@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_starvation.dir/abl_starvation.cc.o"
+  "CMakeFiles/abl_starvation.dir/abl_starvation.cc.o.d"
+  "abl_starvation"
+  "abl_starvation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_starvation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

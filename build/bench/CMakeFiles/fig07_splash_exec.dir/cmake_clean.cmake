@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_splash_exec.dir/fig07_splash_exec.cc.o"
+  "CMakeFiles/fig07_splash_exec.dir/fig07_splash_exec.cc.o.d"
+  "fig07_splash_exec"
+  "fig07_splash_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_splash_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_parsec_exec.dir/fig08_parsec_exec.cc.o"
+  "CMakeFiles/fig08_parsec_exec.dir/fig08_parsec_exec.cc.o.d"
+  "fig08_parsec_exec"
+  "fig08_parsec_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_parsec_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

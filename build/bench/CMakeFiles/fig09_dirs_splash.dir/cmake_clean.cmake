@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_dirs_splash.dir/fig09_dirs_splash.cc.o"
+  "CMakeFiles/fig09_dirs_splash.dir/fig09_dirs_splash.cc.o.d"
+  "fig09_dirs_splash"
+  "fig09_dirs_splash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_dirs_splash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

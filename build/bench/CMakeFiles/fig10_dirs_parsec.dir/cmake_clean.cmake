@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dirs_parsec.dir/fig10_dirs_parsec.cc.o"
+  "CMakeFiles/fig10_dirs_parsec.dir/fig10_dirs_parsec.cc.o.d"
+  "fig10_dirs_parsec"
+  "fig10_dirs_parsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dirs_parsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

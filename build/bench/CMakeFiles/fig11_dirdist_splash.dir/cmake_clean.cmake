@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_dirdist_splash.dir/fig11_dirdist_splash.cc.o"
+  "CMakeFiles/fig11_dirdist_splash.dir/fig11_dirdist_splash.cc.o.d"
+  "fig11_dirdist_splash"
+  "fig11_dirdist_splash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_dirdist_splash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

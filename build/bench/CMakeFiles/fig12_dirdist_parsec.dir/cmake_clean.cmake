@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_dirdist_parsec.dir/fig12_dirdist_parsec.cc.o"
+  "CMakeFiles/fig12_dirdist_parsec.dir/fig12_dirdist_parsec.cc.o.d"
+  "fig12_dirdist_parsec"
+  "fig12_dirdist_parsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_dirdist_parsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

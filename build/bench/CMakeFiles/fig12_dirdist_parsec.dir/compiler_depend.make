@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig12_dirdist_parsec.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_bottleneck_splash.dir/fig14_bottleneck_splash.cc.o"
+  "CMakeFiles/fig14_bottleneck_splash.dir/fig14_bottleneck_splash.cc.o.d"
+  "fig14_bottleneck_splash"
+  "fig14_bottleneck_splash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_bottleneck_splash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_bottleneck_parsec.dir/fig15_bottleneck_parsec.cc.o"
+  "CMakeFiles/fig15_bottleneck_parsec.dir/fig15_bottleneck_parsec.cc.o.d"
+  "fig15_bottleneck_parsec"
+  "fig15_bottleneck_parsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_bottleneck_parsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

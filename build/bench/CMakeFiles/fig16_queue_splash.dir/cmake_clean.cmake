@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_queue_splash.dir/fig16_queue_splash.cc.o"
+  "CMakeFiles/fig16_queue_splash.dir/fig16_queue_splash.cc.o.d"
+  "fig16_queue_splash"
+  "fig16_queue_splash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_queue_splash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_queue_splash.
+# This may be replaced when dependencies are built.

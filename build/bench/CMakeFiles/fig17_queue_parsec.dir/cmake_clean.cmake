@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_queue_parsec.dir/fig17_queue_parsec.cc.o"
+  "CMakeFiles/fig17_queue_parsec.dir/fig17_queue_parsec.cc.o.d"
+  "fig17_queue_parsec"
+  "fig17_queue_parsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_queue_parsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_traffic_splash.dir/fig18_traffic_splash.cc.o"
+  "CMakeFiles/fig18_traffic_splash.dir/fig18_traffic_splash.cc.o.d"
+  "fig18_traffic_splash"
+  "fig18_traffic_splash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_traffic_splash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

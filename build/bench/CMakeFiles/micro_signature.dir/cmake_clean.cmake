@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_signature.dir/micro_signature.cc.o"
+  "CMakeFiles/micro_signature.dir/micro_signature.cc.o.d"
+  "micro_signature"
+  "micro_signature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_signature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

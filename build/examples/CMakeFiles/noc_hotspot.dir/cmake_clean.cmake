@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_hotspot.dir/noc_hotspot.cc.o"
+  "CMakeFiles/noc_hotspot.dir/noc_hotspot.cc.o.d"
+  "noc_hotspot"
+  "noc_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radix_commit_study.dir/radix_commit_study.cc.o"
+  "CMakeFiles/radix_commit_study.dir/radix_commit_study.cc.o.d"
+  "radix_commit_study"
+  "radix_commit_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radix_commit_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signature_playground.dir/signature_playground.cc.o"
+  "CMakeFiles/signature_playground.dir/signature_playground.cc.o.d"
+  "signature_playground"
+  "signature_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signature_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/sbulk.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/sbulk.dir/cpu/core.cc.o.d"
+  "/root/repo/src/mem/cache_array.cc" "src/CMakeFiles/sbulk.dir/mem/cache_array.cc.o" "gcc" "src/CMakeFiles/sbulk.dir/mem/cache_array.cc.o.d"
+  "/root/repo/src/mem/directory.cc" "src/CMakeFiles/sbulk.dir/mem/directory.cc.o" "gcc" "src/CMakeFiles/sbulk.dir/mem/directory.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/sbulk.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/sbulk.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/sbulk.dir/net/network.cc.o" "gcc" "src/CMakeFiles/sbulk.dir/net/network.cc.o.d"
+  "/root/repo/src/proto/bulksc/bulksc.cc" "src/CMakeFiles/sbulk.dir/proto/bulksc/bulksc.cc.o" "gcc" "src/CMakeFiles/sbulk.dir/proto/bulksc/bulksc.cc.o.d"
+  "/root/repo/src/proto/scalablebulk/dir_ctrl.cc" "src/CMakeFiles/sbulk.dir/proto/scalablebulk/dir_ctrl.cc.o" "gcc" "src/CMakeFiles/sbulk.dir/proto/scalablebulk/dir_ctrl.cc.o.d"
+  "/root/repo/src/proto/scalablebulk/ordering.cc" "src/CMakeFiles/sbulk.dir/proto/scalablebulk/ordering.cc.o" "gcc" "src/CMakeFiles/sbulk.dir/proto/scalablebulk/ordering.cc.o.d"
+  "/root/repo/src/proto/scalablebulk/proc_ctrl.cc" "src/CMakeFiles/sbulk.dir/proto/scalablebulk/proc_ctrl.cc.o" "gcc" "src/CMakeFiles/sbulk.dir/proto/scalablebulk/proc_ctrl.cc.o.d"
+  "/root/repo/src/proto/seq/seq.cc" "src/CMakeFiles/sbulk.dir/proto/seq/seq.cc.o" "gcc" "src/CMakeFiles/sbulk.dir/proto/seq/seq.cc.o.d"
+  "/root/repo/src/proto/tcc/tcc.cc" "src/CMakeFiles/sbulk.dir/proto/tcc/tcc.cc.o" "gcc" "src/CMakeFiles/sbulk.dir/proto/tcc/tcc.cc.o.d"
+  "/root/repo/src/sig/signature.cc" "src/CMakeFiles/sbulk.dir/sig/signature.cc.o" "gcc" "src/CMakeFiles/sbulk.dir/sig/signature.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/sbulk.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/sbulk.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/sbulk.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/sbulk.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/sbulk.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/sbulk.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/sbulk.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/sbulk.dir/sim/trace.cc.o.d"
+  "/root/repo/src/system/experiment.cc" "src/CMakeFiles/sbulk.dir/system/experiment.cc.o" "gcc" "src/CMakeFiles/sbulk.dir/system/experiment.cc.o.d"
+  "/root/repo/src/system/system.cc" "src/CMakeFiles/sbulk.dir/system/system.cc.o" "gcc" "src/CMakeFiles/sbulk.dir/system/system.cc.o.d"
+  "/root/repo/src/workload/apps.cc" "src/CMakeFiles/sbulk.dir/workload/apps.cc.o" "gcc" "src/CMakeFiles/sbulk.dir/workload/apps.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/CMakeFiles/sbulk.dir/workload/synthetic.cc.o" "gcc" "src/CMakeFiles/sbulk.dir/workload/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_unit_test.dir/baseline_unit_test.cc.o"
+  "CMakeFiles/baseline_unit_test.dir/baseline_unit_test.cc.o.d"
+  "baseline_unit_test"
+  "baseline_unit_test.pdb"
+  "baseline_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_edge_test.dir/hierarchy_edge_test.cc.o"
+  "CMakeFiles/hierarchy_edge_test.dir/hierarchy_edge_test.cc.o.d"
+  "hierarchy_edge_test"
+  "hierarchy_edge_test.pdb"
+  "hierarchy_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_protocol_unit_test.dir/sb_protocol_unit_test.cc.o"
+  "CMakeFiles/sb_protocol_unit_test.dir/sb_protocol_unit_test.cc.o.d"
+  "sb_protocol_unit_test"
+  "sb_protocol_unit_test.pdb"
+  "sb_protocol_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_protocol_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

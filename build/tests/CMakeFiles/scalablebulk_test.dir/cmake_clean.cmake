@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalablebulk_test.dir/scalablebulk_test.cc.o"
+  "CMakeFiles/scalablebulk_test.dir/scalablebulk_test.cc.o.d"
+  "scalablebulk_test"
+  "scalablebulk_test.pdb"
+  "scalablebulk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalablebulk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

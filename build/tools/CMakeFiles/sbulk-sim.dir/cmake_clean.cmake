@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbulk-sim.dir/sbulk_sim.cc.o"
+  "CMakeFiles/sbulk-sim.dir/sbulk_sim.cc.o.d"
+  "sbulk-sim"
+  "sbulk-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbulk-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbulk-sweep.dir/sbulk_sweep.cc.o"
+  "CMakeFiles/sbulk-sweep.dir/sbulk_sweep.cc.o.d"
+  "sbulk-sweep"
+  "sbulk-sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbulk-sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
