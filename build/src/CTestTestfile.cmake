@@ -13,3 +13,4 @@ subdirs("proto")
 subdirs("cpu")
 subdirs("workload")
 subdirs("system")
+subdirs("check")

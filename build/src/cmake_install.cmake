@@ -87,3 +87,8 @@ if(NOT CMAKE_INSTALL_LOCAL_ONLY)
   include("/root/repo/build/src/system/cmake_install.cmake")
 endif()
 
+if(NOT CMAKE_INSTALL_LOCAL_ONLY)
+  # Include the install script for the subdirectory.
+  include("/root/repo/build/src/check/cmake_install.cmake")
+endif()
+

@@ -1,0 +1,115 @@
+#include "check/scheduler.hh"
+
+namespace sbulk
+{
+namespace check
+{
+
+std::uint64_t
+ScheduleTrace::hash() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+    };
+    for (const Decision& d : decisions) {
+        mix(d.kind);
+        mix(d.value);
+    }
+    return h;
+}
+
+std::uint64_t
+ChannelFifoClamp::channelKey(const Message& msg)
+{
+    return (std::uint64_t(msg.src) << 40) | (std::uint64_t(msg.dst) << 8) |
+           std::uint64_t(msg.dstPort);
+}
+
+Tick
+ChannelFifoClamp::clamp(Tick now, const Message& msg, Tick raw)
+{
+    // Strictly increasing per channel: if two same-channel messages were
+    // allowed to *arrive* on the same tick, the random same-tick tie-break
+    // could still process them out of order — something no FIFO link can
+    // do, and an ordering the protocols are entitled to rely on.
+    auto [it, fresh] = _floor.try_emplace(channelKey(msg), 0);
+    Tick jitter = raw;
+    if (!fresh && now + jitter <= it->second)
+        jitter = it->second + 1 - now;
+    it->second = now + jitter;
+    return jitter;
+}
+
+RandomScheduler::RandomScheduler(std::uint64_t seed, Tick max_jitter,
+                                 const EventQueue& eq)
+    : _rng(seed), _maxJitter(max_jitter), _eq(eq)
+{}
+
+std::size_t
+RandomScheduler::chooseNext(std::size_t count)
+{
+    const std::size_t pick = std::size_t(_rng.below(count));
+    _trace.decisions.push_back(
+        Decision{Decision::TieBreak, std::uint32_t(pick)});
+    return pick;
+}
+
+Tick
+RandomScheduler::jitter(const Message& msg)
+{
+    const Tick raw = _maxJitter == 0 ? 0 : Tick(_rng.below(_maxJitter + 1));
+    const Tick clamped = _fifo.clamp(_eq.now(), msg, raw);
+    _trace.decisions.push_back(
+        Decision{Decision::Jitter, std::uint32_t(clamped)});
+    return clamped;
+}
+
+ReplayScheduler::ReplayScheduler(const ScheduleTrace& trace,
+                                 std::size_t prefix, const EventQueue& eq)
+    : _recorded(trace), _prefix(std::min(prefix, trace.decisions.size())),
+      _eq(eq)
+{}
+
+const Decision*
+ReplayScheduler::nextRecorded(Decision::Kind kind)
+{
+    if (_cursor >= _prefix)
+        return nullptr;
+    const Decision& d = _recorded.decisions[_cursor];
+    // A kind mismatch means the shortened prefix diverged from the
+    // recorded execution; from that point the defaults take over.
+    if (d.kind != kind) {
+        _cursor = _prefix;
+        return nullptr;
+    }
+    ++_cursor;
+    return &d;
+}
+
+std::size_t
+ReplayScheduler::chooseNext(std::size_t count)
+{
+    std::size_t pick = 0;
+    if (const Decision* d = nextRecorded(Decision::TieBreak))
+        pick = std::min<std::size_t>(d->value, count - 1);
+    _executed.decisions.push_back(
+        Decision{Decision::TieBreak, std::uint32_t(pick)});
+    return pick;
+}
+
+Tick
+ReplayScheduler::jitter(const Message& msg)
+{
+    Tick raw = 0;
+    if (const Decision* d = nextRecorded(Decision::Jitter))
+        raw = d->value;
+    const Tick clamped = _fifo.clamp(_eq.now(), msg, raw);
+    _executed.decisions.push_back(
+        Decision{Decision::Jitter, std::uint32_t(clamped)});
+    return clamped;
+}
+
+} // namespace check
+} // namespace sbulk

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Schedule controllers for the model checker (see CHECKING.md).
+ *
+ * A *schedule* is the sequence of discretionary decisions the simulator
+ * makes while executing a run: which of several same-tick events runs
+ * first (EventQueue tie-breaks) and how much extra delivery delay each
+ * network message picks up (jitter). Everything else is deterministic, so
+ * a schedule is fully described by the ordered list of those decisions —
+ * the ScheduleTrace.
+ *
+ * Two controllers implement SchedulePolicy:
+ *
+ *  - RandomScheduler draws every decision from a seeded xoshiro RNG and
+ *    records the trace as it goes. Rerunning with the same seed replays
+ *    the identical schedule byte-for-byte.
+ *  - ReplayScheduler consumes a recorded trace prefix and falls back to
+ *    the deterministic defaults (FIFO tie-breaks, zero jitter) once the
+ *    prefix is exhausted. Shrinking a failure is a search for the
+ *    shortest prefix that still reproduces it.
+ *
+ * Jitter is clamped so that deliveries on one (src, dst, port) channel
+ * never reorder: the baseline networks deliver point-to-point in order
+ * and the protocols are entitled to rely on that, so an interleaving
+ * that reorders a channel would be an artifact of the checker, not a
+ * legal schedule. The clamp assumes a fixed per-message base latency
+ * (use DirectNetwork for checking).
+ */
+
+#ifndef SBULK_CHECK_SCHEDULER_HH
+#define SBULK_CHECK_SCHEDULER_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/message.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+namespace sbulk
+{
+namespace check
+{
+
+/** One recorded schedule decision. */
+struct Decision
+{
+    enum Kind : std::uint8_t
+    {
+        TieBreak, ///< value = index chosen among the same-tick batch
+        Jitter,   ///< value = extra delivery delay in ticks
+    };
+
+    Kind kind = TieBreak;
+    std::uint32_t value = 0;
+};
+
+/** The complete (or prefix of a) schedule: decisions in draw order. */
+struct ScheduleTrace
+{
+    std::vector<Decision> decisions;
+
+    /** FNV-1a over the decision stream; identifies distinct schedules. */
+    std::uint64_t hash() const;
+};
+
+/**
+ * Per-channel FIFO floor for jitter draws: delivery tick on a channel
+ * must be monotone in send order (fixed base latency assumed).
+ */
+class ChannelFifoClamp
+{
+  public:
+    /** Clamp @p raw so now+result >= the channel's last delivery time. */
+    Tick clamp(Tick now, const Message& msg, Tick raw);
+
+  private:
+    static std::uint64_t channelKey(const Message& msg);
+
+    /** Per channel: latest (send tick + jitter) granted so far. */
+    std::unordered_map<std::uint64_t, Tick> _floor;
+};
+
+/**
+ * Seeded random schedule: uniform tie-breaks, uniform jitter in
+ * [0, maxJitter], every decision recorded.
+ */
+class RandomScheduler : public SchedulePolicy
+{
+  public:
+    /**
+     * @param seed Seed for the decision RNG.
+     * @param max_jitter Largest per-message delivery jitter (0 disables
+     *        jitter entirely — tie-breaks still randomize).
+     * @param eq Clock source for the FIFO clamp.
+     */
+    RandomScheduler(std::uint64_t seed, Tick max_jitter,
+                    const EventQueue& eq);
+
+    std::size_t chooseNext(std::size_t count) override;
+
+    /** Jitter callback for Network::setDeliveryJitter(). */
+    Tick jitter(const Message& msg);
+    std::function<Tick(const Message&)>
+    jitterFn()
+    {
+        return [this](const Message& m) { return jitter(m); };
+    }
+
+    const ScheduleTrace& trace() const { return _trace; }
+
+  private:
+    Rng _rng;
+    Tick _maxJitter;
+    const EventQueue& _eq;
+    ChannelFifoClamp _fifo;
+    ScheduleTrace _trace;
+};
+
+/**
+ * Replays the first @p prefix decisions of a recorded trace, then
+ * defaults to FIFO tie-breaks and zero (FIFO-clamped) jitter. Records
+ * the decisions it actually makes, so a full-prefix replay's trace
+ * hash can be compared against the original for byte-for-byte identity.
+ */
+class ReplayScheduler : public SchedulePolicy
+{
+  public:
+    ReplayScheduler(const ScheduleTrace& trace, std::size_t prefix,
+                    const EventQueue& eq);
+
+    std::size_t chooseNext(std::size_t count) override;
+
+    /** Jitter callback for Network::setDeliveryJitter(). */
+    Tick jitter(const Message& msg);
+    std::function<Tick(const Message&)>
+    jitterFn()
+    {
+        return [this](const Message& m) { return jitter(m); };
+    }
+
+    /** The decisions this replay actually executed. */
+    const ScheduleTrace& trace() const { return _executed; }
+
+  private:
+    /** Next recorded decision if inside the prefix and kinds agree. */
+    const Decision* nextRecorded(Decision::Kind kind);
+
+    const ScheduleTrace& _recorded;
+    std::size_t _prefix;
+    std::size_t _cursor = 0;
+    const EventQueue& _eq;
+    ChannelFifoClamp _fifo;
+    ScheduleTrace _executed;
+};
+
+} // namespace check
+} // namespace sbulk
+
+#endif // SBULK_CHECK_SCHEDULER_HH

@@ -153,6 +153,8 @@ Core::executeOp()
             // landing during the miss is ordered before this read.
             if (_checker)
                 _checker->noteRead(chunk->tag(), line);
+            if (_observer)
+                _observer->onChunkRead(_id, chunk->tag(), line);
             const Tick elapsed = _eq.now() - issued;
             if (elapsed > work)
                 chunk->missStallCycles += elapsed - work;
@@ -161,6 +163,8 @@ Core::executeOp()
     if (hit) {
         if (_checker)
             _checker->noteRead(exec->tag(), line);
+        if (_observer)
+            _observer->onChunkRead(_id, exec->tag(), line);
         scheduleNextOp(work);
     }
 }
@@ -217,6 +221,8 @@ Core::chunkCommitted(ChunkTag tag)
     _caches.commitSlot(front->slot());
     if (_checker)
         _checker->commitChunk(tag, front->writeLines(), _eq.now());
+    if (_observer)
+        _observer->onChunkCommitted(_id, tag, front->writeLines(), _eq.now());
 
     _stats.usefulCycles.inc(front->usefulCycles);
     _stats.missStallCycles.inc(front->missStallCycles);
@@ -244,7 +250,7 @@ Core::chunkCommitted(ChunkTag tag)
 
 InvOutcome
 Core::applyBulkInv(const Signature& w, const std::vector<Addr>& lines,
-                   ChunkTag /*committer*/, ChunkTag exempt)
+                   ChunkTag committer, ChunkTag exempt)
 {
     InvOutcome outcome;
 
@@ -266,7 +272,8 @@ Core::applyBulkInv(const Signature& w, const std::vector<Addr>& lines,
                 chunk.state() == ChunkState::Committing;
             outcome.committingTag = chunk.tag();
             const bool true_conflict = chunk.trulyConflictsWith(lines);
-            squashFrom(i, true_conflict);
+            squashFrom(i, true_conflict, SquashReason::Conflict, committer,
+                       &w, &lines);
             outcome.wasTrueConflict = true_conflict;
             break;
         }
@@ -275,7 +282,7 @@ Core::applyBulkInv(const Signature& w, const std::vector<Addr>& lines,
 }
 
 InvOutcome
-Core::applyLineInv(const std::vector<Addr>& lines, ChunkTag /*committer*/,
+Core::applyLineInv(const std::vector<Addr>& lines, ChunkTag committer,
                    ChunkTag exempt)
 {
     InvOutcome outcome;
@@ -295,7 +302,8 @@ Core::applyLineInv(const std::vector<Addr>& lines, ChunkTag /*committer*/,
                 chunk.state() == ChunkState::Committing;
             outcome.committingTag = chunk.tag();
             outcome.wasTrueConflict = true;
-            squashFrom(i, true);
+            squashFrom(i, true, SquashReason::Conflict, committer,
+                       /*commit_w=*/nullptr, &lines);
             break;
         }
     }
@@ -307,7 +315,7 @@ Core::chunkMustSquash(ChunkTag tag)
 {
     for (std::size_t i = 0; i < _chunks.size(); ++i) {
         if (_chunks[i]->tag() == tag) {
-            squashFrom(i, true);
+            squashFrom(i, true, SquashReason::ProtocolKill);
             return;
         }
     }
@@ -315,7 +323,10 @@ Core::chunkMustSquash(ChunkTag tag)
 }
 
 void
-Core::squashFrom(std::size_t first_idx, bool true_conflict)
+Core::squashFrom(std::size_t first_idx, bool true_conflict,
+                 SquashReason why, const ChunkTag& committer,
+                 const Signature* commit_w,
+                 const std::vector<Addr>* commit_lines)
 {
     SBULK_TRACE(trace::Cat::Squash, _eq.now(),
                 "core %u squashes %zu chunk(s) from slot %zu (%s conflict)",
@@ -325,6 +336,16 @@ Core::squashFrom(std::size_t first_idx, bool true_conflict)
 
     for (std::size_t i = first_idx; i < _chunks.size(); ++i) {
         Chunk& chunk = *_chunks[i];
+        if (_observer) {
+            // Only the first chunk was squashed for cause; the younger
+            // ones cascade (they may have consumed its forwarded data).
+            const SquashReason r =
+                i == first_idx ? why : SquashReason::Cascade;
+            _observer->onChunkSquashed(
+                _id, chunk, r, committer,
+                r == SquashReason::Conflict ? commit_w : nullptr,
+                r == SquashReason::Conflict ? commit_lines : nullptr);
+        }
         _stats.squashWasteCycles.inc(chunk.usefulCycles +
                                      chunk.missStallCycles);
         chunk.usefulCycles = 0;

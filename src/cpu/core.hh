@@ -60,6 +60,8 @@ class Core : public CoreHooks
     void setStream(ThreadStream* stream) { _stream = stream; }
     /** Attach the (optional) atomicity oracle. */
     void setChecker(ConsistencyChecker* checker) { _checker = checker; }
+    /** Attach the (optional) correctness-tooling observer (src/check/). */
+    void setObserver(ProtocolObserver* observer) { _observer = observer; }
 
     /** Begin execution at the current tick. */
     void start();
@@ -117,8 +119,15 @@ class Core : public CoreHooks
     void completeChunk();
     /** Ask the protocol to commit the oldest chunk if it is ready. */
     void maybeRequestCommit();
-    /** Squash @p first_idx and every younger chunk; restart execution. */
-    void squashFrom(std::size_t first_idx, bool true_conflict);
+    /**
+     * Squash @p first_idx and every younger chunk; restart execution.
+     * @p why / @p committer / @p commit_w / @p commit_lines describe the
+     * triggering event for the observer (nulls outside Conflict squashes).
+     */
+    void squashFrom(std::size_t first_idx, bool true_conflict,
+                    SquashReason why, const ChunkTag& committer = ChunkTag{},
+                    const Signature* commit_w = nullptr,
+                    const std::vector<Addr>* commit_lines = nullptr);
     /** Core went idle waiting for a commit; note when it started. */
     void enterCommitStall();
     /** Leave the commit stall (a commit completed). */
@@ -131,6 +140,7 @@ class Core : public CoreHooks
     ProcProtocol* _proto = nullptr;
     ThreadStream* _stream = nullptr;
     ConsistencyChecker* _checker = nullptr;
+    ProtocolObserver* _observer = nullptr;
 
     /** In-flight chunks, oldest first. Size <= 2. */
     std::deque<std::unique_ptr<Chunk>> _chunks;

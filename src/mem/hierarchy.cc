@@ -129,9 +129,20 @@ void
 CacheHierarchy::handleReadReply(const ReadReplyMsg& msg)
 {
     const Addr line = msg.line;
-    fill(line);
 
     auto it = _mshrs.find(line);
+    if (it != _mshrs.end() && it->second.refetch) {
+        // A commit invalidated this line after our request registered at
+        // the directory: the directory dropped us from the sharer set, so
+        // completing the load now would leave later commits of the line
+        // with no one to invalidate. Discard the fill and re-request.
+        it->second.refetch = false;
+        sendReadReq(line);
+        return;
+    }
+
+    fill(line);
+
     if (it != _mshrs.end()) {
         auto waiters = std::move(it->second.waiters);
         _mshrs.erase(it);
@@ -211,6 +222,10 @@ CacheHierarchy::invalidateLines(const std::vector<Addr>& lines)
         had |= _l1.invalidate(line);
         if (had)
             _stats.invalidationsReceived.inc();
+        // An outstanding miss for this line raced with the commit: its
+        // fill is stale (and our directory presence bit is gone).
+        if (auto it = _mshrs.find(line); it != _mshrs.end())
+            it->second.refetch = true;
     }
 }
 

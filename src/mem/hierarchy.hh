@@ -122,6 +122,11 @@ class CacheHierarchy
         std::vector<std::function<void()>> waiters;
         /** True if a core load is blocked on this line (vs. store fetch). */
         bool demandLoad = false;
+        /** An invalidation hit this line while the miss was outstanding:
+         *  the directory wiped our presence bit, so the in-flight fill
+         *  must be discarded and the request re-issued (re-registering
+         *  us as a sharer) before any waiter may observe the data. */
+        bool refetch = false;
     };
 
     /** Start (or merge into) a miss for @p line. */

@@ -37,8 +37,17 @@ enum class MsgClass : std::uint8_t
     Other,
 };
 
-/** Number of MsgClass values, for stat arrays. */
-inline constexpr std::size_t kNumMsgClasses = 6;
+/**
+ * Number of MsgClass values, for stat arrays. Derived from the last
+ * enumerator so adding a class automatically grows every array sized by
+ * it; a new class must be inserted *before* Other (or Other must stay
+ * last) — the static_assert below pins that convention.
+ */
+inline constexpr std::size_t kNumMsgClasses =
+    std::size_t(MsgClass::Other) + 1;
+static_assert(kNumMsgClasses == 6,
+              "MsgClass changed: keep Other last, update msgClassName() "
+              "and re-check every consumer of kNumMsgClasses");
 
 const char* msgClassName(MsgClass cls);
 

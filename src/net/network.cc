@@ -36,6 +36,7 @@ DirectNetwork::send(MessagePtr msg)
     msg->sentAt = _eq.now();
     _traffic.record(msg->cls, msg->bytes, msg->src == msg->dst ? 0 : 1);
     Tick latency = msg->src == msg->dst ? 1 : _latency;
+    latency += jitterFor(*msg);
     Message* raw = msg.release();
     _eq.scheduleIn(latency, [this, raw] { deliver(MessagePtr(raw)); });
 }
@@ -116,13 +117,21 @@ TorusNetwork::send(MessagePtr msg)
 {
     msg->sentAt = _eq.now();
     _traffic.record(msg->cls, msg->bytes, hopCount(msg->src, msg->dst));
+    const Tick jitter = jitterFor(*msg);
     if (msg->src == msg->dst) {
         // Same-tile communication bypasses the router fabric.
         Message* raw = msg.release();
-        _eq.scheduleIn(1, [this, raw] { deliver(MessagePtr(raw)); });
+        _eq.scheduleIn(1 + jitter, [this, raw] { deliver(MessagePtr(raw)); });
         return;
     }
     const NodeId start = msg->src;
+    if (jitter > 0) {
+        // Jitter models injection-queue delay: the message waits at the
+        // source NIC, then routes normally.
+        Message* raw = msg.release();
+        _eq.scheduleIn(jitter, [this, raw, start] { hop(raw, start); });
+        return;
+    }
     hop(msg.release(), start);
 }
 

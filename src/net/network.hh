@@ -24,19 +24,33 @@ namespace sbulk
 /** Per-class message/byte/hop counters (Figures 18/19). */
 class TrafficStats
 {
+    // The three counter arrays share one index space; a MsgClass value
+    // outside [0, kNumMsgClasses) would silently corrupt neighbouring
+    // counters, so every access is bounds-checked.
+    static_assert(kNumMsgClasses == std::size_t(MsgClass::Other) + 1,
+                  "TrafficStats arrays must cover every MsgClass");
+
+    static std::size_t
+    index(MsgClass cls)
+    {
+        const auto i = std::size_t(cls);
+        SBULK_ASSERT(i < kNumMsgClasses, "invalid MsgClass %zu", i);
+        return i;
+    }
+
   public:
     void
     record(MsgClass cls, std::uint32_t bytes, std::uint32_t hops)
     {
-        auto i = std::size_t(cls);
+        const auto i = index(cls);
         ++_messages[i];
         _bytes[i] += bytes;
         _hops[i] += hops;
     }
 
-    std::uint64_t messages(MsgClass cls) const { return _messages[std::size_t(cls)]; }
-    std::uint64_t bytes(MsgClass cls) const { return _bytes[std::size_t(cls)]; }
-    std::uint64_t hops(MsgClass cls) const { return _hops[std::size_t(cls)]; }
+    std::uint64_t messages(MsgClass cls) const { return _messages[index(cls)]; }
+    std::uint64_t bytes(MsgClass cls) const { return _bytes[index(cls)]; }
+    std::uint64_t hops(MsgClass cls) const { return _hops[index(cls)]; }
 
     std::uint64_t
     totalMessages() const
@@ -91,6 +105,22 @@ class Network
     /** Inject @p msg; it is delivered to the destination handler later. */
     virtual void send(MessagePtr msg) = 0;
 
+    /**
+     * Install an optional per-message delivery jitter source.
+     *
+     * Called once per send(); the returned extra ticks are added to the
+     * message's delivery latency. The schedule-exploration checker
+     * (src/check/) uses this to perturb message orderings beyond what
+     * same-tick tie-breaks alone can produce. The hook must be a
+     * deterministic function of its own state so runs replay from a seed.
+     * Null (the default) means no jitter.
+     */
+    void
+    setDeliveryJitter(std::function<Tick(const Message&)> jitter)
+    {
+        _jitter = std::move(jitter);
+    }
+
     std::uint32_t numNodes() const { return std::uint32_t(_handlers.size()); }
     const TrafficStats& traffic() const { return _traffic; }
     TrafficStats& traffic() { return _traffic; }
@@ -100,8 +130,15 @@ class Network
     /** Hand @p msg to its destination handler (immediately). */
     void deliver(MessagePtr msg);
 
+    /** Extra delivery delay for @p msg (0 without a jitter hook). */
+    Tick jitterFor(const Message& msg) const
+    {
+        return _jitter ? _jitter(msg) : 0;
+    }
+
     EventQueue& _eq;
     TrafficStats _traffic;
+    std::function<Tick(const Message&)> _jitter;
 
   private:
     std::vector<std::array<Handler, kNumPorts>> _handlers;

@@ -156,8 +156,11 @@ BkDirCtrl::onDirCommit(const DirCommitMsg& msg)
     ProcMask targets = 0;
     for (Addr line : msg.writesHere)
         targets |= _dir.sharersOf(line, msg.committer);
-    for (Addr line : msg.writesHere)
+    for (Addr line : msg.writesHere) {
         _dir.commitLine(line, msg.committer);
+        if (_ctx.observer)
+            _ctx.observer->onLineCommitted(_self, line, msg.id);
+    }
 
     if (targets == 0) {
         _ctx.net.send(std::make_unique<DirDoneMsg>(_self, _agent, msg.id));
@@ -210,6 +213,8 @@ BkProcCtrl::sendRequest()
     ++chunk.commitAttempts;
     _current = CommitId{chunk.tag(), chunk.commitAttempts};
     _awaitingDecision = true;
+    if (_ctx.observer)
+        _ctx.observer->onCommitRequested(_self, _current, chunk);
 
     std::unordered_map<NodeId, std::vector<Addr>> writes =
         chunk.writesByHome();
@@ -225,6 +230,8 @@ BkProcCtrl::abortCommit(ChunkTag tag)
         _chunk = nullptr;
         _awaitingDecision = false;
         _granted = false;
+        if (_ctx.observer)
+            _ctx.observer->onCommitAborted(_self, _current);
     }
 }
 
@@ -237,6 +244,12 @@ BkProcCtrl::handleMessage(MessagePtr msg)
         if (_chunk && reply.id == _current) {
             _awaitingDecision = false;
             _granted = true;
+            // The grant is the serialization point: the arbiter ordered
+            // this chunk before everything it grants later, even though
+            // the invalidation fan-out may let a later grant *complete*
+            // first.
+            if (_ctx.observer)
+                _ctx.observer->onCommitSerialized(_self, _current);
         }
         break;
       }
@@ -245,6 +258,8 @@ BkProcCtrl::handleMessage(MessagePtr msg)
         if (!_chunk || reply.id != _current)
             break;
         _awaitingDecision = false;
+        if (_ctx.observer)
+            _ctx.observer->onCommitFailure(_self, reply.id);
         _ctx.metrics.commitFailures.inc();
         _ctx.metrics.commitRetries.inc();
         const Tick factor = std::min<Tick>(_chunk->commitAttempts, 20);
@@ -262,7 +277,11 @@ BkProcCtrl::handleMessage(MessagePtr msg)
             break;
         Chunk* chunk = _chunk;
         _chunk = nullptr;
+        if (!_granted && _ctx.observer)
+            _ctx.observer->onCommitSerialized(_self, reply.id);
         _granted = false;
+        if (_ctx.observer)
+            _ctx.observer->onCommitSuccess(_self, reply.id);
         _ctx.metrics.recordCommit(*chunk, _ctx.eq.now());
         _core->chunkCommitted(chunk->tag());
         break;
@@ -303,6 +322,8 @@ BkProcCtrl::onBulkInv(const BkBulkInvMsg& msg)
             // The chunk was denied and waiting to retry; the conflict
             // settled it. Drop the pending retry.
             _chunk = nullptr;
+            if (_ctx.observer)
+                _ctx.observer->onCommitAborted(_self, _current);
         }
     }
     _ctx.net.send(std::make_unique<BkBulkInvAckMsg>(kBkBulkInvAck, _self,

@@ -146,6 +146,7 @@ class BkArbiter : public CentralAgent
 
     void handleMessage(MessagePtr msg) override;
     NodeId nodeId() const override { return _self; }
+    bool quiescent() const override { return _committing.empty(); }
 
     std::size_t committingNow() const { return _committing.size(); }
 
@@ -175,6 +176,7 @@ class BkDirCtrl : public DirProtocol
 
     void handleMessage(MessagePtr msg) override;
     bool loadBlocked(Addr line) const override;
+    bool quiescent() const override { return _active.empty(); }
 
   private:
     struct Active

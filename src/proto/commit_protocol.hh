@@ -28,6 +28,34 @@ inline constexpr std::uint32_t kSmallCBytes = 8;
 /** Carries a compressed signature pair. */
 inline constexpr std::uint32_t kLargeCBytes = 64;
 
+/**
+ * Test-only protocol sabotage switches (model checking).
+ *
+ * The schedule-exploration checker (src/check/) must be able to prove its
+ * invariant oracles can fail, so ScalableBulk's group-collision resolution
+ * can be deliberately broken. Never set outside tests/tools.
+ */
+enum class SbBreakMode : std::uint8_t
+{
+    None,
+    /**
+     * Disable collision resolution: skip the CST compatibility check
+     * (colliding groups are all admitted and all commit) and skip the
+     * processor-side chunk disambiguation that backstops it (incoming
+     * bulk invalidations are acked without squashing). Conflicting
+     * chunks then both retire with stale reads, which the
+     * serializability oracle catches.
+     */
+    AdmitConflicting,
+    /**
+     * On a collision, fail *both* groups instead of keeping the admitted
+     * winner. Violates the paper's Section 3.2.3 guarantee that at least
+     * one of any set of colliding groups forms (the exactly-one-winner
+     * oracle sees a cycle of collision losers).
+     */
+    FailBothOnCollision,
+};
+
 /** Tunables shared by all protocol implementations. */
 struct ProtoConfig
 {
@@ -58,6 +86,8 @@ struct ProtoConfig
     Tick leaderRotationInterval = 0;
     /** BulkSC arbiter occupancy per request processed, cycles. */
     Tick arbiterServiceTime = 68;
+    /** Test-only ScalableBulk sabotage knob (see SbBreakMode). */
+    SbBreakMode sbBreak = SbBreakMode::None;
 };
 
 /**
@@ -248,6 +278,144 @@ struct CommitId
     bool operator==(const CommitId&) const = default;
 };
 
+/** Why a ScalableBulk group was failed at a directory module. */
+enum class GroupFailReason : std::uint8_t
+{
+    Collision,   ///< incompatible with an admitted group (Section 3.2.1)
+    Recall,      ///< commit recall for a squashed optimistic committer
+    Reservation, ///< bounced by a starvation reservation (Section 3.2.2)
+};
+
+/** Why a core squashed a chunk. */
+enum class SquashReason : std::uint8_t
+{
+    Conflict,     ///< disambiguation hit against a remote commit's W
+    Cascade,      ///< an older same-core chunk squashed beneath it
+    ProtocolKill, ///< the protocol asked for the squash (chunkMustSquash)
+};
+
+/**
+ * Observer of protocol-level events, for correctness tooling.
+ *
+ * The schedule-exploration checker (src/check/) registers one observer per
+ * System and derives its invariant oracles from these callbacks. Hooks fire
+ * synchronously from the core/protocol code; observers must not mutate
+ * simulator state. Every hook has an empty default so observers implement
+ * only what they need; a null observer costs one pointer test per event.
+ *
+ * References passed to hooks (chunks, signatures, line lists) are only
+ * valid for the duration of the call.
+ */
+class ProtocolObserver
+{
+  public:
+    virtual ~ProtocolObserver() = default;
+
+    /// @name Processor-side commit lifecycle (all protocols)
+    /// @{
+    /** A commit request for @p id left the processor. */
+    virtual void
+    onCommitRequested(NodeId proc, const CommitId& id, const Chunk& chunk)
+    {
+        (void)proc; (void)id; (void)chunk;
+    }
+    /**
+     * The protocol irrevocably ordered @p id relative to all other
+     * commits (e.g. the BulkSC arbiter grant): the commit can no longer
+     * fail or abort, and every commit serialized later is logically
+     * after it even if its completion (onChunkCommitted) lands earlier
+     * in wall-clock time. Protocols whose serialization point coincides
+     * with completion need not emit this.
+     */
+    virtual void
+    onCommitSerialized(NodeId proc, const CommitId& id)
+    {
+        (void)proc; (void)id;
+    }
+    /** The processor consumed a commit success for @p id. */
+    virtual void
+    onCommitSuccess(NodeId proc, const CommitId& id)
+    {
+        (void)proc; (void)id;
+    }
+    /** The processor consumed a commit failure for @p id (will retry). */
+    virtual void
+    onCommitFailure(NodeId proc, const CommitId& id)
+    {
+        (void)proc; (void)id;
+    }
+    /** The in-flight commit @p id died with its chunk (squash/abort). */
+    virtual void
+    onCommitAborted(NodeId proc, const CommitId& id)
+    {
+        (void)proc; (void)id;
+    }
+    /// @}
+
+    /// @name Core-side chunk lifecycle (all protocols)
+    /// @{
+    /** The executing chunk observed @p line (value as of this tick). */
+    virtual void
+    onChunkRead(NodeId proc, const ChunkTag& tag, Addr line)
+    {
+        (void)proc; (void)tag; (void)line;
+    }
+    /** @p tag retired: its writes became globally visible at @p now. */
+    virtual void
+    onChunkCommitted(NodeId proc, const ChunkTag& tag,
+                     const std::vector<Addr>& write_lines, Tick now)
+    {
+        (void)proc; (void)tag; (void)write_lines; (void)now;
+    }
+    /**
+     * The home directory @p dir made @p id's write to @p line visible
+     * (Directory::commitLine): subsequent fetches return the new data and
+     * the old sharer set was captured for invalidation. This — not chunk
+     * retirement — is the instant the write takes effect for readers.
+     */
+    virtual void
+    onLineCommitted(NodeId dir, Addr line, const CommitId& id)
+    {
+        (void)dir; (void)line; (void)id;
+    }
+    /**
+     * @p victim was squashed. For SquashReason::Conflict, @p commit_w /
+     * @p commit_lines carry the invalidating commit's write signature and
+     * exact lines (commit_w is null for exact-line protocols) so oracles
+     * can independently re-check the justification; both are null for
+     * Cascade and ProtocolKill.
+     */
+    virtual void
+    onChunkSquashed(NodeId proc, const Chunk& victim, SquashReason why,
+                    const ChunkTag& committer, const Signature* commit_w,
+                    const std::vector<Addr>* commit_lines)
+    {
+        (void)proc; (void)victim; (void)why; (void)committer;
+        (void)commit_w; (void)commit_lines;
+    }
+    /// @}
+
+    /// @name ScalableBulk group formation (directory side)
+    /// @{
+    /** The leader module @p dir confirmed @p id's group (g returned). */
+    virtual void
+    onGroupFormed(NodeId dir, const CommitId& id, std::uint64_t g_vec)
+    {
+        (void)dir; (void)id; (void)g_vec;
+    }
+    /**
+     * Module @p dir failed @p id's group. For Collision, @p winner is the
+     * admitted group it lost to (invalid CommitId otherwise).
+     */
+    virtual void
+    onGroupFailed(NodeId dir, const CommitId& id, GroupFailReason why,
+                  const CommitId& winner)
+    {
+        (void)dir; (void)id; (void)why; (void)winner;
+    }
+    /// @}
+};
+
 /**
  * Per-core protocol controller: turns completed chunks into commit
  * transactions and reacts to protocol messages addressed to the processor.
@@ -292,6 +460,13 @@ class DirProtocol
      * because the line is covered by a committing chunk's W signature.
      */
     virtual bool loadBlocked(Addr line) const = 0;
+
+    /**
+     * True when the module holds no in-flight commit state (empty CST /
+     * queues / reservations). At the end of a completed run every module
+     * must be quiescent — the checker's leak/stuck-group oracle.
+     */
+    virtual bool quiescent() const { return true; }
 };
 
 /** Everything a protocol controller needs from its environment. */
@@ -301,6 +476,8 @@ struct ProtoContext
     Network& net;
     CommitMetrics& metrics;
     ProtoConfig cfg;
+    /** Correctness-tooling observer (null outside checker runs). */
+    ProtocolObserver* observer = nullptr;
 };
 
 /**
@@ -314,6 +491,8 @@ class CentralAgent
     virtual void handleMessage(MessagePtr msg) = 0;
     /** The tile this agent lives on. */
     virtual NodeId nodeId() const = 0;
+    /** See DirProtocol::quiescent(). */
+    virtual bool quiescent() const { return true; }
 };
 
 } // namespace sbulk

@@ -1,6 +1,8 @@
 #include "proto/scalablebulk/dir_ctrl.hh"
 
+#include <algorithm>
 #include <bit>
+#include <utility>
 
 #include "sim/trace.hh"
 
@@ -68,12 +70,23 @@ SbDirCtrl::getEntry(const CommitId& id)
     return it->second;
 }
 
+bool
+SbDirCtrl::requestSeen(const CommitId& id) const
+{
+    auto it = _lastRequested.find(id.tag.proc);
+    return it != _lastRequested.end() &&
+           it->second >= std::make_pair(id.tag.seq, id.attempt);
+}
+
 void
 SbDirCtrl::onCommitRequest(const CommitRequestMsg& msg)
 {
     CstEntry& entry = getEntry(msg.id);
     if (_validator)
         _validator->note(msg.id, DirEvent::RecvCommitRequest);
+
+    auto& mark = _lastRequested[msg.id.tag.proc];
+    mark = std::max(mark, std::make_pair(msg.id.tag.seq, msg.id.attempt));
 
     if (entry.failed) {
         // A g_failure beat the request here (Appendix A, "after Collision
@@ -118,6 +131,8 @@ SbDirCtrl::onCommitRequest(const CommitRequestMsg& msg)
 void
 SbDirCtrl::onGrab(const GrabMsg& msg)
 {
+    if (!_cst.count(msg.id) && requestSeen(msg.id))
+        return; // stale: the group already resolved (and deallocated) here
     CstEntry& entry = getEntry(msg.id);
     if (entry.failed)
         return; // racing failure already resolved this group here
@@ -151,7 +166,7 @@ SbDirCtrl::tryAdmit(CstEntry& entry)
     // A commit recall for this chunk: the committer squashed; fail the
     // group now that both pieces have arrived (Section 3.4).
     if (entry.recallArmed) {
-        failGroup(entry, /*collision=*/false);
+        failGroup(entry, GroupFailReason::Recall);
         return;
     }
 
@@ -164,27 +179,47 @@ SbDirCtrl::tryAdmit(CstEntry& entry)
         _reservedFor.reset();
     }
     if (_reservedFor && *_reservedFor != entry.id.tag) {
-        failGroup(entry, /*collision=*/false);
+        failGroup(entry, GroupFailReason::Reservation);
         return;
     }
 
     // Compatibility against every chunk admitted at this module: all of
     // Ri∩Wj, Rj∩Wi, Wi∩Wj must be null (Section 3.2.1). This module is
     // the Collision module for any group it fails here.
-    for (const auto& [oid, other] : _cst) {
-        if (oid == entry.id || !other.hold || other.failed)
-            continue;
-        if (!chunksCompatible(entry.rSig, entry.wSig, other.rSig,
-                              other.wSig)) {
-            SBULK_TRACE(trace::Cat::Group, _ctx.eq.now(),
-                        "dir %u is the Collision module: (%u,%llu) loses "
-                        "to (%u,%llu)",
-                        _self, entry.id.tag.proc,
-                        (unsigned long long)entry.id.tag.seq,
-                        other.id.tag.proc,
-                        (unsigned long long)other.id.tag.seq);
-            failGroup(entry, /*collision=*/true);
-            return;
+    // (sbBreak == AdmitConflicting skips the check entirely — a test-only
+    // sabotage mode for the invariant oracles, see SbBreakMode.)
+    if (_ctx.cfg.sbBreak != SbBreakMode::AdmitConflicting) {
+        for (const auto& [oid, other] : _cst) {
+            if (oid == entry.id || !other.hold || other.failed)
+                continue;
+            if (!chunksCompatible(entry.rSig, entry.wSig, other.rSig,
+                                  other.wSig)) {
+                SBULK_TRACE(trace::Cat::Group, _ctx.eq.now(),
+                            "dir %u is the Collision module: (%u,%llu) loses "
+                            "to (%u,%llu)",
+                            _self, entry.id.tag.proc,
+                            (unsigned long long)entry.id.tag.seq,
+                            other.id.tag.proc,
+                            (unsigned long long)other.id.tag.seq);
+                // failGroup() deallocates its entry: copy the ids first.
+                const CommitId winner = other.id;
+                const CommitId loser = entry.id;
+                failGroup(entry, GroupFailReason::Collision, winner);
+                if (_ctx.cfg.sbBreak == SbBreakMode::FailBothOnCollision) {
+                    // Sabotage: kill the admitted winner too, but only at
+                    // its own leader module (and before it confirmed) —
+                    // the ring must come back here, so the stale-grab
+                    // guard in onGrab() can absorb it. Killing a winner
+                    // whose ring completes elsewhere would leave g_success
+                    // messages with no entry to land on.
+                    if (auto it = _cst.find(winner);
+                        it != _cst.end() && it->second.leader &&
+                        !it->second.confirmed)
+                        failGroup(it->second, GroupFailReason::Collision,
+                                  loser);
+                }
+                return;
+            }
         }
     }
 
@@ -227,9 +262,13 @@ SbDirCtrl::multicastGFailure(const CstEntry& entry, bool collision)
 }
 
 void
-SbDirCtrl::failGroup(CstEntry& entry, bool collision)
+SbDirCtrl::failGroup(CstEntry& entry, GroupFailReason why,
+                     const CommitId& winner)
 {
+    const bool collision = why == GroupFailReason::Collision;
     entry.failed = true;
+    if (_ctx.observer)
+        _ctx.observer->onGroupFailed(_self, entry.id, why, winner);
     if (collision)
         noteFailure(entry);
     if (_validator)
@@ -283,6 +322,8 @@ SbDirCtrl::confirmAsLeader(CstEntry& entry)
     --_ctx.metrics.forming;
     ++_ctx.metrics.committing;
     _ctx.metrics.sampleOnGroupFormed();
+    if (_ctx.observer)
+        _ctx.observer->onGroupFormed(_self, entry.id, entry.gVec);
 
     // Figure 3(c)/(d): g_success to the members, commit success to the
     // processor, bulk invalidations to the sharers.
@@ -338,8 +379,11 @@ SbDirCtrl::onGSuccess(const GSuccessMsg& msg)
 void
 SbDirCtrl::applyCommitUpdates(CstEntry& entry)
 {
-    for (Addr line : entry.writesHere)
+    for (Addr line : entry.writesHere) {
         _dir.commitLine(line, entry.committer);
+        if (_ctx.observer)
+            _ctx.observer->onLineCommitted(_self, line, entry.id);
+    }
 }
 
 void
@@ -415,6 +459,8 @@ SbDirCtrl::finishAsLeader(CstEntry& entry)
             // Handled below via the same path members use.
             if (_validator)
                 _validator->note(note.id, DirEvent::RecvCommitRecall);
+            if (!_cst.count(note.id) && requestSeen(note.id))
+                continue; // stale: the loser already resolved here
             CstEntry& loser = getEntry(note.id);
             if (!loser.failed && !loser.hold) {
                 loser.recallArmed = true;
@@ -448,6 +494,8 @@ SbDirCtrl::onCommitDone(const CommitDoneMsg& msg)
             continue;
         if (_validator)
             _validator->note(note.id, DirEvent::RecvCommitRecall);
+        if (!_cst.count(note.id) && requestSeen(note.id))
+            continue; // stale: the loser already resolved here
         CstEntry& loser = getEntry(note.id);
         if (loser.failed || loser.hold) {
             // Already failed (discard, per Section 3.4) or already past

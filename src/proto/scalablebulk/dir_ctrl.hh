@@ -25,6 +25,7 @@
 #define SBULK_PROTO_SCALABLEBULK_DIR_CTRL_HH
 
 #include <optional>
+#include <utility>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -84,6 +85,12 @@ class SbDirCtrl : public DirProtocol
 
     void handleMessage(MessagePtr msg) override;
     bool loadBlocked(Addr line) const override;
+    bool quiescent() const override
+    {
+        // A standing starvation reservation is deliberately excluded: it
+        // is a self-expiring hint (starvationTimeout), not held state.
+        return _cst.empty();
+    }
 
     /** Attach the Appendix-A message-ordering validator (optional). */
     void setOrderingValidator(OrderingValidator* v) { _validator = v; }
@@ -109,10 +116,11 @@ class SbDirCtrl : public DirProtocol
      * On admission the g moves on; on collision the group is failed.
      */
     void tryAdmit(CstEntry& entry);
-    /** This module declares the group failed. @p collision is true for a
-     *  genuine group collision (counts toward starvation), false for
-     *  reservation- or recall-inflicted failures. */
-    void failGroup(CstEntry& entry, bool collision);
+    /** This module declares the group failed. Collisions (and only
+     *  collisions) count toward starvation; @p winner names the admitted
+     *  group a collision lost to (invalid otherwise). */
+    void failGroup(CstEntry& entry, GroupFailReason why,
+                   const CommitId& winner = CommitId{});
     /** Group formed (leader context): success + bulk invalidation. */
     void confirmAsLeader(CstEntry& entry);
     /** All acks in: release the group. */
@@ -131,11 +139,21 @@ class SbDirCtrl : public DirProtocol
     void multicastGFailure(const CstEntry& entry, bool collision);
 
     CstEntry& getEntry(const CommitId& id);
+    /** True once a commit request for @p id (or a later one from the same
+     *  processor) has reached this module. Requests from one processor
+     *  arrive in issue order (FIFO channel), so a recall for an id at or
+     *  below this watermark whose CST entry is gone is stale: the group
+     *  was already resolved here and the recall must be dropped, not
+     *  allowed to re-allocate an entry nothing will ever reap. */
+    bool requestSeen(const CommitId& id) const;
 
     NodeId _self;
     ProtoContext _ctx;
     Directory& _dir;
     std::unordered_map<CommitId, CstEntry> _cst;
+    /** Per processor: highest (seq, attempt) commit-requested here. */
+    std::unordered_map<NodeId, std::pair<std::uint64_t, std::uint32_t>>
+        _lastRequested;
     /** Failure counts per chunk tag (stable across retry attempts). */
     std::unordered_map<ChunkTag, std::uint32_t> _failCounts;
     /** When set, only this chunk may commit here (starvation rescue). */

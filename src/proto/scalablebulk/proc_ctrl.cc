@@ -68,6 +68,8 @@ SbProcCtrl::sendRequest()
     const std::vector<NodeId> order =
         _policy.order(_currentGVec, _ctx.eq.now());
     const std::vector<Addr> all_writes = chunk.writeLines();
+    if (_ctx.observer)
+        _ctx.observer->onCommitRequested(_self, _current, chunk);
     SBULK_TRACE(trace::Cat::Commit, _ctx.eq.now(),
                 "proc %u requests commit of (%u,%llu) attempt %u over %zu "
                 "dirs",
@@ -95,6 +97,8 @@ SbProcCtrl::abortCommit(ChunkTag tag)
         _abortedId = _current;
         _chunk = nullptr;
         _awaitingOutcome = false;
+        if (_ctx.observer)
+            _ctx.observer->onCommitAborted(_self, _abortedId);
     }
 }
 
@@ -131,6 +135,8 @@ SbProcCtrl::onCommitSuccess(const CommitSuccessMsg& msg)
     if (!_chunk || msg.id != _current)
         return; // stale attempt
     _awaitingOutcome = false;
+    if (_ctx.observer)
+        _ctx.observer->onCommitSuccess(_self, msg.id);
     SBULK_TRACE(trace::Cat::Commit, _ctx.eq.now(),
                 "proc %u commit (%u,%llu) SUCCESS after %llu cycles", _self,
                 _current.tag.proc, (unsigned long long)_current.tag.seq,
@@ -153,6 +159,8 @@ SbProcCtrl::onCommitFailure(const CommitFailureMsg& msg)
     if (!_chunk || msg.id != _current)
         return; // stale attempt
     _awaitingOutcome = false;
+    if (_ctx.observer)
+        _ctx.observer->onCommitFailure(_self, msg.id);
     SBULK_TRACE(trace::Cat::Commit, _ctx.eq.now(),
                 "proc %u commit (%u,%llu) FAILED (attempt %u), backing off",
                 _self, _current.tag.proc,
@@ -184,6 +192,14 @@ SbProcCtrl::onBulkInv(MessagePtr msg)
         return;
     }
 
+    if (_ctx.cfg.sbBreak == SbBreakMode::AdmitConflicting) {
+        // Sabotage (see SbBreakMode): collision resolution is off, so the
+        // disambiguation backstop goes too — ack without squashing.
+        _ctx.net.send(std::make_unique<BulkInvAckMsg>(_self, inv.leader,
+                                                      inv.id, Recall{}));
+        return;
+    }
+
     const InvOutcome outcome =
         _core->applyBulkInv(inv.wSig, inv.lines, inv.id.tag);
 
@@ -210,6 +226,8 @@ SbProcCtrl::onBulkInv(MessagePtr msg)
         _aborted = true;
         _abortedId = _current;
         _chunk = nullptr;
+        if (_ctx.observer)
+            _ctx.observer->onCommitAborted(_self, _abortedId);
     }
     _ctx.net.send(std::make_unique<BulkInvAckMsg>(_self, inv.leader, inv.id,
                                                   recall));

@@ -90,8 +90,11 @@ SeqDirCtrl::handleMessage(MessagePtr msg)
         ProcMask targets = 0;
         for (Addr line : req.writesHere)
             targets |= _dir.sharersOf(line, req.src);
-        for (Addr line : req.writesHere)
+        for (Addr line : req.writesHere) {
             _dir.commitLine(line, req.src);
+            if (_ctx.observer)
+                _ctx.observer->onLineCommitted(_self, line, req.id);
+        }
         if (targets == 0) {
             _ctx.net.send(std::make_unique<SeqCtrlMsg>(
                 kSeqDirDone, _self, req.src, Port::Proc, req.id));
@@ -170,6 +173,8 @@ SeqProcCtrl::startCommit(Chunk& chunk)
         });
         return;
     }
+    if (_ctx.observer)
+        _ctx.observer->onCommitRequested(_self, _current, chunk);
     ++_ctx.metrics.inflight;
     occupyNext();
 }
@@ -214,6 +219,8 @@ SeqProcCtrl::finish()
     Chunk* chunk = _chunk;
     _chunk = nullptr;
     --_ctx.metrics.inflight;
+    if (_ctx.observer)
+        _ctx.observer->onCommitSuccess(_self, _current);
     _ctx.metrics.blocked.clear(keyOf(_current));
     _ctx.metrics.recordCommit(*chunk, _ctx.eq.now());
     _core->chunkCommitted(chunk->tag());
@@ -229,6 +236,8 @@ SeqProcCtrl::cancelOccupations()
     }
     _ctx.metrics.blocked.clear(keyOf(_current));
     --_ctx.metrics.inflight;
+    if (_ctx.observer)
+        _ctx.observer->onCommitAborted(_self, _current);
     _chunk = nullptr;
 }
 

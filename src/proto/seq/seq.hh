@@ -96,6 +96,10 @@ class SeqDirCtrl : public DirProtocol
 
     void handleMessage(MessagePtr msg) override;
     bool loadBlocked(Addr line) const override;
+    bool quiescent() const override
+    {
+        return !_occupant && _queue.empty() && !_active;
+    }
 
     bool occupied() const { return _occupant.has_value(); }
     std::size_t queueLength() const { return _queue.size(); }

@@ -148,8 +148,11 @@ TccDirCtrl::startProcessing(PendingTx& tx)
     ProcMask targets = 0;
     for (Addr line : tx.marks)
         targets |= _dir.sharersOf(line, tx.proc);
-    for (Addr line : tx.marks)
+    for (Addr line : tx.marks) {
         _dir.commitLine(line, tx.proc);
+        if (_ctx.observer)
+            _ctx.observer->onLineCommitted(_self, line, tx.id);
+    }
 
     if (targets == 0) {
         // Done on the spot.
@@ -202,6 +205,8 @@ TccProcCtrl::startCommit(Chunk& chunk)
     ++chunk.commitAttempts;
     _current = CommitId{chunk.tag(), chunk.commitAttempts};
     _tid = 0;
+    if (_ctx.observer)
+        _ctx.observer->onCommitRequested(_self, _current, chunk);
     // Even an empty chunk takes a TID: every transaction must order
     // itself (and plug its TID at every directory).
     ++_ctx.metrics.inflight;
@@ -234,6 +239,8 @@ TccProcCtrl::onTidReply(const TidReplyMsg& msg)
         Chunk* chunk = _chunk;
         _chunk = nullptr;
         --_ctx.metrics.inflight;
+        if (_ctx.observer)
+            _ctx.observer->onCommitSuccess(_self, msg.id);
         _ctx.metrics.recordCommit(*chunk, _ctx.eq.now());
         _core->chunkCommitted(chunk->tag());
         return;
@@ -279,6 +286,8 @@ TccProcCtrl::abortInFlight()
     }
     _ctx.metrics.blocked.clear(keyOf(_current));
     --_ctx.metrics.inflight;
+    if (_ctx.observer)
+        _ctx.observer->onCommitAborted(_self, _current);
     _chunk = nullptr;
     _tid = 0;
 }
@@ -323,6 +332,8 @@ TccProcCtrl::handleMessage(MessagePtr msg)
             _chunk = nullptr;
             _tid = 0;
             --_ctx.metrics.inflight;
+            if (_ctx.observer)
+                _ctx.observer->onCommitSuccess(_self, done.id);
             _ctx.metrics.blocked.clear(keyOf(_current));
             _ctx.metrics.recordCommit(*chunk, _ctx.eq.now());
             _core->chunkCommitted(chunk->tag());

@@ -231,6 +231,10 @@ class TccDirCtrl : public DirProtocol
 
     void handleMessage(MessagePtr msg) override;
     bool loadBlocked(Addr line) const override;
+    bool quiescent() const override
+    {
+        return _pending.empty() && _lockedLines.empty();
+    }
 
     Tid nextTid() const { return _nextTid; }
     std::size_t pendingTids() const { return _pending.size(); }

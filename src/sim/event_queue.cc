@@ -3,26 +3,80 @@
 namespace sbulk
 {
 
-std::uint64_t
-EventQueue::run(Tick limit)
+void
+EventQueue::skimCancelled()
 {
-    std::uint64_t executed = 0;
     while (!_heap.empty()) {
-        const Entry& top = _heap.top();
-        if (top.when > limit)
-            break;
-        if (auto it = _cancelled.find(top.seq); it != _cancelled.end()) {
+        auto it = _cancelled.find(_heap.top().seq);
+        if (it == _cancelled.end())
+            return;
+        _cancelled.erase(it);
+        _heap.pop();
+    }
+}
+
+EventQueue::Entry
+EventQueue::popPolicyChoice()
+{
+    // Collect the batch of ready events: every non-cancelled entry at the
+    // earliest tick. Popping the (when, seq)-ordered heap yields them in
+    // ascending sequence order, which is the order the policy indexes.
+    const Tick when = _heap.top().when;
+    std::vector<Entry> batch;
+    while (!_heap.empty() && _heap.top().when == when) {
+        if (auto it = _cancelled.find(_heap.top().seq);
+            it != _cancelled.end()) {
             _cancelled.erase(it);
             _heap.pop();
             continue;
         }
-        SBULK_ASSERT(top.when >= _now, "event queue went back in time");
-        _now = top.when;
-        // Move the callback out before popping: running it may schedule new
-        // events, which mutates the heap.
-        auto fn = std::move(const_cast<Entry&>(top).fn);
+        batch.push_back(std::move(const_cast<Entry&>(_heap.top())));
         _heap.pop();
-        fn();
+    }
+    SBULK_ASSERT(!batch.empty(), "policy dispatch with no ready events");
+
+    std::size_t pick = 0;
+    if (batch.size() > 1) {
+        pick = _policy->chooseNext(batch.size());
+        SBULK_ASSERT(pick < batch.size(),
+                     "schedule policy chose %zu of %zu", pick, batch.size());
+    }
+
+    Entry chosen = std::move(batch[pick]);
+    // Re-queue the rest *before* running the chosen callback, so a
+    // cancel() from inside it is honoured on their next surfacing.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (i != pick)
+            _heap.push(std::move(batch[i]));
+    }
+    return chosen;
+}
+
+void
+EventQueue::dispatch(Entry e)
+{
+    SBULK_ASSERT(e.when >= _now, "event queue went back in time");
+    _now = e.when;
+    // The callback may schedule new events, which mutates the heap; the
+    // entry was moved out of the heap before we got here.
+    e.fn();
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t executed = 0;
+    while (true) {
+        skimCancelled();
+        if (_heap.empty() || _heap.top().when > limit)
+            break;
+        if (_policy) {
+            dispatch(popPolicyChoice());
+        } else {
+            Entry e = std::move(const_cast<Entry&>(_heap.top()));
+            _heap.pop();
+            dispatch(std::move(e));
+        }
         ++executed;
     }
     return executed;
@@ -31,20 +85,17 @@ EventQueue::run(Tick limit)
 bool
 EventQueue::step()
 {
-    while (!_heap.empty()) {
-        const Entry& top = _heap.top();
-        if (auto it = _cancelled.find(top.seq); it != _cancelled.end()) {
-            _cancelled.erase(it);
-            _heap.pop();
-            continue;
-        }
-        _now = top.when;
-        auto fn = std::move(const_cast<Entry&>(top).fn);
+    skimCancelled();
+    if (_heap.empty())
+        return false;
+    if (_policy) {
+        dispatch(popPolicyChoice());
+    } else {
+        Entry e = std::move(const_cast<Entry&>(_heap.top()));
         _heap.pop();
-        fn();
-        return true;
+        dispatch(std::move(e));
     }
-    return false;
+    return true;
 }
 
 } // namespace sbulk

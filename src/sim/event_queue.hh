@@ -3,8 +3,17 @@
  * Deterministic discrete-event simulation kernel.
  *
  * All simulator components share one EventQueue. Events are plain callbacks
- * scheduled at an absolute Tick; ties are broken by insertion order, so a
- * simulation with the same inputs always replays identically.
+ * scheduled at an absolute Tick. Same-tick ordering is an explicit,
+ * documented policy rather than an accident of the underlying container:
+ *
+ *  - Default (no SchedulePolicy installed): insertion-order FIFO. Every
+ *    event carries a monotonically increasing sequence number, and ties at
+ *    the same tick run in ascending sequence order. A simulation with the
+ *    same inputs therefore always replays identically.
+ *  - With a SchedulePolicy installed, the policy chooses which of the
+ *    ready (earliest-tick) events runs next. This is the hook the
+ *    schedule-exploration checker (src/check/) uses to enumerate distinct
+ *    legal interleavings and to replay a recorded one byte-for-byte.
  */
 
 #ifndef SBULK_SIM_EVENT_QUEUE_HH
@@ -21,6 +30,31 @@
 
 namespace sbulk
 {
+
+/**
+ * Pluggable same-tick tie-break policy.
+ *
+ * When several pending events share the earliest tick, the queue presents
+ * them as a batch indexed 0..count-1 in insertion (sequence) order and asks
+ * the policy which one runs next. The remaining events stay pending: events
+ * scheduled *by* the chosen callback at the same tick join the next batch,
+ * so the policy sees every legal interleaving of same-tick work.
+ *
+ * Implementations must be deterministic functions of their own state (e.g.
+ * a seeded RNG or a recorded trace) for runs to be reproducible.
+ */
+class SchedulePolicy
+{
+  public:
+    virtual ~SchedulePolicy() = default;
+
+    /**
+     * Choose among @p count ready events (all at the earliest tick,
+     * ordered by ascending sequence number).
+     * @return Index in [0, count) of the event to run next.
+     */
+    virtual std::size_t chooseNext(std::size_t count) = 0;
+};
 
 /**
  * A time-ordered queue of callbacks driving the whole simulation.
@@ -82,6 +116,17 @@ class EventQueue
     bool empty() const { return pending() == 0; }
 
     /**
+     * Install (or clear, with nullptr) the same-tick tie-break policy.
+     *
+     * Not owned. Null restores the default insertion-order FIFO, which is
+     * also the zero-overhead fast path. Install before running events —
+     * switching policies mid-run changes which interleaving is explored
+     * but is otherwise safe.
+     */
+    void setSchedulePolicy(SchedulePolicy* policy) { _policy = policy; }
+    SchedulePolicy* schedulePolicy() const { return _policy; }
+
+    /**
      * Run events in time order until the queue drains or @p limit is hit.
      *
      * @param limit Stop once now() would exceed this tick.
@@ -90,7 +135,8 @@ class EventQueue
     std::uint64_t run(Tick limit = kMaxTick);
 
     /**
-     * Run a single event (the earliest pending one).
+     * Run a single event (the earliest pending one; under a SchedulePolicy,
+     * the policy's pick among the earliest).
      * @return false if the queue was empty.
      */
     bool step();
@@ -103,6 +149,12 @@ class EventQueue
         std::function<void()> fn;
     };
 
+    /**
+     * Heap order: earliest tick first; equal ticks by ascending sequence
+     * number (insertion-order FIFO). This is the documented default
+     * same-tick policy, not an implementation accident — replay traces and
+     * the batch presented to a SchedulePolicy both depend on it.
+     */
     struct Later
     {
         bool
@@ -114,8 +166,22 @@ class EventQueue
         }
     };
 
+    /** Drop cancelled entries off the top of the heap. */
+    void skimCancelled();
+
+    /**
+     * Pop, under the installed policy, the event to run next. The heap
+     * must be non-empty and skimmed. Leaves every other ready event
+     * pending and returns the chosen entry.
+     */
+    Entry popPolicyChoice();
+
+    /** Run @p e (advances time, executes, counts). */
+    void dispatch(Entry e);
+
     std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
     std::unordered_set<EventHandle> _cancelled;
+    SchedulePolicy* _policy = nullptr;
     Tick _now = 0;
     EventHandle _nextSeq = 0;
 };

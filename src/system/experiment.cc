@@ -20,7 +20,9 @@ runExperiment(const RunConfig& cfg)
     sys_cfg.core.chunksToRun =
         std::max<std::uint64_t>(1, cfg.totalChunks / cfg.procs);
 
-    const SyntheticParams params = streamParams(*cfg.app, cfg.procs);
+    SyntheticParams params = streamParams(*cfg.app, cfg.procs);
+    if (cfg.seedOverride != 0)
+        params.seed = cfg.seedOverride;
     std::vector<std::unique_ptr<ThreadStream>> streams;
     for (NodeId n = 0; n < cfg.procs; ++n) {
         streams.push_back(std::make_unique<SyntheticStream>(
@@ -35,6 +37,7 @@ runExperiment(const RunConfig& cfg)
     r.app = cfg.app->name;
     r.procs = cfg.procs;
     r.protocol = cfg.protocol;
+    r.seed = params.seed;
     r.makespan = end;
     r.breakdown = sys.breakdown();
 

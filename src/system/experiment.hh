@@ -32,6 +32,8 @@ struct RunConfig
     std::uint32_t chunkInstrs = 2000;
     ProtoConfig proto{};
     SigConfig sig{};
+    /** When nonzero, replaces the app model's workload RNG seed. */
+    std::uint64_t seedOverride = 0;
     /** Safety stop. */
     Tick tickLimit = 4'000'000'000ull;
 };
@@ -42,6 +44,8 @@ struct RunResult
     std::string app;
     std::uint32_t procs = 0;
     ProtocolKind protocol = ProtocolKind::ScalableBulk;
+    /** Workload RNG seed the run actually used (echoed in reports). */
+    std::uint64_t seed = 0;
 
     /** End-to-end simulated time (the denominator of speedups). */
     Tick makespan = 0;

@@ -56,6 +56,7 @@ System::System(SystemConfig cfg,
             std::make_unique<Core>(n, _eq, *_caches[n], core_cfg));
         _cores[n]->setStream(_streams[n].get());
         _cores[n]->setChecker(_checker.get());
+        _cores[n]->setObserver(_cfg.observer);
     }
 
     buildProtocol();
@@ -88,7 +89,7 @@ System::~System() = default;
 void
 System::buildProtocol()
 {
-    ProtoContext ctx{_eq, *_net, _metrics, _cfg.proto};
+    ProtoContext ctx{_eq, *_net, _metrics, _cfg.proto, _cfg.observer};
 
     switch (_cfg.protocol) {
       case ProtocolKind::ScalableBulk:
@@ -144,20 +145,31 @@ System::buildProtocol()
     }
 }
 
+bool
+System::allCoresDone() const
+{
+    for (const auto& core : _cores)
+        if (!core->done())
+            return false;
+    return true;
+}
+
+bool
+System::protocolQuiescent() const
+{
+    for (const auto& dir : _dirProtos)
+        if (!dir->quiescent())
+            return false;
+    return !_agent || _agent->quiescent();
+}
+
 Tick
 System::run(Tick limit)
 {
     for (auto& core : _cores)
         core->start();
 
-    auto all_done = [this] {
-        for (const auto& core : _cores)
-            if (!core->done())
-                return false;
-        return true;
-    };
-
-    while (!all_done()) {
+    while (!allCoresDone()) {
         if (_eq.now() >= limit)
             break;
         if (!_eq.step()) {

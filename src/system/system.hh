@@ -50,6 +50,9 @@ struct SystemConfig
     Tick directLatency = 10;
     /** Attach the chunk-atomicity oracle (see consistency.hh). */
     bool validate = false;
+    /** Protocol-event observer wired into every controller (src/check/
+     *  oracles; null for plain simulation runs). Not owned. */
+    ProtocolObserver* observer = nullptr;
 };
 
 /**
@@ -83,6 +86,15 @@ class System
     const CacheHierarchy& hierarchy(NodeId n) const { return *_caches[n]; }
     std::uint32_t numProcs() const { return _cfg.numProcs; }
     EventQueue& eventQueue() { return _eq; }
+    Network& network() { return *_net; }
+    /** True when every core is done (see Core::done()). */
+    bool allCoresDone() const;
+    /**
+     * True when no protocol controller holds transient state: every
+     * directory CST/queue is empty and the central agent (if any) has no
+     * commit in flight. The quiescence oracle's end-of-run check.
+     */
+    bool protocolQuiescent() const;
     /** The atomicity oracle (null unless cfg.validate). */
     const ConsistencyChecker* consistency() const { return _checker.get(); }
     /** The torus instance, or null when directNetwork was selected. */

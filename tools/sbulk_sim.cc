@@ -43,6 +43,7 @@ struct CliOptions
     std::uint32_t chunkInstrs = 2000;
     ProtoConfig proto{};
     SigConfig sig{};
+    std::uint64_t seed = 0;
     bool csv = false;
     bool histogram = false;
     bool fullStats = false;
@@ -62,6 +63,7 @@ usage(int code)
         "  --chunks N                 total chunks of work (default 1280)\n"
         "  --chunk-instrs N           chunk size (default 2000)\n"
         "  --sig-bits N               signature size in bits (default 2048)\n"
+        "  --seed N                   workload RNG seed override (nonzero)\n"
         "  --no-oci                   disable optimistic commit initiation\n"
         "  --starvation-max N         reservation threshold (default 24)\n"
         "  --rotation N               leader-rotation interval, cycles\n"
@@ -121,6 +123,8 @@ parseArgs(int argc, char** argv)
             opt.chunkInstrs = std::uint32_t(std::atoi(need(i)));
         } else if (!std::strcmp(a, "--sig-bits")) {
             opt.sig.totalBits = std::uint32_t(std::atoi(need(i)));
+        } else if (!std::strcmp(a, "--seed")) {
+            opt.seed = std::strtoull(need(i), nullptr, 10);
         } else if (!std::strcmp(a, "--no-oci")) {
             opt.proto.oci = false;
         } else if (!std::strcmp(a, "--starvation-max")) {
@@ -177,6 +181,7 @@ printReport(const CliOptions& opt, const RunResult& r)
     std::printf("application      %s\n", r.app.c_str());
     std::printf("protocol         %s\n", protocolName(r.protocol));
     std::printf("processors       %u\n", r.procs);
+    std::printf("seed             %llu\n", (unsigned long long)r.seed);
     std::printf("simulated time   %llu cycles\n",
                 (unsigned long long)r.makespan);
     std::printf("chunks committed %llu\n", (unsigned long long)r.commits);
@@ -238,13 +243,14 @@ printReport(const CliOptions& opt, const RunResult& r)
 void
 printCsv(const RunResult& r)
 {
-    std::printf("app,protocol,procs,makespan,commits,useful,cacheMiss,"
+    std::printf("app,protocol,procs,seed,makespan,commits,useful,cacheMiss,"
                 "commit,squash,latMean,dirs,writeDirs,bottleneck,queue,"
                 "failures,squashTrue,squashAlias,recalls,messages\n");
     const double total = r.breakdown.total();
-    std::printf("%s,%s,%u,%llu,%llu,%.4f,%.4f,%.4f,%.4f,%.1f,%.2f,%.2f,"
+    std::printf("%s,%s,%u,%llu,%llu,%llu,%.4f,%.4f,%.4f,%.4f,%.1f,%.2f,%.2f,"
                 "%.2f,%.2f,%llu,%llu,%llu,%llu,%llu\n",
                 r.app.c_str(), protocolName(r.protocol), r.procs,
+                (unsigned long long)r.seed,
                 (unsigned long long)r.makespan,
                 (unsigned long long)r.commits, r.breakdown.useful / total,
                 r.breakdown.cacheMiss / total, r.breakdown.commit / total,
@@ -282,6 +288,7 @@ main(int argc, char** argv)
     cfg.chunkInstrs = opt.chunkInstrs;
     cfg.proto = opt.proto;
     cfg.sig = opt.sig;
+    cfg.seedOverride = opt.seed;
 
     if (opt.fullStats) {
         // Build the system directly so the full component statistics can
@@ -294,7 +301,9 @@ main(int argc, char** argv)
         sys_cfg.core.sigCfg = cfg.sig;
         sys_cfg.core.chunksToRun =
             std::max<std::uint64_t>(1, cfg.totalChunks / cfg.procs);
-        const SyntheticParams params = streamParams(*app, cfg.procs);
+        SyntheticParams params = streamParams(*app, cfg.procs);
+        if (opt.seed != 0)
+            params.seed = opt.seed;
         std::vector<std::unique_ptr<ThreadStream>> streams;
         for (NodeId n = 0; n < cfg.procs; ++n)
             streams.push_back(std::make_unique<SyntheticStream>(

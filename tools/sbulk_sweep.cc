@@ -65,6 +65,7 @@ main(int argc, char** argv)
         ProtocolKind::BulkSC};
     std::vector<std::uint32_t> procs = {32, 64};
     std::uint64_t chunks = 1280;
+    std::uint64_t seed = 0;
 
     for (int i = 1; i < argc; ++i) {
         const char* a = argv[i];
@@ -95,11 +96,13 @@ main(int argc, char** argv)
                 procs.push_back(std::uint32_t(std::atoi(item.c_str())));
         } else if (!std::strcmp(a, "--chunks")) {
             chunks = std::strtoull(need(), nullptr, 10);
+        } else if (!std::strcmp(a, "--seed")) {
+            seed = std::strtoull(need(), nullptr, 10);
         } else {
             std::fprintf(
                 stderr,
                 "usage: sbulk-sweep [--apps A,B] [--protocols P,Q] "
-                "[--procs N,M] [--chunks N]\n");
+                "[--procs N,M] [--chunks N] [--seed N]\n");
             return 2;
         }
     }
@@ -107,7 +110,7 @@ main(int argc, char** argv)
         for (const AppSpec& app : allApps())
             apps.push_back(&app);
 
-    std::printf("app,suite,protocol,procs,makespan,commits,usefulFrac,"
+    std::printf("app,suite,protocol,procs,seed,makespan,commits,usefulFrac,"
                 "cacheMissFrac,commitFrac,squashFrac,latMean,latP90,dirs,"
                 "writeDirs,bottleneck,queue,failures,squashTrue,"
                 "squashAlias,recalls,messages,l1HitRate\n");
@@ -119,14 +122,16 @@ main(int argc, char** argv)
                 cfg.procs = p;
                 cfg.protocol = proto;
                 cfg.totalChunks = chunks;
+                cfg.seedOverride = seed;
                 const RunResult r = runExperiment(cfg);
                 const double total = r.breakdown.total();
                 std::printf(
-                    "%s,%s,%s,%u,%llu,%llu,%.4f,%.4f,%.4f,%.4f,%.1f,"
+                    "%s,%s,%s,%u,%llu,%llu,%llu,%.4f,%.4f,%.4f,%.4f,%.1f,"
                     "%llu,%.2f,%.2f,%.2f,%.2f,%llu,%llu,%llu,%llu,%llu,"
                     "%.4f\n",
                     r.app.c_str(), app->suite.c_str(),
                     protocolName(proto), p,
+                    (unsigned long long)r.seed,
                     (unsigned long long)r.makespan,
                     (unsigned long long)r.commits,
                     r.breakdown.useful / total,
