@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Wall-clock perf harness for the simulator hot paths (see EXPERIMENTS.md,
+ * "Benchmarking & perf trajectory").
+ *
+ * Unlike the google-benchmark micro benches (micro_simcore, micro_signature),
+ * this binary exists to feed scripts/bench.py: it times the four throughput
+ * numbers the repo tracks across PRs and emits them as a flat JSON object —
+ *
+ *   - simcore_events_per_sec   EventQueue schedule/cancel/run throughput
+ *   - signature_mops_per_sec   Signature insert/contains/intersect mix
+ *   - torus_messages_per_sec   end-to-end 64-tile torus deliveries
+ *   - sweep_seconds_serial     a fixed sweep matrix, one worker
+ *   - sweep_seconds_parallel   the same matrix under --jobs workers
+ *
+ * Workloads are fixed and deterministic so runs are comparable; wall time
+ * is the only non-deterministic output. --quick shrinks every workload
+ * (CI smoke); absolute numbers are machine-specific and only comparable
+ * against baselines recorded on the same machine class.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/network.hh"
+#include "sig/signature.hh"
+#include "sim/event_queue.hh"
+#include "sim/parallel.hh"
+#include "sim/random.hh"
+#include "system/experiment.hh"
+
+namespace
+{
+
+using namespace sbulk;
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/**
+ * Event-kernel throughput: a self-refilling queue with same-tick bursts
+ * (exercising the FIFO tie-break path) and a cancellation stream
+ * (exercising handle bookkeeping), the mix the protocol layer produces.
+ */
+double
+benchSimcore(std::uint64_t target_events)
+{
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    // 64 self-rescheduling chains with coprime periods keep a steady
+    // population of pending events with frequent same-tick collisions.
+    std::function<void(int)> tick = [&](int lane) {
+        ++fired;
+        if (fired + 64 <= target_events)
+            eq.scheduleIn(1 + Tick(lane % 7), [&tick, lane] { tick(lane); });
+        // Every fourth firing schedules a decoy and cancels it — the
+        // timeout-descheduling pattern the protocols use constantly.
+        if ((fired & 3) == 0) {
+            auto h = eq.scheduleIn(5, [&fired] { ++fired; });
+            eq.cancel(h);
+        }
+    };
+    const auto start = Clock::now();
+    for (int lane = 0; lane < 64; ++lane)
+        eq.schedule(Tick(lane % 5), [&tick, lane] { tick(lane); });
+    eq.run();
+    const double secs = secondsSince(start);
+    return double(fired) / secs;
+}
+
+/**
+ * Signature-op throughput on the default 2-Kbit geometry: the
+ * insert/membership/intersection/compatibility mix a directory module
+ * performs per admitted commit (Section 3.2.1).
+ */
+double
+benchSignature(std::uint64_t iterations)
+{
+    Rng rng(21);
+    Signature r0, w0, r1, w1;
+    for (int i = 0; i < 30; ++i) {
+        r0.insert(rng.next() >> 7);
+        r1.insert(rng.next() >> 7);
+    }
+    for (int i = 0; i < 12; ++i) {
+        w0.insert(rng.next() >> 7);
+        w1.insert(rng.next() >> 7);
+    }
+    Signature scratch;
+    Addr a = 0x12345;
+    std::uint64_t ops = 0;
+    std::uint64_t sink = 0;
+    const auto start = Clock::now();
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+        a = a * 6364136223846793005ull + 1;
+        scratch.insert(a >> 7);
+        sink += scratch.contains((a >> 7) ^ 0x55);
+        sink += r0.intersects(w1);
+        sink += chunksCompatible(r0, w0, r1, w1); // 3 intersections
+        ops += 6;
+        if ((i & 255) == 255) {
+            scratch.unionWith(w0);
+            scratch.clear();
+            ops += 2;
+        }
+    }
+    const double secs = secondsSince(start);
+    if (sink == 0xdeadbeef)
+        std::fprintf(stderr, "impossible\n"); // defeat dead-code elimination
+    return double(ops) / secs / 1e6;
+}
+
+/** Torus delivery throughput: uniform-random traffic on the 64-tile mesh
+ *  of Table 2, a mix of small (control) and large (signature) messages. */
+double
+benchTorus(std::uint64_t target_messages)
+{
+    EventQueue eq;
+    TorusNetwork net(eq, 64);
+    std::uint64_t delivered = 0;
+    for (NodeId n = 0; n < 64; ++n)
+        net.registerHandler(n, Port::Dir,
+                            [&delivered](MessagePtr) { ++delivered; });
+    Rng rng(7);
+    const auto start = Clock::now();
+    std::uint64_t sent = 0;
+    while (sent < target_messages) {
+        for (int i = 0; i < 256 && sent < target_messages; ++i, ++sent) {
+            const NodeId src = NodeId(rng.below(64));
+            const NodeId dst = NodeId(rng.below(64));
+            const bool large = (sent & 7) == 0;
+            net.send(std::make_unique<Message>(
+                src, dst, Port::Dir,
+                large ? MsgClass::LargeCMessage : MsgClass::SmallCMessage, 0,
+                large ? 64 : 8));
+        }
+        eq.run();
+    }
+    const double secs = secondsSince(start);
+    if (delivered != sent)
+        std::fprintf(stderr, "torus bench lost messages\n");
+    return double(delivered) / secs;
+}
+
+/** The fixed sweep matrix timed end-to-end (the binding constraint on how
+ *  much of the paper's design space one CI run can cover). */
+std::vector<RunConfig>
+sweepMatrix(bool quick)
+{
+    const std::vector<const char*> app_names = {"Radix", "LU"};
+    const std::vector<ProtocolKind> protocols = {
+        ProtocolKind::ScalableBulk, ProtocolKind::TCC, ProtocolKind::SEQ,
+        ProtocolKind::BulkSC};
+    const std::vector<std::uint32_t> procs = quick
+                                                 ? std::vector<std::uint32_t>{16}
+                                                 : std::vector<std::uint32_t>{16, 32};
+    std::vector<RunConfig> matrix;
+    for (const char* name : app_names) {
+        const AppSpec* app = findApp(name);
+        if (!app) {
+            std::fprintf(stderr, "sweep matrix app '%s' missing\n", name);
+            std::exit(1);
+        }
+        for (ProtocolKind proto : protocols) {
+            for (std::uint32_t p : procs) {
+                RunConfig cfg;
+                cfg.app = app;
+                cfg.procs = p;
+                cfg.protocol = proto;
+                cfg.totalChunks = quick ? 128 : 512;
+                matrix.push_back(cfg);
+            }
+        }
+    }
+    return matrix;
+}
+
+double
+benchSweep(const std::vector<RunConfig>& matrix, unsigned jobs)
+{
+    std::vector<Tick> makespans(matrix.size(), 0);
+    const auto start = Clock::now();
+    parallelFor(matrix.size(), jobs, [&](std::size_t i) {
+        makespans[i] = runExperiment(matrix[i]).makespan;
+    });
+    const double secs = secondsSince(start);
+    for (Tick m : makespans)
+        if (m == 0)
+            std::fprintf(stderr, "sweep bench produced a zero makespan\n");
+    return secs;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool quick = false;
+    unsigned jobs = defaultJobs();
+    const char* json_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        const char* a = argv[i];
+        if (!std::strcmp(a, "--quick")) {
+            quick = true;
+        } else if (!std::strcmp(a, "--jobs") && i + 1 < argc) {
+            jobs = unsigned(std::atoi(argv[++i]));
+            if (jobs == 0)
+                jobs = defaultJobs();
+        } else if (!std::strcmp(a, "--json") && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: wallclock [--quick] [--jobs N] "
+                         "[--json FILE]\n");
+            return 2;
+        }
+    }
+
+    const std::uint64_t ev_target = quick ? 2'000'000 : 10'000'000;
+    const std::uint64_t sig_iters = quick ? 400'000 : 2'000'000;
+    const std::uint64_t msg_target = quick ? 200'000 : 1'000'000;
+
+    const double events_per_sec = benchSimcore(ev_target);
+    const double sig_mops = benchSignature(sig_iters);
+    const double msgs_per_sec = benchTorus(msg_target);
+    const std::vector<RunConfig> matrix = sweepMatrix(quick);
+    const double sweep_serial = benchSweep(matrix, 1);
+    const double sweep_parallel =
+        jobs > 1 ? benchSweep(matrix, jobs) : sweep_serial;
+
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\n"
+        "  \"quick\": %s,\n"
+        "  \"jobs\": %u,\n"
+        "  \"simcore_events_per_sec\": %.0f,\n"
+        "  \"signature_mops_per_sec\": %.2f,\n"
+        "  \"torus_messages_per_sec\": %.0f,\n"
+        "  \"sweep_runs\": %zu,\n"
+        "  \"sweep_seconds_serial\": %.3f,\n"
+        "  \"sweep_seconds_parallel\": %.3f\n"
+        "}\n",
+        quick ? "true" : "false", jobs, events_per_sec, sig_mops,
+        msgs_per_sec, matrix.size(), sweep_serial, sweep_parallel);
+
+    if (json_path && std::strcmp(json_path, "-")) {
+        std::FILE* f = std::fopen(json_path, "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", json_path);
+            return 1;
+        }
+        std::fputs(buf, f);
+        std::fclose(f);
+    }
+    std::fputs(buf, stdout);
+    return 0;
+}

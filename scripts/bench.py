@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Run the wall-clock perf harness and gate regressions.
+
+Wraps bench/wallclock (built by the normal CMake build) and compares its
+numbers against the committed baseline BENCH_simcore.json at the repo root:
+
+    scripts/bench.py --build build            # run, print, no gate
+    scripts/bench.py --build build --check    # fail if >25% regression
+    scripts/bench.py --build build --update   # rewrite the baseline 'after'
+    scripts/bench.py --build build --quick    # smoke mode (CI)
+
+The gate is deliberately loose (25%) because absolute throughput is
+machine-dependent; it catches structural regressions (an accidental
+allocation or algorithmic slip on a hot path), not scheduler noise.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "BENCH_simcore.json"
+
+# Metrics gated by --check: name -> direction (+1 higher is better,
+# -1 lower is better).
+GATED = {
+    "simcore_events_per_sec": +1,
+    "signature_mops_per_sec": +1,
+    "torus_messages_per_sec": +1,
+    "sweep_seconds_serial": -1,
+}
+TOLERANCE = 0.25
+
+
+def find_binary(build_dir):
+    path = pathlib.Path(build_dir) / "bench" / "wallclock"
+    if not path.is_file():
+        sys.exit(f"bench binary not found at {path}; build the repo first "
+                 "(cmake --build <build-dir>)")
+    return path
+
+
+def run_bench(binary, quick, json_out):
+    cmd = [str(binary), "--json", str(json_out)]
+    if quick:
+        cmd.append("--quick")
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    with open(json_out) as f:
+        return json.load(f)
+
+
+def check(result, baseline_after):
+    """Return a list of regression messages (empty = pass)."""
+    failures = []
+    for metric, direction in GATED.items():
+        if metric not in result or metric not in baseline_after:
+            continue
+        got, ref = float(result[metric]), float(baseline_after[metric])
+        if ref <= 0:
+            continue
+        if direction > 0 and got < ref * (1 - TOLERANCE):
+            failures.append(
+                f"{metric}: {got:.6g} is more than {TOLERANCE:.0%} below "
+                f"baseline {ref:.6g}")
+        if direction < 0 and got > ref * (1 + TOLERANCE):
+            failures.append(
+                f"{metric}: {got:.6g} is more than {TOLERANCE:.0%} above "
+                f"baseline {ref:.6g}")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build", default="build",
+                    help="CMake build directory (default: build)")
+    ap.add_argument("--quick", action="store_true",
+                    help="pass --quick to the harness (smoke sizes)")
+    ap.add_argument("--check", action="store_true",
+                    help="fail (exit 1) on a >25%% regression vs the "
+                         "committed baseline's 'after' numbers")
+    ap.add_argument("--update", action="store_true",
+                    help="write this run's numbers into the baseline's "
+                         "'after' block")
+    ap.add_argument("--json", default=None,
+                    help="also write the raw harness JSON here")
+    args = ap.parse_args()
+
+    binary = find_binary(args.build)
+    json_out = pathlib.Path(args.json) if args.json \
+        else pathlib.Path(args.build) / "bench_result.json"
+    result = run_bench(binary, args.quick, json_out)
+
+    print(f"{'metric':<28} {'this run':>14} {'baseline':>14}")
+    baseline = json.loads(BASELINE.read_text()) if BASELINE.is_file() else {}
+    after = baseline.get("after", {})
+    for metric in GATED:
+        got = result.get(metric, "-")
+        ref = after.get(metric, "-")
+        print(f"{metric:<28} {got!s:>14} {ref!s:>14}")
+
+    if args.update:
+        if not baseline:
+            sys.exit(f"baseline {BASELINE} missing; cannot --update")
+        for metric in GATED:
+            if metric in result:
+                baseline["after"][metric] = result[metric]
+        before = baseline.get("before", {})
+        speedup = baseline.setdefault("speedup", {})
+        for metric, direction in GATED.items():
+            if metric in before and metric in baseline["after"]:
+                b, a = float(before[metric]), float(baseline["after"][metric])
+                if a > 0 and b > 0:
+                    key = "sweep_wall_clock" \
+                        if metric == "sweep_seconds_serial" else metric
+                    speedup[key] = round(b / a if direction < 0 else a / b, 2)
+        BASELINE.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"updated {BASELINE}")
+
+    if args.check:
+        if args.quick:
+            # Quick mode runs tiny problem sizes; numbers are noisy, so the
+            # gate only verifies the harness runs and produces sane output.
+            missing = [m for m in GATED if m not in result]
+            if missing:
+                sys.exit(f"quick run missing metrics: {missing}")
+            print("quick check: harness ran, all metrics present")
+            return
+        failures = check(result, after)
+        if failures:
+            print("PERF REGRESSION:", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            sys.exit(1)
+        print(f"check passed (within {TOLERANCE:.0%} of baseline)")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,11 +13,12 @@
 #define SBULK_CHUNK_CHUNK_HH
 
 #include <cstdint>
+#include <type_traits>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "sig/signature.hh"
+#include "sim/flat_hash.hh"
 #include "sim/types.hh"
 
 namespace sbulk
@@ -71,23 +72,51 @@ class Chunk
     const Signature& rSig() const { return _rSig; }
     const Signature& wSig() const { return _wSig; }
 
-    /** Record a load of @p line homed at directory @p home. */
+    /**
+     * Record a load of @p line. @p home_of() names the line's home
+     * directory; it is consulted only the first time the line is recorded
+     * in this chunk — repeat accesses would set already-set signature and
+     * directory-mask bits, so they are skipped outright, which also skips
+     * the (hash-lookup) home query. Callers passing a lazy home_of rely on
+     * homeOf's first-touch side effect being idempotent per (page, core):
+     * an earlier record of the same line already performed the call.
+     */
+    template <typename HomeFn,
+              typename = std::enable_if_t<std::is_invocable_v<HomeFn&>>>
+    void
+    recordRead(Addr line, HomeFn&& home_of)
+    {
+        if (!_readSet.insert(line))
+            return;
+        _rSig.insert(line);
+        _dirsRead |= std::uint64_t(1) << home_of();
+    }
+
     void
     recordRead(Addr line, NodeId home)
     {
-        _rSig.insert(line);
-        _dirsRead |= std::uint64_t(1) << home;
-        _readSet.insert(line);
+        recordRead(line, [home] { return home; });
     }
 
-    /** Record a store to @p line homed at directory @p home. */
+    /** Record a store to @p line; same first-record contract as recordRead. */
+    template <typename HomeFn,
+              typename = std::enable_if_t<std::is_invocable_v<HomeFn&>>>
+    void
+    recordWrite(Addr line, HomeFn&& home_of)
+    {
+        if (!_writeSet.insert(line))
+            return;
+        const NodeId home = home_of();
+        _wSig.insert(line);
+        _dirsWritten |= std::uint64_t(1) << home;
+        _writeLines.push_back(line);
+        _writesByHome[home].push_back(line);
+    }
+
     void
     recordWrite(Addr line, NodeId home)
     {
-        _wSig.insert(line);
-        _dirsWritten |= std::uint64_t(1) << home;
-        if (_writeSet.insert(line).second)
-            _writesByHome[home].push_back(line);
+        recordWrite(line, [home] { return home; });
     }
 
     /** Home directories of all lines read (bit per tile). */
@@ -98,7 +127,7 @@ class Chunk
     std::uint64_t gVec() const { return _dirsRead | _dirsWritten; }
 
     /** Exact lines written (functional stand-in for W expansion). */
-    const std::unordered_set<Addr>& writeSet() const { return _writeSet; }
+    const AddrSet& writeSet() const { return _writeSet; }
     /** Written lines grouped by home directory. */
     const std::unordered_map<NodeId, std::vector<Addr>>&
     writesByHome() const
@@ -109,7 +138,7 @@ class Chunk
     std::vector<Addr>
     writeLines() const
     {
-        return {_writeSet.begin(), _writeSet.end()};
+        return _writeLines;
     }
 
     /**
@@ -120,7 +149,7 @@ class Chunk
     trulyConflictsWith(const std::vector<Addr>& w_lines) const
     {
         for (Addr line : w_lines)
-            if (_readSet.count(line) || _writeSet.count(line))
+            if (_readSet.contains(line) || _writeSet.contains(line))
                 return true;
         return false;
     }
@@ -141,6 +170,7 @@ class Chunk
         _rSig.clear();
         _wSig.clear();
         _writeSet.clear();
+        _writeLines.clear();
         _readSet.clear();
         _writesByHome.clear();
         _dirsRead = 0;
@@ -173,8 +203,17 @@ class Chunk
     Signature _wSig;
     std::uint64_t _dirsRead = 0;
     std::uint64_t _dirsWritten = 0;
-    std::unordered_set<Addr> _writeSet;
-    std::unordered_set<Addr> _readSet;
+    /**
+     * Exact line sets, kept in flat open-addressing tables: one probe per
+     * access beats unordered_set's node allocation, and clear() is O(1).
+     * The written lines are additionally kept as a first-write-order list
+     * (_writeLines) for writeLines(); bulk-invalidation payload order is
+     * not semantically meaningful (receivers treat it as a set), it only
+     * needs to be deterministic — and insertion order is.
+     */
+    AddrSet _writeSet;
+    AddrSet _readSet;
+    std::vector<Addr> _writeLines;
     std::unordered_map<NodeId, std::vector<Addr>> _writesByHome;
     std::vector<MemOp> _ops;
     std::uint32_t _timesSquashed = 0;

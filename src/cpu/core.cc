@@ -109,11 +109,19 @@ Core::executeOp()
     const std::uint32_t work = op.gap + 1;
 
     const Addr line = _caches.lineOf(op.addr);
-    const NodeId home = _caches.homeOf(op.addr);
+    // The home query is a hash lookup with a first-touch side effect; the
+    // chunk consults it lazily, only the first time it records the line
+    // (repeat records are no-ops — see Chunk::recordRead).
+    const auto lazyHome = [&] { return _caches.homeOf(op.addr); };
 
     if (op.isWrite) {
         const StoreResult res = _caches.store(op.addr, exec->slot());
         if (res == StoreResult::Overflow) {
+            // The pre-lazy-home code queried the home before every op, so
+            // an overflow-aborted store still counted as a page toucher.
+            // Preserve that: first-touch assignment must not shift to
+            // whichever core touches the page next.
+            _caches.homeOf(op.addr);
             _stats.chunkOverflows.inc();
             // Give the op back; it belongs to whatever executes next.
             _carryOp = MemOp{0, true, op.addr};
@@ -131,7 +139,7 @@ Core::executeOp()
         }
         exec->usefulCycles += work;
         _instrsInChunk += work;
-        exec->recordWrite(line, home);
+        exec->recordWrite(line, lazyHome);
         // Stores retire through the write buffer: no stall.
         scheduleNextOp(work);
         return;
@@ -139,7 +147,19 @@ Core::executeOp()
 
     exec->usefulCycles += work;
     _instrsInChunk += work;
-    exec->recordRead(line, home);
+    exec->recordRead(line, lazyHome);
+
+    // Probe for the (common) L1 hit before building the miss-completion
+    // callback: its captures exceed std::function's inline buffer, so
+    // constructing it unconditionally would heap-allocate on every load.
+    if (_caches.loadHit(op.addr)) {
+        if (_checker)
+            _checker->noteRead(exec->tag(), line);
+        if (_observer)
+            _observer->onChunkRead(_id, exec->tag(), line);
+        scheduleNextOp(work);
+        return;
+    }
 
     const Tick issued = _eq.now();
     const std::uint64_t epoch = _epoch;
@@ -160,13 +180,8 @@ Core::executeOp()
                 chunk->missStallCycles += elapsed - work;
             scheduleNextOp(1);
         });
-    if (hit) {
-        if (_checker)
-            _checker->noteRead(exec->tag(), line);
-        if (_observer)
-            _observer->onChunkRead(_id, exec->tag(), line);
-        scheduleNextOp(work);
-    }
+    SBULK_ASSERT(!hit, "loadHit() missed but load() hit");
+    (void)hit;
 }
 
 void

@@ -36,6 +36,16 @@ CacheArray::probe(Addr line) const
     return nullptr;
 }
 
+CacheLine*
+CacheArray::find(Addr line)
+{
+    CacheLine* ways = waysOf(line);
+    for (std::uint32_t w = 0; w < _cfg.assoc; ++w)
+        if (ways[w].valid() && ways[w].line == line)
+            return &ways[w];
+    return nullptr;
+}
+
 std::optional<Eviction>
 CacheArray::insert(Addr line, LineState state)
 {
@@ -103,32 +113,43 @@ CacheArray::invalidate(Addr line)
 void
 CacheArray::markSpeculative(Addr line, unsigned slot)
 {
-    SBULK_ASSERT(slot < 8);
+    SBULK_ASSERT(slot < kMaxSlots);
     CacheLine* entry = lookup(line);
     SBULK_ASSERT(entry, "marking absent line speculative");
-    entry->specMask |= std::uint8_t(1u << slot);
+    const std::uint8_t bit = std::uint8_t(1u << slot);
+    // Record the line for the slot's commit/squash drain only on the
+    // clear->set transition, so repeated writes don't grow the list.
+    if (!(entry->specMask & bit))
+        _specLines[slot].push_back(line);
+    entry->specMask |= bit;
 }
 
 void
 CacheArray::commitSlot(unsigned slot)
 {
+    SBULK_ASSERT(slot < kMaxSlots);
     const std::uint8_t bit = std::uint8_t(1u << slot);
-    for (auto& entry : _lines) {
-        if (entry.valid() && (entry.specMask & bit)) {
-            entry.specMask &= std::uint8_t(~bit);
-            entry.state = LineState::Dirty;
+    for (Addr line : _specLines[slot]) {
+        CacheLine* entry = find(line);
+        if (entry && (entry->specMask & bit)) {
+            entry->specMask &= std::uint8_t(~bit);
+            entry->state = LineState::Dirty;
         }
     }
+    _specLines[slot].clear();
 }
 
 void
 CacheArray::squashSlot(unsigned slot)
 {
+    SBULK_ASSERT(slot < kMaxSlots);
     const std::uint8_t bit = std::uint8_t(1u << slot);
-    for (auto& entry : _lines) {
-        if (entry.valid() && (entry.specMask & bit))
-            entry = CacheLine{};
+    for (Addr line : _specLines[slot]) {
+        CacheLine* entry = find(line);
+        if (entry && (entry->specMask & bit))
+            *entry = CacheLine{};
     }
+    _specLines[slot].clear();
 }
 
 std::uint32_t

@@ -11,9 +11,11 @@
 #ifndef SBULK_MEM_CACHE_ARRAY_HH
 #define SBULK_MEM_CACHE_ARRAY_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "mem/config.hh"
@@ -32,20 +34,30 @@ enum class LineState : std::uint8_t
     Dirty,  ///< committed modified copy; this cache is the owner
 };
 
-/** One tag-array entry. */
+/**
+ * One tag-array entry.
+ *
+ * Deliberately has no default member initializers: all-zero is exactly the
+ * invalid entry (LineState::Invalid == 0), and keeping the type trivially
+ * default-constructible lets the tag array's vector resize memset itself
+ * instead of running a per-element constructor loop — measurable at System
+ * construction, which zeroes megabytes of tag state per simulated run.
+ * Always create entries with CacheLine{} (value-initialization).
+ */
 struct CacheLine
 {
-    Addr line = 0; ///< full line address (tag+index combined)
-    LineState state = LineState::Invalid;
+    Addr line; ///< full line address (tag+index combined)
+    LineState state;
     /** Bit s set: chunk slot s of the owning core wrote this line and has
      *  not committed yet. */
-    std::uint8_t specMask = 0;
+    std::uint8_t specMask;
     /** LRU timestamp (higher = more recent). */
-    std::uint64_t lastUse = 0;
+    std::uint64_t lastUse;
 
     bool valid() const { return state != LineState::Invalid; }
     bool speculative() const { return specMask != 0; }
 };
+static_assert(std::is_trivially_default_constructible_v<CacheLine>);
 
 /** Outcome of an insertion: the victim, if a valid line was displaced. */
 struct Eviction
@@ -114,6 +126,9 @@ class CacheArray
     std::uint32_t numValid() const;
 
   private:
+    /** specMask is a uint8_t: at most 8 trackable chunk slots. */
+    static constexpr unsigned kMaxSlots = 8;
+
     std::uint32_t setOf(Addr line) const { return line & (_cfg.numSets() - 1); }
     CacheLine* waysOf(Addr line)
     {
@@ -123,9 +138,20 @@ class CacheArray
     {
         return &_lines[std::size_t(setOf(line)) * _cfg.assoc];
     }
+    /** Find a valid entry without touching LRU (mutable probe). */
+    CacheLine* find(Addr line);
 
     CacheConfig _cfg;
     std::vector<CacheLine> _lines;
+    /**
+     * Per-slot list of lines marked speculative, so commit/squash probe
+     * exactly the chunk's write set instead of walking the whole tag array.
+     * A conservative superset: a listed line may have been dropped (or its
+     * bit cleared by an intervening squash) since it was recorded, so the
+     * drain re-checks presence and the slot bit — which also makes
+     * duplicate entries from re-marked lines harmless.
+     */
+    std::array<std::vector<Addr>, kMaxSlots> _specLines;
     std::uint64_t _useClock = 0;
 };
 

@@ -18,6 +18,20 @@ CacheHierarchy::homeOf(Addr byte_addr)
 }
 
 bool
+CacheHierarchy::loadHit(Addr byte_addr)
+{
+    // Mirrors the L1-hit arm of load() exactly (stats and LRU update). On
+    // a miss nothing is touched: lookup() only mutates LRU state on a hit,
+    // so the caller's follow-up load() replays an identical probe.
+    if (_l1.lookup(lineOf(byte_addr))) {
+        _stats.loads.inc();
+        _stats.l1Hits.inc();
+        return true;
+    }
+    return false;
+}
+
+bool
 CacheHierarchy::load(Addr byte_addr, std::function<void()> done)
 {
     _stats.loads.inc();

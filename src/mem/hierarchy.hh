@@ -59,6 +59,18 @@ class CacheHierarchy
     bool load(Addr byte_addr, std::function<void()> done);
 
     /**
+     * Hit-only probe for a load of @p byte_addr: on an L1 hit, performs
+     * exactly what load() would (stats, LRU touch) and returns true; on a
+     * miss it is a pure no-op and the caller must follow with load().
+     *
+     * This exists so the core's hot path constructs the (capture-heavy)
+     * completion callback only when a load actually misses — on libstdc++
+     * the callback exceeds std::function's inline buffer and would heap
+     * allocate on every load otherwise.
+     */
+    bool loadHit(Addr byte_addr);
+
+    /**
      * Retire a speculative store by chunk slot @p slot.
      *
      * A store to an absent line allocates it speculatively and issues a

@@ -3,13 +3,19 @@
  * First-touch virtual-page to home-directory mapping (Section 5: "a simple
  * first-touch policy is used to map virtual pages to physical pages in the
  * directory modules").
+ *
+ * Every simulated memory access asks for its page's home, so this map sits
+ * on the hottest path in the simulator. It is backed by the flat
+ * open-addressing table in sim/flat_hash.hh rather than std::unordered_map:
+ * the mapping is insert-only and never iterated, so the swap is invisible
+ * to simulation results while removing a node allocation and a pointer
+ * chase per lookup.
  */
 
 #ifndef SBULK_MEM_PAGE_MAP_HH
 #define SBULK_MEM_PAGE_MAP_HH
 
-#include <unordered_map>
-
+#include "sim/flat_hash.hh"
 #include "sim/types.hh"
 
 namespace sbulk
@@ -30,23 +36,21 @@ class FirstTouchMap
     NodeId
     homeOf(Addr page, NodeId toucher)
     {
-        auto [it, inserted] = _map.try_emplace(page, toucher % _numNodes);
-        return it->second;
+        return _map.findOrInsert(page, toucher % _numNodes);
     }
 
     /** Home of an already-mapped page; kInvalidNode if never touched. */
     NodeId
     peek(Addr page) const
     {
-        auto it = _map.find(page);
-        return it == _map.end() ? kInvalidNode : it->second;
+        return _map.find(page);
     }
 
     std::size_t mappedPages() const { return _map.size(); }
 
   private:
     std::uint32_t _numNodes;
-    std::unordered_map<Addr, NodeId> _map;
+    AddrNodeMap _map;
 };
 
 } // namespace sbulk

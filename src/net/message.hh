@@ -9,6 +9,7 @@
 #ifndef SBULK_NET_MESSAGE_HH
 #define SBULK_NET_MESSAGE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 
@@ -84,6 +85,12 @@ struct Message
     std::uint32_t bytes = 8;
     /** Tick at which the message entered the network (set by the network). */
     Tick sentAt = 0;
+    /**
+     * Routing scratch owned by the network while the message is in flight:
+     * the node the message currently sits at. Lets a multi-hop network
+     * advance the message without allocating per-hop closure state.
+     */
+    NodeId netHop = kInvalidNode;
 
     Message() = default;
     Message(NodeId src_, NodeId dst_, Port port, MsgClass cls_,
@@ -92,6 +99,17 @@ struct Message
           bytes(bytes_)
     {}
     virtual ~Message() = default;
+
+    /**
+     * Messages are the simulator's highest-churn heap objects (one or more
+     * per protocol hop), so they allocate from a thread-local size-bucketed
+     * pool instead of the global heap. Thread-local keeps parallel sweep
+     * workers contention-free; blocks may migrate between threads' pools,
+     * which is harmless since buckets are sized identically everywhere.
+     */
+    static void* operator new(std::size_t size);
+    static void operator delete(void* p) noexcept;
+    static void operator delete(void* p, std::size_t) noexcept;
 };
 
 /** First message kind available to commit protocols. */

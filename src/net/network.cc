@@ -124,39 +124,50 @@ TorusNetwork::send(MessagePtr msg)
         _eq.scheduleIn(1 + jitter, [this, raw] { deliver(MessagePtr(raw)); });
         return;
     }
-    const NodeId start = msg->src;
+    msg->netHop = msg->src;
     if (jitter > 0) {
         // Jitter models injection-queue delay: the message waits at the
         // source NIC, then routes normally.
         Message* raw = msg.release();
-        _eq.scheduleIn(jitter, [this, raw, start] { hop(raw, start); });
+        _eq.scheduleIn(jitter, [this, raw] { route(raw); });
         return;
     }
-    hop(msg.release(), start);
+    route(msg.release());
 }
 
 void
-TorusNetwork::hop(Message* msg, NodeId cur)
+TorusNetwork::route(Message* msg)
 {
-    Dir dir;
-    NodeId next = nextHop(cur, msg->dst, dir);
-
-    // Serialization: the link is busy for one cycle per flit.
+    // Serialization: each link is busy for one cycle per flit.
     const Tick ser =
         std::max<Tick>(1, (msg->bytes + _cfg.flitBytes - 1) / _cfg.flitBytes);
-    Tick& free_at = linkFree(cur, dir);
-    const Tick depart = std::max(_eq.now() + _cfg.routerLatency, free_at);
-    free_at = depart + ser;
-    _linkBusy[cur * 4 + dir] += ser;
-    const Tick arrive = depart + ser + _cfg.linkLatency;
+    NodeId cur = msg->netHop;
+    Tick t = _eq.now();
 
-    _eq.schedule(arrive, [this, msg, next] {
-        if (next == msg->dst) {
-            deliver(MessagePtr(msg));
-        } else {
-            hop(msg, next);
-        }
-    });
+    // One event per hop, reserving each link at the tick the message
+    // physically reaches its router. Reservation order on a link therefore
+    // equals arrival order, which gives per-link FIFO — and the commit
+    // protocols rely on the point-to-point ordering that follows from it.
+    // (Merging uncontended hops into one precomputed-arrival event was
+    // tried and reverted: it reserves downstream links at injection time,
+    // before physically-earlier messages reach them, which can invert
+    // same-pair delivery order and break protocol handshakes.) The hop
+    // event captures only [this, msg] — the route cursor lives in
+    // msg->netHop — so it fits std::function's small-buffer storage and
+    // the chain allocates nothing.
+    Dir dir;
+    const NodeId next = nextHop(cur, msg->dst, dir);
+    Tick& free_at = linkFree(cur, dir);
+    const Tick depart = std::max(t + _cfg.routerLatency, free_at);
+    free_at = depart + ser;
+    _linkBusy[std::size_t(cur) * 4 + dir] += ser;
+    const Tick arrive = depart + ser + _cfg.linkLatency;
+    if (next == msg->dst) {
+        _eq.schedule(arrive, [this, msg] { deliver(MessagePtr(msg)); });
+        return;
+    }
+    msg->netHop = next;
+    _eq.schedule(arrive, [this, msg] { route(msg); });
 }
 
 } // namespace sbulk

@@ -201,7 +201,9 @@ class TorusNetwork : public Network
      *  out of @p node); divide by elapsed time for utilization. */
     Tick linkBusy(NodeId node, unsigned dir) const
     {
-        return _linkBusy[node * 4 + dir];
+        SBULK_ASSERT(node < numNodes(), "linkBusy of unknown node %u", node);
+        SBULK_ASSERT(dir < 4, "linkBusy direction %u out of range", dir);
+        return _linkBusy[std::size_t(node) * 4 + dir];
     }
 
     /** The most-utilized link's busy cycles (hot-spot detection). */
@@ -223,8 +225,14 @@ class TorusNetwork : public Network
 
     Tick& linkFree(NodeId node, Dir d) { return _linkFree[node * 4 + d]; }
 
-    /** Advance @p msg one hop; delivers on arrival at dst. */
-    void hop(Message* msg, NodeId cur);
+    /**
+     * Advance @p msg one hop from msg->netHop, reserving the link at the
+     * tick the message reaches the router (per-link FIFO — the protocols
+     * depend on the point-to-point ordering this implies); delivers on
+     * arrival at the destination. Allocation-free: the continuation
+     * captures only {this, msg} and the cursor lives in the message.
+     */
+    void route(Message* msg);
 
     TorusConfig _cfg;
     std::uint32_t _width = 0;

@@ -11,27 +11,46 @@ Signature::intersects(const Signature& other) const
                  "intersecting signatures of different geometry");
     // A real common address sets one bit per bank in both signatures, so it
     // survives the AND in *every* bank. Check banks independently: an
-    // all-zero AND in any bank proves emptiness.
-    const std::uint32_t per = _cfg.bitsPerBank();
+    // all-zero AND in any bank proves emptiness, and the first such bank
+    // ends the test. Conversely, a hit in every bank implies both
+    // signatures are non-empty, so no separate emptiness check is needed.
+    const std::uint64_t* a = words();
+    const std::uint64_t* b = other.words();
+    if ((_per & 63) == 0) {
+        // Bank boundaries are word-aligned (every power-of-two geometry
+        // with >= 64 bits per bank): no partial-word masking required.
+        const std::uint32_t wordsPerBank = _per >> 6;
+        std::uint32_t w = 0;
+        for (std::uint32_t bank = 0; bank < _cfg.numBanks; ++bank) {
+            const std::uint32_t end = w + wordsPerBank;
+            std::uint64_t hit = 0;
+            for (; w < end && !hit; ++w)
+                hit = a[w] & b[w];
+            if (!hit)
+                return false;
+            w = end;
+        }
+        return true;
+    }
     for (std::uint32_t bank = 0; bank < _cfg.numBanks; ++bank) {
-        const std::uint32_t lo = bank * per;
-        const std::uint32_t hi = lo + per; // exclusive
+        const std::uint32_t lo = bank * _per;
+        const std::uint32_t hi = lo + _per; // exclusive
         bool bank_hit = false;
         for (std::uint32_t w = lo >> 6; w < (hi + 63) >> 6 && !bank_hit;
              ++w) {
-            std::uint64_t a = _words[w] & other._words[w];
+            std::uint64_t x = a[w] & b[w];
             const std::uint32_t base = w << 6;
             // Mask bits of this word that fall outside [lo, hi).
             if (base < lo)
-                a &= ~0ull << (lo - base);
+                x &= ~0ull << (lo - base);
             if (hi < base + 64)
-                a &= (1ull << (hi - base)) - 1;
-            bank_hit = a != 0;
+                x &= (1ull << (hi - base)) - 1;
+            bank_hit = x != 0;
         }
         if (!bank_hit)
             return false;
     }
-    return !empty() && !other.empty();
+    return true;
 }
 
 void
@@ -40,8 +59,10 @@ Signature::unionWith(const Signature& other)
     SBULK_ASSERT(_cfg.totalBits == other._cfg.totalBits &&
                  _cfg.numBanks == other._cfg.numBanks,
                  "unioning signatures of different geometry");
-    for (std::size_t i = 0; i < _words.size(); ++i)
-        _words[i] |= other._words[i];
+    std::uint64_t* a = words();
+    const std::uint64_t* b = other.words();
+    for (std::uint32_t i = 0; i < _nwords; ++i)
+        a[i] |= b[i];
 }
 
 bool

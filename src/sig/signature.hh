@@ -18,14 +18,24 @@
  * False positives are modeled faithfully; they can squash chunks or
  * invalidate lines unnecessarily, but never affect correctness (Section 3.1
  * of the paper).
+ *
+ * Storage is inline up to kInlineWords (sized so the paper's default 2-Kbit
+ * geometry never heap-allocates — signatures are created, copied into
+ * messages, and destroyed on every commit, so this is a hot allocation
+ * site); larger geometries fall back to one heap block. The bank fold is a
+ * precomputed mask for power-of-two bank widths (every geometry the
+ * experiments use — bit-exact with the former `h % per`) and a multiply-
+ * shift reduction otherwise, so no division runs on the hot path.
  */
 
 #ifndef SBULK_SIG_SIGNATURE_HH
 #define SBULK_SIG_SIGNATURE_HH
 
+#include <array>
 #include <bit>
 #include <cstdint>
-#include <vector>
+#include <cstring>
+#include <memory>
 
 #include "sim/logging.hh"
 #include "sim/types.hh"
@@ -62,12 +72,48 @@ struct SigConfig
 class Signature
 {
   public:
-    explicit Signature(SigConfig cfg = SigConfig{})
-        : _cfg(cfg), _words(wordCount(cfg), 0)
+    explicit Signature(SigConfig cfg = SigConfig{}) : _cfg(cfg)
     {
         SBULK_ASSERT(cfg.valid(), "bad signature geometry %u/%u",
                      cfg.totalBits, cfg.numBanks);
+        _nwords = (cfg.totalBits + 63) / 64;
+        _per = cfg.bitsPerBank();
+        _mask = std::has_single_bit(_per) ? _per - 1 : 0;
+        if (_nwords > kInlineWords)
+            _overflow = std::make_unique<std::uint64_t[]>(_nwords);
+        std::memset(words(), 0, _nwords * sizeof(std::uint64_t));
     }
+
+    Signature(const Signature& other)
+        : _cfg(other._cfg), _nwords(other._nwords), _per(other._per),
+          _mask(other._mask)
+    {
+        if (_nwords > kInlineWords)
+            _overflow = std::make_unique<std::uint64_t[]>(_nwords);
+        std::memcpy(words(), other.words(), _nwords * sizeof(std::uint64_t));
+    }
+
+    Signature&
+    operator=(const Signature& other)
+    {
+        if (this == &other)
+            return *this;
+        if (other._nwords > kInlineWords &&
+            (_nwords <= kInlineWords || _nwords != other._nwords)) {
+            _overflow = std::make_unique<std::uint64_t[]>(other._nwords);
+        } else if (other._nwords <= kInlineWords) {
+            _overflow.reset();
+        }
+        _cfg = other._cfg;
+        _nwords = other._nwords;
+        _per = other._per;
+        _mask = other._mask;
+        std::memcpy(words(), other.words(), _nwords * sizeof(std::uint64_t));
+        return *this;
+    }
+
+    Signature(Signature&&) = default;
+    Signature& operator=(Signature&&) = default;
 
     const SigConfig& config() const { return _cfg; }
 
@@ -93,8 +139,9 @@ class Signature
     bool
     empty() const
     {
-        for (std::uint64_t w : _words)
-            if (w)
+        const std::uint64_t* w = words();
+        for (std::uint32_t i = 0; i < _nwords; ++i)
+            if (w[i])
                 return false;
         return true;
     }
@@ -115,16 +162,17 @@ class Signature
     void
     clear()
     {
-        std::fill(_words.begin(), _words.end(), 0);
+        std::memset(words(), 0, _nwords * sizeof(std::uint64_t));
     }
 
     /** Number of set bits — occupancy, for aliasing diagnostics. */
     std::uint32_t
     popcount() const
     {
+        const std::uint64_t* w = words();
         std::uint32_t n = 0;
-        for (std::uint64_t w : _words)
-            n += std::uint32_t(std::popcount(w));
+        for (std::uint32_t i = 0; i < _nwords; ++i)
+            n += std::uint32_t(std::popcount(w[i]));
         return n;
     }
 
@@ -142,19 +190,32 @@ class Signature
                 *out++ = *first;
     }
 
-    bool operator==(const Signature& other) const = default;
+    bool
+    operator==(const Signature& other) const
+    {
+        if (_cfg != other._cfg)
+            return false;
+        return std::memcmp(words(), other.words(),
+                           _nwords * sizeof(std::uint64_t)) == 0;
+    }
 
   private:
-    static std::size_t
-    wordCount(const SigConfig& cfg)
+    /** Inline capacity: 2 Kbit, the paper's geometry (Table 2). */
+    static constexpr std::uint32_t kInlineWords = 32;
+
+    std::uint64_t* words() { return _overflow ? _overflow.get() : _inline.data(); }
+    const std::uint64_t* words() const
     {
-        return (cfg.totalBits + 63) / 64;
+        return _overflow ? _overflow.get() : _inline.data();
     }
 
     /**
      * Global bit index for @p line in bank @p bank: an H3-style hash using
      * per-bank odd multiplicative constants, folded into the bank's bit
-     * range.
+     * range. The fold is a mask for power-of-two bank widths (bit-exact
+     * with `h % per`); other widths use a multiply-shift reduction of the
+     * mixed low 32 bits — a different (but equally uniform) member of the
+     * hash family, chosen to keep division off the hot path.
      */
     std::uint32_t
     bankBit(Addr line, std::uint32_t bank) const
@@ -169,19 +230,33 @@ class Signature
         h ^= h >> 29;
         h *= kMul[(bank + 3) % 8];
         h ^= h >> 32;
-        std::uint32_t per = _cfg.bitsPerBank();
-        return bank * per + std::uint32_t(h % per);
+        const std::uint32_t fold =
+            _mask ? std::uint32_t(h) & _mask
+                  : std::uint32_t((std::uint64_t(std::uint32_t(h)) * _per) >>
+                                  32);
+        return bank * _per + fold;
     }
 
-    void setBit(std::uint32_t i) { _words[i >> 6] |= 1ull << (i & 63); }
+    void
+    setBit(std::uint32_t i)
+    {
+        words()[i >> 6] |= 1ull << (i & 63);
+    }
     bool
     getBit(std::uint32_t i) const
     {
-        return (_words[i >> 6] >> (i & 63)) & 1;
+        return (words()[i >> 6] >> (i & 63)) & 1;
     }
 
     SigConfig _cfg;
-    std::vector<std::uint64_t> _words;
+    std::uint32_t _nwords = 0;
+    /** Precomputed bitsPerBank (avoids a division per hashed bank). */
+    std::uint32_t _per = 0;
+    /** per-1 when bitsPerBank is a power of two, else 0 (multiply-shift). */
+    std::uint32_t _mask = 0;
+    std::array<std::uint64_t, kInlineWords> _inline;
+    /** Heap storage, used only when the geometry exceeds kInlineWords. */
+    std::unique_ptr<std::uint64_t[]> _overflow;
 };
 
 /**

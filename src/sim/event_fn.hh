@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Move-only callable storage for the event slab.
+ *
+ * std::function is the natural type for event callbacks, but it pays an
+ * indirect "manager" call on every move and destruction — and the event
+ * kernel moves each callback at least twice (into the slab, back out at
+ * dispatch). Every hot callback in the simulator is a small trivially
+ * copyable lambda ([this] plus a few scalars), for which EventFn stores the
+ * closure inline and moves it with a plain memcpy: no manager, no
+ * allocation, one indirect call at invocation only.
+ *
+ * Callables that are too big or not trivially copyable (e.g. a
+ * std::function passed through from a miss path) fall back to a heap box.
+ */
+
+#ifndef SBULK_SIM_EVENT_FN_HH
+#define SBULK_SIM_EVENT_FN_HH
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace sbulk
+{
+
+/** See file comment: a lean move-only stand-in for std::function<void()>. */
+class EventFn
+{
+  public:
+    /** Sized so EventFn matches std::function's 32-byte footprint while
+     *  covering [this + three scalars] captures inline. */
+    static constexpr std::size_t kInlineBytes = 24;
+
+    EventFn() = default;
+    EventFn(std::nullptr_t) {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventFn> &&
+                  !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                  std::is_invocable_r_v<void, std::decay_t<F>&>>>
+    EventFn(F&& f)
+    {
+        construct(std::forward<F>(f));
+    }
+
+    EventFn(EventFn&& other) noexcept { moveFrom(other); }
+
+    EventFn&
+    operator=(EventFn&& other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventFn&
+    operator=(std::nullptr_t)
+    {
+        reset();
+        return *this;
+    }
+
+    EventFn(const EventFn&) = delete;
+    EventFn& operator=(const EventFn&) = delete;
+
+    ~EventFn() { reset(); }
+
+    explicit operator bool() const { return _invoke != nullptr; }
+
+    void operator()() { _invoke(_store); }
+
+  private:
+    using Invoke = void (*)(void*);
+    using Drop = void (*)(void*);
+
+    template <typename F>
+    void
+    construct(F&& f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_trivially_copyable_v<Fn> &&
+                      std::is_trivially_destructible_v<Fn>) {
+            ::new (static_cast<void*>(_store)) Fn(std::forward<F>(f));
+            // moveFrom copies the whole buffer; defined-initialize the
+            // tail so that copy never reads indeterminate bytes.
+            if constexpr (sizeof(Fn) < kInlineBytes)
+                std::memset(_store + sizeof(Fn), 0,
+                            kInlineBytes - sizeof(Fn));
+            _invoke = [](void* p) { (*static_cast<Fn*>(p))(); };
+            _drop = nullptr;
+        } else {
+            Fn* heap = new Fn(std::forward<F>(f));
+            std::memcpy(_store, &heap, sizeof(heap));
+            std::memset(_store + sizeof(heap), 0,
+                        kInlineBytes - sizeof(heap));
+            _invoke = [](void* p) {
+                Fn* fn;
+                std::memcpy(&fn, p, sizeof(fn));
+                (*fn)();
+            };
+            _drop = [](void* p) {
+                Fn* fn;
+                std::memcpy(&fn, p, sizeof(fn));
+                delete fn;
+            };
+        }
+    }
+
+    void
+    moveFrom(EventFn& other)
+    {
+        _invoke = other._invoke;
+        _drop = other._drop;
+        // Inline closures are trivially copyable by construction and the
+        // heap case stores a raw pointer, so a byte copy is a real move.
+        std::memcpy(_store, other._store, kInlineBytes);
+        other._invoke = nullptr;
+        other._drop = nullptr;
+    }
+
+    void
+    reset()
+    {
+        if (_drop)
+            _drop(_store);
+        _invoke = nullptr;
+        _drop = nullptr;
+    }
+
+    Invoke _invoke = nullptr;
+    Drop _drop = nullptr;
+    alignas(std::max_align_t) unsigned char _store[kInlineBytes];
+};
+
+} // namespace sbulk
+
+#endif // SBULK_SIM_EVENT_FN_HH

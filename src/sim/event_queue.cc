@@ -1,101 +1,67 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 namespace sbulk
 {
 
-void
-EventQueue::skimCancelled()
-{
-    while (!_heap.empty()) {
-        auto it = _cancelled.find(_heap.top().seq);
-        if (it == _cancelled.end())
-            return;
-        _cancelled.erase(it);
-        _heap.pop();
-    }
-}
-
-EventQueue::Entry
-EventQueue::popPolicyChoice()
+// Only the policy path lives out of line: it is the schedule-exploration
+// checker's hook, not the simulator fast path (which is fully inline in the
+// header so event-loop drivers compile down to one tight loop).
+EventQueue::HeapEntry
+EventQueue::popPolicyChoice(Src src)
 {
     // Collect the batch of ready events: every non-cancelled entry at the
-    // earliest tick. Popping the (when, seq)-ordered heap yields them in
-    // ascending sequence order, which is the order the policy indexes.
-    const Tick when = _heap.top().when;
-    std::vector<Entry> batch;
-    while (!_heap.empty() && _heap.top().when == when) {
-        if (auto it = _cancelled.find(_heap.top().seq);
-            it != _cancelled.end()) {
-            _cancelled.erase(it);
-            _heap.pop();
+    // earliest tick, from both structures. The ring bucket drains in
+    // append (= ascending sequence) order and the heap pops in ascending
+    // sequence order; the two runs can interleave (the window advances
+    // between inserts), so sort the merged batch by sequence number — the
+    // order the policy indexes.
+    const Tick when = nextWhen(src);
+    _batch.clear();
+    if (_ringCount > 0 && _scanTick == when) {
+        Bucket& b = _ring[when & (kRingTicks - 1)];
+        while (b.head != kNilLink) {
+            const std::uint32_t idx = ringPopHead(b);
+            const Slot& s = _slots[idx];
+            if (s.cancelled) {
+                freeSlot(idx);
+                continue;
+            }
+            _batch.push_back(HeapEntry{s.when, s.seq, idx});
+        }
+    }
+    while (!_heap.empty() && _heap[0].when == when) {
+        const HeapEntry e = heapPopTop();
+        if (_slots[e.slot].cancelled) {
+            freeSlot(e.slot);
             continue;
         }
-        batch.push_back(std::move(const_cast<Entry&>(_heap.top())));
-        _heap.pop();
+        _batch.push_back(e);
     }
-    SBULK_ASSERT(!batch.empty(), "policy dispatch with no ready events");
+    std::sort(_batch.begin(), _batch.end(),
+              [](const HeapEntry& a, const HeapEntry& b) {
+                  return a.seq < b.seq;
+              });
+    SBULK_ASSERT(!_batch.empty(), "policy dispatch with no ready events");
 
     std::size_t pick = 0;
-    if (batch.size() > 1) {
-        pick = _policy->chooseNext(batch.size());
-        SBULK_ASSERT(pick < batch.size(),
-                     "schedule policy chose %zu of %zu", pick, batch.size());
+    if (_batch.size() > 1) {
+        pick = _policy->chooseNext(_batch.size());
+        SBULK_ASSERT(pick < _batch.size(),
+                     "schedule policy chose %zu of %zu", pick, _batch.size());
     }
 
-    Entry chosen = std::move(batch[pick]);
+    const HeapEntry chosen = _batch[pick];
     // Re-queue the rest *before* running the chosen callback, so a
     // cancel() from inside it is honoured on their next surfacing.
-    for (std::size_t i = 0; i < batch.size(); ++i) {
+    // Ascending-sequence iteration keeps a re-filled ring bucket in FIFO
+    // order; the original sequence numbers are preserved.
+    for (std::size_t i = 0; i < _batch.size(); ++i) {
         if (i != pick)
-            _heap.push(std::move(batch[i]));
+            enqueueEntry(_batch[i].slot, _batch[i].when, _batch[i].seq);
     }
     return chosen;
-}
-
-void
-EventQueue::dispatch(Entry e)
-{
-    SBULK_ASSERT(e.when >= _now, "event queue went back in time");
-    _now = e.when;
-    // The callback may schedule new events, which mutates the heap; the
-    // entry was moved out of the heap before we got here.
-    e.fn();
-}
-
-std::uint64_t
-EventQueue::run(Tick limit)
-{
-    std::uint64_t executed = 0;
-    while (true) {
-        skimCancelled();
-        if (_heap.empty() || _heap.top().when > limit)
-            break;
-        if (_policy) {
-            dispatch(popPolicyChoice());
-        } else {
-            Entry e = std::move(const_cast<Entry&>(_heap.top()));
-            _heap.pop();
-            dispatch(std::move(e));
-        }
-        ++executed;
-    }
-    return executed;
-}
-
-bool
-EventQueue::step()
-{
-    skimCancelled();
-    if (_heap.empty())
-        return false;
-    if (_policy) {
-        dispatch(popPolicyChoice());
-    } else {
-        Entry e = std::move(const_cast<Entry&>(_heap.top()));
-        _heap.pop();
-        dispatch(std::move(e));
-    }
-    return true;
 }
 
 } // namespace sbulk

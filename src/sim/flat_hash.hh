@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Minimal open-addressing hash containers for simulator hot paths.
+ *
+ * Both containers here exist for one reason: the per-memory-op paths
+ * (page-home lookup, chunk read-set membership) hit a hash table once per
+ * simulated instruction, and std::unordered_* pays a node allocation plus a
+ * pointer chase per probe. These tables are flat arrays with linear probing
+ * and a multiplicative hash — one cache line per probe in the common case.
+ *
+ * They are deliberately narrow — insert and membership only, no erase —
+ * because every current user is insert-only. Neither container is ever
+ * iterated, so switching a caller from unordered_* to these cannot change
+ * any observable ordering (simulation traces stay byte-identical).
+ */
+
+#ifndef SBULK_SIM_FLAT_HASH_HH
+#define SBULK_SIM_FLAT_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace sbulk
+{
+
+/** Fibonacci multiplicative hash of a 64-bit key into [0, 2^bits). */
+inline std::size_t
+flatHashIndex(std::uint64_t key, unsigned shift)
+{
+    return std::size_t((key * 0x9e3779b97f4a7c15ull) >> shift);
+}
+
+/**
+ * Insert-only Addr -> NodeId map (open addressing, linear probing).
+ *
+ * Empty slots are marked by value == kInvalidNode, which no real mapping
+ * uses (values are always < the node count). Grows at ~70% load.
+ */
+class AddrNodeMap
+{
+  public:
+    /** Value for @p key, inserting @p fallback if absent. */
+    NodeId
+    findOrInsert(Addr key, NodeId value_if_absent)
+    {
+        SBULK_ASSERT(value_if_absent != kInvalidNode);
+        if (_size * 10 >= capacity() * 7)
+            grow();
+        std::size_t i = flatHashIndex(key, _shift);
+        while (_slots[i].value != kInvalidNode) {
+            if (_slots[i].key == key)
+                return _slots[i].value;
+            i = (i + 1) & (capacity() - 1);
+        }
+        _slots[i] = Entry{key, value_if_absent};
+        ++_size;
+        return value_if_absent;
+    }
+
+    /** Value for @p key, or kInvalidNode if absent. */
+    NodeId
+    find(Addr key) const
+    {
+        if (_size == 0)
+            return kInvalidNode;
+        std::size_t i = flatHashIndex(key, _shift);
+        while (_slots[i].value != kInvalidNode) {
+            if (_slots[i].key == key)
+                return _slots[i].value;
+            i = (i + 1) & (capacity() - 1);
+        }
+        return kInvalidNode;
+    }
+
+    std::size_t size() const { return _size; }
+
+  private:
+    struct Entry
+    {
+        Addr key = 0;
+        NodeId value = kInvalidNode;
+    };
+
+    std::size_t capacity() const { return _slots.size(); }
+
+    void
+    grow()
+    {
+        const std::size_t cap = _slots.empty() ? 64 : capacity() * 2;
+        std::vector<Entry> old = std::move(_slots);
+        _slots.assign(cap, Entry{});
+        _shift = 64;
+        for (std::size_t c = cap; c > 1; c >>= 1)
+            --_shift;
+        for (const Entry& e : old) {
+            if (e.value == kInvalidNode)
+                continue;
+            std::size_t i = flatHashIndex(e.key, _shift);
+            while (_slots[i].value != kInvalidNode)
+                i = (i + 1) & (cap - 1);
+            _slots[i] = e;
+        }
+    }
+
+    std::vector<Entry> _slots;
+    std::size_t _size = 0;
+    unsigned _shift = 64;
+};
+
+/**
+ * Insert-only Addr set with O(1) clear (open addressing, linear probing).
+ *
+ * Slots carry a generation stamp instead of being wiped: clear() bumps the
+ * generation, instantly invalidating every slot. This matters because the
+ * user (the chunk read set) is cleared once per chunk, and a memset-style
+ * clear would cost proportional to the high-water capacity every time.
+ */
+class AddrSet
+{
+  public:
+    /** Add @p key; returns true if it was newly inserted. */
+    bool
+    insert(Addr key)
+    {
+        if (_size * 10 >= capacity() * 7)
+            grow();
+        std::size_t i = flatHashIndex(key, _shift);
+        while (_slots[i].stamp == _stamp) {
+            if (_slots[i].key == key)
+                return false;
+            i = (i + 1) & (capacity() - 1);
+        }
+        _slots[i] = Entry{key, _stamp};
+        ++_size;
+        return true;
+    }
+
+    bool
+    contains(Addr key) const
+    {
+        if (_size == 0)
+            return false;
+        std::size_t i = flatHashIndex(key, _shift);
+        while (_slots[i].stamp == _stamp) {
+            if (_slots[i].key == key)
+                return true;
+            i = (i + 1) & (capacity() - 1);
+        }
+        return false;
+    }
+
+    void
+    clear()
+    {
+        ++_stamp;
+        _size = 0;
+    }
+
+    std::size_t size() const { return _size; }
+    bool empty() const { return _size == 0; }
+
+  private:
+    struct Entry
+    {
+        Addr key = 0;
+        std::uint64_t stamp = 0;
+    };
+
+    std::size_t capacity() const { return _slots.size(); }
+
+    void
+    grow()
+    {
+        const std::size_t cap = _slots.empty() ? 64 : capacity() * 2;
+        std::vector<Entry> old = std::move(_slots);
+        // Fresh slots carry stamp 0; restart generations at 1 so they all
+        // read as empty.
+        _slots.assign(cap, Entry{});
+        const std::uint64_t oldStamp = _stamp;
+        _stamp = 1;
+        _shift = 64;
+        for (std::size_t c = cap; c > 1; c >>= 1)
+            --_shift;
+        for (const Entry& e : old) {
+            if (e.stamp != oldStamp)
+                continue;
+            std::size_t i = flatHashIndex(e.key, _shift);
+            while (_slots[i].stamp == _stamp)
+                i = (i + 1) & (cap - 1);
+            _slots[i] = Entry{e.key, _stamp};
+        }
+    }
+
+    std::vector<Entry> _slots;
+    std::size_t _size = 0;
+    std::uint64_t _stamp = 1;
+    unsigned _shift = 64;
+};
+
+} // namespace sbulk
+
+#endif // SBULK_SIM_FLAT_HASH_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal deterministic work-sharing for the experiment layer.
+ *
+ * The simulator core is single-threaded by construction: one EventQueue,
+ * one System, no shared mutable state between runs. A sweep over N
+ * independent (app, protocol, procs) or seed configurations is therefore
+ * embarrassingly parallel — each worker owns a private System — and the
+ * only rule is that results be merged by index so output is byte-identical
+ * at any job count.
+ */
+
+#ifndef SBULK_SIM_PARALLEL_HH
+#define SBULK_SIM_PARALLEL_HH
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace sbulk
+{
+
+/** What `--jobs 0` (auto) resolves to: one worker per hardware thread. */
+inline unsigned
+defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+/**
+ * Invoke body(i) for every i in [0, n), spread over up to @p jobs threads.
+ *
+ * Each index runs exactly once, on exactly one thread; the call returns
+ * after all indices completed. With jobs <= 1 (or a single item) the loop
+ * runs inline on the caller — the serial and parallel modes execute the
+ * same body, so a caller that stores results by index produces identical
+ * output either way.
+ *
+ * The body must not touch shared mutable state except through its own
+ * index slice (e.g. results[i]): the simulator gives each index a private
+ * EventQueue/System, and this helper adds no synchronization beyond the
+ * work-stealing counter and the final join.
+ */
+template <typename Body>
+void
+parallelFor(std::size_t n, unsigned jobs, Body&& body)
+{
+    if (jobs <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (std::size_t i = next.fetch_add(1); i < n;
+             i = next.fetch_add(1)) {
+            body(i);
+        }
+    };
+    const unsigned k = unsigned(std::min<std::size_t>(jobs, n));
+    std::vector<std::thread> threads;
+    threads.reserve(k);
+    for (unsigned t = 0; t < k; ++t)
+        threads.emplace_back(worker);
+    for (auto& th : threads)
+        th.join();
+}
+
+} // namespace sbulk
+
+#endif // SBULK_SIM_PARALLEL_HH

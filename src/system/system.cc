@@ -148,10 +148,10 @@ System::buildProtocol()
 bool
 System::allCoresDone() const
 {
-    for (const auto& core : _cores)
-        if (!core->done())
-            return false;
-    return true;
+    while (_doneCorePrefix < _cores.size() &&
+           _cores[_doneCorePrefix]->done())
+        ++_doneCorePrefix;
+    return _doneCorePrefix == _cores.size();
 }
 
 bool

@@ -144,6 +144,13 @@ class System
     std::vector<std::unique_ptr<CacheHierarchy>> _caches;
     std::vector<std::unique_ptr<Directory>> _dirs;
     std::vector<std::unique_ptr<Core>> _cores;
+    /**
+     * Count of leading cores known to be done. Core::done() is monotone
+     * (a finished core never restarts), so allCoresDone() — called once
+     * per event by run loops — only ever examines cores past this prefix
+     * instead of rescanning from zero.
+     */
+    mutable std::size_t _doneCorePrefix = 0;
     std::vector<std::unique_ptr<ThreadStream>> _streams;
     std::vector<std::unique_ptr<ProcProtocol>> _procProtos;
     std::vector<std::unique_ptr<DirProtocol>> _dirProtos;

@@ -6,7 +6,11 @@
  *
  *   sbulk-sweep                          # 18 apps x 4 protocols x {32,64}
  *   sbulk-sweep --apps Radix,LU --procs 16,32,64 --protocols scalablebulk
- *   sbulk-sweep --chunks 640 > sweep.csv
+ *   sbulk-sweep --chunks 640 --jobs 8 > sweep.csv
+ *
+ * --jobs N runs up to N simulations concurrently; each worker owns a
+ * private System and EventQueue, and rows are emitted in matrix order, so
+ * the output is byte-identical to a serial run.
  */
 
 #include <cstdio>
@@ -15,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/parallel.hh"
 #include "system/experiment.hh"
 
 namespace
@@ -66,6 +71,7 @@ main(int argc, char** argv)
     std::vector<std::uint32_t> procs = {32, 64};
     std::uint64_t chunks = 1280;
     std::uint64_t seed = 0;
+    unsigned jobs = 1;
 
     for (int i = 1; i < argc; ++i) {
         const char* a = argv[i];
@@ -98,11 +104,15 @@ main(int argc, char** argv)
             chunks = std::strtoull(need(), nullptr, 10);
         } else if (!std::strcmp(a, "--seed")) {
             seed = std::strtoull(need(), nullptr, 10);
+        } else if (!std::strcmp(a, "--jobs")) {
+            jobs = unsigned(std::atoi(need()));
+            if (jobs == 0)
+                jobs = defaultJobs();
         } else {
             std::fprintf(
                 stderr,
                 "usage: sbulk-sweep [--apps A,B] [--protocols P,Q] "
-                "[--procs N,M] [--chunks N] [--seed N]\n");
+                "[--procs N,M] [--chunks N] [--seed N] [--jobs N]\n");
             return 2;
         }
     }
@@ -110,46 +120,64 @@ main(int argc, char** argv)
         for (const AppSpec& app : allApps())
             apps.push_back(&app);
 
+    struct Cell
+    {
+        const AppSpec* app;
+        ProtocolKind proto;
+        std::uint32_t procs;
+    };
+    std::vector<Cell> matrix;
+    for (const AppSpec* app : apps)
+        for (ProtocolKind proto : protocols)
+            for (std::uint32_t p : procs)
+                matrix.push_back(Cell{app, proto, p});
+
+    // Each worker simulates into a private System/EventQueue and renders
+    // its row into the slot for its matrix index; rows are printed in
+    // matrix order afterwards, so output is identical at any --jobs.
+    std::vector<std::string> rows(matrix.size());
+    parallelFor(matrix.size(), jobs, [&](std::size_t i) {
+        const Cell& cell = matrix[i];
+        RunConfig cfg;
+        cfg.app = cell.app;
+        cfg.procs = cell.procs;
+        cfg.protocol = cell.proto;
+        cfg.totalChunks = chunks;
+        cfg.seedOverride = seed;
+        const RunResult r = runExperiment(cfg);
+        const double total = r.breakdown.total();
+        char buf[512];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s,%s,%s,%u,%llu,%llu,%llu,%.4f,%.4f,%.4f,%.4f,%.1f,"
+            "%llu,%.2f,%.2f,%.2f,%.2f,%llu,%llu,%llu,%llu,%llu,"
+            "%.4f\n",
+            r.app.c_str(), cell.app->suite.c_str(),
+            protocolName(cell.proto), cell.procs,
+            (unsigned long long)r.seed,
+            (unsigned long long)r.makespan,
+            (unsigned long long)r.commits,
+            r.breakdown.useful / total,
+            r.breakdown.cacheMiss / total,
+            r.breakdown.commit / total,
+            r.breakdown.squash / total, r.commitLatencyMean,
+            (unsigned long long)r.commitLatency.percentile(0.9),
+            r.dirsPerCommitMean, r.writeDirsPerCommitMean,
+            r.bottleneckRatio, r.chunkQueueLength,
+            (unsigned long long)r.commitFailures,
+            (unsigned long long)r.squashesTrueConflict,
+            (unsigned long long)r.squashesAliasing,
+            (unsigned long long)r.commitRecalls,
+            (unsigned long long)r.traffic.totalMessages(),
+            r.loads ? double(r.l1Hits) / double(r.loads) : 0.0);
+        rows[i] = buf;
+    });
+
     std::printf("app,suite,protocol,procs,seed,makespan,commits,usefulFrac,"
                 "cacheMissFrac,commitFrac,squashFrac,latMean,latP90,dirs,"
                 "writeDirs,bottleneck,queue,failures,squashTrue,"
                 "squashAlias,recalls,messages,l1HitRate\n");
-    for (const AppSpec* app : apps) {
-        for (ProtocolKind proto : protocols) {
-            for (std::uint32_t p : procs) {
-                RunConfig cfg;
-                cfg.app = app;
-                cfg.procs = p;
-                cfg.protocol = proto;
-                cfg.totalChunks = chunks;
-                cfg.seedOverride = seed;
-                const RunResult r = runExperiment(cfg);
-                const double total = r.breakdown.total();
-                std::printf(
-                    "%s,%s,%s,%u,%llu,%llu,%llu,%.4f,%.4f,%.4f,%.4f,%.1f,"
-                    "%llu,%.2f,%.2f,%.2f,%.2f,%llu,%llu,%llu,%llu,%llu,"
-                    "%.4f\n",
-                    r.app.c_str(), app->suite.c_str(),
-                    protocolName(proto), p,
-                    (unsigned long long)r.seed,
-                    (unsigned long long)r.makespan,
-                    (unsigned long long)r.commits,
-                    r.breakdown.useful / total,
-                    r.breakdown.cacheMiss / total,
-                    r.breakdown.commit / total,
-                    r.breakdown.squash / total, r.commitLatencyMean,
-                    (unsigned long long)r.commitLatency.percentile(0.9),
-                    r.dirsPerCommitMean, r.writeDirsPerCommitMean,
-                    r.bottleneckRatio, r.chunkQueueLength,
-                    (unsigned long long)r.commitFailures,
-                    (unsigned long long)r.squashesTrueConflict,
-                    (unsigned long long)r.squashesAliasing,
-                    (unsigned long long)r.commitRecalls,
-                    (unsigned long long)r.traffic.totalMessages(),
-                    r.loads ? double(r.l1Hits) / double(r.loads) : 0.0);
-                std::fflush(stdout);
-            }
-        }
-    }
+    for (const std::string& row : rows)
+        std::fputs(row.c_str(), stdout);
     return 0;
 }
