@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Analysis 1: exhaustiveness of a declared dispatch table.
+ *
+ * The raw-switch dispatch this layer replaced had two failure modes the
+ * type system never saw: a message kind falling into `default:` (silent
+ * mis-route or panic chosen ad hoc per controller) and a handler running
+ * in a state its author never considered. The table form makes both
+ * checkable: every (state x kind) pair must carry an explicit disposition,
+ * and every non-handler disposition must carry its justification.
+ */
+
+#include "lint/lint.hh"
+
+#include <cstdio>
+
+namespace sbulk
+{
+namespace lint
+{
+
+namespace
+{
+
+std::string
+whereOf(const DispatchSpec& spec)
+{
+    return std::string(spec.protocol) + "." + spec.controller;
+}
+
+int
+kindIndexOf(const DispatchSpec& spec, std::uint16_t kind)
+{
+    for (std::size_t i = 0; i < spec.numKinds; ++i)
+        if (spec.kinds[i] == kind)
+            return int(i);
+    return -1;
+}
+
+} // namespace
+
+std::vector<Finding>
+auditExhaustiveness(const DispatchSpec& spec)
+{
+    std::vector<Finding> out;
+    const std::string where = whereOf(spec);
+    auto report = [&](std::string msg) {
+        out.push_back(Finding{"exhaustiveness", where, std::move(msg)});
+    };
+
+    // Cell grid: which (state x kind) pairs the rows cover.
+    std::vector<const TransitionInfo*> grid(spec.numStates * spec.numKinds,
+                                            nullptr);
+
+    for (std::size_t i = 0; i < spec.numRows; ++i) {
+        const TransitionInfo& row = spec.rows[i];
+        const int ki = kindIndexOf(spec, row.kind);
+        if (ki < 0) {
+            report("row " + std::to_string(i) + " dispatches kind " +
+                   std::to_string(row.kind) +
+                   " which is not in the declared kind set");
+            continue;
+        }
+        if (row.state >= spec.numStates) {
+            report("row " + std::to_string(i) + " names state " +
+                   std::to_string(row.state) + " out of range");
+            continue;
+        }
+        const char* state = spec.stateName(row.state);
+        const char* kind = spec.kindNames[ki];
+        const std::string cell =
+            std::string(state) + " x " + kind;
+
+        const TransitionInfo*& slot = grid[row.state * spec.numKinds + ki];
+        if (slot != nullptr)
+            report("duplicate transition for " + cell);
+        slot = &row;
+
+        // Disposition / handler / justification consistency.
+        const bool has_handler = row.handler != nullptr;
+        const bool has_note = row.note != nullptr && row.note[0] != '\0';
+        switch (row.disp) {
+          case Disposition::Handler:
+          case Disposition::Nack:
+            if (!has_handler)
+                report(cell + ": " +
+                       std::string(dispositionName(row.disp)) +
+                       " row without a handler");
+            break;
+          case Disposition::Drop:
+          case Disposition::Unreachable:
+          case Disposition::Internal:
+            if (has_handler)
+                report(cell + ": " +
+                       std::string(dispositionName(row.disp)) +
+                       " row must not name a handler");
+            if (!has_note)
+                report(cell + ": " +
+                       std::string(dispositionName(row.disp)) +
+                       " row without a written justification");
+            break;
+        }
+
+        // The internal pseudo-kind split must be respected both ways.
+        const bool internal_kind = std::size_t(ki) >= spec.numRealKinds;
+        if (internal_kind && row.disp != Disposition::Internal)
+            report(cell + ": internal pseudo-kind dispatched as " +
+                   dispositionName(row.disp));
+        if (!internal_kind && row.disp == Disposition::Internal)
+            report(cell + ": routable kind declared Internal");
+        if (internal_kind && row.kind < kInternalKindBase)
+            report(cell + ": internal pseudo-kind value below "
+                   "kInternalKindBase (could collide with a real message)");
+
+        // Outcome well-formedness.
+        if (row.numOutcomes == 0 || row.numOutcomes > kMaxOutcomes) {
+            report(cell + ": declares " + std::to_string(row.numOutcomes) +
+                   " outcomes");
+            continue;
+        }
+        std::uint32_t mask = 0;
+        for (std::uint8_t o = 0; o < row.numOutcomes; ++o) {
+            if (row.outcomes[o].next >= spec.numStates)
+                report(cell + ": outcome " + std::to_string(o) +
+                       " targets an out-of-range state");
+            else
+                mask |= 1u << row.outcomes[o].next;
+        }
+        if (mask != row.nextMask)
+            report(cell + ": nextMask disagrees with declared outcomes");
+        if (row.disp == Disposition::Drop ||
+            row.disp == Disposition::Unreachable) {
+            // No handler runs: state cannot change, events cannot be sent.
+            if (row.numOutcomes != 1 || row.outcomes[0].next != row.state)
+                report(cell + ": " +
+                       std::string(dispositionName(row.disp)) +
+                       " row must declare exactly its own state");
+            if (row.outcomes[0].events != 0)
+                report(cell + ": " +
+                       std::string(dispositionName(row.disp)) +
+                       " row declares emitted events");
+        }
+    }
+
+    // Coverage: every (state x routable kind) pair needs a row. Internal
+    // pseudo-kinds are exempt from full coverage (a commit in a state no
+    // recall can reach simply declares nothing) — but ScalableBulk's table
+    // covers them anyway.
+    for (std::size_t s = 0; s < spec.numStates; ++s) {
+        for (std::size_t k = 0; k < spec.numRealKinds; ++k) {
+            if (grid[s * spec.numKinds + k] == nullptr)
+                report(std::string(spec.stateName(std::uint8_t(s))) +
+                       " x " + spec.kindNames[k] +
+                       ": no declared transition (silent default)");
+        }
+    }
+    return out;
+}
+
+} // namespace lint
+} // namespace sbulk

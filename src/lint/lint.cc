@@ -1,0 +1,89 @@
+/**
+ * @file
+ * sbulk-lint driver plumbing: per-spec orchestration and table rendering.
+ */
+
+#include "lint/lint.hh"
+
+#include "proto/scalablebulk/ordering.hh"
+
+namespace sbulk
+{
+namespace lint
+{
+
+std::vector<Finding>
+auditSpec(const DispatchSpec& spec)
+{
+    std::vector<Finding> out = auditExhaustiveness(spec);
+    // The structural audit gates the semantic ones: a malformed table
+    // (bad states, duplicate cells, lying nextMask) would make their
+    // enumerations meaningless.
+    if (out.empty()) {
+        for (Finding& f : auditOrdering(spec))
+            out.push_back(std::move(f));
+        for (Finding& f : auditGroupFormation(spec))
+            out.push_back(std::move(f));
+    }
+    return out;
+}
+
+std::vector<Finding>
+auditAll()
+{
+    std::vector<Finding> out;
+    for (const DispatchSpec* spec : allDispatchSpecs())
+        for (Finding& f : auditSpec(*spec))
+            out.push_back(std::move(f));
+    return out;
+}
+
+std::string
+renderSpec(const DispatchSpec& spec)
+{
+    std::string out;
+    out += std::string(spec.protocol) + "." + spec.controller + " (" +
+           std::to_string(spec.numStates) + " states x " +
+           std::to_string(spec.numRealKinds) + " kinds";
+    if (spec.numKinds > spec.numRealKinds)
+        out += " + " + std::to_string(spec.numKinds - spec.numRealKinds) +
+               " internal";
+    out += ", conflict " + std::string(conflictPolicyName(spec.conflict));
+    if (spec.conflict != ConflictPolicy::None)
+        out += spec.ascendingTraversal ? ", ascending traversal"
+                                       : ", unordered traversal";
+    out += ")\n";
+
+    for (std::size_t i = 0; i < spec.numRows; ++i) {
+        const TransitionInfo& row = spec.rows[i];
+        out += "  " + std::string(spec.stateName(row.state)) + " x " +
+               spec.kindName(row.kind) + " -> " +
+               dispositionName(row.disp);
+        if (row.handler)
+            out += std::string(" ") + row.handler;
+        out += " [";
+        for (std::uint8_t o = 0; o < row.numOutcomes; ++o) {
+            if (o)
+                out += " | ";
+            out += spec.stateName(row.outcomes[o].next);
+            const auto events = unpackEvents(row.outcomes[o].events);
+            if (!events.empty()) {
+                out += " (";
+                for (std::size_t e = 0; e < events.size(); ++e) {
+                    if (e)
+                        out += " ";
+                    out += sb::dirEventName(sb::DirEvent(events[e]));
+                }
+                out += ")";
+            }
+        }
+        out += "]";
+        if (row.note)
+            out += std::string("  // ") + row.note;
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace lint
+} // namespace sbulk

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * sbulk-lint: static analyses over the protocols' declared dispatch tables
+ * (proto/dispatch.hh). Nothing here runs the simulator — every check reads
+ * only the tables' metadata, which is exactly what makes them *audits*: a
+ * handler edit that silently removes a transition, re-routes a message, or
+ * emits an undeclared event is caught by diffing the declaration against
+ * the protocol's written rules, not by hoping a schedule exercises it.
+ *
+ * Three analyses (see ANALYSIS.md for the full design):
+ *
+ *  1. Exhaustiveness — every (state x message kind) pair is mapped: a
+ *     handler runs, or the pair is an explicitly declared drop / nack /
+ *     unreachable with a written justification. No silent `default:`.
+ *
+ *  2. Ordering conformance (scalablebulk.dir) — enumerate every commit
+ *     lifecycle the table declares (all Idle-to-Idle paths through its
+ *     outcome alternatives) and check each generated per-module event
+ *     sequence against the executable Appendix-A grammars
+ *     (proto/scalablebulk/ordering.hh), plus the DirEvent declaration
+ *     order, which is the leader's success timeline.
+ *
+ *  3. Group-formation liveness — from the table's declared conflict
+ *     policy and traversal order, exhaustively explore abstract collision
+ *     configurations (groups of directory modules grabbing in priority
+ *     order) and verify the paper's Section 3.2.1 guarantee: at least one
+ *     group always forms (or, for queue-based baselines, no acquisition
+ *     deadlock).
+ */
+
+#ifndef SBULK_LINT_LINT_HH
+#define SBULK_LINT_LINT_HH
+
+#include <string>
+#include <vector>
+
+#include "proto/dispatch.hh"
+
+namespace sbulk
+{
+namespace lint
+{
+
+/** One audit finding. An empty result set means the table is clean. */
+struct Finding
+{
+    std::string analysis; ///< "exhaustiveness" | "ordering" | "group"
+    std::string where;    ///< "protocol.controller"
+    std::string message;
+};
+
+/** Analysis 1: every (state x kind) cell declared, justified, well formed. */
+std::vector<Finding> auditExhaustiveness(const DispatchSpec& spec);
+
+/**
+ * Analysis 2: Appendix-A ordering conformance. Applies only to tables
+ * whose outcomes declare DirEvent sequences (scalablebulk.dir today);
+ * returns empty for event-free tables.
+ *
+ * @param lifecycles_out If non-null, receives the number of distinct
+ *        declared lifecycles enumerated (for reporting).
+ */
+std::vector<Finding> auditOrdering(const DispatchSpec& spec,
+                                   std::size_t* lifecycles_out = nullptr);
+
+/**
+ * Analysis 3: group-formation liveness from (ConflictPolicy, traversal
+ * order). Returns empty for ConflictPolicy::None tables.
+ */
+std::vector<Finding> auditGroupFormation(const DispatchSpec& spec);
+
+/** All applicable analyses for one table. */
+std::vector<Finding> auditSpec(const DispatchSpec& spec);
+
+/** Audit every registered table (allDispatchSpecs()). */
+std::vector<Finding> auditAll();
+
+/** Human-readable rendering of a declared table (sbulk-lint --dump). */
+std::string renderSpec(const DispatchSpec& spec);
+
+} // namespace lint
+} // namespace sbulk
+
+#endif // SBULK_LINT_LINT_HH

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Analysis 2: Appendix-A ordering conformance for tables that declare
+ * emitted DirEvent sequences (scalablebulk.dir).
+ *
+ * The dispatch table correlates each (state x kind) cell's possible next
+ * states with the exact event sequence emitted on that path. That makes
+ * the table a generator: every commit lifecycle it permits is a path
+ * Idle -> ... -> Idle through its outcome alternatives, and concatenating
+ * the outcomes' events yields the per-module sequence the ordering
+ * validator would record at runtime. This audit enumerates all such paths
+ * (bounded loop unrolling) and checks every generated sequence against:
+ *
+ *  - the executable Appendix-A grammars (OrderingValidator::checkSequence),
+ *    classified leader/member x success/failure from the events themselves;
+ *  - the DirEvent declaration order in proto/scalablebulk/ordering.hh,
+ *    whose enum order *is* the leader's success timeline — every
+ *    leader-success lifecycle must be non-decreasing in it (commit recalls
+ *    excepted: they are asynchronous cross-commit injections);
+ *  - alphabet coverage: all fourteen Appendix-A events must appear
+ *    somewhere in the table, else the declaration is incomplete.
+ *
+ * A handler edit that declares an illegal emission path (say, bulk
+ * invalidations before the ring closes) is caught here at lint time,
+ * before any schedule exercises it.
+ */
+
+#include "lint/lint.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "proto/scalablebulk/ordering.hh"
+
+namespace sbulk
+{
+namespace lint
+{
+
+namespace
+{
+
+using sb::DirEvent;
+
+/** One usable edge of the lifecycle graph. */
+struct Edge
+{
+    std::uint8_t from = 0;
+    std::uint8_t to = 0;
+    std::vector<std::uint8_t> events;
+    const TransitionInfo* row = nullptr;
+};
+
+struct Enumerator
+{
+    const DispatchSpec& spec;
+    std::vector<Edge> edges;
+    std::vector<Finding>& out;
+    std::size_t lifecycles = 0;
+
+    /** Per-path usage count, indexed like `edges` (bounded unrolling). */
+    std::vector<std::uint8_t> used;
+    std::vector<std::uint8_t> events;
+
+    static constexpr std::uint8_t kMaxEdgeUses = 2;
+    static constexpr std::size_t kMaxPathEvents = 48;
+    /** Defensive bound; the real table yields a few thousand paths. */
+    static constexpr std::size_t kMaxLifecycles = 1u << 20;
+
+    explicit Enumerator(const DispatchSpec& s, std::vector<Finding>& o)
+        : spec(s), out(o)
+    {
+        for (std::size_t i = 0; i < spec.numRows; ++i) {
+            const TransitionInfo& row = spec.rows[i];
+            // Drop and Unreachable rows run no handler: no edge. Internal
+            // rows are injected transitions and do run (conceptually).
+            if (row.disp == Disposition::Drop ||
+                row.disp == Disposition::Unreachable) {
+                continue;
+            }
+            for (std::uint8_t o = 0; o < row.numOutcomes; ++o) {
+                Edge e;
+                e.from = row.state;
+                e.to = row.outcomes[o].next;
+                e.events = unpackEvents(row.outcomes[o].events);
+                e.row = &row;
+                edges.push_back(std::move(e));
+            }
+        }
+        used.assign(edges.size(), 0);
+    }
+
+    void
+    report(const char* reason)
+    {
+        std::vector<DirEvent> seq;
+        for (std::uint8_t v : events)
+            seq.push_back(DirEvent(v));
+        out.push_back(Finding{
+            "ordering", std::string(spec.protocol) + "." + spec.controller,
+            std::string(reason) + ": " +
+                sb::OrderingValidator::renderSequence(seq)});
+    }
+
+    bool
+    contains(DirEvent ev) const
+    {
+        return std::find(events.begin(), events.end(),
+                         std::uint8_t(ev)) != events.end();
+    }
+
+    /** A complete Idle->...->Idle lifecycle: classify and check. */
+    void
+    checkLifecycle()
+    {
+        if (events.empty())
+            return; // e.g. a stale-grab drop: not a commit lifecycle
+        ++lifecycles;
+        if (lifecycles > kMaxLifecycles)
+            return;
+
+        const bool leader = contains(DirEvent::SendCommitSuccess) ||
+                            contains(DirEvent::SendCommitFailure);
+        const bool success = contains(DirEvent::SendCommitSuccess) ||
+                             contains(DirEvent::RecvGSuccess);
+
+        std::vector<DirEvent> seq;
+        for (std::uint8_t v : events)
+            seq.push_back(DirEvent(v));
+        if (const char* reason =
+                sb::OrderingValidator::checkSequence(seq, leader, success))
+            report(reason);
+
+        // The DirEvent declaration order is the leader's success timeline:
+        // a declared leader-success lifecycle must walk it monotonically.
+        if (leader && success) {
+            int prev = -1;
+            for (std::uint8_t v : events) {
+                if (DirEvent(v) == DirEvent::RecvCommitRecall)
+                    continue; // asynchronous cross-commit injection
+                if (int(v) < prev) {
+                    report("leader lifecycle regresses in the DirEvent "
+                           "declaration order");
+                    break;
+                }
+                prev = int(v);
+            }
+        }
+    }
+
+    void
+    dfs(std::uint8_t state)
+    {
+        if (lifecycles > kMaxLifecycles)
+            return;
+        if (state == 0 && !events.empty()) {
+            checkLifecycle();
+            return; // the entry deallocated; the lifecycle is over
+        }
+        for (std::size_t i = 0; i < edges.size(); ++i) {
+            const Edge& e = edges[i];
+            if (e.from != state || used[i] >= kMaxEdgeUses)
+                continue;
+            if (events.size() + e.events.size() > kMaxPathEvents)
+                continue;
+            ++used[i];
+            events.insert(events.end(), e.events.begin(), e.events.end());
+            dfs(e.to);
+            events.resize(events.size() - e.events.size());
+            --used[i];
+        }
+    }
+
+    void
+    run()
+    {
+        dfs(0);
+        if (lifecycles > kMaxLifecycles) {
+            out.push_back(Finding{
+                "ordering",
+                std::string(spec.protocol) + "." + spec.controller,
+                "lifecycle enumeration exceeded its bound (table loops "
+                "too freely to audit)"});
+        }
+    }
+};
+
+} // namespace
+
+std::vector<Finding>
+auditOrdering(const DispatchSpec& spec, std::size_t* lifecycles_out)
+{
+    std::vector<Finding> out;
+    if (lifecycles_out)
+        *lifecycles_out = 0;
+
+    // Applies only to tables that declare emitted events.
+    bool any_events = false;
+    for (std::size_t i = 0; i < spec.numRows && !any_events; ++i)
+        for (std::uint8_t o = 0; o < spec.rows[i].numOutcomes; ++o)
+            if (spec.rows[i].outcomes[o].events != 0)
+                any_events = true;
+    if (!any_events)
+        return out;
+
+    const std::string where =
+        std::string(spec.protocol) + "." + spec.controller;
+
+    // Alphabet coverage: an event the table never declares is a hole in
+    // the Appendix-A encoding, not a clean bill of health.
+    bool seen[std::size_t(DirEvent::RecvCommitRecall) + 1] = {};
+    for (std::size_t i = 0; i < spec.numRows; ++i) {
+        for (std::uint8_t o = 0; o < spec.rows[i].numOutcomes; ++o)
+            for (std::uint8_t v :
+                 unpackEvents(spec.rows[i].outcomes[o].events))
+                if (v < std::size(seen))
+                    seen[v] = true;
+    }
+    for (std::size_t v = 0; v < std::size(seen); ++v) {
+        if (!seen[v])
+            out.push_back(Finding{
+                "ordering", where,
+                std::string("event ") + sb::dirEventName(DirEvent(v)) +
+                    " appears in no declared outcome (incomplete "
+                    "Appendix-A encoding)"});
+    }
+
+    Enumerator en(spec, out);
+    en.run();
+    if (lifecycles_out)
+        *lifecycles_out = en.lifecycles;
+    return out;
+}
+
+} // namespace lint
+} // namespace sbulk

@@ -10,9 +10,19 @@
  * dynamic type. Oversized requests fall through to malloc with a sentinel
  * header.
  *
- * Thread-local pools mean the parallel sweep workers never contend; a block
- * freed on a different thread than it was allocated on simply migrates
- * pools, which is safe because buckets are sized identically everywhere.
+ * Thread-local pools mean the parallel sweep workers never contend: each
+ * sweep/checker worker owns a private System, so a message is always freed
+ * on the thread that allocated it (the live-block list below relies on
+ * this; the TSan CI job guards it).
+ *
+ * Every live block is additionally threaded onto a per-pool intrusive
+ * list through its header. In-flight messages are carried across event
+ * ticks as raw pointers inside trivially-copyable event closures (see
+ * TorusNetwork::route) — ownership the leak checker cannot see and the
+ * EventQueue destructor cannot reclaim. The pool destructor therefore
+ * reaps whatever is still live at thread exit through Message's virtual
+ * destructor, which keeps teardown with messages in flight leak-clean
+ * without putting an allocation back on the hot path.
  */
 
 #include "net/message.hh"
@@ -31,10 +41,20 @@ constexpr std::size_t kGranule = 64;
 /** Largest pooled block: 32 granules = 2 KiB (covers every protocol
  *  message, including ones embedding a pair of 2-Kbit signatures). */
 constexpr std::size_t kBuckets = 32;
-/** Header bytes before the payload (bucket index; padded for alignment). */
-constexpr std::size_t kHeader = 16;
 /** Header value for blocks that bypassed the pool. */
 constexpr std::size_t kUnpooled = ~std::size_t(0);
+
+/** Block header: bucket index plus the live-list links. The payload
+ *  follows at kHeader bytes, keeping its 16-byte alignment. */
+struct BlockHeader
+{
+    std::size_t bucket;
+    BlockHeader* prev;
+    BlockHeader* next;
+};
+
+constexpr std::size_t kHeader = 32;
+static_assert(sizeof(BlockHeader) <= kHeader && kHeader % 16 == 0);
 
 struct FreeNode
 {
@@ -44,9 +64,19 @@ struct FreeNode
 struct MsgPool
 {
     FreeNode* head[kBuckets] = {};
+    /** Sentinel of the circular doubly-linked list of live blocks. */
+    BlockHeader live{0, &live, &live};
 
     ~MsgPool()
     {
+        // Reap messages still in flight (owned by event closures that
+        // were dropped with their EventQueue). Their destructors unlink
+        // them and push the blocks onto the free lists...
+        while (live.next != &live) {
+            delete reinterpret_cast<Message*>(
+                reinterpret_cast<char*>(live.next) + kHeader);
+        }
+        // ...which are then released wholesale.
         for (FreeNode*& list : head) {
             while (list) {
                 FreeNode* next = list->next;
@@ -58,6 +88,15 @@ struct MsgPool
 };
 
 thread_local MsgPool tls_pool;
+
+void
+linkLive(BlockHeader* hdr)
+{
+    hdr->prev = &tls_pool.live;
+    hdr->next = tls_pool.live.next;
+    hdr->next->prev = hdr;
+    tls_pool.live.next = hdr;
+}
 
 } // namespace
 
@@ -76,13 +115,17 @@ Message::operator new(std::size_t size)
             if (!raw)
                 throw std::bad_alloc{};
         }
-        *static_cast<std::size_t*>(raw) = bucket;
+        auto* hdr = static_cast<BlockHeader*>(raw);
+        hdr->bucket = bucket;
+        linkLive(hdr);
         return static_cast<char*>(raw) + kHeader;
     }
     void* raw = std::malloc(total);
     if (!raw)
         throw std::bad_alloc{};
-    *static_cast<std::size_t*>(raw) = kUnpooled;
+    auto* hdr = static_cast<BlockHeader*>(raw);
+    hdr->bucket = kUnpooled;
+    linkLive(hdr);
     return static_cast<char*>(raw) + kHeader;
 }
 
@@ -91,14 +134,17 @@ Message::operator delete(void* p) noexcept
 {
     if (!p)
         return;
-    void* raw = static_cast<char*>(p) - kHeader;
-    const std::size_t bucket = *static_cast<std::size_t*>(raw);
+    auto* hdr =
+        reinterpret_cast<BlockHeader*>(static_cast<char*>(p) - kHeader);
+    hdr->prev->next = hdr->next;
+    hdr->next->prev = hdr->prev;
+    const std::size_t bucket = hdr->bucket;
     if (bucket == kUnpooled) {
-        std::free(raw);
+        std::free(hdr);
         return;
     }
     // The free-list node overlays the header; it is rewritten on reuse.
-    FreeNode* node = static_cast<FreeNode*>(raw);
+    FreeNode* node = reinterpret_cast<FreeNode*>(hdr);
     node->next = tls_pool.head[bucket];
     tls_pool.head[bucket] = node;
 }

@@ -23,6 +23,7 @@
 
 #include "mem/directory.hh"
 #include "proto/commit_protocol.hh"
+#include "proto/dispatch.hh"
 #include "sig/signature.hh"
 
 namespace sbulk
@@ -134,6 +135,13 @@ struct BkBulkInvAckMsg : Message
     {}
 };
 
+/** Abstract arbiter state: whether any granted commit is still draining. */
+enum class BkArbState : std::uint8_t
+{
+    Idle, ///< no commit in flight anywhere
+    Busy, ///< at least one granted commit awaits directory dones
+};
+
 /**
  * The centralized arbiter. Requests are processed strictly one at a time
  * with a fixed occupancy (cfg.arbiterServiceTime) — the serialization that
@@ -150,7 +158,18 @@ class BkArbiter : public CentralAgent
 
     std::size_t committingNow() const { return _committing.size(); }
 
+    /** Abstract dispatch state (derived from _committing). */
+    BkArbState arbState() const
+    {
+        return _committing.empty() ? BkArbState::Idle : BkArbState::Busy;
+    }
+
   private:
+    friend const DispatchTable<BkArbiter>& bkArbiterDispatch();
+
+    void onArbRequest(MessagePtr msg);
+    void onDirDone(MessagePtr msg);
+
     struct Tx
     {
         Signature wSig;
@@ -159,13 +178,22 @@ class BkArbiter : public CentralAgent
     };
 
     void process(MessagePtr msg);
-    void onDirDone(const DirDoneMsg& msg);
 
     NodeId _self;
     ProtoContext _ctx;
     std::unordered_map<CommitId, Tx> _committing;
     /** Tick at which the arbiter pipeline is free again. */
     Tick _nextFree = 0;
+};
+
+/**
+ * Abstract per-commit state at a BulkSC directory (keyed by the message's
+ * commit id).
+ */
+enum class BkDirState : std::uint8_t
+{
+    Inactive,     ///< no invalidation fan-out active for this commit
+    Invalidating, ///< sharer acks outstanding for this commit
 };
 
 /** BulkSC per-tile directory-side controller. */
@@ -178,7 +206,16 @@ class BkDirCtrl : public DirProtocol
     bool loadBlocked(Addr line) const override;
     bool quiescent() const override { return _active.empty(); }
 
+    /** Abstract dispatch state of commit @p id (find-only). */
+    BkDirState dirStateOf(const CommitId& id) const
+    {
+        return _active.count(id) ? BkDirState::Invalidating
+                                 : BkDirState::Inactive;
+    }
+
   private:
+    friend const DispatchTable<BkDirCtrl>& bkDirDispatch();
+
     struct Active
     {
         Signature wSig;
@@ -187,13 +224,24 @@ class BkDirCtrl : public DirProtocol
         std::uint32_t acksPending = 0;
     };
 
-    void onDirCommit(const DirCommitMsg& msg);
+    void onDirCommit(MessagePtr msg);
+    void onInvAck(MessagePtr msg);
+    void onInvNack(MessagePtr msg);
 
     NodeId _self;
     ProtoContext _ctx;
     Directory& _dir;
     NodeId _agent;
     std::unordered_map<CommitId, Active> _active;
+};
+
+/** Abstract processor-side BulkSC commit state (dispatch-table axis). */
+enum class BkProcState : std::uint8_t
+{
+    Idle,          ///< no commit in flight
+    AwaitDecision, ///< request sent; nack all invalidations (Figure 4(c))
+    Backoff,       ///< denied; retry timer running
+    Granted,       ///< ordered by the arbiter; dones draining
 };
 
 /** BulkSC per-core controller (conservative commit initiation). */
@@ -208,9 +256,24 @@ class BkProcCtrl : public ProcProtocol
     void abortCommit(ChunkTag tag) override;
     void handleMessage(MessagePtr msg) override;
 
+    /** Abstract dispatch state (from _chunk/_awaitingDecision/_granted). */
+    BkProcState procState() const
+    {
+        if (_chunk == nullptr)
+            return BkProcState::Idle;
+        if (_awaitingDecision)
+            return BkProcState::AwaitDecision;
+        return _granted ? BkProcState::Granted : BkProcState::Backoff;
+    }
+
   private:
+    friend const DispatchTable<BkProcCtrl>& bkProcDispatch();
+
     void sendRequest();
-    void onBulkInv(const BkBulkInvMsg& msg);
+    void onArbGrant(MessagePtr msg);
+    void onArbDeny(MessagePtr msg);
+    void onArbCommitOk(MessagePtr msg);
+    void onBulkInv(MessagePtr msg);
 
     NodeId _self;
     ProtoContext _ctx;
@@ -224,6 +287,11 @@ class BkProcCtrl : public ProcProtocol
     /** Grant received: the chunk is ordered and can no longer squash. */
     bool _granted = false;
 };
+
+/** Declared state machines (shared, static). */
+const DispatchTable<BkArbiter>& bkArbiterDispatch();
+const DispatchTable<BkDirCtrl>& bkDirDispatch();
+const DispatchTable<BkProcCtrl>& bkProcDispatch();
 
 } // namespace bk
 } // namespace sbulk

@@ -1,0 +1,75 @@
+#include "proto/dispatch.hh"
+
+#include "proto/bulksc/bulksc.hh"
+#include "proto/scalablebulk/dir_ctrl.hh"
+#include "proto/scalablebulk/proc_ctrl.hh"
+#include "proto/seq/seq.hh"
+#include "proto/tcc/tcc.hh"
+
+namespace sbulk
+{
+
+const char*
+dispositionName(Disposition d)
+{
+    switch (d) {
+      case Disposition::Handler: return "handler";
+      case Disposition::Drop: return "drop";
+      case Disposition::Nack: return "nack";
+      case Disposition::Unreachable: return "unreachable";
+      case Disposition::Internal: return "internal";
+    }
+    return "?";
+}
+
+const char*
+conflictPolicyName(ConflictPolicy p)
+{
+    switch (p) {
+      case ConflictPolicy::None: return "none";
+      case ConflictPolicy::KeepWinner: return "keep-winner";
+      case ConflictPolicy::FailBoth: return "fail-both";
+      case ConflictPolicy::Queue: return "queue";
+    }
+    return "?";
+}
+
+std::vector<std::uint8_t>
+unpackEvents(std::uint64_t packed)
+{
+    std::vector<std::uint8_t> out;
+    for (; packed != 0; packed >>= 8)
+        out.push_back(std::uint8_t((packed & 0xff) - 1));
+    return out;
+}
+
+const char*
+DispatchSpec::kindName(std::uint16_t kind) const
+{
+    for (std::size_t i = 0; i < numKinds; ++i)
+        if (kinds[i] == kind)
+            return kindNames[i];
+    return "?";
+}
+
+const std::vector<const DispatchSpec*>&
+allDispatchSpecs()
+{
+    // Explicit accessor calls (not static-init registration) so the linker
+    // can never drop a table and the construction order is defined.
+    static const std::vector<const DispatchSpec*> specs = {
+        &sb::sbDirDispatch().spec(),
+        &sb::sbProcDispatch().spec(),
+        &tcc::tccVendorDispatch().spec(),
+        &tcc::tccDirDispatch().spec(),
+        &tcc::tccProcDispatch().spec(),
+        &sq::seqDirDispatch().spec(),
+        &sq::seqProcDispatch().spec(),
+        &bk::bkArbiterDispatch().spec(),
+        &bk::bkDirDispatch().spec(),
+        &bk::bkProcDispatch().spec(),
+    };
+    return specs;
+}
+
+} // namespace sbulk

@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Introspectable message-dispatch tables for the commit-protocol state
+ * machines.
+ *
+ * Every protocol controller used to demultiplex its messages with a raw
+ * `switch (msg->kind)` whose correctness argument — "this message cannot
+ * arrive in that state" — lived in scattered comments and asserts. Each
+ * controller now declares an explicit transition table over
+ * (abstract state x message kind): which handler runs, which states are
+ * legal afterwards, which Appendix-A events the handler may emit, and — for
+ * the pairs with no handler — whether the message is *dropped*, answered
+ * with a *nack*, or *cannot arrive* (with a written justification either
+ * way).
+ *
+ * The tables serve three masters:
+ *  - the runtime dispatcher, which routes messages through them and
+ *    enforces the declared legal-next-state sets on every delivery;
+ *  - `tools/sbulk-lint` (src/lint/), which statically audits them for
+ *    exhaustiveness, Appendix-A ordering conformance, and group-formation
+ *    liveness without running the simulator;
+ *  - the reader, for whom the table is the protocol's state machine on one
+ *    page.
+ */
+
+#ifndef SBULK_PROTO_DISPATCH_HH
+#define SBULK_PROTO_DISPATCH_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/message.hh"
+#include "sim/logging.hh"
+
+/** panic() when @p cond holds — reads better than SBULK_ASSERT(!cond) in
+ *  table-construction sanity checks. */
+#define SBULK_PANIC_IF(cond, ...) \
+    do { \
+        if (cond) \
+            SBULK_PANIC(__VA_ARGS__); \
+    } while (0)
+
+namespace sbulk
+{
+
+/** What happens to a message arriving in a given controller state. */
+enum class Disposition : std::uint8_t
+{
+    /** A handler consumes the message (it may still discard stale ids
+     *  internally; the row's note documents any such sub-case). */
+    Handler,
+    /** Declared silent ignore: the message is late/duplicate and carries
+     *  no information in this state. The note says why that is safe. */
+    Drop,
+    /** A handler consumes the message and answers with a protocol nack
+     *  (the read-gate / conservative-initiation bounces). */
+    Nack,
+    /** The protocol's ordering rules make this arrival impossible; the
+     *  dispatcher panics if it ever happens, and the note carries the
+     *  impossibility argument. */
+    Unreachable,
+    /** Not a network message at all: a transition injected into this
+     *  commit's state machine while the controller processes *another*
+     *  commit's message (e.g. a piggy-backed commit recall). Declared so
+     *  the ordering audit sees the full event alphabet; the dispatcher
+     *  never routes to it. */
+    Internal,
+};
+
+const char* dispositionName(Disposition d);
+
+/**
+ * How a protocol resolves two commits contending for the same directory
+ * module — the metadata the group-formation liveness audit keys on.
+ */
+enum class ConflictPolicy : std::uint8_t
+{
+    /** Not a group-forming protocol (nothing for the audit to check). */
+    None,
+    /** ScalableBulk, Section 3.2.1: the module where an incompatible pair
+     *  meets (the Collision module) fails the later arrival and keeps the
+     *  admitted winner. */
+    KeepWinner,
+    /** Sabotage variant (SbBreakMode::FailBothOnCollision): both groups
+     *  fail. Violates the at-least-one-forms guarantee; exists so the
+     *  audit's defect tests can prove the liveness check fires. */
+    FailBoth,
+    /** SEQ-style occupancy: the later arrival queues behind the holder
+     *  instead of failing. Liveness then rests on the ascending traversal
+     *  order (no wait-for cycle). */
+    Queue,
+};
+
+const char* conflictPolicyName(ConflictPolicy p);
+
+/**
+ * Pack an ordered event sequence (at most 8 events, values < 255) into a
+ * uint64 for table literals: the first event occupies the low byte, each
+ * byte stores value+1, 0 terminates. Decode with unpackEvents().
+ */
+constexpr std::uint64_t
+evseq()
+{
+    return 0;
+}
+
+template <typename E, typename... Rest>
+constexpr std::uint64_t
+evseq(E first, Rest... rest)
+{
+    static_assert(sizeof...(Rest) < 8, "at most 8 events per row");
+    return (std::uint64_t(std::uint8_t(first)) + 1) |
+           (evseq(rest...) << 8);
+}
+
+/** Decode an evseq() payload back into event values. */
+std::vector<std::uint8_t> unpackEvents(std::uint64_t packed);
+
+/** First message-kind value reserved for non-routable internal
+ *  pseudo-kinds (Disposition::Internal rows). */
+inline constexpr std::uint16_t kInternalKindBase = 0xff00;
+
+/** Maximum declared outcomes per transition row. */
+inline constexpr std::size_t kMaxOutcomes = 6;
+
+/**
+ * One declared way a transition can end: the state the subject lands in
+ * and the ordered event sequence (evseq-packed) emitted on that path.
+ * Correlating events with the resulting state is what lets the ordering
+ * audit enumerate whole commit lifecycles from the table alone.
+ */
+struct Outcome
+{
+    std::uint8_t next = 0;
+    std::uint64_t events = 0;
+};
+
+/**
+ * One type-erased transition row — the view src/lint/ analyses consume.
+ */
+struct TransitionInfo
+{
+    std::uint8_t state = 0;
+    std::uint16_t kind = 0;
+    Disposition disp = Disposition::Handler;
+    /** Handler member name (reports/diffing); null for Drop/Unreachable. */
+    const char* handler = nullptr;
+    /** Declared (next state, emitted events) alternatives. */
+    Outcome outcomes[kMaxOutcomes] = {};
+    std::uint8_t numOutcomes = 0;
+    /** Bit per state: union of outcome next-states. */
+    std::uint32_t nextMask = 0;
+    /** Justification (required for every non-Handler disposition). */
+    const char* note = nullptr;
+};
+
+/**
+ * A controller's full declared state machine, type-erased for the lint
+ * analyses. Lifetime: static (rows/names point at static storage).
+ */
+struct DispatchSpec
+{
+    const char* protocol = nullptr;   ///< "scalablebulk", "tcc", ...
+    const char* controller = nullptr; ///< "dir", "proc", "agent"
+
+    const char* const* stateNames = nullptr;
+    std::size_t numStates = 0;
+
+    /** Message kinds the controller receives; internal pseudo-kinds (not
+     *  routable, Disposition::Internal rows) come after the first
+     *  numRealKinds entries. */
+    const std::uint16_t* kinds = nullptr;
+    const char* const* kindNames = nullptr;
+    std::size_t numKinds = 0;
+    std::size_t numRealKinds = 0;
+
+    const TransitionInfo* rows = nullptr;
+    std::size_t numRows = 0;
+
+    /** Group-formation metadata (ConflictPolicy::None when N/A). */
+    ConflictPolicy conflict = ConflictPolicy::None;
+    /** Groups traverse their modules in ascending priority order. */
+    bool ascendingTraversal = false;
+
+    const char* stateName(std::uint8_t s) const
+    {
+        return s < numStates ? stateNames[s] : "?";
+    }
+    const char* kindName(std::uint16_t kind) const;
+};
+
+/**
+ * Every controller's DispatchSpec, in a stable order. Forces construction
+ * of each table; safe to call from any thread after main starts.
+ */
+const std::vector<const DispatchSpec*>& allDispatchSpecs();
+
+/**
+ * The typed side of a transition row: what the runtime dispatcher needs on
+ * top of TransitionInfo.
+ */
+template <typename Ctrl>
+struct TransitionRow
+{
+    std::uint8_t state;
+    std::uint16_t kind;
+    Disposition disp;
+    void (Ctrl::*fn)(MessagePtr); ///< null for Drop/Unreachable/Internal
+    const char* handlerName;
+    std::uint8_t numOutcomes;
+    Outcome outcomes[kMaxOutcomes];
+    const char* note;
+};
+
+/**
+ * Dense (state x kind) dispatch table built from a controller's declared
+ * rows. One instance per controller *class* (function-local static in the
+ * controller's accessor), shared by every controller object.
+ */
+template <typename Ctrl, std::size_t MaxStates = 12, std::size_t MaxKinds = 12>
+class DispatchTable
+{
+  public:
+    DispatchTable(const char* protocol, const char* controller,
+                  const char* const* state_names, std::size_t num_states,
+                  const std::uint16_t* kinds, const char* const* kind_names,
+                  std::size_t num_kinds, std::size_t num_real_kinds,
+                  const TransitionRow<Ctrl>* rows, std::size_t num_rows,
+                  ConflictPolicy conflict = ConflictPolicy::None,
+                  bool ascending_traversal = false)
+    {
+        SBULK_ASSERT(num_states <= MaxStates && num_kinds <= MaxKinds);
+        _spec.protocol = protocol;
+        _spec.controller = controller;
+        _spec.stateNames = state_names;
+        _spec.numStates = num_states;
+        _spec.kinds = kinds;
+        _spec.kindNames = kind_names;
+        _spec.numKinds = num_kinds;
+        _spec.numRealKinds = num_real_kinds;
+        _spec.conflict = conflict;
+        _spec.ascendingTraversal = ascending_traversal;
+
+        for (auto& per_state : _cells)
+            for (auto& cell : per_state)
+                cell = Cell{};
+
+        SBULK_ASSERT(num_rows <= MaxStates * MaxKinds);
+        for (std::size_t i = 0; i < num_rows; ++i) {
+            const TransitionRow<Ctrl>& row = rows[i];
+            const int ki = kindIndex(row.kind);
+            SBULK_PANIC_IF(ki < 0, "%s.%s row %zu: kind %u not declared",
+                           protocol, controller, i, row.kind);
+            SBULK_PANIC_IF(row.state >= num_states,
+                           "%s.%s row %zu: state %u out of range", protocol,
+                           controller, i, row.state);
+            Cell& cell = _cells[row.state][ki];
+            SBULK_PANIC_IF(cell.present,
+                           "%s.%s: duplicate row for state %s x %s",
+                           protocol, controller, state_names[row.state],
+                           kind_names[ki]);
+            SBULK_PANIC_IF(row.numOutcomes == 0 ||
+                               row.numOutcomes > kMaxOutcomes,
+                           "%s.%s: %s x %s declares %u outcomes", protocol,
+                           controller, state_names[row.state], kind_names[ki],
+                           row.numOutcomes);
+            std::uint32_t next_mask = 0;
+            for (std::uint8_t o = 0; o < row.numOutcomes; ++o) {
+                SBULK_PANIC_IF(row.outcomes[o].next >= num_states,
+                               "%s.%s: %s x %s outcome %u: bad next state",
+                               protocol, controller, state_names[row.state],
+                               kind_names[ki], o);
+                next_mask |= 1u << row.outcomes[o].next;
+            }
+
+            cell.present = true;
+            cell.disp = row.disp;
+            cell.fn = row.fn;
+            cell.nextMask = next_mask;
+            cell.note = row.note;
+
+            TransitionInfo& info = _info[i];
+            info.state = row.state;
+            info.kind = row.kind;
+            info.disp = row.disp;
+            info.handler = row.handlerName;
+            for (std::uint8_t o = 0; o < row.numOutcomes; ++o)
+                info.outcomes[o] = row.outcomes[o];
+            info.numOutcomes = row.numOutcomes;
+            info.nextMask = next_mask;
+            info.note = row.note;
+        }
+        _spec.rows = _info;
+        _spec.numRows = num_rows;
+    }
+
+    const DispatchSpec& spec() const { return _spec; }
+
+    /**
+     * Route @p msg through the table. @p state_of returns the subject's
+     * current abstract state; it is consulted before dispatch and again
+     * after the handler to enforce the row's declared legal transitions.
+     */
+    template <typename StateFn>
+    void
+    run(Ctrl& ctrl, StateFn&& state_of, MessagePtr msg) const
+    {
+        const int ki = kindIndex(msg->kind);
+        SBULK_PANIC_IF(ki < 0 || std::size_t(ki) >= _spec.numRealKinds,
+                       "%s.%s: unexpected message kind %u", _spec.protocol,
+                       _spec.controller, msg->kind);
+        const std::uint8_t pre = state_of();
+        SBULK_ASSERT(pre < _spec.numStates);
+        const Cell& cell = _cells[pre][ki];
+        SBULK_PANIC_IF(!cell.present,
+                       "%s.%s: no declared transition for %s x %s",
+                       _spec.protocol, _spec.controller,
+                       _spec.stateNames[pre], _spec.kindNames[ki]);
+        switch (cell.disp) {
+          case Disposition::Drop:
+            return;
+          case Disposition::Unreachable:
+          case Disposition::Internal:
+            SBULK_PANIC("%s.%s: %s in state %s declared unreachable — %s",
+                        _spec.protocol, _spec.controller,
+                        _spec.kindNames[ki], _spec.stateNames[pre],
+                        cell.note ? cell.note : "no justification");
+          case Disposition::Handler:
+          case Disposition::Nack:
+            (ctrl.*cell.fn)(std::move(msg));
+            break;
+        }
+        const std::uint8_t post = state_of();
+        SBULK_ASSERT((cell.nextMask >> post) & 1u,
+                     "%s.%s: %s x %s moved to undeclared state %s",
+                     _spec.protocol, _spec.controller, _spec.stateNames[pre],
+                     _spec.kindNames[ki], _spec.stateName(post));
+    }
+
+  private:
+    struct Cell
+    {
+        Disposition disp = Disposition::Unreachable;
+        void (Ctrl::*fn)(MessagePtr) = nullptr;
+        std::uint32_t nextMask = 0;
+        const char* note = nullptr;
+        bool present = false;
+    };
+
+    int
+    kindIndex(std::uint16_t kind) const
+    {
+        for (std::size_t i = 0; i < _spec.numKinds; ++i)
+            if (_spec.kinds[i] == kind)
+                return int(i);
+        return -1;
+    }
+
+    Cell _cells[MaxStates][MaxKinds];
+    TransitionInfo _info[MaxStates * MaxKinds];
+    DispatchSpec _spec;
+};
+
+} // namespace sbulk
+
+#endif // SBULK_PROTO_DISPATCH_HH

@@ -17,35 +17,64 @@ SbDirCtrl::SbDirCtrl(NodeId self, ProtoContext ctx, Directory& dir)
     _dir.setReadGate([this](Addr line) { return loadBlocked(line); });
 }
 
+namespace
+{
+
+/** Commit identity a directory message is about. */
+const CommitId&
+subjectOf(const Message& msg)
+{
+    switch (msg.kind) {
+      case kCommitRequest:
+        return static_cast<const CommitRequestMsg&>(msg).id;
+      case kGrab:
+        return static_cast<const GrabMsg&>(msg).id;
+      case kGFailure:
+        return static_cast<const GFailureMsg&>(msg).id;
+      case kGSuccess:
+        return static_cast<const GSuccessMsg&>(msg).id;
+      case kBulkInvAck:
+        return static_cast<const BulkInvAckMsg&>(msg).id;
+      case kBulkInvNack:
+        return static_cast<const BulkInvNackMsg&>(msg).id;
+      case kCommitDone:
+        return static_cast<const CommitDoneMsg&>(msg).id;
+    }
+    SBULK_PANIC("no commit subject for message kind %u", msg.kind);
+}
+
+} // namespace
+
 void
 SbDirCtrl::handleMessage(MessagePtr msg)
 {
-    switch (msg->kind) {
-      case kCommitRequest:
-        onCommitRequest(static_cast<const CommitRequestMsg&>(*msg));
-        break;
-      case kGrab:
-        onGrab(static_cast<const GrabMsg&>(*msg));
-        break;
-      case kGFailure:
-        onGFailure(static_cast<const GFailureMsg&>(*msg));
-        break;
-      case kGSuccess:
-        onGSuccess(static_cast<const GSuccessMsg&>(*msg));
-        break;
-      case kBulkInvAck:
-        onBulkInvAck(static_cast<const BulkInvAckMsg&>(*msg));
-        break;
-      case kBulkInvNack:
-        onBulkInvNack(static_cast<const BulkInvNackMsg&>(*msg));
-        break;
-      case kCommitDone:
-        onCommitDone(static_cast<const CommitDoneMsg&>(*msg));
-        break;
-      default:
-        SBULK_PANIC("SbDirCtrl %u: unexpected message kind %u", _self,
-                    msg->kind);
-    }
+    const CommitId id = subjectOf(*msg);
+    sbDirDispatch().run(
+        *this, [this, &id] { return std::uint8_t(cstStateOf(id)); },
+        std::move(msg));
+}
+
+CstState
+SbDirCtrl::cstStateOf(const CommitId& id) const
+{
+    auto it = _cst.find(id);
+    if (it == _cst.end())
+        return CstState::Idle;
+    const CstEntry& e = it->second;
+    if (e.failed)
+        return CstState::Tombstone;
+    if (e.confirmed)
+        return e.leader ? CstState::LeaderCommit : CstState::MemberDone;
+    if (e.hold)
+        return e.leader ? CstState::LeaderWork : CstState::MemberHeld;
+    // A leader never rests unadmitted: its commit_request either admits it
+    // (hold) or fails the group (entry gone), so the waiting states below
+    // are member-or-unknown territory.
+    if (e.haveRequest)
+        return CstState::ReqWait;
+    if (e.haveGrab)
+        return CstState::GrabWait;
+    return CstState::Armed;
 }
 
 bool
@@ -79,31 +108,39 @@ SbDirCtrl::requestSeen(const CommitId& id) const
 }
 
 void
-SbDirCtrl::onCommitRequest(const CommitRequestMsg& msg)
+SbDirCtrl::onCommitRequestTombstone(MessagePtr mp)
 {
-    CstEntry& entry = getEntry(msg.id);
+    const auto& msg = static_cast<const CommitRequestMsg&>(*mp);
     if (_validator)
         _validator->note(msg.id, DirEvent::RecvCommitRequest);
 
     auto& mark = _lastRequested[msg.id.tag.proc];
     mark = std::max(mark, std::make_pair(msg.id.tag.seq, msg.id.attempt));
 
-    if (entry.failed) {
-        // A g_failure beat the request here (Appendix A, "after Collision
-        // module" with reordering). Resolve: the leader reports failure.
-        const bool was_leader =
-            !msg.order.empty() && msg.order.front() == _self;
-        if (was_leader) {
-            if (_validator)
-                _validator->note(msg.id, DirEvent::SendCommitFailure);
-            _ctx.net.send(std::make_unique<CommitFailureMsg>(
-                _self, msg.src, msg.id));
-        }
+    // A g_failure beat the request here (Appendix A, "after Collision
+    // module" with reordering). Resolve: the leader reports failure.
+    const bool was_leader = !msg.order.empty() && msg.order.front() == _self;
+    if (was_leader) {
         if (_validator)
-            _validator->resolve(msg.id, was_leader, /*success=*/false);
-        deallocate(msg.id);
-        return;
+            _validator->note(msg.id, DirEvent::SendCommitFailure);
+        _ctx.net.send(
+            std::make_unique<CommitFailureMsg>(_self, msg.src, msg.id));
     }
+    if (_validator)
+        _validator->resolve(msg.id, was_leader, /*success=*/false);
+    deallocate(msg.id);
+}
+
+void
+SbDirCtrl::onCommitRequest(MessagePtr mp)
+{
+    const auto& msg = static_cast<const CommitRequestMsg&>(*mp);
+    CstEntry& entry = getEntry(msg.id);
+    if (_validator)
+        _validator->note(msg.id, DirEvent::RecvCommitRequest);
+
+    auto& mark = _lastRequested[msg.id.tag.proc];
+    mark = std::max(mark, std::make_pair(msg.id.tag.seq, msg.id.attempt));
 
     entry.haveRequest = true;
     entry.rSig = msg.rSig;
@@ -129,13 +166,12 @@ SbDirCtrl::onCommitRequest(const CommitRequestMsg& msg)
 }
 
 void
-SbDirCtrl::onGrab(const GrabMsg& msg)
+SbDirCtrl::onGrab(MessagePtr mp)
 {
+    const auto& msg = static_cast<const GrabMsg&>(*mp);
     if (!_cst.count(msg.id) && requestSeen(msg.id))
         return; // stale: the group already resolved (and deallocated) here
     CstEntry& entry = getEntry(msg.id);
-    if (entry.failed)
-        return; // racing failure already resolved this group here
     if (_validator)
         _validator->note(msg.id, DirEvent::RecvGrab);
     entry.haveGrab = true;
@@ -287,11 +323,10 @@ SbDirCtrl::failGroup(CstEntry& entry, GroupFailReason why,
 }
 
 void
-SbDirCtrl::onGFailure(const GFailureMsg& msg)
+SbDirCtrl::onGFailure(MessagePtr mp)
 {
+    const auto& msg = static_cast<const GFailureMsg&>(*mp);
     CstEntry& entry = getEntry(msg.id);
-    if (entry.failed)
-        return;
     if (_validator)
         _validator->note(msg.id, DirEvent::RecvGFailure);
     entry.failed = true;
@@ -365,8 +400,9 @@ SbDirCtrl::sendBulkInvs(CstEntry& entry)
 }
 
 void
-SbDirCtrl::onGSuccess(const GSuccessMsg& msg)
+SbDirCtrl::onGSuccess(MessagePtr mp)
 {
+    const auto& msg = static_cast<const GSuccessMsg&>(*mp);
     CstEntry& entry = getEntry(msg.id);
     SBULK_ASSERT(entry.haveRequest && !entry.failed,
                  "g_success for a group not held here");
@@ -387,8 +423,9 @@ SbDirCtrl::applyCommitUpdates(CstEntry& entry)
 }
 
 void
-SbDirCtrl::onBulkInvAck(const BulkInvAckMsg& msg)
+SbDirCtrl::onBulkInvAck(MessagePtr mp)
 {
+    const auto& msg = static_cast<const BulkInvAckMsg&>(*mp);
     auto it = _cst.find(msg.id);
     SBULK_ASSERT(it != _cst.end() && it->second.leader,
                  "bulk_inv_ack at a non-leader");
@@ -417,14 +454,14 @@ SbDirCtrl::onBulkInvAck(const BulkInvAckMsg& msg)
 }
 
 void
-SbDirCtrl::onBulkInvNack(const BulkInvNackMsg& msg)
+SbDirCtrl::onBulkInvNack(MessagePtr mp)
 {
+    const auto& msg = static_cast<const BulkInvNackMsg&>(*mp);
     // Conservative initiation (OCI off): the sharer is itself waiting on a
     // commit outcome and bounced our W; retry until it consumes it
     // (Figure 4(c)).
     auto it = _cst.find(msg.id);
-    if (it == _cst.end())
-        return;
+    SBULK_ASSERT(it != _cst.end());
     CstEntry& entry = it->second;
     const NodeId target = msg.src;
     const CommitId id = msg.id;
@@ -481,8 +518,9 @@ SbDirCtrl::finishAsLeader(CstEntry& entry)
 }
 
 void
-SbDirCtrl::onCommitDone(const CommitDoneMsg& msg)
+SbDirCtrl::onCommitDone(MessagePtr mp)
 {
+    const auto& msg = static_cast<const CommitDoneMsg&>(*mp);
     auto it = _cst.find(msg.id);
     SBULK_ASSERT(it != _cst.end() && it->second.confirmed,
                  "commit_done for an unconfirmed group");
@@ -538,6 +576,280 @@ void
 SbDirCtrl::deallocate(const CommitId& id)
 {
     _cst.erase(id);
+}
+
+/*
+ * The directory module's declared state machine: every (CstState x message
+ * kind) cell, with the (next state, emitted Appendix-A events) alternatives
+ * each handler can produce. tools/sbulk-lint audits this table statically;
+ * DispatchTable::run() enforces it on every delivery.
+ */
+const DispatchTable<SbDirCtrl>&
+sbDirDispatch()
+{
+    using D = Disposition;
+    using E = DirEvent;
+    // State abbreviations for the table literals.
+    constexpr auto ID = std::uint8_t(CstState::Idle);
+    constexpr auto RW = std::uint8_t(CstState::ReqWait);
+    constexpr auto GW = std::uint8_t(CstState::GrabWait);
+    constexpr auto AR = std::uint8_t(CstState::Armed);
+    constexpr auto MH = std::uint8_t(CstState::MemberHeld);
+    constexpr auto MD = std::uint8_t(CstState::MemberDone);
+    constexpr auto LW = std::uint8_t(CstState::LeaderWork);
+    constexpr auto LC = std::uint8_t(CstState::LeaderCommit);
+    constexpr auto TS = std::uint8_t(CstState::Tombstone);
+
+    static const char* const state_names[] = {
+        "Idle",       "ReqWait",    "GrabWait",     "Armed",     "MemberHeld",
+        "MemberDone", "LeaderWork", "LeaderCommit", "Tombstone",
+    };
+    static const std::uint16_t kinds[] = {
+        kCommitRequest, kGrab,       kGFailure,   kGSuccess,
+        kBulkInvAck,    kBulkInvNack, kCommitDone, kRecallNoteKind,
+    };
+    static const char* const kind_names[] = {
+        "commit_request", "g",             "g_failure",   "g_success",
+        "bulk_inv_ack",   "bulk_inv_nack", "commit_done", "recall",
+    };
+
+    static const TransitionRow<SbDirCtrl> rows[] = {
+        // ---- commit_request ------------------------------------------
+        {ID, kCommitRequest, D::Handler, &SbDirCtrl::onCommitRequest,
+         "onCommitRequest", 5,
+         {{RW, evseq(E::RecvCommitRequest)},
+          {LW, evseq(E::RecvCommitRequest, E::SendGrab)},
+          {LC, evseq(E::RecvCommitRequest, E::SendCommitSuccess,
+                     E::SendBulkInv)},
+          {ID, evseq(E::RecvCommitRequest, E::SendCommitSuccess)},
+          {ID, evseq(E::RecvCommitRequest, E::SendGFailure,
+                     E::SendCommitFailure)}},
+         "member waits for its g; a leader admits (single-module groups "
+         "confirm on the spot) or fails on collision/reservation"},
+        {GW, kCommitRequest, D::Handler, &SbDirCtrl::onCommitRequest,
+         "onCommitRequest", 2,
+         {{MH, evseq(E::RecvCommitRequest, E::SendGrab)},
+          {ID, evseq(E::RecvCommitRequest, E::SendGFailure)}},
+         "g arrived first: both pieces now here, admit or collide"},
+        {AR, kCommitRequest, D::Handler, &SbDirCtrl::onCommitRequest,
+         "onCommitRequest", 2,
+         {{RW, evseq(E::RecvCommitRequest)},
+          {ID, evseq(E::RecvCommitRequest, E::SendGFailure,
+                     E::SendCommitFailure)}},
+         "recall-armed: a member still waits for its g (it fails on g "
+         "arrival); a leader has both pieces and fails immediately"},
+        {TS, kCommitRequest, D::Handler,
+         &SbDirCtrl::onCommitRequestTombstone, "onCommitRequestTombstone", 2,
+         {{ID, evseq(E::RecvCommitRequest, E::SendCommitFailure)},
+          {ID, evseq(E::RecvCommitRequest)}},
+         "g_failure beat the request; reap the tombstone (leader also "
+         "reports commit_failure)"},
+        {RW, kCommitRequest, D::Unreachable, nullptr, nullptr, 1, {{RW, 0}},
+         "one commit_request per (id, attempt) per module"},
+        {MH, kCommitRequest, D::Unreachable, nullptr, nullptr, 1, {{MH, 0}},
+         "one commit_request per (id, attempt) per module"},
+        {MD, kCommitRequest, D::Unreachable, nullptr, nullptr, 1, {{MD, 0}},
+         "one commit_request per (id, attempt) per module"},
+        {LW, kCommitRequest, D::Unreachable, nullptr, nullptr, 1, {{LW, 0}},
+         "one commit_request per (id, attempt) per module"},
+        {LC, kCommitRequest, D::Unreachable, nullptr, nullptr, 1, {{LC, 0}},
+         "one commit_request per (id, attempt) per module"},
+
+        // ---- g (grab) ------------------------------------------------
+        {ID, kGrab, D::Handler, &SbDirCtrl::onGrab, "onGrab", 2,
+         {{GW, evseq(E::RecvGrab)}, {ID, evseq()}},
+         "g beat the commit_request; park it (a g for a group already "
+         "resolved here — per the _lastRequested watermark — is stale and "
+         "dropped)"},
+        {RW, kGrab, D::Handler, &SbDirCtrl::onGrab, "onGrab", 2,
+         {{MH, evseq(E::RecvGrab, E::SendGrab)},
+          {ID, evseq(E::RecvGrab, E::SendGFailure)}},
+         "both pieces now here: admit and pass the g on, or fail "
+         "(collision / reservation / armed recall)"},
+        {AR, kGrab, D::Handler, &SbDirCtrl::onGrab, "onGrab", 1,
+         {{GW, evseq(E::RecvGrab)}},
+         "recall-armed placeholder: park the g until the request arrives"},
+        {LW, kGrab, D::Handler, &SbDirCtrl::onGrab, "onGrab", 2,
+         {{LC, evseq(E::RecvGrab, E::SendGSuccess, E::SendCommitSuccess,
+                     E::SendBulkInv)},
+          {ID, evseq(E::RecvGrab, E::SendGSuccess, E::SendCommitSuccess,
+                     E::SendCommitDone)}},
+         "the g came back around the ring: group formed; with no sharers "
+         "to invalidate the leader finishes immediately"},
+        {TS, kGrab, D::Drop, nullptr, nullptr, 1, {{TS, evseq()}},
+         "a racing g_failure already resolved this group here; the "
+         "tombstone waits for the commit_request"},
+        {GW, kGrab, D::Unreachable, nullptr, nullptr, 1, {{GW, 0}},
+         "a group's g traverses each member exactly once"},
+        {MH, kGrab, D::Unreachable, nullptr, nullptr, 1, {{MH, 0}},
+         "the member already passed its g on; only its ring predecessor "
+         "sends it one, once"},
+        {MD, kGrab, D::Unreachable, nullptr, nullptr, 1, {{MD, 0}},
+         "g_success implies the ring completed; no g is in flight"},
+        {LC, kGrab, D::Unreachable, nullptr, nullptr, 1, {{LC, 0}},
+         "the ring returns to the leader exactly once"},
+
+        // ---- g_failure -----------------------------------------------
+        {ID, kGFailure, D::Handler, &SbDirCtrl::onGFailure, "onGFailure", 1,
+         {{TS, evseq(E::RecvGFailure)}},
+         "failure outran both request and g: leave a tombstone"},
+        {RW, kGFailure, D::Handler, &SbDirCtrl::onGFailure, "onGFailure", 1,
+         {{ID, evseq(E::RecvGFailure)}},
+         "member with only the request: resolve the loss now"},
+        {GW, kGFailure, D::Handler, &SbDirCtrl::onGFailure, "onGFailure", 1,
+         {{TS, evseq(E::RecvGFailure)}},
+         "no request yet: tombstone until it arrives"},
+        {AR, kGFailure, D::Handler, &SbDirCtrl::onGFailure, "onGFailure", 1,
+         {{TS, evseq(E::RecvGFailure)}},
+         "no request yet: tombstone until it arrives"},
+        {MH, kGFailure, D::Handler, &SbDirCtrl::onGFailure, "onGFailure", 1,
+         {{ID, evseq(E::RecvGFailure)}},
+         "admitted member learns the group failed elsewhere"},
+        {LW, kGFailure, D::Handler, &SbDirCtrl::onGFailure, "onGFailure", 1,
+         {{ID, evseq(E::RecvGFailure, E::SendCommitFailure)}},
+         "leader learns the group failed: report commit_failure"},
+        {TS, kGFailure, D::Drop, nullptr, nullptr, 1, {{TS, evseq()}},
+         "duplicate failure (several modules can fail one group)"},
+        {MD, kGFailure, D::Unreachable, nullptr, nullptr, 1, {{MD, 0}},
+         "a module fails a group only while admitting; once every member "
+         "holds (which g_success implies) none can originate g_failure"},
+        {LC, kGFailure, D::Unreachable, nullptr, nullptr, 1, {{LC, 0}},
+         "the ring completed (group confirmed), so no member failed it"},
+
+        // ---- g_success -----------------------------------------------
+        {MH, kGSuccess, D::Handler, &SbDirCtrl::onGSuccess, "onGSuccess", 1,
+         {{MD, evseq(E::RecvGSuccess)}},
+         "ring completed: commit the writes homed here"},
+        {ID, kGSuccess, D::Unreachable, nullptr, nullptr, 1, {{ID, 0}},
+         "g_success goes only to members that hold the group"},
+        {RW, kGSuccess, D::Unreachable, nullptr, nullptr, 1, {{RW, 0}},
+         "g_success goes only to members that hold the group"},
+        {GW, kGSuccess, D::Unreachable, nullptr, nullptr, 1, {{GW, 0}},
+         "g_success goes only to members that hold the group"},
+        {AR, kGSuccess, D::Unreachable, nullptr, nullptr, 1, {{AR, 0}},
+         "g_success goes only to members that hold the group"},
+        {MD, kGSuccess, D::Unreachable, nullptr, nullptr, 1, {{MD, 0}},
+         "the leader sends one g_success per member"},
+        {LW, kGSuccess, D::Unreachable, nullptr, nullptr, 1, {{LW, 0}},
+         "the leader sends g_success, it never receives one"},
+        {LC, kGSuccess, D::Unreachable, nullptr, nullptr, 1, {{LC, 0}},
+         "the leader sends g_success, it never receives one"},
+        {TS, kGSuccess, D::Unreachable, nullptr, nullptr, 1, {{TS, 0}},
+         "a group cannot both confirm and fail: the failing module's "
+         "g_failure means the ring never completed"},
+
+        // ---- bulk_inv_ack --------------------------------------------
+        {LC, kBulkInvAck, D::Handler, &SbDirCtrl::onBulkInvAck,
+         "onBulkInvAck", 3,
+         {{LC, evseq(E::RecvBulkInvAck)},
+          {ID, evseq(E::RecvBulkInvAck, E::SendCommitDone)},
+          {ID, evseq(E::RecvBulkInvAck)}},
+         "collect acks (with piggy-backed recalls); the last one releases "
+         "the group (single-module groups have no commit_done to send)"},
+        {ID, kBulkInvAck, D::Unreachable, nullptr, nullptr, 1, {{ID, 0}},
+         "every sharer acks exactly one bulk_inv, before the leader "
+         "deallocates (it waits for all acks)"},
+        {RW, kBulkInvAck, D::Unreachable, nullptr, nullptr, 1, {{RW, 0}},
+         "only the confirmed leader sends bulk_invs"},
+        {GW, kBulkInvAck, D::Unreachable, nullptr, nullptr, 1, {{GW, 0}},
+         "only the confirmed leader sends bulk_invs"},
+        {AR, kBulkInvAck, D::Unreachable, nullptr, nullptr, 1, {{AR, 0}},
+         "only the confirmed leader sends bulk_invs"},
+        {MH, kBulkInvAck, D::Unreachable, nullptr, nullptr, 1, {{MH, 0}},
+         "only the confirmed leader sends bulk_invs"},
+        {MD, kBulkInvAck, D::Unreachable, nullptr, nullptr, 1, {{MD, 0}},
+         "only the confirmed leader sends bulk_invs"},
+        {LW, kBulkInvAck, D::Unreachable, nullptr, nullptr, 1, {{LW, 0}},
+         "bulk_invs go out at confirmation, after LeaderWork ends"},
+        {TS, kBulkInvAck, D::Unreachable, nullptr, nullptr, 1, {{TS, 0}},
+         "a failed group never sent bulk_invs"},
+
+        // ---- bulk_inv_nack -------------------------------------------
+        {LC, kBulkInvNack, D::Handler, &SbDirCtrl::onBulkInvNack,
+         "onBulkInvNack", 1, {{LC, evseq()}},
+         "conservative-initiation bounce (OCI off): schedule an inv retry"},
+        {ID, kBulkInvNack, D::Drop, nullptr, nullptr, 1, {{ID, evseq()}},
+         "stale nack of a retry inv that raced the final ack: the group "
+         "already released"},
+        {RW, kBulkInvNack, D::Unreachable, nullptr, nullptr, 1, {{RW, 0}},
+         "only the confirmed leader sends bulk_invs"},
+        {GW, kBulkInvNack, D::Unreachable, nullptr, nullptr, 1, {{GW, 0}},
+         "only the confirmed leader sends bulk_invs"},
+        {AR, kBulkInvNack, D::Unreachable, nullptr, nullptr, 1, {{AR, 0}},
+         "only the confirmed leader sends bulk_invs"},
+        {MH, kBulkInvNack, D::Unreachable, nullptr, nullptr, 1, {{MH, 0}},
+         "only the confirmed leader sends bulk_invs"},
+        {MD, kBulkInvNack, D::Unreachable, nullptr, nullptr, 1, {{MD, 0}},
+         "only the confirmed leader sends bulk_invs"},
+        {LW, kBulkInvNack, D::Unreachable, nullptr, nullptr, 1, {{LW, 0}},
+         "bulk_invs go out at confirmation, after LeaderWork ends"},
+        {TS, kBulkInvNack, D::Unreachable, nullptr, nullptr, 1, {{TS, 0}},
+         "a failed group never sent bulk_invs"},
+
+        // ---- commit_done ---------------------------------------------
+        {MD, kCommitDone, D::Handler, &SbDirCtrl::onCommitDone,
+         "onCommitDone", 1, {{ID, evseq(E::RecvCommitDone)}},
+         "release the member's hold; act on piggy-backed recalls"},
+        {ID, kCommitDone, D::Unreachable, nullptr, nullptr, 1, {{ID, 0}},
+         "commit_done goes once to each member still holding the group"},
+        {RW, kCommitDone, D::Unreachable, nullptr, nullptr, 1, {{RW, 0}},
+         "commit_done follows g_success on the same leader-to-member "
+         "channel (FIFO)"},
+        {GW, kCommitDone, D::Unreachable, nullptr, nullptr, 1, {{GW, 0}},
+         "commit_done follows g_success on the same leader-to-member "
+         "channel (FIFO)"},
+        {AR, kCommitDone, D::Unreachable, nullptr, nullptr, 1, {{AR, 0}},
+         "commit_done follows g_success on the same leader-to-member "
+         "channel (FIFO)"},
+        {MH, kCommitDone, D::Unreachable, nullptr, nullptr, 1, {{MH, 0}},
+         "commit_done follows g_success on the same leader-to-member "
+         "channel (FIFO)"},
+        {LW, kCommitDone, D::Unreachable, nullptr, nullptr, 1, {{LW, 0}},
+         "the leader sends commit_done, it never receives one"},
+        {LC, kCommitDone, D::Unreachable, nullptr, nullptr, 1, {{LC, 0}},
+         "the leader sends commit_done, it never receives one"},
+        {TS, kCommitDone, D::Unreachable, nullptr, nullptr, 1, {{TS, 0}},
+         "a failed group never confirms, so no commit_done"},
+
+        // ---- commit recall (internal: piggy-backed on ack/done) ------
+        {ID, kRecallNoteKind, D::Internal, nullptr, nullptr, 2,
+         {{AR, evseq(E::RecvCommitRecall)}, {ID, evseq(E::RecvCommitRecall)}},
+         "arm a placeholder entry so the loser fails when its pieces "
+         "arrive; stale recalls (group already resolved here) are ignored"},
+        {RW, kRecallNoteKind, D::Internal, nullptr, nullptr, 1,
+         {{RW, evseq(E::RecvCommitRecall)}},
+         "arm the waiting member: it fails when its g arrives"},
+        {GW, kRecallNoteKind, D::Internal, nullptr, nullptr, 1,
+         {{GW, evseq(E::RecvCommitRecall)}},
+         "arm the parked g: the group fails when the request arrives"},
+        {AR, kRecallNoteKind, D::Internal, nullptr, nullptr, 1,
+         {{AR, evseq(E::RecvCommitRecall)}},
+         "already armed (recalls for distinct squashed sharers)"},
+        {MH, kRecallNoteKind, D::Internal, nullptr, nullptr, 1,
+         {{MH, evseq(E::RecvCommitRecall)}},
+         "past the point of recall: the module already holds (Section 3.4 "
+         "discard)"},
+        {MD, kRecallNoteKind, D::Internal, nullptr, nullptr, 1,
+         {{MD, evseq(E::RecvCommitRecall)}},
+         "past the point of recall: the group confirmed"},
+        {LW, kRecallNoteKind, D::Internal, nullptr, nullptr, 1,
+         {{LW, evseq(E::RecvCommitRecall)}},
+         "past the point of recall: the module already holds (Section 3.4 "
+         "discard)"},
+        {LC, kRecallNoteKind, D::Internal, nullptr, nullptr, 1,
+         {{LC, evseq(E::RecvCommitRecall)}},
+         "past the point of recall: the group confirmed"},
+        {TS, kRecallNoteKind, D::Internal, nullptr, nullptr, 1,
+         {{TS, evseq(E::RecvCommitRecall)}},
+         "already failed: discard, per Section 3.4"},
+    };
+
+    static const DispatchTable<SbDirCtrl> table(
+        "scalablebulk", "dir", state_names, std::size(state_names), kinds,
+        kind_names, std::size(kinds), /*num_real_kinds=*/7, rows,
+        std::size(rows), ConflictPolicy::KeepWinner,
+        /*ascending_traversal=*/true);
+    return table;
 }
 
 } // namespace sb

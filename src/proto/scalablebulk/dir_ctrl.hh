@@ -32,6 +32,7 @@
 
 #include "mem/directory.hh"
 #include "proto/commit_protocol.hh"
+#include "proto/dispatch.hh"
 #include "proto/scalablebulk/messages.hh"
 #include "proto/scalablebulk/ordering.hh"
 
@@ -39,6 +40,30 @@ namespace sbulk
 {
 namespace sb
 {
+
+/**
+ * Abstract per-commit CST state, derived from a CstEntry's flag bits (or
+ * the entry's absence). This is the state axis of the directory dispatch
+ * table; leader and member are split because they run different halves of
+ * the Appendix-A grammar (the leader originates the g and the outcome
+ * messages, a member relays them).
+ */
+enum class CstState : std::uint8_t
+{
+    Idle,         ///< no CST entry for this commit
+    ReqWait,      ///< member: commit_request held, g still on its way
+    GrabWait,     ///< member: g held, commit_request still on its way
+    Armed,        ///< recall-armed placeholder: neither piece yet
+    MemberHeld,   ///< member: admitted, g passed along the ring
+    MemberDone,   ///< member: g_success seen, awaiting commit_done
+    LeaderWork,   ///< leader: admitted, g circulating the ring
+    LeaderCommit, ///< leader: group confirmed, collecting bulk-inv acks
+    Tombstone,    ///< failed before the request arrived; awaiting it
+};
+
+/** Internal pseudo-kind: a commit recall acting on *this* commit while the
+ *  module processes another commit's bulk_inv_ack / commit_done. */
+inline constexpr std::uint16_t kRecallNoteKind = kInternalKindBase + 0;
 
 /** One CST entry (Figure 6: C_Tag, Sigs, state, inval_vec, g_vec, l/h/c).*/
 struct CstEntry
@@ -100,14 +125,23 @@ class SbDirCtrl : public DirProtocol
     /** Current starvation reservation — test hook. */
     std::optional<ChunkTag> reservedFor() const { return _reservedFor; }
 
+    /** Abstract dispatch state of @p id (find-only; allocates nothing). */
+    CstState cstStateOf(const CommitId& id) const;
+
   private:
-    void onCommitRequest(const CommitRequestMsg& msg);
-    void onGrab(const GrabMsg& msg);
-    void onGFailure(const GFailureMsg& msg);
-    void onGSuccess(const GSuccessMsg& msg);
-    void onBulkInvAck(const BulkInvAckMsg& msg);
-    void onBulkInvNack(const BulkInvNackMsg& msg);
-    void onCommitDone(const CommitDoneMsg& msg);
+    friend const DispatchTable<SbDirCtrl>& sbDirDispatch();
+
+    void onCommitRequest(MessagePtr msg);
+    /** The failed-tombstone half of commit_request arrival: a g_failure
+     *  beat the request here (Appendix A, "after Collision module" with
+     *  reordering); resolve the loss and reap the tombstone. */
+    void onCommitRequestTombstone(MessagePtr msg);
+    void onGrab(MessagePtr msg);
+    void onGFailure(MessagePtr msg);
+    void onGSuccess(MessagePtr msg);
+    void onBulkInvAck(MessagePtr msg);
+    void onBulkInvNack(MessagePtr msg);
+    void onCommitDone(MessagePtr msg);
 
     /**
      * Try to admit @p entry: it must have its request (and its g, unless
@@ -163,6 +197,9 @@ class SbDirCtrl : public DirProtocol
     /** Optional Appendix-A conformance recorder. */
     OrderingValidator* _validator = nullptr;
 };
+
+/** The directory controller's declared state machine (shared, static). */
+const DispatchTable<SbDirCtrl>& sbDirDispatch();
 
 } // namespace sb
 } // namespace sbulk

@@ -30,7 +30,7 @@ dirEventName(DirEvent ev)
 }
 
 std::string
-OrderingValidator::render(const std::vector<DirEvent>& seq)
+OrderingValidator::renderSequence(const std::vector<DirEvent>& seq)
 {
     std::string out;
     for (DirEvent ev : seq) {
@@ -149,6 +149,17 @@ OrderingValidator::checkFailure(const std::vector<DirEvent>& seq,
     return nullptr;
 }
 
+const char*
+OrderingValidator::checkSequence(const std::vector<DirEvent>& seq,
+                                 bool was_leader, bool success)
+{
+    if (success && was_leader)
+        return checkLeaderSuccess(seq);
+    if (success)
+        return checkMemberSuccess(seq);
+    return checkFailure(seq, was_leader);
+}
+
 void
 OrderingValidator::resolve(const CommitId& id, bool was_leader,
                            bool success)
@@ -160,14 +171,7 @@ OrderingValidator::resolve(const CommitId& id, bool was_leader,
         _events.erase(it);
     ++_resolved;
 
-    const char* reason = nullptr;
-    if (success && was_leader)
-        reason = checkLeaderSuccess(seq);
-    else if (success)
-        reason = checkMemberSuccess(seq);
-    else
-        reason = checkFailure(seq, was_leader);
-    if (reason)
+    if (const char* reason = checkSequence(seq, was_leader, success))
         fail(id, seq, reason);
 }
 

@@ -94,11 +94,26 @@ class OrderingValidator
     const std::vector<Violation>& violations() const { return _violations; }
     std::uint64_t resolved() const { return _resolved; }
 
+    /**
+     * Grammar check for a complete per-module event sequence, without an
+     * attached controller — the entry point the static ordering audit
+     * (src/lint/) runs on lifecycles enumerated from the dispatch table.
+     * @return the violation reason, or null if @p seq is legal.
+     */
+    static const char* checkSequence(const std::vector<DirEvent>& seq,
+                                     bool was_leader, bool success);
+
+    /** Render @p seq as "R:req -> S:g -> ..." (shared with the audit). */
+    static std::string renderSequence(const std::vector<DirEvent>& seq);
+
   private:
     void fail(const CommitId& id, const std::vector<DirEvent>& seq,
               const char* reason);
 
-    static std::string render(const std::vector<DirEvent>& seq);
+    static std::string render(const std::vector<DirEvent>& seq)
+    {
+        return renderSequence(seq);
+    }
 
     /** Grammar checks (return the violation reason or null). */
     static const char* checkLeaderSuccess(const std::vector<DirEvent>& seq);

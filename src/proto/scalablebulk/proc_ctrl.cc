@@ -105,25 +105,15 @@ SbProcCtrl::abortCommit(ChunkTag tag)
 void
 SbProcCtrl::handleMessage(MessagePtr msg)
 {
-    switch (msg->kind) {
-      case kCommitSuccess:
-        onCommitSuccess(static_cast<const CommitSuccessMsg&>(*msg));
-        break;
-      case kCommitFailure:
-        onCommitFailure(static_cast<const CommitFailureMsg&>(*msg));
-        break;
-      case kBulkInv:
-        onBulkInv(std::move(msg));
-        break;
-      default:
-        SBULK_PANIC("SbProcCtrl %u: unexpected message kind %u", _self,
-                    msg->kind);
-    }
+    sbProcDispatch().run(
+        *this, [this] { return std::uint8_t(procState()); },
+        std::move(msg));
 }
 
 void
-SbProcCtrl::onCommitSuccess(const CommitSuccessMsg& msg)
+SbProcCtrl::onCommitSuccess(MessagePtr mp)
 {
+    const auto& msg = static_cast<const CommitSuccessMsg&>(*mp);
     if (_aborted && msg.id == _abortedId) {
         // OCI corner: the chunk was squashed by an *aliased* invalidation
         // from a group sharing no directory with ours, so our group formed
@@ -149,8 +139,9 @@ SbProcCtrl::onCommitSuccess(const CommitSuccessMsg& msg)
 }
 
 void
-SbProcCtrl::onCommitFailure(const CommitFailureMsg& msg)
+SbProcCtrl::onCommitFailure(MessagePtr mp)
 {
+    const auto& msg = static_cast<const CommitFailureMsg&>(*mp);
     if (_aborted && msg.id == _abortedId) {
         // The recall did its job; nothing to retry (Section 3.3).
         _aborted = false;
@@ -231,6 +222,75 @@ SbProcCtrl::onBulkInv(MessagePtr msg)
     }
     _ctx.net.send(std::make_unique<BulkInvAckMsg>(_self, inv.leader, inv.id,
                                                   recall));
+}
+
+/*
+ * The processor controller's declared state machine. Every cell keeps a
+ * handler (outcome messages for stale attempts and OCI-aborted chunks are
+ * absorbed by in-handler id guards); bulk invalidations are consumed in
+ * every state — that is Optimistic Commit Initiation — except that the
+ * no-OCI ablation nacks them while an outcome is pending (Figure 4(c)).
+ */
+const DispatchTable<SbProcCtrl>&
+sbProcDispatch()
+{
+    using D = Disposition;
+    constexpr auto ID = std::uint8_t(SbProcState::Idle);
+    constexpr auto AW = std::uint8_t(SbProcState::AwaitOutcome);
+    constexpr auto BK = std::uint8_t(SbProcState::Backoff);
+
+    static const char* const state_names[] = {
+        "Idle", "AwaitOutcome", "Backoff",
+    };
+    static const std::uint16_t kinds[] = {
+        kCommitSuccess, kCommitFailure, kBulkInv,
+    };
+    static const char* const kind_names[] = {
+        "commit_success", "commit_failure", "bulk_inv",
+    };
+
+    static const TransitionRow<SbProcCtrl> rows[] = {
+        {ID, kCommitSuccess, D::Handler, &SbProcCtrl::onCommitSuccess,
+         "onCommitSuccess", 1, {{ID, 0}},
+         "outcome of an OCI-aborted chunk whose group formed anyway "
+         "(aliased squash): discard it"},
+        {AW, kCommitSuccess, D::Handler, &SbProcCtrl::onCommitSuccess,
+         "onCommitSuccess", 2, {{ID, 0}, {AW, 0}},
+         "the in-flight chunk committed; a prior chunk's aborted-discard "
+         "outcome leaves the new commit waiting"},
+        {BK, kCommitSuccess, D::Handler, &SbProcCtrl::onCommitSuccess,
+         "onCommitSuccess", 1, {{BK, 0}},
+         "stale id only: the current attempt already failed, and each "
+         "attempt gets exactly one outcome"},
+
+        {ID, kCommitFailure, D::Handler, &SbProcCtrl::onCommitFailure,
+         "onCommitFailure", 1, {{ID, 0}},
+         "the recall did its job (Section 3.3) or a stale attempt died"},
+        {AW, kCommitFailure, D::Handler, &SbProcCtrl::onCommitFailure,
+         "onCommitFailure", 2, {{BK, 0}, {AW, 0}},
+         "the in-flight attempt failed: back off and retry; stale ids "
+         "leave the new commit waiting"},
+        {BK, kCommitFailure, D::Handler, &SbProcCtrl::onCommitFailure,
+         "onCommitFailure", 1, {{BK, 0}},
+         "stale id only: one outcome per attempt"},
+
+        {ID, kBulkInv, D::Handler, &SbProcCtrl::onBulkInv, "onBulkInv", 1,
+         {{ID, 0}}, "apply the invalidation and ack (no commit to recall)"},
+        {AW, kBulkInv, D::Handler, &SbProcCtrl::onBulkInv, "onBulkInv", 2,
+         {{AW, 0}, {ID, 0}},
+         "OCI: consume, and recall our commit if it squashed the "
+         "committing chunk (Figure 4(d)); the no-OCI ablation nacks "
+         "instead (Figure 4(c))"},
+        {BK, kBulkInv, D::Handler, &SbProcCtrl::onBulkInv, "onBulkInv", 2,
+         {{BK, 0}, {ID, 0}},
+         "consume; squashing the backing-off chunk aborts its retry"},
+    };
+
+    static const DispatchTable<SbProcCtrl> table(
+        "scalablebulk", "proc", state_names, std::size(state_names), kinds,
+        kind_names, std::size(kinds), /*num_real_kinds=*/3, rows,
+        std::size(rows));
+    return table;
 }
 
 } // namespace sb

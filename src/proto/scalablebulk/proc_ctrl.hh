@@ -14,12 +14,21 @@
 #include <deque>
 
 #include "proto/commit_protocol.hh"
+#include "proto/dispatch.hh"
 #include "proto/scalablebulk/messages.hh"
 
 namespace sbulk
 {
 namespace sb
 {
+
+/** Abstract processor-side commit state (dispatch-table axis). */
+enum class SbProcState : std::uint8_t
+{
+    Idle,         ///< no commit in flight (an OCI abort may be pending)
+    AwaitOutcome, ///< commit_request sent, outcome not yet heard
+    Backoff,      ///< failure heard, retry timer running
+};
 
 /** Leader/traversal-priority policy (Section 3.2.2 fairness rotation). */
 class LeaderPolicy
@@ -59,9 +68,20 @@ class SbProcCtrl : public ProcProtocol
     std::uint32_t currentAttempt() const { return _current.attempt; }
     bool hasInFlight() const { return _chunk != nullptr; }
 
+    /** Abstract dispatch state (derived from _chunk/_awaitingOutcome). */
+    SbProcState procState() const
+    {
+        if (_chunk == nullptr)
+            return SbProcState::Idle;
+        return _awaitingOutcome ? SbProcState::AwaitOutcome
+                                : SbProcState::Backoff;
+    }
+
   private:
-    void onCommitSuccess(const CommitSuccessMsg& msg);
-    void onCommitFailure(const CommitFailureMsg& msg);
+    friend const DispatchTable<SbProcCtrl>& sbProcDispatch();
+
+    void onCommitSuccess(MessagePtr msg);
+    void onCommitFailure(MessagePtr msg);
     void onBulkInv(MessagePtr msg);
     void sendRequest();
 
@@ -84,6 +104,9 @@ class SbProcCtrl : public ProcProtocol
      *  two mutually-invalidating committers. */
     bool _awaitingOutcome = false;
 };
+
+/** The processor controller's declared state machine (shared, static). */
+const DispatchTable<SbProcCtrl>& sbProcDispatch();
 
 } // namespace sb
 } // namespace sbulk

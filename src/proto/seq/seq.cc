@@ -52,90 +52,98 @@ SeqDirCtrl::grantNext()
 void
 SeqDirCtrl::handleMessage(MessagePtr msg)
 {
-    switch (msg->kind) {
-      case kOccupy: {
-        const auto& req = static_cast<const SeqCtrlMsg&>(*msg);
-        if (!_occupant) {
-            _occupant = req.id;
-            _occupantProc = req.src;
-            _ctx.net.send(std::make_unique<SeqCtrlMsg>(
-                kOccupyGrant, _self, req.src, Port::Proc, req.id));
-        } else {
-            // Taken: the transaction blocks (SEQ-PRO's serialization).
-            _queue.push_back(Waiting{req.id, req.src});
-            _ctx.metrics.blocked.block(keyOf(req.id));
-        }
-        break;
-      }
-      case kOccupyCancel: {
-        const auto& req = static_cast<const SeqCtrlMsg&>(*msg);
-        if (_occupant && *_occupant == req.id) {
-            grantNext();
-        } else {
-            auto it = std::find_if(_queue.begin(), _queue.end(),
-                                   [&](const Waiting& w) {
-                                       return w.id == req.id;
-                                   });
-            if (it != _queue.end()) {
-                _ctx.metrics.blocked.unblock(keyOf(req.id));
-                _queue.erase(it);
-            }
-        }
-        break;
-      }
-      case kSeqCommit: {
-        auto& req = static_cast<SeqCommitMsg&>(*msg);
-        SBULK_ASSERT(_occupant && *_occupant == req.id,
-                     "SeqCommit from a non-occupant");
-        ProcMask targets = 0;
-        for (Addr line : req.writesHere)
-            targets |= _dir.sharersOf(line, req.src);
-        for (Addr line : req.writesHere) {
-            _dir.commitLine(line, req.src);
-            if (_ctx.observer)
-                _ctx.observer->onLineCommitted(_self, line, req.id);
-        }
-        if (targets == 0) {
-            _ctx.net.send(std::make_unique<SeqCtrlMsg>(
-                kSeqDirDone, _self, req.src, Port::Proc, req.id));
-            break;
-        }
-        ActiveCommit active;
-        active.wSig = req.wSig;
-        active.allWrites = req.allWrites;
-        active.committer = req.src;
-        active.acksPending = std::uint32_t(std::popcount(targets));
-        _active = std::move(active);
-        for (NodeId proc = 0; proc < 64; ++proc) {
-            if (targets & (ProcMask(1) << proc)) {
-                _ctx.net.send(std::make_unique<SeqBulkInvMsg>(
-                    _self, proc, req.id, req.wSig, req.allWrites, req.src));
-            }
-        }
-        break;
-      }
-      case kSeqBulkInvAck: {
-        const auto& ack = static_cast<const SeqCtrlMsg&>(*msg);
-        SBULK_ASSERT(_active && _occupant && *_occupant == ack.id,
-                     "stray SEQ inv ack");
-        if (--_active->acksPending == 0) {
-            _ctx.net.send(std::make_unique<SeqCtrlMsg>(
-                kSeqDirDone, _self, _occupantProc, Port::Proc, ack.id));
-            _active.reset();
-        }
-        break;
-      }
-      case kSeqRelease: {
-        const auto& rel = static_cast<const SeqCtrlMsg&>(*msg);
-        SBULK_ASSERT(_occupant && *_occupant == rel.id,
-                     "release from a non-occupant");
-        grantNext();
-        break;
-      }
-      default:
-        SBULK_PANIC("SeqDirCtrl %u: unexpected message kind %u", _self,
-                    msg->kind);
+    seqDirDispatch().run(
+        *this, [this] { return std::uint8_t(dirState()); }, std::move(msg));
+}
+
+void
+SeqDirCtrl::onOccupy(MessagePtr msg)
+{
+    const auto& req = static_cast<const SeqCtrlMsg&>(*msg);
+    if (!_occupant) {
+        _occupant = req.id;
+        _occupantProc = req.src;
+        _ctx.net.send(std::make_unique<SeqCtrlMsg>(kOccupyGrant, _self,
+                                                   req.src, Port::Proc,
+                                                   req.id));
+    } else {
+        // Taken: the transaction blocks (SEQ-PRO's serialization).
+        _queue.push_back(Waiting{req.id, req.src});
+        _ctx.metrics.blocked.block(keyOf(req.id));
     }
+}
+
+void
+SeqDirCtrl::onOccupyCancel(MessagePtr msg)
+{
+    const auto& req = static_cast<const SeqCtrlMsg&>(*msg);
+    if (_occupant && *_occupant == req.id) {
+        grantNext();
+    } else {
+        auto it = std::find_if(_queue.begin(), _queue.end(),
+                               [&](const Waiting& w) {
+                                   return w.id == req.id;
+                               });
+        if (it != _queue.end()) {
+            _ctx.metrics.blocked.unblock(keyOf(req.id));
+            _queue.erase(it);
+        }
+    }
+}
+
+void
+SeqDirCtrl::onCommit(MessagePtr msg)
+{
+    auto& req = static_cast<SeqCommitMsg&>(*msg);
+    SBULK_ASSERT(_occupant && *_occupant == req.id,
+                 "SeqCommit from a non-occupant");
+    ProcMask targets = 0;
+    for (Addr line : req.writesHere)
+        targets |= _dir.sharersOf(line, req.src);
+    for (Addr line : req.writesHere) {
+        _dir.commitLine(line, req.src);
+        if (_ctx.observer)
+            _ctx.observer->onLineCommitted(_self, line, req.id);
+    }
+    if (targets == 0) {
+        _ctx.net.send(std::make_unique<SeqCtrlMsg>(
+            kSeqDirDone, _self, req.src, Port::Proc, req.id));
+        return;
+    }
+    ActiveCommit active;
+    active.wSig = req.wSig;
+    active.allWrites = req.allWrites;
+    active.committer = req.src;
+    active.acksPending = std::uint32_t(std::popcount(targets));
+    _active = std::move(active);
+    for (NodeId proc = 0; proc < 64; ++proc) {
+        if (targets & (ProcMask(1) << proc)) {
+            _ctx.net.send(std::make_unique<SeqBulkInvMsg>(
+                _self, proc, req.id, req.wSig, req.allWrites, req.src));
+        }
+    }
+}
+
+void
+SeqDirCtrl::onInvAck(MessagePtr msg)
+{
+    const auto& ack = static_cast<const SeqCtrlMsg&>(*msg);
+    SBULK_ASSERT(_active && _occupant && *_occupant == ack.id,
+                 "stray SEQ inv ack");
+    if (--_active->acksPending == 0) {
+        _ctx.net.send(std::make_unique<SeqCtrlMsg>(
+            kSeqDirDone, _self, _occupantProc, Port::Proc, ack.id));
+        _active.reset();
+    }
+}
+
+void
+SeqDirCtrl::onRelease(MessagePtr msg)
+{
+    const auto& rel = static_cast<const SeqCtrlMsg&>(*msg);
+    SBULK_ASSERT(_occupant && *_occupant == rel.id,
+                 "release from a non-occupant");
+    grantNext();
 }
 
 // -------------------------------------------------------------- processor
@@ -251,54 +259,210 @@ SeqProcCtrl::abortCommit(ChunkTag tag)
 void
 SeqProcCtrl::handleMessage(MessagePtr msg)
 {
-    switch (msg->kind) {
-      case kOccupyGrant: {
-        const auto& grant = static_cast<const SeqCtrlMsg&>(*msg);
-        if (!_chunk || grant.id != _current)
-            break; // cancelled meanwhile; the cancel releases the grant
-        ++_nextToOccupy;
-        if (_nextToOccupy < _members.size())
-            occupyNext();
+    seqProcDispatch().run(
+        *this, [this] { return std::uint8_t(procState()); },
+        std::move(msg));
+}
+
+void
+SeqProcCtrl::onOccupyGrant(MessagePtr msg)
+{
+    const auto& grant = static_cast<const SeqCtrlMsg&>(*msg);
+    if (!_chunk || grant.id != _current)
+        return; // cancelled meanwhile; the cancel releases the grant
+    ++_nextToOccupy;
+    if (_nextToOccupy < _members.size())
+        occupyNext();
+    else
+        onAllOccupied();
+}
+
+void
+SeqProcCtrl::onDirDone(MessagePtr msg)
+{
+    const auto& done = static_cast<const SeqCtrlMsg&>(*msg);
+    if (!_chunk || done.id != _current)
+        return;
+    SBULK_ASSERT(_donesPending > 0);
+    if (--_donesPending == 0)
+        finish();
+}
+
+void
+SeqProcCtrl::onBulkInv(MessagePtr msg)
+{
+    auto& inv = static_cast<SeqBulkInvMsg&>(*msg);
+    // A fully-occupied chunk holds every directory its footprint
+    // touches, so a true conflict with a concurrent committer is
+    // impossible; only signature aliasing could hit it. Exempt it.
+    const ChunkTag exempt =
+        (_chunk && _allOccupied) ? _current.tag : ChunkTag{};
+    const InvOutcome outcome =
+        _core->applyBulkInv(inv.wSig, inv.lines, inv.id.tag, exempt);
+    if (outcome.squashedAny) {
+        if (outcome.wasTrueConflict)
+            _ctx.metrics.squashesTrueConflict.inc();
         else
-            onAllOccupied();
-        break;
-      }
-      case kSeqDirDone: {
-        const auto& done = static_cast<const SeqCtrlMsg&>(*msg);
-        if (!_chunk || done.id != _current)
-            break;
-        SBULK_ASSERT(_donesPending > 0);
-        if (--_donesPending == 0)
-            finish();
-        break;
-      }
-      case kSeqBulkInv: {
-        auto& inv = static_cast<SeqBulkInvMsg&>(*msg);
-        // A fully-occupied chunk holds every directory its footprint
-        // touches, so a true conflict with a concurrent committer is
-        // impossible; only signature aliasing could hit it. Exempt it.
-        const ChunkTag exempt =
-            (_chunk && _allOccupied) ? _current.tag : ChunkTag{};
-        const InvOutcome outcome =
-            _core->applyBulkInv(inv.wSig, inv.lines, inv.id.tag, exempt);
-        if (outcome.squashedAny) {
-            if (outcome.wasTrueConflict)
-                _ctx.metrics.squashesTrueConflict.inc();
-            else
-                _ctx.metrics.squashesAliasing.inc();
-            if (outcome.squashedCommitting && _chunk &&
-                outcome.committingTag == _current.tag) {
-                cancelOccupations();
-            }
+            _ctx.metrics.squashesAliasing.inc();
+        if (outcome.squashedCommitting && _chunk &&
+            outcome.committingTag == _current.tag) {
+            cancelOccupations();
         }
-        _ctx.net.send(std::make_unique<SeqCtrlMsg>(
-            kSeqBulkInvAck, _self, inv.ackTo, Port::Dir, inv.id));
-        break;
-      }
-      default:
-        SBULK_PANIC("SeqProcCtrl %u: unexpected message kind %u", _self,
-                    msg->kind);
     }
+    _ctx.net.send(std::make_unique<SeqCtrlMsg>(kSeqBulkInvAck, _self,
+                                               inv.ackTo, Port::Dir,
+                                               inv.id));
+}
+
+// ---------------------------------------------------- declared machines
+
+const DispatchTable<SeqDirCtrl>&
+seqDirDispatch()
+{
+    using D = Disposition;
+    constexpr auto FR = std::uint8_t(SeqDirState::Free);
+    constexpr auto OC = std::uint8_t(SeqDirState::Occupied);
+    constexpr auto PB = std::uint8_t(SeqDirState::Publishing);
+
+    static const char* const state_names[] = {
+        "Free", "Occupied", "Publishing",
+    };
+    static const std::uint16_t kinds[] = {
+        kOccupy, kOccupyCancel, kSeqCommit, kSeqBulkInvAck, kSeqRelease,
+    };
+    static const char* const kind_names[] = {
+        "occupy", "occupy_cancel", "commit", "bulk_inv_ack", "release",
+    };
+
+    static const TransitionRow<SeqDirCtrl> rows[] = {
+        // ---- occupy --------------------------------------------------
+        {FR, kOccupy, D::Handler, &SeqDirCtrl::onOccupy, "onOccupy", 1,
+         {{OC, 0}}, "grant the module to the requester immediately"},
+        {OC, kOccupy, D::Handler, &SeqDirCtrl::onOccupy, "onOccupy", 1,
+         {{OC, 0}}, "taken: the requester joins the FIFO queue"},
+        {PB, kOccupy, D::Handler, &SeqDirCtrl::onOccupy, "onOccupy", 1,
+         {{PB, 0}}, "taken: the requester joins the FIFO queue"},
+
+        // ---- occupy_cancel -------------------------------------------
+        {OC, kOccupyCancel, D::Handler, &SeqDirCtrl::onOccupyCancel,
+         "onOccupyCancel", 2, {{FR, 0}, {OC, 0}},
+         "a canceller that occupies releases (granting the next waiter); "
+         "a queued one just leaves the queue"},
+        {PB, kOccupyCancel, D::Handler, &SeqDirCtrl::onOccupyCancel,
+         "onOccupyCancel", 3, {{PB, 0}, {FR, 0}, {OC, 0}},
+         "normally a queued canceller leaving; a cancelling occupant "
+         "abandons its own publication"},
+        {FR, kOccupyCancel, D::Unreachable, nullptr, nullptr, 1, {{FR, 0}},
+         "the FIFO channel delivers the occupy first, and only this "
+         "cancel can release the resulting hold or queue slot"},
+
+        // ---- commit --------------------------------------------------
+        {OC, kSeqCommit, D::Handler, &SeqDirCtrl::onCommit, "onCommit", 2,
+         {{OC, 0}, {PB, 0}},
+         "publish the occupant's writes; no sharers to invalidate means "
+         "an immediate done"},
+        {FR, kSeqCommit, D::Unreachable, nullptr, nullptr, 1, {{FR, 0}},
+         "only the occupant commits, and it holds the module until its "
+         "release/cancel"},
+        {PB, kSeqCommit, D::Unreachable, nullptr, nullptr, 1, {{PB, 0}},
+         "one commit per occupancy"},
+
+        // ---- bulk_inv_ack --------------------------------------------
+        {PB, kSeqBulkInvAck, D::Handler, &SeqDirCtrl::onInvAck, "onInvAck",
+         2, {{PB, 0}, {OC, 0}},
+         "collect sharer acks; the last one completes the publication"},
+        {FR, kSeqBulkInvAck, D::Unreachable, nullptr, nullptr, 1,
+         {{FR, 0}}, "acks only exist while a publication is active"},
+        {OC, kSeqBulkInvAck, D::Unreachable, nullptr, nullptr, 1,
+         {{OC, 0}}, "acks only exist while a publication is active"},
+
+        // ---- release -------------------------------------------------
+        {OC, kSeqRelease, D::Handler, &SeqDirCtrl::onRelease, "onRelease",
+         2, {{FR, 0}, {OC, 0}},
+         "the occupant is done everywhere; grant the next waiter"},
+        {FR, kSeqRelease, D::Unreachable, nullptr, nullptr, 1, {{FR, 0}},
+         "only the occupant releases"},
+        {PB, kSeqRelease, D::Unreachable, nullptr, nullptr, 1, {{PB, 0}},
+         "the committer releases only after every dir_done, and this "
+         "module's done is sent when its publication completes"},
+    };
+
+    static const DispatchTable<SeqDirCtrl> table(
+        "seq", "dir", state_names, std::size(state_names), kinds,
+        kind_names, std::size(kinds), /*num_real_kinds=*/5, rows,
+        std::size(rows), ConflictPolicy::Queue,
+        /*ascending_traversal=*/true);
+    return table;
+}
+
+const DispatchTable<SeqProcCtrl>&
+seqProcDispatch()
+{
+    using D = Disposition;
+    constexpr auto ID = std::uint8_t(SeqProcState::Idle);
+    constexpr auto OC = std::uint8_t(SeqProcState::Occupying);
+    constexpr auto PB = std::uint8_t(SeqProcState::Publishing);
+
+    static const char* const state_names[] = {
+        "Idle", "Occupying", "Publishing",
+    };
+    static const std::uint16_t kinds[] = {
+        kOccupyGrant, kSeqDirDone, kSeqBulkInv,
+    };
+    static const char* const kind_names[] = {
+        "occupy_grant", "dir_done", "bulk_inv",
+    };
+
+    static const TransitionRow<SeqProcCtrl> rows[] = {
+        // ---- occupy_grant --------------------------------------------
+        {OC, kOccupyGrant, D::Handler, &SeqProcCtrl::onOccupyGrant,
+         "onOccupyGrant", 3, {{OC, 0}, {PB, 0}, {ID, 0}},
+         "one more member held: occupy the next in ascending order; the "
+         "last grant starts publication (or finishes a write-less chunk)"},
+        {ID, kOccupyGrant, D::Handler, &SeqProcCtrl::onOccupyGrant,
+         "onOccupyGrant", 1, {{ID, 0}},
+         "stale: cancelled meanwhile; the cancel releases the grant"},
+        {PB, kOccupyGrant, D::Handler, &SeqProcCtrl::onOccupyGrant,
+         "onOccupyGrant", 1, {{PB, 0}},
+         "stale id only: the current attempt's grants were all consumed "
+         "while occupying"},
+
+        // ---- dir_done ------------------------------------------------
+        {PB, kSeqDirDone, D::Handler, &SeqProcCtrl::onDirDone, "onDirDone",
+         3, {{PB, 0}, {ID, 0}, {OC, 0}},
+         "a write dir finished publishing; the last done releases every "
+         "member and commits the chunk — and the core may start the next "
+         "chunk's occupation synchronously"},
+        {ID, kSeqDirDone, D::Handler, &SeqProcCtrl::onDirDone, "onDirDone",
+         1, {{ID, 0}},
+         "stale: from an attempt cancelled after the dir published"},
+        {OC, kSeqDirDone, D::Handler, &SeqProcCtrl::onDirDone, "onDirDone",
+         1, {{OC, 0}},
+         "stale id only: the current attempt publishes only once fully "
+         "occupied"},
+
+        // ---- bulk_inv ------------------------------------------------
+        {ID, kSeqBulkInv, D::Handler, &SeqProcCtrl::onBulkInv, "onBulkInv",
+         1, {{ID, 0}}, "apply the invalidation and ack"},
+        {OC, kSeqBulkInv, D::Handler, &SeqProcCtrl::onBulkInv, "onBulkInv",
+         2, {{OC, 0}, {ID, 0}},
+         "apply; squashing the partially-occupied chunk cancels its "
+         "occupations (Section 2.1 serialization, no deadlock: ascending "
+         "order)"},
+        {PB, kSeqBulkInv, D::Handler, &SeqProcCtrl::onBulkInv, "onBulkInv",
+         2, {{PB, 0}, {ID, 0}},
+         "apply; the fully-occupied chunk is exempt from aliasing "
+         "squashes, so in practice the publication survives"},
+    };
+
+    // Conflict metadata lives on the directory table: occupancy queueing
+    // is a directory-side behaviour, and declaring it twice would make
+    // the group-formation audit double-count the same policy.
+    static const DispatchTable<SeqProcCtrl> table(
+        "seq", "proc", state_names, std::size(state_names), kinds,
+        kind_names, std::size(kinds), /*num_real_kinds=*/3, rows,
+        std::size(rows));
+    return table;
 }
 
 } // namespace sq

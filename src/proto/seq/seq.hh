@@ -20,6 +20,7 @@
 
 #include "mem/directory.hh"
 #include "proto/commit_protocol.hh"
+#include "proto/dispatch.hh"
 #include "sig/signature.hh"
 
 namespace sbulk
@@ -88,6 +89,18 @@ struct SeqBulkInvMsg : Message
     {}
 };
 
+/**
+ * Abstract state of a SEQ directory module — the whole module, not a
+ * per-commit subject: SEQ's directory *is* a mutex, so its dispatch axis
+ * is the mutex state.
+ */
+enum class SeqDirState : std::uint8_t
+{
+    Free,       ///< no occupant (and therefore an empty queue)
+    Occupied,   ///< an occupant holds the module; no publication active
+    Publishing, ///< the occupant's writes are being invalidated
+};
+
 /** SEQ per-tile directory controller: a mutex with a FIFO queue. */
 class SeqDirCtrl : public DirProtocol
 {
@@ -104,7 +117,23 @@ class SeqDirCtrl : public DirProtocol
     bool occupied() const { return _occupant.has_value(); }
     std::size_t queueLength() const { return _queue.size(); }
 
+    /** Abstract dispatch state (derived from _occupant/_active). */
+    SeqDirState dirState() const
+    {
+        if (!_occupant)
+            return SeqDirState::Free;
+        return _active ? SeqDirState::Publishing : SeqDirState::Occupied;
+    }
+
   private:
+    friend const DispatchTable<SeqDirCtrl>& seqDirDispatch();
+
+    void onOccupy(MessagePtr msg);
+    void onOccupyCancel(MessagePtr msg);
+    void onCommit(MessagePtr msg);
+    void onInvAck(MessagePtr msg);
+    void onRelease(MessagePtr msg);
+
     struct Waiting
     {
         CommitId id;
@@ -131,6 +160,14 @@ class SeqDirCtrl : public DirProtocol
     std::optional<ActiveCommit> _active;
 };
 
+/** Abstract processor-side SEQ commit state (dispatch-table axis). */
+enum class SeqProcState : std::uint8_t
+{
+    Idle,       ///< no commit in flight
+    Occupying,  ///< walking the members in ascending order
+    Publishing, ///< all members held; write publication draining
+};
+
 /** SEQ per-core controller. */
 class SeqProcCtrl : public ProcProtocol
 {
@@ -143,7 +180,21 @@ class SeqProcCtrl : public ProcProtocol
     void abortCommit(ChunkTag tag) override;
     void handleMessage(MessagePtr msg) override;
 
+    /** Abstract dispatch state (derived from _chunk/_allOccupied). */
+    SeqProcState procState() const
+    {
+        if (_chunk == nullptr)
+            return SeqProcState::Idle;
+        return _allOccupied ? SeqProcState::Publishing
+                            : SeqProcState::Occupying;
+    }
+
   private:
+    friend const DispatchTable<SeqProcCtrl>& seqProcDispatch();
+
+    void onOccupyGrant(MessagePtr msg);
+    void onDirDone(MessagePtr msg);
+    void onBulkInv(MessagePtr msg);
     void occupyNext();
     void onAllOccupied();
     void finish();
@@ -161,6 +212,10 @@ class SeqProcCtrl : public ProcProtocol
     std::uint32_t _donesPending = 0;
     bool _allOccupied = false;
 };
+
+/** Declared state machines (shared, static). */
+const DispatchTable<SeqDirCtrl>& seqDirDispatch();
+const DispatchTable<SeqProcCtrl>& seqProcDispatch();
 
 } // namespace sq
 } // namespace sbulk

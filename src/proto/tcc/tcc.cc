@@ -16,6 +16,41 @@ keyOf(const CommitId& id)
 }
 } // namespace
 
+// ------------------------------------------------------------- TID vendor
+
+void
+TccTidVendor::handleMessage(MessagePtr msg)
+{
+    tccVendorDispatch().run(
+        *this, [] { return std::uint8_t(0); }, std::move(msg));
+}
+
+void
+TccTidVendor::onTidRequest(MessagePtr mp)
+{
+    const auto& req = static_cast<const TidRequestMsg&>(*mp);
+    _ctx.net.send(
+        std::make_unique<TidReplyMsg>(_self, req.src, req.id, _nextTid++));
+}
+
+const DispatchTable<TccTidVendor>&
+tccVendorDispatch()
+{
+    static const char* const state_names[] = {"Ready"};
+    static const std::uint16_t kinds[] = {kTidRequest};
+    static const char* const kind_names[] = {"tid_request"};
+    static const TransitionRow<TccTidVendor> rows[] = {
+        {0, kTidRequest, Disposition::Handler, &TccTidVendor::onTidRequest,
+         "onTidRequest", 1, {{0, 0}},
+         "vend the next TID (the global commit order)"},
+    };
+    static const DispatchTable<TccTidVendor> table(
+        "tcc", "agent", state_names, std::size(state_names), kinds,
+        kind_names, std::size(kinds), /*num_real_kinds=*/1, rows,
+        std::size(rows));
+    return table;
+}
+
 // -------------------------------------------------------------- directory
 
 TccDirCtrl::TccDirCtrl(NodeId self, ProtoContext ctx, Directory& dir)
@@ -30,72 +65,121 @@ TccDirCtrl::loadBlocked(Addr line) const
     return _lockedLines.count(line) > 0;
 }
 
+namespace
+{
+
+/** The TID a directory message is about (inv acks belong to the front). */
+Tid
+dirSubjectOf(const Message& msg, Tid next_tid)
+{
+    switch (msg.kind) {
+      case kProbe:
+        return static_cast<const ProbeMsg&>(msg).tid;
+      case kSkip:
+        return static_cast<const SkipMsg&>(msg).tid;
+      case kMark:
+        return static_cast<const MarkMsg&>(msg).tid;
+      case kCommitGo:
+        return static_cast<const CommitGoMsg&>(msg).tid;
+      case kTccAbort:
+        return static_cast<const TccAbortMsg&>(msg).tid;
+      case kTccInvAck:
+        return next_tid;
+    }
+    SBULK_PANIC("no TID subject for message kind %u", msg.kind);
+}
+
+} // namespace
+
 void
 TccDirCtrl::handleMessage(MessagePtr msg)
 {
-    switch (msg->kind) {
-      case kProbe: {
-        const auto& probe = static_cast<const ProbeMsg&>(*msg);
-        PendingTx& tx = _pending[probe.tid];
-        tx.id = probe.id;
-        tx.proc = probe.src;
-        tx.probed = true;
-        tx.marksExpected = probe.marksExpected;
-        if (probe.tid > _nextTid && !tx.counted) {
-            // Blocked behind older transactions at this module.
-            tx.counted = true;
-            _ctx.metrics.blocked.block(keyOf(probe.id));
-        }
-        break;
-      }
-      case kSkip: {
-        const auto& skip = static_cast<const SkipMsg&>(*msg);
-        _pending[skip.tid].skip = true;
-        break;
-      }
-      case kMark: {
-        const auto& mark = static_cast<const MarkMsg&>(*msg);
-        _pending[mark.tid].marks.push_back(mark.line);
-        break;
-      }
-      case kCommitGo: {
-        const auto& go = static_cast<const CommitGoMsg&>(*msg);
-        if (go.tid < _nextTid)
-            break; // raced with an abort that already advanced us
-        PendingTx& tx = _pending[go.tid];
-        tx.goReceived = true;
-        break; // fall through to pump()
-      }
-      case kTccAbort: {
-        const auto& abort = static_cast<const TccAbortMsg&>(*msg);
-        if (abort.tid < _nextTid)
-            break; // raced with completion here; nothing to do
-        PendingTx& tx = _pending[abort.tid];
-        if (tx.processing)
-            break; // already committing here; let it finish
-        tx.aborted = true;
-        if (tx.counted) {
-            tx.counted = false;
-            _ctx.metrics.blocked.unblock(keyOf(abort.id));
-        }
-        break;
-      }
-      case kTccInvAck: {
-        const auto& ack = static_cast<const TccInvAckMsg&>(*msg);
-        // The ack belongs to the tx currently processing at _nextTid.
-        auto it = _pending.find(_nextTid);
-        SBULK_ASSERT(it != _pending.end() && it->second.processing &&
-                     it->second.id == ack.id,
-                     "TCC inv ack out of order");
-        if (--it->second.acksPending == 0)
-            finishProcessing(_nextTid);
-        return; // pump already ran inside finishProcessing
-      }
-      default:
-        SBULK_PANIC("TccDirCtrl %u: unexpected message kind %u", _self,
-                    msg->kind);
+    const Tid tid = dirSubjectOf(*msg, _nextTid);
+    tccDirDispatch().run(
+        *this, [this, tid] { return std::uint8_t(dirStateOf(tid)); },
+        std::move(msg));
+}
+
+TccDirState
+TccDirCtrl::dirStateOf(Tid tid) const
+{
+    if (tid < _nextTid)
+        return TccDirState::Retired;
+    auto it = _pending.find(tid);
+    if (it == _pending.end())
+        return TccDirState::Future;
+    const PendingTx& tx = it->second;
+    if (tx.processing)
+        return TccDirState::Processing;
+    if (tx.responded)
+        return TccDirState::Held;
+    return TccDirState::Announced;
+}
+
+void
+TccDirCtrl::onProbe(MessagePtr mp)
+{
+    const auto& probe = static_cast<const ProbeMsg&>(*mp);
+    PendingTx& tx = _pending[probe.tid];
+    tx.id = probe.id;
+    tx.proc = probe.src;
+    tx.probed = true;
+    tx.marksExpected = probe.marksExpected;
+    if (probe.tid > _nextTid && !tx.counted) {
+        // Blocked behind older transactions at this module.
+        tx.counted = true;
+        _ctx.metrics.blocked.block(keyOf(probe.id));
     }
     pump();
+}
+
+void
+TccDirCtrl::onSkip(MessagePtr mp)
+{
+    const auto& skip = static_cast<const SkipMsg&>(*mp);
+    _pending[skip.tid].skip = true;
+    pump();
+}
+
+void
+TccDirCtrl::onMark(MessagePtr mp)
+{
+    const auto& mark = static_cast<const MarkMsg&>(*mp);
+    _pending[mark.tid].marks.push_back(mark.line);
+    pump();
+}
+
+void
+TccDirCtrl::onCommitGo(MessagePtr mp)
+{
+    const auto& go = static_cast<const CommitGoMsg&>(*mp);
+    _pending[go.tid].goReceived = true;
+    pump();
+}
+
+void
+TccDirCtrl::onAbort(MessagePtr mp)
+{
+    const auto& abort = static_cast<const TccAbortMsg&>(*mp);
+    PendingTx& tx = _pending[abort.tid];
+    tx.aborted = true;
+    if (tx.counted) {
+        tx.counted = false;
+        _ctx.metrics.blocked.unblock(keyOf(abort.id));
+    }
+    pump();
+}
+
+void
+TccDirCtrl::onInvAck(MessagePtr mp)
+{
+    const auto& ack = static_cast<const TccInvAckMsg&>(*mp);
+    // The ack belongs to the tx currently processing at _nextTid.
+    auto it = _pending.find(_nextTid);
+    SBULK_ASSERT(it != _pending.end() && it->second.id == ack.id,
+                 "TCC inv ack out of order");
+    if (--it->second.acksPending == 0)
+        finishProcessing(_nextTid); // pumps internally
 }
 
 void
@@ -215,8 +299,9 @@ TccProcCtrl::startCommit(Chunk& chunk)
 }
 
 void
-TccProcCtrl::onTidReply(const TidReplyMsg& msg)
+TccProcCtrl::onTidReply(MessagePtr mp)
 {
+    const auto& msg = static_cast<const TidReplyMsg&>(*mp);
     if (_deadBeforeTid.erase(keyOf(msg.id)) > 0) {
         // The chunk squashed while the TID was in flight: plug the hole.
         for (NodeId d = 0; d < _numDirs; ++d)
@@ -302,63 +387,274 @@ TccProcCtrl::abortCommit(ChunkTag tag)
 void
 TccProcCtrl::handleMessage(MessagePtr msg)
 {
-    switch (msg->kind) {
-      case kTidReply:
-        onTidReply(static_cast<const TidReplyMsg&>(*msg));
-        break;
-      case kProbeResp: {
-        const auto& resp = static_cast<const ProbeRespMsg&>(*msg);
-        if (!_chunk || resp.id != _current)
-            break; // a held module will be released by our abort
-        SBULK_ASSERT(_respsPending > 0);
-        if (--_respsPending == 0) {
-            // Every module is simultaneously at our TID: commit.
-            for (NodeId d = 0; d < 64; ++d) {
-                if (_memberVec & (std::uint64_t(1) << d)) {
-                    _ctx.net.send(std::make_unique<CommitGoMsg>(
-                        _self, d, _current, _tid));
-                }
+    tccProcDispatch().run(
+        *this, [this] { return std::uint8_t(procState()); },
+        std::move(msg));
+}
+
+void
+TccProcCtrl::onProbeResp(MessagePtr mp)
+{
+    const auto& resp = static_cast<const ProbeRespMsg&>(*mp);
+    if (!_chunk || resp.id != _current)
+        return; // a held module will be released by our abort
+    SBULK_ASSERT(_respsPending > 0);
+    if (--_respsPending == 0) {
+        // Every module is simultaneously at our TID: commit.
+        for (NodeId d = 0; d < 64; ++d) {
+            if (_memberVec & (std::uint64_t(1) << d)) {
+                _ctx.net.send(std::make_unique<CommitGoMsg>(_self, d,
+                                                            _current, _tid));
             }
         }
-        break;
-      }
-      case kTccDirDone: {
-        const auto& done = static_cast<const TccDirDoneMsg&>(*msg);
-        if (!_chunk || done.id != _current)
-            break; // from an attempt aborted after the dir committed
-        SBULK_ASSERT(_donesPending > 0);
-        if (--_donesPending == 0) {
-            Chunk* chunk = _chunk;
-            _chunk = nullptr;
-            _tid = 0;
-            --_ctx.metrics.inflight;
-            if (_ctx.observer)
-                _ctx.observer->onCommitSuccess(_self, done.id);
-            _ctx.metrics.blocked.clear(keyOf(_current));
-            _ctx.metrics.recordCommit(*chunk, _ctx.eq.now());
-            _core->chunkCommitted(chunk->tag());
-        }
-        break;
-      }
-      case kTccInv: {
-        auto& inv = static_cast<TccInvMsg&>(*msg);
-        const InvOutcome outcome =
-            _core->applyLineInv(inv.lines, inv.id.tag);
-        if (outcome.squashedAny) {
-            _ctx.metrics.squashesTrueConflict.inc();
-            if (outcome.squashedCommitting && _chunk &&
-                outcome.committingTag == _current.tag) {
-                abortInFlight();
-            }
-        }
-        _ctx.net.send(std::make_unique<TccInvAckMsg>(_self, inv.ackTo,
-                                                     inv.id));
-        break;
-      }
-      default:
-        SBULK_PANIC("TccProcCtrl %u: unexpected message kind %u", _self,
-                    msg->kind);
     }
+}
+
+void
+TccProcCtrl::onDirDone(MessagePtr mp)
+{
+    const auto& done = static_cast<const TccDirDoneMsg&>(*mp);
+    if (!_chunk || done.id != _current)
+        return; // from an attempt aborted after the dir committed
+    SBULK_ASSERT(_donesPending > 0);
+    if (--_donesPending == 0) {
+        Chunk* chunk = _chunk;
+        _chunk = nullptr;
+        _tid = 0;
+        --_ctx.metrics.inflight;
+        if (_ctx.observer)
+            _ctx.observer->onCommitSuccess(_self, done.id);
+        _ctx.metrics.blocked.clear(keyOf(done.id));
+        _ctx.metrics.recordCommit(*chunk, _ctx.eq.now());
+        _core->chunkCommitted(chunk->tag());
+    }
+}
+
+void
+TccProcCtrl::onInv(MessagePtr mp)
+{
+    auto& inv = static_cast<TccInvMsg&>(*mp);
+    const InvOutcome outcome = _core->applyLineInv(inv.lines, inv.id.tag);
+    if (outcome.squashedAny) {
+        _ctx.metrics.squashesTrueConflict.inc();
+        if (outcome.squashedCommitting && _chunk &&
+            outcome.committingTag == _current.tag) {
+            abortInFlight();
+        }
+    }
+    _ctx.net.send(std::make_unique<TccInvAckMsg>(_self, inv.ackTo, inv.id));
+}
+
+// ---------------------------------------------------- declared machines
+
+const DispatchTable<TccDirCtrl>&
+tccDirDispatch()
+{
+    using D = Disposition;
+    constexpr auto FU = std::uint8_t(TccDirState::Future);
+    constexpr auto AN = std::uint8_t(TccDirState::Announced);
+    constexpr auto HE = std::uint8_t(TccDirState::Held);
+    constexpr auto PR = std::uint8_t(TccDirState::Processing);
+    constexpr auto RE = std::uint8_t(TccDirState::Retired);
+
+    static const char* const state_names[] = {
+        "Future", "Announced", "Held", "Processing", "Retired",
+    };
+    static const std::uint16_t kinds[] = {
+        kProbe, kSkip, kMark, kCommitGo, kTccAbort, kTccInvAck,
+    };
+    static const char* const kind_names[] = {
+        "probe", "skip", "mark", "commit_go", "abort", "inv_ack",
+    };
+
+    // FIFO channels carry probe -> marks -> (commit_go | abort) in issue
+    // order from one processor, which is what makes the Future cells below
+    // unreachable for everything but probe and skip: the pump cannot
+    // advance _nextTid past a TID it has never heard of, and no message
+    // about a TID precedes its probe/skip.
+    static const TransitionRow<TccDirCtrl> rows[] = {
+        // ---- probe ---------------------------------------------------
+        {FU, kProbe, D::Handler, &TccDirCtrl::onProbe, "onProbe", 2,
+         {{AN, 0}, {HE, 0}},
+         "first word of this TID; answered immediately when it is already "
+         "the module's turn and needs no marks"},
+        {AN, kProbe, D::Unreachable, nullptr, nullptr, 1, {{AN, 0}},
+         "one probe per TID per module (skips and probes are disjoint)"},
+        {HE, kProbe, D::Unreachable, nullptr, nullptr, 1, {{HE, 0}},
+         "one probe per TID per module"},
+        {PR, kProbe, D::Unreachable, nullptr, nullptr, 1, {{PR, 0}},
+         "one probe per TID per module"},
+        {RE, kProbe, D::Unreachable, nullptr, nullptr, 1, {{RE, 0}},
+         "the pump cannot retire a TID before its probe/skip arrives"},
+
+        // ---- skip ----------------------------------------------------
+        {FU, kSkip, D::Handler, &TccDirCtrl::onSkip, "onSkip", 2,
+         {{AN, 0}, {RE, 0}},
+         "non-member (or dead-before-TID) hole plug; retires on the spot "
+         "when the TID is at the front"},
+        {AN, kSkip, D::Unreachable, nullptr, nullptr, 1, {{AN, 0}},
+         "one skip per TID per module, disjoint from probes"},
+        {HE, kSkip, D::Unreachable, nullptr, nullptr, 1, {{HE, 0}},
+         "one skip per TID per module, disjoint from probes"},
+        {PR, kSkip, D::Unreachable, nullptr, nullptr, 1, {{PR, 0}},
+         "one skip per TID per module, disjoint from probes"},
+        {RE, kSkip, D::Unreachable, nullptr, nullptr, 1, {{RE, 0}},
+         "a skipped TID retires exactly once"},
+
+        // ---- mark ----------------------------------------------------
+        {AN, kMark, D::Handler, &TccDirCtrl::onMark, "onMark", 2,
+         {{AN, 0}, {HE, 0}},
+         "collect the written line; the last expected mark lets the pump "
+         "answer the probe"},
+        {FU, kMark, D::Unreachable, nullptr, nullptr, 1, {{FU, 0}},
+         "marks follow the probe on the same FIFO channel"},
+        {HE, kMark, D::Unreachable, nullptr, nullptr, 1, {{HE, 0}},
+         "the probe is answered only once every expected mark arrived"},
+        {PR, kMark, D::Unreachable, nullptr, nullptr, 1, {{PR, 0}},
+         "the probe is answered only once every expected mark arrived"},
+        {RE, kMark, D::Unreachable, nullptr, nullptr, 1, {{RE, 0}},
+         "marks precede the commit_go/abort that retires the TID (FIFO)"},
+
+        // ---- commit_go -----------------------------------------------
+        {HE, kCommitGo, D::Handler, &TccDirCtrl::onCommitGo, "onCommitGo",
+         2, {{PR, 0}, {RE, 0}},
+         "our turn everywhere: apply the marked writes; retires "
+         "immediately when no sharer needs invalidating"},
+        {RE, kCommitGo, D::Drop, nullptr, nullptr, 1, {{RE, 0}},
+         "raced with an abort that already advanced the pump"},
+        {FU, kCommitGo, D::Unreachable, nullptr, nullptr, 1, {{FU, 0}},
+         "commit_go follows the probe on the same FIFO channel"},
+        {AN, kCommitGo, D::Unreachable, nullptr, nullptr, 1, {{AN, 0}},
+         "the processor sends commit_go only after this module's "
+         "probe_resp"},
+        {PR, kCommitGo, D::Unreachable, nullptr, nullptr, 1, {{PR, 0}},
+         "one commit_go per TID per module"},
+
+        // ---- abort ---------------------------------------------------
+        {AN, kTccAbort, D::Handler, &TccDirCtrl::onAbort, "onAbort", 2,
+         {{AN, 0}, {RE, 0}},
+         "treat the TID as a skip; retires on the spot at the front"},
+        {HE, kTccAbort, D::Handler, &TccDirCtrl::onAbort, "onAbort", 1,
+         {{RE, 0}},
+         "the held module releases (a held TID is always the front)"},
+        {PR, kTccAbort, D::Drop, nullptr, nullptr, 1, {{PR, 0}},
+         "already committing here; let it finish (the committer only "
+         "aborts after a squash, which cannot undo applied writes)"},
+        {RE, kTccAbort, D::Drop, nullptr, nullptr, 1, {{RE, 0}},
+         "raced with completion here; nothing to do"},
+        {FU, kTccAbort, D::Unreachable, nullptr, nullptr, 1, {{FU, 0}},
+         "abort follows the probe on the same FIFO channel"},
+
+        // ---- inv_ack (subject: the front TID) ------------------------
+        {PR, kTccInvAck, D::Handler, &TccDirCtrl::onInvAck, "onInvAck", 2,
+         {{PR, 0}, {RE, 0}},
+         "collect sharer acks; the last one finishes the front TID"},
+        {FU, kTccInvAck, D::Unreachable, nullptr, nullptr, 1, {{FU, 0}},
+         "acks only exist while the front TID is processing"},
+        {AN, kTccInvAck, D::Unreachable, nullptr, nullptr, 1, {{AN, 0}},
+         "acks only exist while the front TID is processing"},
+        {HE, kTccInvAck, D::Unreachable, nullptr, nullptr, 1, {{HE, 0}},
+         "acks only exist while the front TID is processing"},
+        {RE, kTccInvAck, D::Unreachable, nullptr, nullptr, 1, {{RE, 0}},
+         "the front TID retires only after its last ack"},
+    };
+
+    static const DispatchTable<TccDirCtrl> table(
+        "tcc", "dir", state_names, std::size(state_names), kinds,
+        kind_names, std::size(kinds), /*num_real_kinds=*/6, rows,
+        std::size(rows));
+    return table;
+}
+
+const DispatchTable<TccProcCtrl>&
+tccProcDispatch()
+{
+    using D = Disposition;
+    constexpr auto ID = std::uint8_t(TccProcState::Idle);
+    constexpr auto AT = std::uint8_t(TccProcState::AwaitTid);
+    constexpr auto PB = std::uint8_t(TccProcState::Probing);
+    constexpr auto DR = std::uint8_t(TccProcState::Draining);
+
+    static const char* const state_names[] = {
+        "Idle", "AwaitTid", "Probing", "Draining",
+    };
+    static const std::uint16_t kinds[] = {
+        kTidReply, kProbeResp, kTccDirDone, kTccInv,
+    };
+    static const char* const kind_names[] = {
+        "tid_reply", "probe_resp", "dir_done", "inv",
+    };
+
+    static const TransitionRow<TccProcCtrl> rows[] = {
+        // ---- tid_reply -----------------------------------------------
+        {ID, kTidReply, D::Handler, &TccProcCtrl::onTidReply, "onTidReply",
+         1, {{ID, 0}},
+         "reply for a chunk squashed before its TID arrived: plug the "
+         "hole with a skip broadcast"},
+        {AT, kTidReply, D::Handler, &TccProcCtrl::onTidReply, "onTidReply",
+         3, {{PB, 0}, {ID, 0}, {AT, 0}},
+         "TID granted: probe/skip/mark fan-out (a chunk touching no "
+         "directory commits on the spot); an earlier dead chunk's reply "
+         "only plugs its hole"},
+        {PB, kTidReply, D::Unreachable, nullptr, nullptr, 1, {{PB, 0}},
+         "the vendor answers requests in order on a FIFO channel: the "
+         "current chunk's reply was the latest"},
+        {DR, kTidReply, D::Unreachable, nullptr, nullptr, 1, {{DR, 0}},
+         "the vendor answers requests in order on a FIFO channel: the "
+         "current chunk's reply was the latest"},
+
+        // ---- probe_resp ----------------------------------------------
+        {PB, kProbeResp, D::Handler, &TccProcCtrl::onProbeResp,
+         "onProbeResp", 2, {{PB, 0}, {DR, 0}},
+         "a module reached our TID; the last response broadcasts "
+         "commit_go"},
+        {ID, kProbeResp, D::Handler, &TccProcCtrl::onProbeResp,
+         "onProbeResp", 1, {{ID, 0}},
+         "stale: a module held for an attempt our abort releases"},
+        {AT, kProbeResp, D::Handler, &TccProcCtrl::onProbeResp,
+         "onProbeResp", 1, {{AT, 0}},
+         "stale: a module held for an attempt our abort releases"},
+        {DR, kProbeResp, D::Handler, &TccProcCtrl::onProbeResp,
+         "onProbeResp", 1, {{DR, 0}},
+         "stale: a module held for an attempt our abort releases"},
+
+        // ---- dir_done ------------------------------------------------
+        {DR, kTccDirDone, D::Handler, &TccProcCtrl::onDirDone, "onDirDone",
+         3, {{DR, 0}, {ID, 0}, {AT, 0}},
+         "a module applied our writes; the last done commits the chunk — "
+         "and the core may request the next chunk's TID synchronously"},
+        {ID, kTccDirDone, D::Handler, &TccProcCtrl::onDirDone, "onDirDone",
+         1, {{ID, 0}},
+         "stale: from an attempt aborted after the module committed"},
+        {AT, kTccDirDone, D::Handler, &TccProcCtrl::onDirDone, "onDirDone",
+         1, {{AT, 0}},
+         "stale: from an attempt aborted after the module committed"},
+        {PB, kTccDirDone, D::Handler, &TccProcCtrl::onDirDone, "onDirDone",
+         1, {{PB, 0}},
+         "stale: dones for the current attempt only follow our commit_go"},
+
+        // ---- inv -----------------------------------------------------
+        {ID, kTccInv, D::Handler, &TccProcCtrl::onInv, "onInv", 1,
+         {{ID, 0}}, "apply exact line invalidations and ack"},
+        {AT, kTccInv, D::Handler, &TccProcCtrl::onInv, "onInv", 2,
+         {{AT, 0}, {ID, 0}},
+         "apply; squashing the committing chunk aborts it (the TID hole "
+         "is plugged when the reply arrives)"},
+        {PB, kTccInv, D::Handler, &TccProcCtrl::onInv, "onInv", 2,
+         {{PB, 0}, {ID, 0}},
+         "apply; squashing the committing chunk aborts the probed "
+         "modules"},
+        {DR, kTccInv, D::Handler, &TccProcCtrl::onInv, "onInv", 2,
+         {{DR, 0}, {ID, 0}},
+         "apply; a squash mid-drain aborts (modules not yet done treat "
+         "our TID as a skip)"},
+    };
+
+    static const DispatchTable<TccProcCtrl> table(
+        "tcc", "proc", state_names, std::size(state_names), kinds,
+        kind_names, std::size(kinds), /*num_real_kinds=*/4, rows,
+        std::size(rows));
+    return table;
 }
 
 } // namespace tcc

@@ -29,6 +29,7 @@
 
 #include "mem/directory.hh"
 #include "proto/commit_protocol.hh"
+#include "proto/dispatch.hh"
 
 namespace sbulk
 {
@@ -203,22 +204,34 @@ class TccTidVendor : public CentralAgent
   public:
     TccTidVendor(NodeId self, ProtoContext ctx) : _self(self), _ctx(ctx) {}
 
-    void
-    handleMessage(MessagePtr msg) override
-    {
-        SBULK_ASSERT(msg->kind == kTidRequest);
-        const auto& req = static_cast<const TidRequestMsg&>(*msg);
-        _ctx.net.send(std::make_unique<TidReplyMsg>(_self, req.src, req.id,
-                                                    _nextTid++));
-    }
+    void handleMessage(MessagePtr msg) override;
 
     NodeId nodeId() const override { return _self; }
     Tid issued() const { return _nextTid - 1; }
 
   private:
+    friend const DispatchTable<TccTidVendor>& tccVendorDispatch();
+
+    void onTidRequest(MessagePtr msg);
+
     NodeId _self;
     ProtoContext _ctx;
     Tid _nextTid = 1;
+};
+
+/**
+ * Abstract per-TID state at a TCC directory module. The in-order pump
+ * means every message is about exactly one TID, whose lifecycle is
+ * Future -> Announced -> Held -> Processing -> Retired (skips and aborts
+ * shortcut straight to Retired when the TID reaches the front).
+ */
+enum class TccDirState : std::uint8_t
+{
+    Future,     ///< nothing heard about this TID yet
+    Announced,  ///< probe/skip/mark/abort seen; probe not yet answered
+    Held,       ///< probe answered: module held until commit-go (or abort)
+    Processing, ///< writes applied, invalidation acks outstanding
+    Retired,    ///< the pump advanced past this TID
 };
 
 /**
@@ -239,7 +252,19 @@ class TccDirCtrl : public DirProtocol
     Tid nextTid() const { return _nextTid; }
     std::size_t pendingTids() const { return _pending.size(); }
 
+    /** Abstract dispatch state of @p tid (find-only). */
+    TccDirState dirStateOf(Tid tid) const;
+
   private:
+    friend const DispatchTable<TccDirCtrl>& tccDirDispatch();
+
+    void onProbe(MessagePtr msg);
+    void onSkip(MessagePtr msg);
+    void onMark(MessagePtr msg);
+    void onCommitGo(MessagePtr msg);
+    void onAbort(MessagePtr msg);
+    void onInvAck(MessagePtr msg);
+
     struct PendingTx
     {
         CommitId id{};
@@ -278,6 +303,15 @@ class TccDirCtrl : public DirProtocol
     std::unordered_set<Addr> _lockedLines;
 };
 
+/** Abstract processor-side TCC commit state (dispatch-table axis). */
+enum class TccProcState : std::uint8_t
+{
+    Idle,     ///< no commit in flight
+    AwaitTid, ///< TID requested, reply pending
+    Probing,  ///< probes/skips/marks out, probe responses pending
+    Draining, ///< commit-go sent, directory dones pending
+};
+
 /** TCC per-core controller. */
 class TccProcCtrl : public ProcProtocol
 {
@@ -291,8 +325,24 @@ class TccProcCtrl : public ProcProtocol
     void abortCommit(ChunkTag tag) override;
     void handleMessage(MessagePtr msg) override;
 
+    /** Abstract dispatch state (derived from _chunk/_tid/_respsPending). */
+    TccProcState procState() const
+    {
+        if (_chunk == nullptr)
+            return TccProcState::Idle;
+        if (_tid == 0)
+            return TccProcState::AwaitTid;
+        return _respsPending > 0 ? TccProcState::Probing
+                                 : TccProcState::Draining;
+    }
+
   private:
-    void onTidReply(const TidReplyMsg& msg);
+    friend const DispatchTable<TccProcCtrl>& tccProcDispatch();
+
+    void onTidReply(MessagePtr msg);
+    void onProbeResp(MessagePtr msg);
+    void onDirDone(MessagePtr msg);
+    void onInv(MessagePtr msg);
     void abortInFlight();
 
     NodeId _self;
@@ -314,6 +364,11 @@ class TccProcCtrl : public ProcProtocol
      *  must still be plugged with skips. */
     std::unordered_set<std::size_t> _deadBeforeTid;
 };
+
+/** Declared state machines (shared, static). */
+const DispatchTable<TccTidVendor>& tccVendorDispatch();
+const DispatchTable<TccDirCtrl>& tccDirDispatch();
+const DispatchTable<TccProcCtrl>& tccProcDispatch();
 
 } // namespace tcc
 } // namespace sbulk

@@ -97,6 +97,10 @@ class EventFn
             _invoke = [](void* p) { (*static_cast<Fn*>(p))(); };
             _drop = nullptr;
         } else {
+            // The one owning raw new in the tree: the pointer is erased
+            // into the inline buffer, so no smart pointer can hold it.
+            // _drop is its deleter; ASan guards the pairing.
+            // NOLINTNEXTLINE(cppcoreguidelines-owning-memory)
             Fn* heap = new Fn(std::forward<F>(f));
             std::memcpy(_store, &heap, sizeof(heap));
             std::memset(_store + sizeof(heap), 0,
@@ -109,6 +113,7 @@ class EventFn
             _drop = [](void* p) {
                 Fn* fn;
                 std::memcpy(&fn, p, sizeof(fn));
+                // NOLINTNEXTLINE(cppcoreguidelines-owning-memory)
                 delete fn;
             };
         }
