@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation: cost of surviving a lossy interconnect (see ROBUSTNESS.md).
+ *
+ * Sweeps the transport drop/duplicate rate on the most commit-intensive
+ * workload and reports the makespan degradation plus every recovery
+ * counter: retransmissions, duplicate suppressions, watchdog fires, retry
+ * escalations, and the mean send-to-ack latency of recovered losses. The
+ * rate=0 row runs with the fault layer fully detached — its makespan is
+ * the budget the acceptance gate compares faulted rows against.
+ */
+
+#include "bench/common.hh"
+
+#include <cstdio>
+
+#include "fault/fault_plan.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace sbulk;
+    using namespace sbulk::bench;
+    Options opt = Options::parse(argc, argv);
+    banner("Ablation (fault injection / recovery layer)",
+           "drop+dup rate sweep on Radix @ 32p, ARQ + watchdogs armed");
+
+    const AppSpec* app = findApp(opt.onlyApp.empty() ? "Radix"
+                                                     : opt.onlyApp.c_str());
+    if (!app) {
+        std::fprintf(stderr, "unknown app '%s'\n", opt.onlyApp.c_str());
+        return 2;
+    }
+
+    std::printf("%-8s %10s %8s %8s %8s %8s %8s %10s\n", "rate",
+                "makespan", "faults", "retx", "dupdrop", "wdog", "escal",
+                "recLatMean");
+    for (double rate : {0.0, 0.001, 0.005, 0.01, 0.02, 0.05}) {
+        RunConfig cfg;
+        cfg.app = app;
+        cfg.procs = 32;
+        cfg.totalChunks = opt.chunks;
+        if (rate > 0) {
+            cfg.faults.seed = 7;
+            cfg.faults.dropRate = rate;
+            cfg.faults.dupRate = rate;
+        }
+        const RunResult r = runExperiment(cfg);
+        std::printf("%-8.3f %10llu %8llu %8llu %8llu %8llu %8llu %10.1f\n",
+                    rate, (unsigned long long)r.makespan,
+                    (unsigned long long)r.faultsInjected,
+                    (unsigned long long)r.retransmissions,
+                    (unsigned long long)r.dupsDropped,
+                    (unsigned long long)r.watchdogFires,
+                    (unsigned long long)r.retryEscalations,
+                    r.recoveryLatencyMean);
+    }
+    return 0;
+}

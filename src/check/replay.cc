@@ -1,5 +1,9 @@
 #include "check/replay.hh"
 
+#include <memory>
+
+#include "fault/liveness.hh"
+#include "fault/transport.hh"
 #include "workload/synthetic.hh"
 
 namespace sbulk
@@ -49,7 +53,24 @@ drive(const CheckConfig& cfg, Scheduler& make_scheduler)
     sys_cfg.proto.sbBreak = cfg.sbBreak;
 
     OracleSuite suite;
-    sys_cfg.observer = &suite;
+    fault::LivenessMonitor monitor;
+    ObserverChain observers{&suite};
+    const bool faulted = cfg.faults.enabled();
+    if (faulted) {
+        // Arm the recovery layer the transport-level faults are aimed at:
+        // seeded capped-exponential retry backoff, starvation escalation,
+        // and per-request watchdogs that kick the transport into
+        // retransmitting (dedup makes the kick idempotent).
+        observers.add(&monitor);
+        sys_cfg.proto.expBackoff = true;
+        sys_cfg.proto.backoffSeed = cfg.faults.seed;
+        if (cfg.faults.watchdog)
+            sys_cfg.proto.watchdogTimeout = Tick(cfg.faults.rxCap) * 2;
+    }
+    // Without faults the suite is attached directly — identical plumbing
+    // to the pre-fault checker, so unfaulted traces stay byte-identical.
+    sys_cfg.observer =
+        faulted ? static_cast<ProtocolObserver*>(&observers) : &suite;
 
     const SyntheticParams params = checkWorkload(cfg.seed);
     std::vector<std::unique_ptr<ThreadStream>> streams;
@@ -61,10 +82,22 @@ drive(const CheckConfig& cfg, Scheduler& make_scheduler)
 
     System sys(sys_cfg, std::move(streams));
     suite.setClock(&sys.eventQueue());
+    monitor.setClock(&sys.eventQueue());
 
     auto sched = make_scheduler(sys.eventQueue());
     sys.eventQueue().setSchedulePolicy(&sched);
     sys.network().setDeliveryJitter(sched.jitterFn());
+
+    std::unique_ptr<fault::FaultTransport> transport;
+    if (faulted) {
+        transport = std::make_unique<fault::FaultTransport>(
+            sys.network(), cfg.faults, /*stream_salt=*/cfg.seed);
+        sys.network().setTransport(transport.get());
+        // ARQ restores per-channel order at the receiver, so the wire may
+        // reorder; without ARQ the transport clamps delays to keep each
+        // channel FIFO and the network-level assertion stays armed.
+        sys.network().allowChannelReorder(cfg.faults.arq);
+    }
 
     // run(0) starts the cores and returns without stepping; from here the
     // checker owns the loop so deadlock is an observation, not a panic.
@@ -106,13 +139,36 @@ drive(const CheckConfig& cfg, Scheduler& make_scheduler)
                 std::to_string(cfg.tickLimit) + " ticks)",
             eq.now()});
     }
+    if (faulted) {
+        // The no-stuck-commit liveness oracle plus transport quiescence:
+        // every loss must have been repaired by the end of a drained run.
+        monitor.finalize(transport.get());
+        for (const fault::StuckCommit& s : monitor.stuck()) {
+            r.violations.push_back(Violation{"liveness", s.diagnosis,
+                                             s.since});
+        }
+        if (r.completed && !transport->quiescent()) {
+            r.violations.push_back(Violation{
+                "transport",
+                "unrecovered in-flight state after drain: " +
+                    transport->describePending(),
+                eq.now()});
+        }
+        r.faultsInjected = transport->injected().size();
+        r.retransmissions = transport->stats().retransmissions.value();
+        r.dupsDropped = transport->stats().dupsDropped.value();
+        r.watchdogFires = sys.metrics().watchdogFires.value();
+        r.stuckCommits = monitor.stuck().size();
+        r.recoveryLatencyMean = transport->stats().recoveryLatency.mean();
+    }
 
     r.trace = sched.trace();
     r.traceHash = r.trace.hash();
 
-    // Detach before the scheduler goes out of scope.
+    // Detach before the scheduler (and transport) go out of scope.
     sys.eventQueue().setSchedulePolicy(nullptr);
     sys.network().setDeliveryJitter(nullptr);
+    sys.network().setTransport(nullptr);
     return r;
 }
 

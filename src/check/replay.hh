@@ -21,6 +21,7 @@
 
 #include "check/oracles.hh"
 #include "check/scheduler.hh"
+#include "fault/fault_plan.hh"
 #include "system/system.hh"
 
 namespace sbulk
@@ -44,6 +45,15 @@ struct CheckConfig
     SbBreakMode sbBreak = SbBreakMode::None;
     /** Livelock stop: a schedule running past this tick is a violation. */
     Tick tickLimit = 1'000'000;
+    /**
+     * Fault-injection plan (see ROBUSTNESS.md). When enabled() the run
+     * attaches a FaultTransport, arms the recovery layer (ARQ, watchdogs,
+     * capped-exponential retry backoff), and adds the no-stuck-commit
+     * liveness oracle on top of the invariant suite. The plan serializes
+     * with the trace, so every faulted failure replays from
+     * (seed, schedule trace, plan).
+     */
+    fault::FaultPlan faults{};
 };
 
 /** One schedule's outcome. */
@@ -58,6 +68,16 @@ struct CheckResult
     std::uint64_t traceHash = 0;
     ScheduleTrace trace;
     std::vector<Violation> violations;
+
+    /// @name Fault-sweep degradation counters (all zero without a plan)
+    /// @{
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t dupsDropped = 0;
+    std::uint64_t watchdogFires = 0;
+    std::uint64_t stuckCommits = 0;
+    double recoveryLatencyMean = 0;
+    /// @}
 
     bool ok() const { return violations.empty(); }
 };

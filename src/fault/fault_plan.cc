@@ -1,0 +1,331 @@
+#include "fault/fault_plan.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+
+namespace sbulk::fault
+{
+
+namespace
+{
+
+const char* const kActionNames[] = {"drop", "dup", "delay", "stall", "pause"};
+
+bool
+parseAction(const std::string& s, FaultAction& out)
+{
+    for (std::size_t i = 0; i < std::size(kActionNames); ++i) {
+        if (s == kActionNames[i]) {
+            out = FaultAction(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseMsgClass(const std::string& s, MsgClass& out)
+{
+    for (std::size_t i = 0; i < kNumMsgClasses; ++i) {
+        if (s == msgClassName(MsgClass(i))) {
+            out = MsgClass(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseU64(const std::string& s, std::uint64_t& out)
+{
+    if (s.empty())
+        return false;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+    if (end != s.c_str() + s.size())
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseRate(const std::string& s, double& out)
+{
+    if (s.empty())
+        return false;
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size() || v < 0.0 || v > 1.0)
+        return false;
+    out = v;
+    return true;
+}
+
+/** Parse "R" or "R:V" (a rate with an optional tick parameter). */
+bool
+parseRateVal(const std::string& s, double& rate, Tick& val)
+{
+    const std::size_t colon = s.find(':');
+    if (colon == std::string::npos)
+        return parseRate(s, rate);
+    std::uint64_t v = 0;
+    if (!parseRate(s.substr(0, colon), rate) ||
+        !parseU64(s.substr(colon + 1), v) || v == 0)
+        return false;
+    val = Tick(v);
+    return true;
+}
+
+bool
+parseOnOff(const std::string& s, bool& out)
+{
+    if (s == "on") {
+        out = true;
+        return true;
+    }
+    if (s == "off") {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+split(const std::string& s, char sep)
+{
+    std::vector<std::string> parts;
+    std::size_t pos = 0;
+    while (true) {
+        const std::size_t next = s.find(sep, pos);
+        parts.push_back(s.substr(
+            pos, next == std::string::npos ? next : next - pos));
+        if (next == std::string::npos)
+            break;
+        pos = next + 1;
+    }
+    return parts;
+}
+
+std::string
+trim(const std::string& s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace((unsigned char)s[b]))
+        ++b;
+    while (e > b && std::isspace((unsigned char)s[e - 1]))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** Parse "ACTION/SEL.../n=N[/every=K][/v=V]". */
+bool
+parseRule(const std::string& s, FaultRule& out, std::string* err)
+{
+    const std::vector<std::string> parts = split(s, '/');
+    if (parts.empty() || !parseAction(parts[0], out.action)) {
+        if (err)
+            *err = "bad rule action in '" + s + "'";
+        return false;
+    }
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        const std::string& p = parts[i];
+        const std::size_t eq = p.find('=');
+        const std::string key = eq == std::string::npos ? p : p.substr(0, eq);
+        const std::string val =
+            eq == std::string::npos ? std::string() : p.substr(eq + 1);
+        std::uint64_t num = 0;
+        if (key == "any" && eq == std::string::npos) {
+            // explicit match-everything selector; nothing to record
+        } else if (key == "class" && parseMsgClass(val, out.cls)) {
+            out.hasClass = true;
+        } else if (key == "kind" && parseU64(val, num)) {
+            out.hasKind = true;
+            out.kind = std::uint16_t(num);
+        } else if (key == "n" && parseU64(val, num) && num > 0) {
+            out.n = num;
+        } else if (key == "every" && parseU64(val, num)) {
+            out.every = num;
+        } else if (key == "v" && parseU64(val, num)) {
+            out.value = Tick(num);
+        } else {
+            if (err)
+                *err = "bad rule token '" + p + "' in '" + s + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+appendRule(std::string& out, const FaultRule& r)
+{
+    char buf[96];
+    out += "rule=";
+    out += kActionNames[std::size_t(r.action)];
+    if (r.hasClass) {
+        out += "/class=";
+        out += msgClassName(r.cls);
+    }
+    if (r.hasKind) {
+        std::snprintf(buf, sizeof buf, "/kind=%u", unsigned(r.kind));
+        out += buf;
+    }
+    if (!r.hasClass && !r.hasKind)
+        out += "/any";
+    std::snprintf(buf, sizeof buf, "/n=%llu", (unsigned long long)r.n);
+    out += buf;
+    if (r.every) {
+        std::snprintf(buf, sizeof buf, "/every=%llu",
+                      (unsigned long long)r.every);
+        out += buf;
+    }
+    if (r.value) {
+        std::snprintf(buf, sizeof buf, "/v=%llu",
+                      (unsigned long long)r.value);
+        out += buf;
+    }
+}
+
+} // namespace
+
+const char*
+faultActionName(FaultAction a)
+{
+    const auto i = std::size_t(a);
+    return i < std::size(kActionNames) ? kActionNames[i] : "?";
+}
+
+bool
+FaultPlan::enabled() const
+{
+    return dropRate > 0 || dupRate > 0 || delayRate > 0 || stallRate > 0 ||
+           pauseRate > 0 || !rules.empty();
+}
+
+std::string
+FaultPlan::serialize() const
+{
+    const FaultPlan defaults{};
+    char buf[96];
+    std::string out;
+    auto app = [&out](const char* s) {
+        if (!out.empty())
+            out += ',';
+        out += s;
+    };
+
+    std::snprintf(buf, sizeof buf, "seed=%llu", (unsigned long long)seed);
+    app(buf);
+    if (dropRate > 0) {
+        std::snprintf(buf, sizeof buf, "drop=%g", dropRate);
+        app(buf);
+    }
+    if (dupRate > 0) {
+        std::snprintf(buf, sizeof buf, "dup=%g", dupRate);
+        app(buf);
+    }
+    if (delayRate > 0 || delayMax != defaults.delayMax) {
+        std::snprintf(buf, sizeof buf, "delay=%g:%llu", delayRate,
+                      (unsigned long long)delayMax);
+        app(buf);
+    }
+    if (stallRate > 0 || stallDur != defaults.stallDur) {
+        std::snprintf(buf, sizeof buf, "stall=%g:%llu", stallRate,
+                      (unsigned long long)stallDur);
+        app(buf);
+    }
+    if (pauseRate > 0 || pauseDur != defaults.pauseDur) {
+        std::snprintf(buf, sizeof buf, "pause=%g:%llu", pauseRate,
+                      (unsigned long long)pauseDur);
+        app(buf);
+    }
+    if (arq != defaults.arq)
+        app(arq ? "arq=on" : "arq=off");
+    if (watchdog != defaults.watchdog)
+        app(watchdog ? "watchdog=on" : "watchdog=off");
+    if (rxBase != defaults.rxBase) {
+        std::snprintf(buf, sizeof buf, "rxbase=%llu",
+                      (unsigned long long)rxBase);
+        app(buf);
+    }
+    if (rxCap != defaults.rxCap) {
+        std::snprintf(buf, sizeof buf, "rxcap=%llu",
+                      (unsigned long long)rxCap);
+        app(buf);
+    }
+    for (const FaultRule& r : rules) {
+        std::string rule;
+        appendRule(rule, r);
+        app(rule.c_str());
+    }
+    return out;
+}
+
+bool
+FaultPlan::parse(const std::string& text, FaultPlan& out, std::string* err)
+{
+    FaultPlan plan;
+    for (const std::string& raw : split(text, ',')) {
+        const std::string tok = trim(raw);
+        if (tok.empty())
+            continue;
+        const std::size_t eq = tok.find('=');
+        if (eq == std::string::npos) {
+            if (err)
+                *err = "expected key=value, got '" + tok + "'";
+            return false;
+        }
+        const std::string key = tok.substr(0, eq);
+        const std::string val = tok.substr(eq + 1);
+        std::uint64_t num = 0;
+        bool ok = true;
+        if (key == "seed") {
+            ok = parseU64(val, plan.seed);
+        } else if (key == "drop") {
+            ok = parseRate(val, plan.dropRate);
+        } else if (key == "dup") {
+            ok = parseRate(val, plan.dupRate);
+        } else if (key == "delay") {
+            ok = parseRateVal(val, plan.delayRate, plan.delayMax);
+        } else if (key == "stall") {
+            ok = parseRateVal(val, plan.stallRate, plan.stallDur);
+        } else if (key == "pause") {
+            ok = parseRateVal(val, plan.pauseRate, plan.pauseDur);
+        } else if (key == "arq") {
+            ok = parseOnOff(val, plan.arq);
+        } else if (key == "watchdog") {
+            ok = parseOnOff(val, plan.watchdog);
+        } else if (key == "rxbase") {
+            ok = parseU64(val, num) && num > 0;
+            plan.rxBase = Tick(num);
+        } else if (key == "rxcap") {
+            ok = parseU64(val, num) && num > 0;
+            plan.rxCap = Tick(num);
+        } else if (key == "rule") {
+            FaultRule rule;
+            if (!parseRule(val, rule, err))
+                return false;
+            plan.rules.push_back(rule);
+        } else {
+            if (err)
+                *err = "unknown fault-plan key '" + key + "'";
+            return false;
+        }
+        if (!ok) {
+            if (err)
+                *err = "bad value for '" + key + "': '" + val + "'";
+            return false;
+        }
+    }
+    if (plan.rxCap < plan.rxBase) {
+        if (err)
+            *err = "rxcap must be >= rxbase";
+        return false;
+    }
+    out = std::move(plan);
+    return true;
+}
+
+} // namespace sbulk::fault

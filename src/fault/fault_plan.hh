@@ -1,0 +1,135 @@
+/**
+ * @file
+ * FaultPlan: a declarative, replayable description of the faults to inject
+ * at the Network boundary (see ROBUSTNESS.md).
+ *
+ * A plan is pure data — a seed, rate knobs, recovery-transport tuning, and
+ * targeted rules — with a canonical string form that round-trips through
+ * parse()/serialize(). The checker records the serialized plan next to its
+ * schedule traces so every fault-sweep failure replays exactly.
+ */
+
+#ifndef SBULK_FAULT_FAULT_PLAN_HH
+#define SBULK_FAULT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/message.hh"
+#include "sim/types.hh"
+
+namespace sbulk::fault
+{
+
+/** What a fault does to the message it hits. */
+enum class FaultAction : std::uint8_t
+{
+    Drop,  ///< the message never reaches the wire
+    Dup,   ///< a second wire-level copy is injected
+    Delay, ///< extra delivery latency (a jitter spike)
+    Stall, ///< the (src, dst) link stalls: this and later sends wait
+    Pause, ///< the destination directory module stops draining arrivals
+};
+
+const char* faultActionName(FaultAction a);
+
+/**
+ * A targeted "fault at hop N of message class M" rule.
+ *
+ * The rule counts messages matching its selector (class and/or kind; both
+ * unset matches everything) and fires on the n-th match — and, when
+ * `every` is nonzero, again on every `every`-th match after that. Rules
+ * make single-message scenarios reproducible without tuning rates.
+ */
+struct FaultRule
+{
+    FaultAction action = FaultAction::Drop;
+    /** Selector: restrict to one traffic class (see msgClassName). */
+    bool hasClass = false;
+    MsgClass cls = MsgClass::Other;
+    /** Selector: restrict to one message kind. */
+    bool hasKind = false;
+    std::uint16_t kind = 0;
+    /** Fire on the n-th matching message (1-based). */
+    std::uint64_t n = 1;
+    /** 0 = fire once; else also fire every `every`-th match after n. */
+    std::uint64_t every = 0;
+    /** Delay ticks (Delay) or duration (Stall/Pause); unused for others. */
+    Tick value = 0;
+
+    bool operator==(const FaultRule&) const = default;
+};
+
+/**
+ * The full fault-injection configuration of one run.
+ *
+ * Defaults describe a *fault-free* plan with the recovery transport (ARQ)
+ * armed: enabled() is false until a rate or rule is set, and a
+ * default-constructed plan attached to a run changes nothing.
+ */
+struct FaultPlan
+{
+    /** Seed of the fault RNG (independent of the schedule RNG). */
+    std::uint64_t seed = 1;
+
+    /// @name Random fault rates, per cross-tile message (0..1)
+    /// @{
+    double dropRate = 0.0;
+    double dupRate = 0.0;
+    double delayRate = 0.0;
+    /** Max extra ticks for a delay fault (drawn uniformly in [1, max]). */
+    Tick delayMax = 64;
+    /** Per-(src,dst,port) link stall: later sends on the link wait. */
+    double stallRate = 0.0;
+    Tick stallDur = 200;
+    /** Transient destination-directory pause (arrival-side hold). */
+    double pauseRate = 0.0;
+    Tick pauseDur = 200;
+    /// @}
+
+    /// @name Recovery transport
+    /// @{
+    /**
+     * Run the reliable-ordered (ARQ) recovery protocol: per-channel
+     * sequence numbers, receiver dedup + in-order release, acks, and
+     * capped-exponential retransmission. Off, faults hit the protocols
+     * raw — drops hang commits (the liveness monitor's job to flag) and
+     * duplicates trip the dispatch tables' unreachable rows by design.
+     */
+    bool arq = true;
+    /** Arm the per-request protocol watchdog (ProtoConfig::watchdogTimeout). */
+    bool watchdog = true;
+    /** Initial retransmit timeout, ticks. */
+    Tick rxBase = 400;
+    /** Cap of the exponential retransmit backoff, ticks. */
+    Tick rxCap = 6400;
+    /// @}
+
+    /** Targeted rules, evaluated in order on every cross-tile send. */
+    std::vector<FaultRule> rules;
+
+    /** True if the plan can inject anything (any rate > 0 or any rule). */
+    bool enabled() const;
+
+    /**
+     * Canonical string form, e.g.
+     * "seed=7,drop=0.01,dup=0.01,rule=drop/class=SmallCMessage/n=3".
+     * parse(serialize()) reproduces the plan exactly.
+     */
+    std::string serialize() const;
+
+    /**
+     * Parse the comma-separated `key=value` grammar (see ROBUSTNESS.md).
+     * On failure returns false and, when @p err is non-null, stores a
+     * message naming the offending token. @p out is untouched on failure.
+     */
+    static bool parse(const std::string& text, FaultPlan& out,
+                      std::string* err = nullptr);
+
+    bool operator==(const FaultPlan&) const = default;
+};
+
+} // namespace sbulk::fault
+
+#endif // SBULK_FAULT_FAULT_PLAN_HH

@@ -1,0 +1,62 @@
+#include "fault/liveness.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "fault/transport.hh"
+
+namespace sbulk::fault
+{
+
+void
+LivenessMonitor::finalize(const FaultTransport* transport)
+{
+    for (const auto& [id, attempt] : _pending) {
+        StuckCommit s;
+        s.proc = attempt.proc;
+        s.id = id;
+        s.since = attempt.since;
+
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "commit chunk %u.%llu attempt %u from proc %u never "
+                      "resolved (requested at tick %llu)",
+                      id.tag.proc, (unsigned long long)id.tag.seq, id.attempt,
+                      attempt.proc, (unsigned long long)attempt.since);
+        s.diagnosis = buf;
+
+        if (transport) {
+            // Which injected faults touched this processor's traffic?
+            std::uint64_t drops = 0;
+            const InjectedFault* last = nullptr;
+            for (const InjectedFault& f : transport->injected()) {
+                if (f.action != FaultAction::Drop)
+                    continue;
+                if (f.src != attempt.proc && f.dst != attempt.proc)
+                    continue;
+                ++drops;
+                last = &f;
+            }
+            if (last) {
+                std::snprintf(
+                    buf, sizeof buf,
+                    "; %llu drop(s) hit this proc's channels, last: %s "
+                    "kind=%u %u->%u at tick %llu",
+                    (unsigned long long)drops, msgClassName(last->cls),
+                    unsigned(last->kind), last->src, last->dst,
+                    (unsigned long long)last->tick);
+                s.diagnosis += buf;
+            }
+            const std::string pending = transport->describePending();
+            if (!pending.empty())
+                s.diagnosis += "; transport not quiescent: " + pending;
+        }
+        _stuck.push_back(std::move(s));
+    }
+    std::sort(_stuck.begin(), _stuck.end(),
+              [](const StuckCommit& a, const StuckCommit& b) {
+                  return a.since < b.since;
+              });
+}
+
+} // namespace sbulk::fault

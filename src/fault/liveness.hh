@@ -1,0 +1,104 @@
+/**
+ * @file
+ * LivenessMonitor: the no-stuck-commit oracle for fault sweeps.
+ *
+ * Every commit attempt must eventually resolve — success, failure (retry),
+ * or abort with its chunk. A fault that strands an attempt (lost message
+ * with recovery off, or a recovery bug) leaves it pending at the end of
+ * the run; finalize() turns each stranded attempt into a report carrying a
+ * diagnosis built from the transport's unrecovered state and the injected
+ * fault log: which group, which module, which lost message class.
+ */
+
+#ifndef SBULK_FAULT_LIVENESS_HH
+#define SBULK_FAULT_LIVENESS_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/commit_protocol.hh"
+#include "sim/event_queue.hh"
+
+namespace sbulk::fault
+{
+
+class FaultTransport;
+
+/** One commit attempt that never resolved. */
+struct StuckCommit
+{
+    NodeId proc = kInvalidNode;
+    CommitId id{};
+    /** Tick the attempt was requested. */
+    Tick since = 0;
+    /** Which module / message class the hang traces to (best effort). */
+    std::string diagnosis;
+};
+
+/**
+ * ProtocolObserver tracking in-flight commit attempts. Attach alongside
+ * the invariant oracles (via ObserverChain); call finalize() after the
+ * run drains, then read stuck().
+ */
+class LivenessMonitor : public ProtocolObserver
+{
+  public:
+    /** Attach the run's clock (for timestamps). May be null. */
+    void setClock(const EventQueue* eq) { _eq = eq; }
+
+    void
+    onCommitRequested(NodeId proc, const CommitId& id,
+                      const Chunk& chunk) override
+    {
+        (void)chunk;
+        ++_attemptsSeen;
+        _pending[id] = {proc, _eq ? _eq->now() : 0};
+    }
+
+    void
+    onCommitSuccess(NodeId proc, const CommitId& id) override
+    {
+        (void)proc;
+        _pending.erase(id);
+    }
+
+    void
+    onCommitFailure(NodeId proc, const CommitId& id) override
+    {
+        (void)proc;
+        _pending.erase(id);
+    }
+
+    void
+    onCommitAborted(NodeId proc, const CommitId& id) override
+    {
+        (void)proc;
+        _pending.erase(id);
+    }
+
+    /**
+     * Close the books: every attempt still pending is stuck. @p transport
+     * (may be null) contributes the unrecovered-state diagnosis.
+     */
+    void finalize(const FaultTransport* transport);
+
+    const std::vector<StuckCommit>& stuck() const { return _stuck; }
+    std::uint64_t attemptsSeen() const { return _attemptsSeen; }
+
+  private:
+    struct Attempt
+    {
+        NodeId proc = kInvalidNode;
+        Tick since = 0;
+    };
+
+    const EventQueue* _eq = nullptr;
+    std::unordered_map<CommitId, Attempt> _pending;
+    std::vector<StuckCommit> _stuck;
+    std::uint64_t _attemptsSeen = 0;
+};
+
+} // namespace sbulk::fault
+
+#endif // SBULK_FAULT_LIVENESS_HH

@@ -24,6 +24,8 @@ auditSpec(const DispatchSpec& spec)
             out.push_back(std::move(f));
         for (Finding& f : auditGroupFormation(spec))
             out.push_back(std::move(f));
+        for (Finding& f : auditRecovery(spec))
+            out.push_back(std::move(f));
     }
     return out;
 }
@@ -81,6 +83,13 @@ renderSpec(const DispatchSpec& spec)
         if (row.note)
             out += std::string("  // ") + row.note;
         out += "\n";
+    }
+    for (std::size_t i = 0; i < spec.numRecovery; ++i) {
+        const RecoveryRow& row = spec.recovery[i];
+        out += "  recover " + std::string(spec.stateName(row.state)) +
+               ": dup — " + (row.dup ? row.dup : "(missing)") +
+               "; timeout — " + (row.timeout ? row.timeout : "(missing)") +
+               "\n";
     }
     return out;
 }

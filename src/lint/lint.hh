@@ -7,7 +7,7 @@
  * emits an undeclared event is caught by diffing the declaration against
  * the protocol's written rules, not by hoping a schedule exercises it.
  *
- * Three analyses (see ANALYSIS.md for the full design):
+ * Four analyses (see ANALYSIS.md for the full design):
  *
  *  1. Exhaustiveness — every (state x message kind) pair is mapped: a
  *     handler runs, or the pair is an explicitly declared drop / nack /
@@ -26,6 +26,11 @@
  *     order) and verify the paper's Section 3.2.1 guarantee: at least one
  *     group always forms (or, for queue-based baselines, no acquisition
  *     deadlock).
+ *
+ *  4. Recovery dispositions — every state declares, with a written
+ *     justification, how it tolerates a duplicated delivery and what
+ *     re-drives progress if an awaited message is lost (the fault layer's
+ *     dup/timeout questions; see src/fault/ and ROBUSTNESS.md).
  */
 
 #ifndef SBULK_LINT_LINT_HH
@@ -68,6 +73,15 @@ std::vector<Finding> auditOrdering(const DispatchSpec& spec,
  * order). Returns empty for ConflictPolicy::None tables.
  */
 std::vector<Finding> auditGroupFormation(const DispatchSpec& spec);
+
+/**
+ * Analysis 4: recovery dispositions. Every state must carry a RecoveryRow
+ * with non-empty duplicate and timeout justifications (proto/dispatch.hh) —
+ * the written answer to "what if the transport re-delivers here?" and
+ * "what if the message this state waits for is lost?". Malformed rows
+ * (unknown or duplicated states) are findings too.
+ */
+std::vector<Finding> auditRecovery(const DispatchSpec& spec);
 
 /** All applicable analyses for one table. */
 std::vector<Finding> auditSpec(const DispatchSpec& spec);

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Analysis 4: recovery dispositions.
+ *
+ * The fault layer (src/fault/) delivers two adversarial questions to every
+ * controller state: "what if the transport hands you the same message
+ * twice?" and "what if the message you are waiting for never arrives?".
+ * The protocols answer structurally — ARQ restores exactly-once in-order
+ * delivery below them, and watchdog-driven retransmission re-drives lost
+ * traffic — but each *state's* reliance on those answers must be written
+ * down, or the next state someone adds gets the reliability guarantees by
+ * accident instead of by argument. This audit enforces exactly that: one
+ * RecoveryRow per state, both justifications non-empty.
+ */
+
+#include "lint/lint.hh"
+
+namespace sbulk
+{
+namespace lint
+{
+
+namespace
+{
+
+Finding
+make(const DispatchSpec& spec, std::string message)
+{
+    Finding f;
+    f.analysis = "recovery";
+    f.where = std::string(spec.protocol) + "." + spec.controller;
+    f.message = std::move(message);
+    return f;
+}
+
+bool
+blank(const char* s)
+{
+    return s == nullptr || *s == '\0';
+}
+
+} // namespace
+
+std::vector<Finding>
+auditRecovery(const DispatchSpec& spec)
+{
+    std::vector<Finding> out;
+    std::vector<int> seen(spec.numStates, -1);
+
+    for (std::size_t i = 0; i < spec.numRecovery; ++i) {
+        const RecoveryRow& row = spec.recovery[i];
+        if (row.state >= spec.numStates) {
+            out.push_back(make(spec, "recovery row " + std::to_string(i) +
+                                         " names unknown state " +
+                                         std::to_string(row.state)));
+            continue;
+        }
+        if (seen[row.state] >= 0) {
+            out.push_back(make(spec,
+                               std::string("duplicate recovery row for "
+                                           "state ") +
+                                   spec.stateName(row.state)));
+            continue;
+        }
+        seen[row.state] = int(i);
+        if (blank(row.dup))
+            out.push_back(make(spec,
+                               std::string("state ") +
+                                   spec.stateName(row.state) +
+                                   ": duplicate-delivery disposition "
+                                   "missing its justification"));
+        if (blank(row.timeout))
+            out.push_back(make(spec,
+                               std::string("state ") +
+                                   spec.stateName(row.state) +
+                                   ": timeout disposition missing its "
+                                   "justification"));
+    }
+
+    for (std::uint8_t s = 0; s < spec.numStates; ++s)
+        if (seen[s] < 0)
+            out.push_back(make(spec,
+                               std::string("state ") + spec.stateName(s) +
+                                   ": no recovery row — declare how it "
+                                   "survives a duplicated delivery and "
+                                   "what re-drives it after a loss"));
+    return out;
+}
+
+} // namespace lint
+} // namespace sbulk

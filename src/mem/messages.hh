@@ -38,6 +38,8 @@ struct ReadReqMsg : Message
                   kCtrlBytes),
           line(line_)
     {}
+
+    SBULK_MESSAGE_CLONE(ReadReqMsg)
 };
 
 struct ReadReplyMsg : Message
@@ -49,6 +51,8 @@ struct ReadReplyMsg : Message
                   kDataBytes),
           line(line_)
     {}
+
+    SBULK_MESSAGE_CLONE(ReadReplyMsg)
 };
 
 struct ReadNackMsg : Message
@@ -60,6 +64,8 @@ struct ReadNackMsg : Message
                   kCtrlBytes),
           line(line_)
     {}
+
+    SBULK_MESSAGE_CLONE(ReadNackMsg)
 };
 
 struct FwdReadMsg : Message
@@ -72,6 +78,8 @@ struct FwdReadMsg : Message
                   kCtrlBytes),
           line(line_), requester(requester_)
     {}
+
+    SBULK_MESSAGE_CLONE(FwdReadMsg)
 };
 
 struct WritebackMsg : Message
@@ -83,6 +91,8 @@ struct WritebackMsg : Message
                   kDataBytes),
           line(line_)
     {}
+
+    SBULK_MESSAGE_CLONE(WritebackMsg)
 };
 
 } // namespace sbulk

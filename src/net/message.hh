@@ -91,6 +91,15 @@ struct Message
      * advance the message without allocating per-hop closure state.
      */
     NodeId netHop = kInvalidNode;
+    /**
+     * Per-channel sequence number, assigned by the transport layer when
+     * reliable delivery (ARQ) is active — see src/fault/. 0 means the
+     * message is untracked (the default: no transport layer attached, or
+     * a same-tile message that never crosses the fabric). Receivers use
+     * it for duplicate suppression and in-order release; the protocols
+     * themselves never read it.
+     */
+    std::uint32_t seq = 0;
 
     Message() = default;
     Message(NodeId src_, NodeId dst_, Port port, MsgClass cls_,
@@ -99,6 +108,18 @@ struct Message
           bytes(bytes_)
     {}
     virtual ~Message() = default;
+
+    /**
+     * Polymorphic copy, used by the fault/recovery transport (src/fault/)
+     * for duplication faults and sender-side retransmission stores. Every
+     * concrete message type overrides this via SBULK_MESSAGE_CLONE; the
+     * base implementation covers plain Message instances (tests, acks).
+     */
+    virtual std::unique_ptr<Message>
+    clone() const
+    {
+        return std::make_unique<Message>(*this);
+    }
 
     /**
      * Messages are the simulator's highest-churn heap objects (one or more
@@ -115,7 +136,26 @@ struct Message
 /** First message kind available to commit protocols. */
 inline constexpr std::uint16_t kProtoKindBase = 100;
 
+/**
+ * Kind of the transport-layer delivery acknowledgment (src/fault/). Acks
+ * never reach a protocol handler — the transport consumes them before
+ * dispatch — but the kind is reserved here, well above every protocol and
+ * internal pseudo-kind range, so no table can collide with it.
+ */
+inline constexpr std::uint16_t kNetAckKind = 0xfffe;
+
 using MessagePtr = std::unique_ptr<Message>;
+
+/**
+ * Define the clone() override of a concrete message type. Message copy
+ * constructors are the implicitly-generated memberwise ones, so a single
+ * line per type keeps every payload cloneable for the fault transport.
+ */
+#define SBULK_MESSAGE_CLONE(Type) \
+    std::unique_ptr<::sbulk::Message> clone() const override \
+    { \
+        return std::make_unique<Type>(*this); \
+    }
 
 } // namespace sbulk
 

@@ -22,6 +22,16 @@ msgClassName(MsgClass cls)
 void
 Network::deliver(MessagePtr msg)
 {
+    if (_transport) {
+        _transport->onArrive(std::move(msg));
+        return;
+    }
+    dispatch(std::move(msg));
+}
+
+void
+Network::dispatch(MessagePtr msg)
+{
     SBULK_ASSERT(msg->dst < _handlers.size(), "message to unknown node %u",
                  msg->dst);
     auto& handler = _handlers[msg->dst][std::size_t(msg->dstPort)];
@@ -31,12 +41,31 @@ Network::deliver(MessagePtr msg)
 }
 
 void
-DirectNetwork::send(MessagePtr msg)
+Network::assertChannelFifo(const Message& msg, Tick arrive)
+{
+    if (_allowReorder)
+        return;
+    const std::uint64_t key = (std::uint64_t(msg.src) << 40) |
+                              (std::uint64_t(msg.dst) << 8) |
+                              std::uint64_t(msg.dstPort);
+    Tick& last = _lastArrival[key];
+    SBULK_ASSERT(arrive >= last,
+                 "jitter hook reordered channel %u->%u port %u "
+                 "(arrival %llu before %llu) without allowChannelReorder()",
+                 msg.src, msg.dst, unsigned(msg.dstPort),
+                 (unsigned long long)arrive, (unsigned long long)last);
+    last = arrive;
+}
+
+void
+DirectNetwork::transmit(MessagePtr msg)
 {
     msg->sentAt = _eq.now();
     _traffic.record(msg->cls, msg->bytes, msg->src == msg->dst ? 0 : 1);
     Tick latency = msg->src == msg->dst ? 1 : _latency;
     latency += jitterFor(*msg);
+    if (_jitter)
+        assertChannelFifo(*msg, _eq.now() + latency);
     Message* raw = msg.release();
     _eq.scheduleIn(latency, [this, raw] { deliver(MessagePtr(raw)); });
 }
@@ -113,7 +142,7 @@ TorusNetwork::nextHop(NodeId cur, NodeId dst, Dir& dir_out) const
 }
 
 void
-TorusNetwork::send(MessagePtr msg)
+TorusNetwork::transmit(MessagePtr msg)
 {
     msg->sentAt = _eq.now();
     _traffic.record(msg->cls, msg->bytes, hopCount(msg->src, msg->dst));

@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "net/message.hh"
@@ -75,6 +76,48 @@ class TrafficStats
     std::array<std::uint64_t, kNumMsgClasses> _hops{};
 };
 
+class Network;
+
+/**
+ * Interposition layer between message injection and the wire model, and
+ * between wire delivery and handler dispatch.
+ *
+ * When installed (Network::setTransport), every send() is routed through
+ * onSend() and every wire arrival through onArrive(); the layer decides
+ * what actually reaches the wire (possibly delayed, duplicated, or
+ * nothing at all) and what actually reaches the destination handler. The
+ * one implementation lives in src/fault/: a deterministic fault injector
+ * paired with a reliable-ordered (ARQ) recovery protocol. Without a
+ * transport the network is a perfect reliable FIFO fabric and send()
+ * reaches transmit() through a single pointer test.
+ */
+class TransportLayer
+{
+  public:
+    explicit TransportLayer(Network& net) : _net(net) {}
+    virtual ~TransportLayer() = default;
+    TransportLayer(const TransportLayer&) = delete;
+    TransportLayer& operator=(const TransportLayer&) = delete;
+
+    /** A component injected @p msg (instead of Network::transmit). */
+    virtual void onSend(MessagePtr msg) = 0;
+    /** The wire delivered @p msg (instead of handler dispatch). */
+    virtual void onArrive(MessagePtr msg) = 0;
+    /**
+     * Out-of-band nudge from a protocol watchdog: retransmit anything
+     * still pending from @p node immediately, ignoring backoff timers.
+     */
+    virtual void kick(NodeId node) { (void)node; }
+
+  protected:
+    /** Put @p msg on the wire (the network's latency/contention model). */
+    void wire(MessagePtr msg);
+    /** Hand @p msg to its destination handler, bypassing interception. */
+    void dispatch(MessagePtr msg);
+
+    Network& _net;
+};
+
 /**
  * Abstract message transport between tiles.
  *
@@ -102,8 +145,29 @@ class Network
         _handlers[node][std::size_t(port)] = std::move(handler);
     }
 
-    /** Inject @p msg; it is delivered to the destination handler later. */
-    virtual void send(MessagePtr msg) = 0;
+    /**
+     * Inject @p msg; it is delivered to the destination handler later.
+     * With a transport layer attached the message is handed to it first
+     * (fault injection / reliable delivery); otherwise it goes straight
+     * to the implementation's wire model.
+     */
+    void
+    send(MessagePtr msg)
+    {
+        if (_transport) {
+            _transport->onSend(std::move(msg));
+            return;
+        }
+        transmit(std::move(msg));
+    }
+
+    /**
+     * Attach (or detach, with null) the transport layer. Not owned; the
+     * caller must detach before destroying the transport. Attaching does
+     * not retroactively affect messages already on the wire.
+     */
+    void setTransport(TransportLayer* transport) { _transport = transport; }
+    TransportLayer* transport() const { return _transport; }
 
     /**
      * Install an optional per-message delivery jitter source.
@@ -113,7 +177,16 @@ class Network
      * (src/check/) uses this to perturb message orderings beyond what
      * same-tick tie-breaks alone can produce. The hook must be a
      * deterministic function of its own state so runs replay from a seed.
-     * Null (the default) means no jitter.
+     *
+     * Null — the default — means *no jitter at all*: the network is then
+     * a fixed-latency (Direct) or contention-only (Torus) model whose
+     * deliveries on one (src, dst, port) channel always arrive in send
+     * order. A jitter hook must preserve that per-channel FIFO ordering
+     * (the protocols are entitled to it; src/check/'s ChannelFifoClamp is
+     * the reference implementation) unless a fault plan explicitly
+     * relaxes it via allowChannelReorder() — in which case the attached
+     * transport layer is responsible for restoring order before dispatch.
+     * DirectNetwork asserts this contract on every jittered delivery.
      */
     void
     setDeliveryJitter(std::function<Tick(const Message&)> jitter)
@@ -121,14 +194,33 @@ class Network
         _jitter = std::move(jitter);
     }
 
+    /**
+     * Permit same-channel deliveries to leave the wire out of send order.
+     * Only the fault planner sets this (src/fault/), and only when its
+     * recovery transport re-sequences messages before dispatch; it
+     * disables the FIFO assertion that otherwise guards jitter hooks.
+     */
+    void allowChannelReorder(bool allow) { _allowReorder = allow; }
+
     std::uint32_t numNodes() const { return std::uint32_t(_handlers.size()); }
     const TrafficStats& traffic() const { return _traffic; }
     TrafficStats& traffic() { return _traffic; }
     EventQueue& eventQueue() { return _eq; }
 
   protected:
-    /** Hand @p msg to its destination handler (immediately). */
+    friend class TransportLayer;
+
+    /** Implementation wire model: latency/contention, then deliver(). */
+    virtual void transmit(MessagePtr msg) = 0;
+
+    /**
+     * A message left the wire: hand it to the transport layer (if any)
+     * or directly to its destination handler.
+     */
     void deliver(MessagePtr msg);
+
+    /** Hand @p msg to its destination handler (immediately). */
+    void dispatch(MessagePtr msg);
 
     /** Extra delivery delay for @p msg (0 without a jitter hook). */
     Tick jitterFor(const Message& msg) const
@@ -136,13 +228,37 @@ class Network
         return _jitter ? _jitter(msg) : 0;
     }
 
+    /**
+     * FIFO-contract guard for jittered deliveries: panics if a jitter
+     * hook reordered a (src, dst, port) channel without the fault
+     * planner declaring it (allowChannelReorder). Called by
+     * implementations at the point the arrival tick is known.
+     */
+    void assertChannelFifo(const Message& msg, Tick arrive);
+
     EventQueue& _eq;
     TrafficStats _traffic;
     std::function<Tick(const Message&)> _jitter;
 
   private:
     std::vector<std::array<Handler, kNumPorts>> _handlers;
+    TransportLayer* _transport = nullptr;
+    bool _allowReorder = false;
+    /** Per (src, dst, port) channel: latest arrival tick granted. */
+    std::unordered_map<std::uint64_t, Tick> _lastArrival;
 };
+
+inline void
+TransportLayer::wire(MessagePtr msg)
+{
+    _net.transmit(std::move(msg));
+}
+
+inline void
+TransportLayer::dispatch(MessagePtr msg)
+{
+    _net.dispatch(std::move(msg));
+}
 
 /**
  * Contention-free network with a fixed point-to-point latency.
@@ -157,7 +273,8 @@ class DirectNetwork : public Network
         : Network(eq, num_nodes), _latency(latency)
     {}
 
-    void send(MessagePtr msg) override;
+  protected:
+    void transmit(MessagePtr msg) override;
 
   private:
     Tick _latency;
@@ -189,8 +306,6 @@ class TorusNetwork : public Network
     TorusNetwork(EventQueue& eq, std::uint32_t num_nodes,
                  TorusConfig cfg = TorusConfig{});
 
-    void send(MessagePtr msg) override;
-
     /** Minimal hop count between two tiles on the torus. */
     std::uint32_t hopCount(NodeId a, NodeId b) const;
 
@@ -208,6 +323,9 @@ class TorusNetwork : public Network
 
     /** The most-utilized link's busy cycles (hot-spot detection). */
     Tick maxLinkBusy() const;
+
+  protected:
+    void transmit(MessagePtr msg) override;
 
   private:
     /** Directions of the four outgoing links of a router. */

@@ -381,10 +381,26 @@ bkArbiterDispatch()
          "until their last done"},
     };
 
+    static const RecoveryRow recovery[] = {
+        {ID,
+         "a duplicated arb_request would be decided twice and "
+         "double-charge the arbiter occupancy; exactly-once delivery "
+         "(transport dedup) is load-bearing here",
+         "no state is held between requests; a lost request sits "
+         "unacked in the requester's retransmission store"},
+        {BU,
+         "directory dones are counted once per granted commit; dedup "
+         "keeps the outstanding count exact",
+         "dones are tracked by the reporting directory's retransmission "
+         "channel; the busy window extends until the re-delivered done "
+         "lands"},
+    };
+
     static const DispatchTable<BkArbiter> table(
         "bulksc", "arbiter", state_names, std::size(state_names), kinds,
         kind_names, std::size(kinds), /*num_real_kinds=*/2, rows,
-        std::size(rows));
+        std::size(rows), ConflictPolicy::None,
+        /*ascending_traversal=*/false, recovery, std::size(recovery));
     return table;
 }
 
@@ -429,10 +445,25 @@ bkDirDispatch()
          "schedule itself is observable in replay traces)"},
     };
 
+    static const RecoveryRow recovery[] = {
+        {IN,
+         "a duplicated dir_commit would fan the invalidation out twice "
+         "and over-count acks; exactly-once delivery (transport dedup) "
+         "is load-bearing here",
+         "nothing is held; a lost dir_commit stays unacked in the "
+         "arbiter's retransmission store"},
+        {IV,
+         "sharer acks are counted once; a replayed ack would release the "
+         "fan-out early, so dedup keeps the count exact",
+         "missing acks are retransmitted by each sharer's channel until "
+         "the fan-out drains"},
+    };
+
     static const DispatchTable<BkDirCtrl> table(
         "bulksc", "dir", state_names, std::size(state_names), kinds,
         kind_names, std::size(kinds), /*num_real_kinds=*/3, rows,
-        std::size(rows));
+        std::size(rows), ConflictPolicy::None,
+        /*ascending_traversal=*/false, recovery, std::size(recovery));
     return table;
 }
 
@@ -516,10 +547,33 @@ bkProcDispatch()
          "invalidating one and is exempt from squashing"},
     };
 
+    static const RecoveryRow recovery[] = {
+        {ID,
+         "late replies and invalidations for settled attempts hit the "
+         "stale-id guards after transport dedup",
+         "nothing is awaited; the next startCommit() drives progress"},
+        {AW,
+         "one arb_reply per attempt: a duplicated reply would grant and "
+         "retry the same chunk; exactly-once delivery (transport dedup) "
+         "is load-bearing here",
+         "the arb_request is unacked in this core's retransmission "
+         "store; the watchdog kick re-sends it"},
+        {BK,
+         "late denials for the failed attempt are absorbed by the "
+         "attempt-id guard",
+         "the retry timer re-requests under a bumped attempt id"},
+        {GR,
+         "directory dones are counted once per directory; dedup protects "
+         "the drain count",
+         "dones are retransmitted by each directory's channel until the "
+         "drain completes"},
+    };
+
     static const DispatchTable<BkProcCtrl> table(
         "bulksc", "proc", state_names, std::size(state_names), kinds,
         kind_names, std::size(kinds), /*num_real_kinds=*/4, rows,
-        std::size(rows));
+        std::size(rows), ConflictPolicy::None,
+        /*ascending_traversal=*/false, recovery, std::size(recovery));
     return table;
 }
 

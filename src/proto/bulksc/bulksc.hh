@@ -62,6 +62,8 @@ struct ArbRequestMsg : Message
           id(id_), rSig(r), wSig(w), writesByHome(std::move(writes)),
           allWrites(std::move(all_writes))
     {}
+
+    SBULK_MESSAGE_CLONE(ArbRequestMsg)
 };
 
 /** Grant / deny / completion: small control messages arbiter -> proc. */
@@ -74,6 +76,8 @@ struct ArbReplyMsg : Message
                   kSmallCBytes),
           id(id_)
     {}
+
+    SBULK_MESSAGE_CLONE(ArbReplyMsg)
 };
 
 /** Arbiter -> write-set directory: apply this chunk's writes. */
@@ -93,6 +97,8 @@ struct DirCommitMsg : Message
           id(id_), wSig(w), writesHere(std::move(writes_here)),
           allWrites(std::move(all)), committer(committer_)
     {}
+
+    SBULK_MESSAGE_CLONE(DirCommitMsg)
 };
 
 struct DirDoneMsg : Message
@@ -104,6 +110,8 @@ struct DirDoneMsg : Message
                   kDirDone, kSmallCBytes),
           id(id_)
     {}
+
+    SBULK_MESSAGE_CLONE(DirDoneMsg)
 };
 
 struct BkBulkInvMsg : Message
@@ -121,6 +129,8 @@ struct BkBulkInvMsg : Message
           id(id_), wSig(w), lines(std::move(lines_)), committer(committer_),
           ackTo(src_)
     {}
+
+    SBULK_MESSAGE_CLONE(BkBulkInvMsg)
 };
 
 struct BkBulkInvAckMsg : Message
@@ -133,6 +143,8 @@ struct BkBulkInvAckMsg : Message
                   kSmallCBytes),
           id(id_)
     {}
+
+    SBULK_MESSAGE_CLONE(BkBulkInvAckMsg)
 };
 
 /** Abstract arbiter state: whether any granted commit is still draining. */

@@ -88,6 +88,33 @@ struct ProtoConfig
     Tick arbiterServiceTime = 68;
     /** Test-only ScalableBulk sabotage knob (see SbBreakMode). */
     SbBreakMode sbBreak = SbBreakMode::None;
+
+    /// @name Commit-retry recovery policy (src/fault/ runs; see ROBUSTNESS.md)
+    /// @{
+    /**
+     * Use capped-exponential backoff with seeded jitter for commit
+     * retries instead of the default linear ramp. Off by default: the
+     * linear formula is part of the golden baselines.
+     */
+    bool expBackoff = false;
+    /** Backoff cap, cycles (exponential policy only). */
+    Tick backoffCap = 2000;
+    /**
+     * After this many consecutive failures of one chunk, clamp its retry
+     * delay back to the base so the directory-side starvation reservation
+     * (which needs to see the chunk keep trying) can latch. 0 = never.
+     */
+    std::uint32_t escalateAfter = 8;
+    /** Seed of the per-processor retry jitter (exponential policy only). */
+    std::uint64_t backoffSeed = 0;
+    /**
+     * Per-request watchdog: if a commit attempt has no outcome after this
+     * many cycles, nudge the transport layer to retransmit anything still
+     * pending (TransportLayer::kick). 0 disables; only fault-injection
+     * runs arm it.
+     */
+    Tick watchdogTimeout = 0;
+    /// @}
 };
 
 /**
@@ -213,6 +240,13 @@ class CommitMetrics
     Scalar commitRecalls;
     Scalar starvationReservations;
     Scalar readNacksAtDirs;
+    /// @name Recovery-policy observability (fault-injection runs)
+    /// @{
+    /** Watchdog expiries that nudged the transport (stuck attempts). */
+    Scalar watchdogFires;
+    /** Retries whose backoff was clamped by the escalation path. */
+    Scalar retryEscalations;
+    /// @}
 
     /// @name Gauges
     /// @{
@@ -414,6 +448,105 @@ class ProtocolObserver
         (void)dir; (void)id; (void)why; (void)winner;
     }
     /// @}
+};
+
+/**
+ * Fan-out of one observer slot to several observers (the checker attaches
+ * its invariant oracles and the fault layer's liveness monitor together).
+ * Hooks forward in add() order; entries are not owned.
+ */
+class ObserverChain : public ProtocolObserver
+{
+  public:
+    ObserverChain() = default;
+    ObserverChain(std::initializer_list<ProtocolObserver*> list)
+    {
+        for (ProtocolObserver* o : list)
+            add(o);
+    }
+
+    void
+    add(ProtocolObserver* o)
+    {
+        if (o)
+            _list.push_back(o);
+    }
+
+    void
+    onCommitRequested(NodeId proc, const CommitId& id,
+                      const Chunk& chunk) override
+    {
+        for (auto* o : _list)
+            o->onCommitRequested(proc, id, chunk);
+    }
+    void
+    onCommitSerialized(NodeId proc, const CommitId& id) override
+    {
+        for (auto* o : _list)
+            o->onCommitSerialized(proc, id);
+    }
+    void
+    onCommitSuccess(NodeId proc, const CommitId& id) override
+    {
+        for (auto* o : _list)
+            o->onCommitSuccess(proc, id);
+    }
+    void
+    onCommitFailure(NodeId proc, const CommitId& id) override
+    {
+        for (auto* o : _list)
+            o->onCommitFailure(proc, id);
+    }
+    void
+    onCommitAborted(NodeId proc, const CommitId& id) override
+    {
+        for (auto* o : _list)
+            o->onCommitAborted(proc, id);
+    }
+    void
+    onChunkRead(NodeId proc, const ChunkTag& tag, Addr line) override
+    {
+        for (auto* o : _list)
+            o->onChunkRead(proc, tag, line);
+    }
+    void
+    onChunkCommitted(NodeId proc, const ChunkTag& tag,
+                     const std::vector<Addr>& write_lines, Tick now) override
+    {
+        for (auto* o : _list)
+            o->onChunkCommitted(proc, tag, write_lines, now);
+    }
+    void
+    onLineCommitted(NodeId dir, Addr line, const CommitId& id) override
+    {
+        for (auto* o : _list)
+            o->onLineCommitted(dir, line, id);
+    }
+    void
+    onChunkSquashed(NodeId proc, const Chunk& victim, SquashReason why,
+                    const ChunkTag& committer, const Signature* commit_w,
+                    const std::vector<Addr>* commit_lines) override
+    {
+        for (auto* o : _list)
+            o->onChunkSquashed(proc, victim, why, committer, commit_w,
+                               commit_lines);
+    }
+    void
+    onGroupFormed(NodeId dir, const CommitId& id, std::uint64_t g_vec) override
+    {
+        for (auto* o : _list)
+            o->onGroupFormed(dir, id, g_vec);
+    }
+    void
+    onGroupFailed(NodeId dir, const CommitId& id, GroupFailReason why,
+                  const CommitId& winner) override
+    {
+        for (auto* o : _list)
+            o->onGroupFailed(dir, id, why, winner);
+    }
+
+  private:
+    std::vector<ProtocolObserver*> _list;
 };
 
 /**

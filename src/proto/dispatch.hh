@@ -156,6 +156,27 @@ struct TransitionInfo
 };
 
 /**
+ * Declared recovery disposition of one controller state: what keeps the
+ * state sound if the transport re-delivers a message (duplicate), and
+ * what re-drives progress if a message the state waits for never arrives
+ * (timeout). These are not transition rows — the dispatcher never routes
+ * through them; exactly-once in-order delivery is restored below the
+ * protocols by the ARQ transport (src/fault/), and timeouts are the
+ * watchdog/retransmission layer's job. They are audited metadata:
+ * sbulk-lint requires every state of every table to answer both
+ * questions in writing, so "what if this message is duplicated or lost
+ * here?" cannot silently go unconsidered when a state is added.
+ */
+struct RecoveryRow
+{
+    std::uint8_t state = 0;
+    /** Why a re-delivered (duplicate) message cannot corrupt this state. */
+    const char* dup = nullptr;
+    /** What re-drives progress when an awaited message is lost here. */
+    const char* timeout = nullptr;
+};
+
+/**
  * A controller's full declared state machine, type-erased for the lint
  * analyses. Lifetime: static (rows/names point at static storage).
  */
@@ -182,6 +203,10 @@ struct DispatchSpec
     ConflictPolicy conflict = ConflictPolicy::None;
     /** Groups traverse their modules in ascending priority order. */
     bool ascendingTraversal = false;
+
+    /** Per-state duplicate/timeout recovery dispositions (lint-audited). */
+    const RecoveryRow* recovery = nullptr;
+    std::size_t numRecovery = 0;
 
     const char* stateName(std::uint8_t s) const
     {
@@ -228,7 +253,9 @@ class DispatchTable
                   std::size_t num_kinds, std::size_t num_real_kinds,
                   const TransitionRow<Ctrl>* rows, std::size_t num_rows,
                   ConflictPolicy conflict = ConflictPolicy::None,
-                  bool ascending_traversal = false)
+                  bool ascending_traversal = false,
+                  const RecoveryRow* recovery = nullptr,
+                  std::size_t num_recovery = 0)
     {
         SBULK_ASSERT(num_states <= MaxStates && num_kinds <= MaxKinds);
         _spec.protocol = protocol;
@@ -241,6 +268,8 @@ class DispatchTable
         _spec.numRealKinds = num_real_kinds;
         _spec.conflict = conflict;
         _spec.ascendingTraversal = ascending_traversal;
+        _spec.recovery = recovery;
+        _spec.numRecovery = num_recovery;
 
         for (auto& per_state : _cells)
             for (auto& cell : per_state)

@@ -844,11 +844,65 @@ sbDirDispatch()
          "already failed: discard, per Section 3.4"},
     };
 
+    static const RecoveryRow recovery[] = {
+        {ID,
+         "a replayed commit_request would open a second CST entry for the "
+         "same attempt; exactly-once delivery (transport dedup by channel "
+         "sequence) is load-bearing here",
+         "no state is held; a lost commit_request sits unacked in the "
+         "committer's retransmission store and its watchdog re-drives it"},
+        {RW,
+         "the entry is keyed by commit id and the g can be taken from "
+         "ReqWait only once (the state moves); wire duplicates are "
+         "deduped below dispatch",
+         "the awaited g is regenerated by the upstream ring module's "
+         "retransmission channel; a dead group is reclaimed through the "
+         "recall/tombstone path"},
+        {GW,
+         "holding g, waiting for the request: a duplicated commit_request "
+         "is transport-deduped, and the pair is joined by commit id",
+         "the missing commit_request is still unacked at the committer; "
+         "its watchdog kick retransmits it"},
+        {AR,
+         "re-arming an already-armed recall placeholder for the same id "
+         "is idempotent",
+         "the placeholder waits only for the original request, which the "
+         "committer's retransmission channel re-delivers; it dissolves "
+         "when consumed"},
+        {MH,
+         "ring and ack messages for this id are single-shot per attempt; "
+         "the transport dedups wire-level replays",
+         "g_success/g_failure travel the ring; a loss is repaired by the "
+         "upstream module's retransmission channel"},
+        {MD,
+         "a replayed commit_done would double-release the module; "
+         "transport dedup keeps release exactly-once",
+         "commit_done is tracked in the leader's retransmission store "
+         "until this module's transport acks it"},
+        {LW,
+         "a duplicated g returning to the leader would double-accumulate "
+         "inval vectors; transport dedup protects the ring",
+         "ring loss is repaired hop-by-hop by each module's "
+         "retransmission channel; the committer's watchdog re-kicks the "
+         "whole group"},
+        {LC,
+         "bulk_inv acks are counted once per member; a replayed ack would "
+         "finish the commit early, so dedup keeps the count exact",
+         "missing acks are retransmitted from each member processor's "
+         "channel until the leader's count drains"},
+        {TS,
+         "absorbing replays is the tombstone's purpose: the failure "
+         "already answered this id, and a duplicate meets the same "
+         "tombstone",
+         "the tombstone waits only for the original (retransmitted) "
+         "request and is reclaimed when it arrives"},
+    };
+
     static const DispatchTable<SbDirCtrl> table(
         "scalablebulk", "dir", state_names, std::size(state_names), kinds,
         kind_names, std::size(kinds), /*num_real_kinds=*/7, rows,
         std::size(rows), ConflictPolicy::KeepWinner,
-        /*ascending_traversal=*/true);
+        /*ascending_traversal=*/true, recovery, std::size(recovery));
     return table;
 }
 

@@ -79,6 +79,8 @@ struct CommitRequestMsg : Message
           writesHere(std::move(writes_here)),
           allWrites(std::move(all_writes))
     {}
+
+    SBULK_MESSAGE_CLONE(CommitRequestMsg)
 };
 
 /**
@@ -98,6 +100,8 @@ struct GrabMsg : Message
                   kSmallCBytes),
           id(id_), invalVec(inval), order(std::move(order_))
     {}
+
+    SBULK_MESSAGE_CLONE(GrabMsg)
 };
 
 /** g_failure: C_Tag — Dir -> Dir(s). */
@@ -118,6 +122,8 @@ struct GFailureMsg : Message
                   kSmallCBytes),
           id(id_), countsForStarvation(starves)
     {}
+
+    SBULK_MESSAGE_CLONE(GFailureMsg)
 };
 
 /** g_success: C_Tag — Leader -> Dir(s). */
@@ -130,6 +136,8 @@ struct GSuccessMsg : Message
                   kSmallCBytes),
           id(id_)
     {}
+
+    SBULK_MESSAGE_CLONE(GSuccessMsg)
 };
 
 /** commit_failure: C_Tag — Leader -> Proc. */
@@ -142,6 +150,8 @@ struct CommitFailureMsg : Message
                   kCommitFailure, kSmallCBytes),
           id(id_)
     {}
+
+    SBULK_MESSAGE_CLONE(CommitFailureMsg)
 };
 
 /** commit_success: C_Tag — Leader -> Proc. */
@@ -154,6 +164,8 @@ struct CommitSuccessMsg : Message
                   kCommitSuccess, kSmallCBytes),
           id(id_)
     {}
+
+    SBULK_MESSAGE_CLONE(CommitSuccessMsg)
 };
 
 /** bulk_inv: C_Tag, W_Sig — Leader -> sharer Proc(s). */
@@ -176,6 +188,8 @@ struct BulkInvMsg : Message
           id(id_), wSig(w), lines(std::move(lines_)), committer(committer_),
           leader(leader_)
     {}
+
+    SBULK_MESSAGE_CLONE(BulkInvMsg)
 };
 
 /** bulk_inv_ack: C_Tag (+ piggy-backed commit recall) — Proc -> Dir. */
@@ -189,6 +203,8 @@ struct BulkInvAckMsg : Message
                   kBulkInvAck, kSmallCBytes),
           id(id_), recall(recall_)
     {}
+
+    SBULK_MESSAGE_CLONE(BulkInvAckMsg)
 };
 
 /**
@@ -205,6 +221,8 @@ struct BulkInvNackMsg : Message
                   kBulkInvNack, kSmallCBytes),
           id(id_)
     {}
+
+    SBULK_MESSAGE_CLONE(BulkInvNackMsg)
 };
 
 /** A recall routed with commit_done: Table 1's (C_Tag, Dir ID) format. */
@@ -231,6 +249,8 @@ struct CommitDoneMsg : Message
                   kCommitDone, kSmallCBytes),
           id(id_), recalls(std::move(recalls_))
     {}
+
+    SBULK_MESSAGE_CLONE(CommitDoneMsg)
 };
 
 } // namespace sb

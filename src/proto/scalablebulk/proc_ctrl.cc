@@ -33,7 +33,8 @@ LeaderPolicy::order(std::uint64_t g_vec, Tick now) const
 
 SbProcCtrl::SbProcCtrl(NodeId self, ProtoContext ctx,
                        const LeaderPolicy& policy)
-    : _self(self), _ctx(ctx), _policy(policy)
+    : _self(self), _ctx(ctx), _policy(policy),
+      _retryRng(ctx.cfg.backoffSeed + self * 0x9e3779b97f4a7c15ull)
 {}
 
 void
@@ -87,6 +88,8 @@ SbProcCtrl::sendRequest()
             _self, member, _current, chunk.rSig(), chunk.wSig(),
             _currentGVec, order, std::move(writes_here), all_writes));
     }
+    if (_ctx.cfg.watchdogTimeout)
+        armWatchdog();
 }
 
 void
@@ -158,14 +161,64 @@ SbProcCtrl::onCommitFailure(MessagePtr mp)
                 (unsigned long long)_current.tag.seq, _current.attempt);
     _ctx.metrics.commitFailures.inc();
     _ctx.metrics.commitRetries.inc();
-    // Wait a while, then retry (Section 3.2). Linear backoff drains
-    // collision storms; the id-based skew avoids lockstep retries.
-    const Tick factor = std::min<Tick>(_chunk->commitAttempts, 20);
-    const Tick delay = _ctx.cfg.commitRetryDelay * factor + (_self % 16);
     const CommitId failed = _current;
-    _ctx.eq.scheduleIn(delay, [this, failed] {
+    _ctx.eq.scheduleIn(retryDelay(), [this, failed] {
         if (_chunk && _current == failed)
             sendRequest();
+    });
+}
+
+Tick
+SbProcCtrl::retryDelay()
+{
+    const std::uint32_t attempts = _chunk->commitAttempts;
+    if (!_ctx.cfg.expBackoff) {
+        // Wait a while, then retry (Section 3.2). Linear backoff drains
+        // collision storms; the id-based skew avoids lockstep retries.
+        // Capped: the ramp used to grow without bound, so a chunk nacked
+        // by a long collision storm could end up waiting longer than the
+        // storm itself.
+        const Tick factor = std::min<Tick>(attempts, 20);
+        return _ctx.cfg.commitRetryDelay * factor + (_self % 16);
+    }
+    // Capped exponential backoff with seeded jitter (fault-injection
+    // runs): doubles per failure up to the cap, drawn uniformly from
+    // [cap/2, cap] to decorrelate colliding retriers.
+    if (_ctx.cfg.escalateAfter && attempts >= _ctx.cfg.escalateAfter) {
+        // Starvation-fairness escalation: a chunk this unlucky stops
+        // backing off and hammers at the base period, so the directory's
+        // starvation reservation (Section 3.2.2) — which latches on
+        // observed failures — gets the steady stream of attempts it
+        // needs to fence out the competition.
+        _ctx.metrics.retryEscalations.inc();
+        return _ctx.cfg.commitRetryDelay + Tick(_retryRng.below(16));
+    }
+    const Tick ceil = std::min<Tick>(
+        _ctx.cfg.commitRetryDelay << std::min<std::uint32_t>(attempts, 10),
+        _ctx.cfg.backoffCap);
+    return ceil / 2 + Tick(_retryRng.below(ceil / 2 + 1));
+}
+
+void
+SbProcCtrl::armWatchdog()
+{
+    const CommitId guarded = _current;
+    _ctx.eq.scheduleIn(_ctx.cfg.watchdogTimeout, [this, guarded] {
+        if (!_chunk || !_awaitingOutcome || _current != guarded)
+            return; // the attempt resolved; the watchdog dies with it
+        _ctx.metrics.watchdogFires.inc();
+        SBULK_TRACE(trace::Cat::Commit, _ctx.eq.now(),
+                    "proc %u watchdog: commit (%u,%llu) attempt %u has no "
+                    "outcome, kicking transport",
+                    _self, guarded.tag.proc,
+                    (unsigned long long)guarded.tag.seq, guarded.attempt);
+        // Protocol-level re-request would spawn zombie group state at the
+        // directories; instead nudge the recovery transport to retransmit
+        // anything of ours still unacked (same sequence numbers, so the
+        // receivers dedup — safe even on a false alarm).
+        if (TransportLayer* t = _ctx.net.transport())
+            t->kick(_self);
+        armWatchdog();
     });
 }
 
@@ -286,10 +339,31 @@ sbProcDispatch()
          "consume; squashing the backing-off chunk aborts its retry"},
     };
 
+    static const RecoveryRow recovery[] = {
+        {ID,
+         "outcomes and invalidations are commit-id guarded: a replayed "
+         "message for a settled attempt is discarded, and re-applying a "
+         "bulk-inv to already-invalid lines is a no-op",
+         "nothing is awaited; the next startCommit() drives progress"},
+        {AW,
+         "the transport dedups by channel sequence before dispatch; an "
+         "application-level replay of the outcome hits the "
+         "one-outcome-per-attempt id guard",
+         "the commit watchdog (ProtoConfig::watchdogTimeout) kicks the "
+         "transport to retransmit unacked requests; attempt ids keep the "
+         "re-delivery idempotent"},
+        {BK,
+         "late outcomes for the failed attempt are absorbed by the "
+         "stale-id guard (one outcome per attempt)",
+         "the backoff timer re-issues the request under a fresh attempt "
+         "id regardless of what was lost"},
+    };
+
     static const DispatchTable<SbProcCtrl> table(
         "scalablebulk", "proc", state_names, std::size(state_names), kinds,
         kind_names, std::size(kinds), /*num_real_kinds=*/3, rows,
-        std::size(rows));
+        std::size(rows), ConflictPolicy::None,
+        /*ascending_traversal=*/false, recovery, std::size(recovery));
     return table;
 }
 

@@ -16,6 +16,7 @@
 #include "proto/commit_protocol.hh"
 #include "proto/dispatch.hh"
 #include "proto/scalablebulk/messages.hh"
+#include "sim/random.hh"
 
 namespace sbulk
 {
@@ -85,10 +86,17 @@ class SbProcCtrl : public ProcProtocol
     void onBulkInv(MessagePtr msg);
     void sendRequest();
 
+    /** Backoff before retrying the failed attempt (policy-dependent). */
+    Tick retryDelay();
+    /** Re-armable stuck-attempt watchdog (fault runs; see ProtoConfig). */
+    void armWatchdog();
+
     NodeId _self;
     ProtoContext _ctx;
     const LeaderPolicy& _policy;
     CoreHooks* _core = nullptr;
+    /** Retry-jitter source (exponential-backoff policy only). */
+    Rng _retryRng;
 
     /** The chunk whose commit is in flight (one per core). */
     Chunk* _chunk = nullptr;

@@ -387,11 +387,31 @@ seqDirDispatch()
          "module's done is sent when its publication completes"},
     };
 
+    static const RecoveryRow recovery[] = {
+        {FR,
+         "a duplicated occupy would enqueue the same committer twice and "
+         "wedge the mutex on its single release; exactly-once delivery "
+         "(transport dedup) is load-bearing here",
+         "no state is held; a lost occupy sits unacked in the "
+         "committer's retransmission store"},
+        {OC,
+         "release and publish messages are one-shot per occupant; dedup "
+         "keeps the mutex's hold/release accounting balanced",
+         "the occupant's next message is tracked by its sender's "
+         "retransmission channel; the FIFO queue preserves order across "
+         "the repair"},
+        {PB,
+         "invalidation acks are counted once per sharer; dedup protects "
+         "the count",
+         "outstanding acks are re-driven by each sharer's retransmission "
+         "channel until publication drains"},
+    };
+
     static const DispatchTable<SeqDirCtrl> table(
         "seq", "dir", state_names, std::size(state_names), kinds,
         kind_names, std::size(kinds), /*num_real_kinds=*/5, rows,
         std::size(rows), ConflictPolicy::Queue,
-        /*ascending_traversal=*/true);
+        /*ascending_traversal=*/true, recovery, std::size(recovery));
     return table;
 }
 
@@ -458,10 +478,29 @@ seqProcDispatch()
     // Conflict metadata lives on the directory table: occupancy queueing
     // is a directory-side behaviour, and declaring it twice would make
     // the group-formation audit double-count the same policy.
+    static const RecoveryRow recovery[] = {
+        {ID,
+         "late grants and acks for settled commits hit the stale-id "
+         "guards after transport dedup",
+         "nothing is awaited; the next startCommit() drives progress"},
+        {OC,
+         "a duplicated grant would advance the ascending member walk "
+         "twice; exactly-once delivery (transport dedup) is load-bearing "
+         "here",
+         "the pending occupy is unacked in this core's retransmission "
+         "store; the watchdog kick re-sends it"},
+        {PB,
+         "publication acks are counted once per member; dedup protects "
+         "the drain count",
+         "retransmission completes the drain; channel FIFO preserves the "
+         "module order across the repair"},
+    };
+
     static const DispatchTable<SeqProcCtrl> table(
         "seq", "proc", state_names, std::size(state_names), kinds,
         kind_names, std::size(kinds), /*num_real_kinds=*/3, rows,
-        std::size(rows));
+        std::size(rows), ConflictPolicy::None,
+        /*ascending_traversal=*/false, recovery, std::size(recovery));
     return table;
 }
 

@@ -52,6 +52,8 @@ struct SeqCtrlMsg : Message
                   kSmallCBytes),
           id(id_)
     {}
+
+    SBULK_MESSAGE_CLONE(SeqCtrlMsg)
 };
 
 /** proc -> occupied write-set dir: publish this chunk's writes. */
@@ -69,6 +71,8 @@ struct SeqCommitMsg : Message
           id(id_), wSig(w), writesHere(std::move(writes_here)),
           allWrites(std::move(all))
     {}
+
+    SBULK_MESSAGE_CLONE(SeqCommitMsg)
 };
 
 struct SeqBulkInvMsg : Message
@@ -87,6 +91,8 @@ struct SeqBulkInvMsg : Message
           id(id_), wSig(w), lines(std::move(lines_)), committer(committer_),
           ackTo(src_)
     {}
+
+    SBULK_MESSAGE_CLONE(SeqBulkInvMsg)
 };
 
 /**

@@ -44,10 +44,20 @@ tccVendorDispatch()
          "onTidRequest", 1, {{0, 0}},
          "vend the next TID (the global commit order)"},
     };
+    static const RecoveryRow recovery[] = {
+        {0,
+         "a duplicated tid_request would vend two TIDs and desequence the "
+         "commit pump; the vendor relies on transport dedup for "
+         "exactly-once vending",
+         "stateless request/reply: a lost request (or reply) sits in the "
+         "sender's retransmission store until acked"},
+    };
+
     static const DispatchTable<TccTidVendor> table(
         "tcc", "agent", state_names, std::size(state_names), kinds,
         kind_names, std::size(kinds), /*num_real_kinds=*/1, rows,
-        std::size(rows));
+        std::size(rows), ConflictPolicy::None,
+        /*ascending_traversal=*/false, recovery, std::size(recovery));
     return table;
 }
 
@@ -559,10 +569,42 @@ tccDirDispatch()
          "the front TID retires only after its last ack"},
     };
 
+    static const RecoveryRow recovery[] = {
+        {FU,
+         "announcements (probe/skip/mark/abort) are consumed once per "
+         "TID; wire replays are transport-deduped before the pump sees "
+         "them",
+         "nothing is held for a future TID; a lost announcement is "
+         "retransmitted from the committer's channel and the pump waits "
+         "in TID order"},
+        {AN,
+         "the announcement for this TID is already recorded; a duplicate "
+         "is deduped below dispatch (re-recording would corrupt the "
+         "pump's bookkeeping)",
+         "the pump cannot pass this TID until its probe is processed, so "
+         "progress rests on the committer's watchdog-driven "
+         "retransmission of the missing pieces"},
+        {HE,
+         "commit_go and abort are one-shot per TID; transport dedup "
+         "keeps the held module from releasing twice",
+         "a lost commit_go stalls the held module; it stays unacked in "
+         "the committer's retransmission store until re-delivered"},
+        {PR,
+         "invalidation acks are counted per sharer; dedup keeps the "
+         "outstanding count from underflowing",
+         "missing acks are re-driven by each sharer's retransmission "
+         "channel until the count drains"},
+        {RE,
+         "messages for retired TIDs are late by construction and the "
+         "table drops them; a replay is just another late arrival",
+         "nothing is awaited after retirement"},
+    };
+
     static const DispatchTable<TccDirCtrl> table(
         "tcc", "dir", state_names, std::size(state_names), kinds,
         kind_names, std::size(kinds), /*num_real_kinds=*/6, rows,
-        std::size(rows));
+        std::size(rows), ConflictPolicy::None,
+        /*ascending_traversal=*/false, recovery, std::size(recovery));
     return table;
 }
 
@@ -650,10 +692,33 @@ tccProcDispatch()
          "our TID as a skip)"},
     };
 
+    static const RecoveryRow recovery[] = {
+        {ID,
+         "late probe responses and dones for settled commits hit the "
+         "stale-id guards after transport dedup",
+         "nothing is awaited; the next startCommit() drives progress"},
+        {AT,
+         "a duplicated tid_reply would assign two TIDs to one chunk; "
+         "exactly-once delivery (transport dedup) is load-bearing here",
+         "the tid_request sits unacked in this core's retransmission "
+         "store; the watchdog kick re-sends it"},
+        {PB,
+         "probe responses are counted once per directory; dedup protects "
+         "the count from double-decrement",
+         "a missing probe response is retransmitted by the answering "
+         "directory's channel until acked"},
+        {DR,
+         "directory dones are counted once per member; dedup protects "
+         "the drain count",
+         "dones are tracked in each directory's retransmission store; "
+         "re-delivery completes the drain"},
+    };
+
     static const DispatchTable<TccProcCtrl> table(
         "tcc", "proc", state_names, std::size(state_names), kinds,
         kind_names, std::size(kinds), /*num_real_kinds=*/4, rows,
-        std::size(rows));
+        std::size(rows), ConflictPolicy::None,
+        /*ascending_traversal=*/false, recovery, std::size(recovery));
     return table;
 }
 

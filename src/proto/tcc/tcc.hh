@@ -66,6 +66,8 @@ struct TidRequestMsg : Message
                   kTidRequest, kSmallCBytes),
           id(id_)
     {}
+
+    SBULK_MESSAGE_CLONE(TidRequestMsg)
 };
 
 struct TidReplyMsg : Message
@@ -78,6 +80,8 @@ struct TidReplyMsg : Message
                   kTidReply, kSmallCBytes),
           id(id_), tid(tid_)
     {}
+
+    SBULK_MESSAGE_CLONE(TidReplyMsg)
 };
 
 /** probe: "transaction tid will commit at your module; expect N marks". */
@@ -93,6 +97,8 @@ struct ProbeMsg : Message
                   kSmallCBytes),
           id(id_), tid(tid_), marksExpected(marks)
     {}
+
+    SBULK_MESSAGE_CLONE(ProbeMsg)
 };
 
 /** skip: "transaction tid does not involve your module". */
@@ -105,6 +111,8 @@ struct SkipMsg : Message
                   kSmallCBytes),
           tid(tid_)
     {}
+
+    SBULK_MESSAGE_CLONE(SkipMsg)
 };
 
 /** mark: one written line (sent per line, as in the paper). */
@@ -119,6 +127,8 @@ struct MarkMsg : Message
                   kSmallCBytes),
           id(id_), tid(tid_), line(line_)
     {}
+
+    SBULK_MESSAGE_CLONE(MarkMsg)
 };
 
 /** abort: the transaction squashed; treat its tid as a skip. */
@@ -132,6 +142,8 @@ struct TccAbortMsg : Message
                   kSmallCBytes),
           id(id_), tid(tid_)
     {}
+
+    SBULK_MESSAGE_CLONE(TccAbortMsg)
 };
 
 struct TccDirDoneMsg : Message
@@ -143,6 +155,8 @@ struct TccDirDoneMsg : Message
                   kTccDirDone, kSmallCBytes),
           id(id_)
     {}
+
+    SBULK_MESSAGE_CLONE(TccDirDoneMsg)
 };
 
 /** dir -> proc: this module reached your TID and is held for you. */
@@ -155,6 +169,8 @@ struct ProbeRespMsg : Message
                   kProbeResp, kSmallCBytes),
           id(id_)
     {}
+
+    SBULK_MESSAGE_CLONE(ProbeRespMsg)
 };
 
 /** proc -> dir: all modules are held; apply the marked writes. */
@@ -168,6 +184,8 @@ struct CommitGoMsg : Message
                   kCommitGo, kSmallCBytes),
           id(id_), tid(tid_)
     {}
+
+    SBULK_MESSAGE_CLONE(CommitGoMsg)
 };
 
 /** Line invalidations to one sharer (exact lines; no signatures). */
@@ -185,6 +203,8 @@ struct TccInvMsg : Message
           id(id_), lines(std::move(lines_)), committer(committer_),
           ackTo(src_)
     {}
+
+    SBULK_MESSAGE_CLONE(TccInvMsg)
 };
 
 struct TccInvAckMsg : Message
@@ -196,6 +216,8 @@ struct TccInvAckMsg : Message
                   kTccInvAck, kSmallCBytes),
           id(id_)
     {}
+
+    SBULK_MESSAGE_CLONE(TccInvAckMsg)
 };
 
 /** The centralized TID vendor. */

@@ -1,5 +1,8 @@
 #include "system/experiment.hh"
 
+#include <memory>
+
+#include "fault/transport.hh"
 #include "workload/synthetic.hh"
 
 namespace sbulk
@@ -15,6 +18,16 @@ runExperiment(const RunConfig& cfg)
     sys_cfg.numProcs = cfg.procs;
     sys_cfg.protocol = cfg.protocol;
     sys_cfg.proto = cfg.proto;
+    const bool faulted = cfg.faults.enabled();
+    if (faulted) {
+        // Arm the recovery layer the injected faults are aimed at (see
+        // ROBUSTNESS.md): seeded capped-exponential retry backoff plus
+        // per-request watchdogs that kick the transport to retransmit.
+        sys_cfg.proto.expBackoff = true;
+        sys_cfg.proto.backoffSeed = cfg.faults.seed;
+        if (cfg.faults.watchdog)
+            sys_cfg.proto.watchdogTimeout = Tick(cfg.faults.rxCap) * 2;
+    }
     sys_cfg.core.chunkInstrs = cfg.chunkInstrs;
     sys_cfg.core.sigCfg = cfg.sig;
     sys_cfg.core.chunksToRun =
@@ -31,6 +44,15 @@ runExperiment(const RunConfig& cfg)
     }
 
     System sys(sys_cfg, std::move(streams));
+
+    std::unique_ptr<fault::FaultTransport> transport;
+    if (faulted) {
+        transport = std::make_unique<fault::FaultTransport>(
+            sys.network(), cfg.faults, /*stream_salt=*/params.seed);
+        sys.network().setTransport(transport.get());
+        sys.network().allowChannelReorder(cfg.faults.arq);
+    }
+
     const Tick end = sys.run(cfg.tickLimit);
 
     RunResult r;
@@ -62,6 +84,16 @@ runExperiment(const RunConfig& cfg)
         r.loads += h.loads.value();
         r.l1Hits += h.l1Hits.value();
         r.l2Misses += h.misses.value();
+    }
+
+    if (faulted) {
+        r.faultsInjected = transport->injected().size();
+        r.retransmissions = transport->stats().retransmissions.value();
+        r.dupsDropped = transport->stats().dupsDropped.value();
+        r.watchdogFires = m.watchdogFires.value();
+        r.retryEscalations = m.retryEscalations.value();
+        r.recoveryLatencyMean = transport->stats().recoveryLatency.mean();
+        sys.network().setTransport(nullptr);
     }
     return r;
 }

@@ -11,6 +11,7 @@
 
 #include <string>
 
+#include "fault/fault_plan.hh"
 #include "system/system.hh"
 #include "workload/apps.hh"
 
@@ -36,6 +37,12 @@ struct RunConfig
     std::uint64_t seedOverride = 0;
     /** Safety stop. */
     Tick tickLimit = 4'000'000'000ull;
+    /**
+     * Transport fault plan (see ROBUSTNESS.md). When enabled() the run
+     * attaches a FaultTransport and arms the recovery layer; degradation
+     * counters land in RunResult. Disabled plans leave the run untouched.
+     */
+    fault::FaultPlan faults{};
 };
 
 /** Everything the figures read out of one run. */
@@ -74,6 +81,16 @@ struct RunResult
     std::uint64_t loads = 0;
     std::uint64_t l1Hits = 0;
     std::uint64_t l2Misses = 0;
+
+    /// @name Fault-sweep degradation (all zero without a plan)
+    /// @{
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t dupsDropped = 0;
+    std::uint64_t watchdogFires = 0;
+    std::uint64_t retryEscalations = 0;
+    double recoveryLatencyMean = 0;
+    /// @}
 };
 
 /** Build, run, and harvest one experiment. */

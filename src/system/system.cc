@@ -205,6 +205,9 @@ System::recordStats(StatSet& set) const
     const CommitMetrics& m = _metrics;
     set.record("commits", double(m.commits.value()));
     set.record("commitFailures", double(m.commitFailures.value()));
+    set.record("commitRetries", double(m.commitRetries.value()));
+    set.record("watchdogFires", double(m.watchdogFires.value()));
+    set.record("retryEscalations", double(m.retryEscalations.value()));
     set.record("squashesTrueConflict",
                double(m.squashesTrueConflict.value()));
     set.record("squashesAliasing", double(m.squashesAliasing.value()));

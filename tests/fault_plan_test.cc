@@ -1,0 +1,153 @@
+/**
+ * @file
+ * FaultPlan grammar tests: parse()/serialize() round-trip for every field
+ * and rule shape, defaults stay implicit, and malformed plans are rejected
+ * without touching the output (see ROBUSTNESS.md for the grammar).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fault/fault_plan.hh"
+
+namespace
+{
+
+using namespace sbulk;
+using fault::FaultAction;
+using fault::FaultPlan;
+using fault::FaultRule;
+
+FaultPlan
+roundTrip(const FaultPlan& plan)
+{
+    FaultPlan out;
+    std::string err;
+    EXPECT_TRUE(FaultPlan::parse(plan.serialize(), out, &err)) << err;
+    return out;
+}
+
+TEST(FaultPlan, DefaultIsDisabledAndMinimalSerialization)
+{
+    FaultPlan plan;
+    EXPECT_FALSE(plan.enabled());
+    // Only the seed is emitted for an all-default plan.
+    EXPECT_EQ(plan.serialize(), "seed=1");
+    EXPECT_EQ(roundTrip(plan), plan);
+}
+
+TEST(FaultPlan, RatesRoundTrip)
+{
+    FaultPlan plan;
+    plan.seed = 42;
+    plan.dropRate = 0.01;
+    plan.dupRate = 0.02;
+    plan.delayRate = 0.25;
+    plan.delayMax = 500;
+    plan.stallRate = 0.001;
+    plan.stallDur = 321;
+    plan.pauseRate = 0.0625;
+    plan.pauseDur = 777;
+    EXPECT_TRUE(plan.enabled());
+    EXPECT_EQ(roundTrip(plan), plan);
+}
+
+TEST(FaultPlan, KnobsRoundTrip)
+{
+    FaultPlan plan;
+    plan.dropRate = 0.5;
+    plan.arq = false;
+    plan.watchdog = false;
+    plan.rxBase = 100;
+    plan.rxCap = 1600;
+    EXPECT_EQ(roundTrip(plan), plan);
+}
+
+TEST(FaultPlan, TargetedRulesRoundTrip)
+{
+    FaultPlan plan;
+    FaultRule by_class;
+    by_class.action = FaultAction::Drop;
+    by_class.hasClass = true;
+    by_class.cls = MsgClass::SmallCMessage;
+    by_class.n = 3;
+    by_class.every = 2;
+    plan.rules.push_back(by_class);
+
+    FaultRule by_kind;
+    by_kind.action = FaultAction::Delay;
+    by_kind.hasKind = true;
+    by_kind.kind = 7;
+    by_kind.n = 1;
+    by_kind.value = 900;
+    plan.rules.push_back(by_kind);
+
+    FaultRule any;
+    any.action = FaultAction::Dup;
+    any.n = 5;
+    plan.rules.push_back(any);
+
+    EXPECT_TRUE(plan.enabled());
+    EXPECT_EQ(roundTrip(plan), plan);
+}
+
+TEST(FaultPlan, ParsesHumanInput)
+{
+    FaultPlan plan;
+    std::string err;
+    ASSERT_TRUE(FaultPlan::parse(
+        "seed=7, drop=0.01, dup=0.01, delay=0.1:200, arq=on, "
+        "rule=drop/class=SmallCMessage/n=2/every=3",
+        plan, &err))
+        << err;
+    EXPECT_EQ(plan.seed, 7u);
+    EXPECT_DOUBLE_EQ(plan.dropRate, 0.01);
+    EXPECT_DOUBLE_EQ(plan.dupRate, 0.01);
+    EXPECT_DOUBLE_EQ(plan.delayRate, 0.1);
+    EXPECT_EQ(plan.delayMax, 200u);
+    EXPECT_TRUE(plan.arq);
+    ASSERT_EQ(plan.rules.size(), 1u);
+    EXPECT_EQ(plan.rules[0].action, FaultAction::Drop);
+    EXPECT_TRUE(plan.rules[0].hasClass);
+    EXPECT_EQ(plan.rules[0].cls, MsgClass::SmallCMessage);
+    EXPECT_EQ(plan.rules[0].n, 2u);
+    EXPECT_EQ(plan.rules[0].every, 3u);
+}
+
+TEST(FaultPlan, RejectsMalformedInputWithoutTouchingOutput)
+{
+    const char* bad[] = {
+        "drop",              // missing value
+        "drop=1.5",          // rate out of [0, 1]
+        "drop=-0.1",         // negative rate
+        "frob=0.1",          // unknown key
+        "rule=explode/any",  // unknown action
+        "rule=drop/class=NoSuchClass", // unknown message class
+        "rxbase=100, rxcap=50",        // cap below base
+        "arq=maybe",         // not on|off
+        "seed=notanumber",
+    };
+    for (const char* text : bad) {
+        FaultPlan out;
+        out.seed = 99; // sentinel: parse failure must not clobber it
+        std::string err;
+        EXPECT_FALSE(FaultPlan::parse(text, out, &err)) << text;
+        EXPECT_FALSE(err.empty()) << text;
+        EXPECT_EQ(out.seed, 99u) << text;
+    }
+}
+
+TEST(FaultPlan, SerializeOmitsDefaultDurations)
+{
+    FaultPlan plan;
+    plan.dropRate = 0.125;
+    const std::string text = plan.serialize();
+    EXPECT_NE(text.find("drop=0.125"), std::string::npos) << text;
+    // No delay/stall/pause/arq/watchdog noise for untouched knobs.
+    EXPECT_EQ(text.find("delay"), std::string::npos) << text;
+    EXPECT_EQ(text.find("arq"), std::string::npos) << text;
+    EXPECT_EQ(text.find("watchdog"), std::string::npos) << text;
+}
+
+} // namespace

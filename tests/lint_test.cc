@@ -1,6 +1,6 @@
 /**
  * @file
- * sbulk-lint audit tests: the clean tree is clean, and each of the three
+ * sbulk-lint audit tests: the clean tree is clean, and each of the four
  * analyses provably fires on a seeded defect.
  *
  * The defect tests copy a real table's rows into mutable storage, plant
@@ -259,6 +259,82 @@ TEST(LintSeededDefect, GroupAuditAcceptsDeclaredPolicies)
     SpecCopy copy(specOf("scalablebulk", "dir"));
     copy.spec.ascendingTraversal = false;
     EXPECT_TRUE(lint::auditGroupFormation(copy.spec).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Analysis 4 fires: the recovery metadata (dup/timeout dispositions per
+// state, see ROBUSTNESS.md) must cover every state with a written
+// justification — removing, blanking, or garbling a row is detected.
+
+/** A spec copy whose recovery rows are also owned by the fixture. */
+struct RecoveryCopy : SpecCopy
+{
+    std::vector<RecoveryRow> recovery;
+
+    explicit RecoveryCopy(const DispatchSpec& src)
+        : SpecCopy(src),
+          recovery(src.recovery, src.recovery + src.numRecovery)
+    {
+        spec.recovery = recovery.data();
+        spec.numRecovery = recovery.size();
+    }
+};
+
+TEST(LintSeededDefect, RecoveryCatchesMissingState)
+{
+    RecoveryCopy copy(specOf("scalablebulk", "dir"));
+    copy.recovery.pop_back();
+    copy.spec.numRecovery = copy.recovery.size();
+    const auto findings = lint::auditRecovery(copy.spec);
+    EXPECT_TRUE(anyFinding(findings, "recovery", "no recovery row"));
+}
+
+TEST(LintSeededDefect, RecoveryCatchesBlankDupJustification)
+{
+    RecoveryCopy copy(specOf("tcc", "dir"));
+    copy.recovery[0].dup = "";
+    const auto findings = lint::auditRecovery(copy.spec);
+    EXPECT_TRUE(anyFinding(findings, "recovery",
+                           "duplicate-delivery disposition missing"));
+}
+
+TEST(LintSeededDefect, RecoveryCatchesBlankTimeoutJustification)
+{
+    RecoveryCopy copy(specOf("seq", "proc"));
+    copy.recovery[0].timeout = nullptr;
+    const auto findings = lint::auditRecovery(copy.spec);
+    EXPECT_TRUE(anyFinding(findings, "recovery",
+                           "timeout disposition missing"));
+}
+
+TEST(LintSeededDefect, RecoveryCatchesUnknownAndDuplicateStates)
+{
+    RecoveryCopy copy(specOf("bulksc", "proc"));
+    copy.recovery.push_back(copy.recovery[0]); // duplicate state 0's row
+    RecoveryRow bogus = copy.recovery[0];
+    bogus.state = 99;
+    copy.recovery.push_back(bogus);
+    copy.spec.recovery = copy.recovery.data();
+    copy.spec.numRecovery = copy.recovery.size();
+    const auto findings = lint::auditRecovery(copy.spec);
+    EXPECT_TRUE(anyFinding(findings, "recovery", "duplicate recovery row"));
+    EXPECT_TRUE(anyFinding(findings, "recovery", "unknown state"));
+}
+
+TEST(LintCleanTree, RecoveryAuditAcceptsEveryRegisteredTable)
+{
+    for (const DispatchSpec* spec : allDispatchSpecs())
+        EXPECT_TRUE(lint::auditRecovery(*spec).empty())
+            << spec->protocol << "." << spec->controller;
+}
+
+TEST(LintCleanTree, RenderSpecShowsRecoveryDispositions)
+{
+    const std::string dump =
+        lint::renderSpec(specOf("scalablebulk", "dir"));
+    EXPECT_NE(dump.find("recover"), std::string::npos);
+    EXPECT_NE(dump.find("dup —"), std::string::npos);
+    EXPECT_NE(dump.find("timeout —"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

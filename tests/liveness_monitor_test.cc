@@ -1,0 +1,87 @@
+/**
+ * @file
+ * LivenessMonitor unit tests: resolved commit attempts (success, failure,
+ * abort) leave no residue; unresolved attempts surface as StuckCommit
+ * reports sorted by age, with a diagnosis even when no transport is
+ * attached. The end-to-end path (stuck commits under real lost messages)
+ * is covered by fault_recovery_test.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chunk/chunk.hh"
+#include "fault/liveness.hh"
+
+namespace
+{
+
+using namespace sbulk;
+using fault::LivenessMonitor;
+using fault::StuckCommit;
+
+Chunk
+makeChunk(NodeId proc, std::uint64_t seq)
+{
+    return Chunk(ChunkTag{proc, seq}, 0, SigConfig{});
+}
+
+CommitId
+id(NodeId proc, std::uint64_t seq, std::uint32_t attempt)
+{
+    return CommitId{ChunkTag{proc, seq}, attempt};
+}
+
+TEST(LivenessMonitor, ResolvedAttemptsLeaveNothingPending)
+{
+    LivenessMonitor mon;
+    const Chunk c0 = makeChunk(0, 1);
+    const Chunk c1 = makeChunk(1, 1);
+    const Chunk c2 = makeChunk(2, 1);
+
+    mon.onCommitRequested(0, id(0, 1, 1), c0);
+    mon.onCommitSuccess(0, id(0, 1, 1));
+
+    mon.onCommitRequested(1, id(1, 1, 1), c1);
+    mon.onCommitFailure(1, id(1, 1, 1));
+
+    mon.onCommitRequested(2, id(2, 1, 1), c2);
+    mon.onCommitAborted(2, id(2, 1, 1));
+
+    mon.finalize(nullptr);
+    EXPECT_TRUE(mon.stuck().empty());
+    EXPECT_EQ(mon.attemptsSeen(), 3u);
+}
+
+TEST(LivenessMonitor, RetriedAttemptsTrackPerAttemptId)
+{
+    LivenessMonitor mon;
+    const Chunk c = makeChunk(3, 7);
+    // Attempt 1 fails (retry), attempt 2 succeeds: nothing pending.
+    mon.onCommitRequested(3, id(3, 7, 1), c);
+    mon.onCommitFailure(3, id(3, 7, 1));
+    mon.onCommitRequested(3, id(3, 7, 2), c);
+    mon.onCommitSuccess(3, id(3, 7, 2));
+
+    mon.finalize(nullptr);
+    EXPECT_TRUE(mon.stuck().empty());
+    EXPECT_EQ(mon.attemptsSeen(), 2u);
+}
+
+TEST(LivenessMonitor, UnresolvedAttemptIsReportedWithDiagnosis)
+{
+    LivenessMonitor mon;
+    const Chunk c = makeChunk(5, 9);
+    mon.onCommitRequested(5, id(5, 9, 2), c);
+
+    mon.finalize(nullptr);
+    ASSERT_EQ(mon.stuck().size(), 1u);
+    const StuckCommit& s = mon.stuck()[0];
+    EXPECT_EQ(s.proc, 5u);
+    EXPECT_EQ(s.id.tag.proc, 5u);
+    EXPECT_EQ(s.id.tag.seq, 9u);
+    EXPECT_EQ(s.id.attempt, 2u);
+    EXPECT_NE(s.diagnosis.find("never resolved"), std::string::npos)
+        << s.diagnosis;
+}
+
+} // namespace

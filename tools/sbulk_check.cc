@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "check/replay.hh"
+#include "fault/fault_plan.hh"
 #include "sim/parallel.hh"
 #include "sim/trace.hh"
 
@@ -69,6 +70,10 @@ usage(int code)
         "  --tick-limit N         livelock bound per schedule\n"
         "  --break MODE           sabotage the protocol to exercise the\n"
         "                         oracles: admit-conflicting | fail-both\n"
+        "  --faults PLAN          inject transport faults per PLAN (see\n"
+        "                         ROBUSTNESS.md), e.g.\n"
+        "                         \"seed=7, drop=0.01, dup=0.01\"; arms the\n"
+        "                         recovery layer and the liveness oracle\n"
         "  --expect-violations    exit 0 iff violations WERE found\n"
         "  --keep-going           don't stop a protocol at its first "
         "failure\n"
@@ -167,6 +172,12 @@ parseArgs(int argc, char** argv)
                              mode.c_str());
                 usage(2);
             }
+        } else if (!std::strcmp(a, "--faults")) {
+            std::string err;
+            if (!fault::FaultPlan::parse(need(i), opt.base.faults, &err)) {
+                std::fprintf(stderr, "bad fault plan: %s\n", err.c_str());
+                usage(2);
+            }
         } else if (!std::strcmp(a, "--jobs")) {
             opt.jobs = unsigned(std::atoi(need(i)));
             if (opt.jobs == 0)
@@ -218,7 +229,24 @@ printReplayCommand(const Options& opt, ProtocolKind proto,
         std::printf(" --break admit-conflicting");
     else if (opt.base.sbBreak == SbBreakMode::FailBothOnCollision)
         std::printf(" --break fail-both");
+    if (opt.base.faults.enabled())
+        std::printf(" --faults \"%s\"",
+                    opt.base.faults.serialize().c_str());
     std::printf("\n");
+}
+
+/** One-line degradation summary of a faulted run (omitted otherwise). */
+void
+printFaultSummary(const CheckResult& r)
+{
+    std::printf("    faults: %llu injected, %llu retransmission(s), "
+                "%llu duplicate(s) dropped, %llu watchdog fire(s), "
+                "recovery latency mean %.0f\n",
+                (unsigned long long)r.faultsInjected,
+                (unsigned long long)r.retransmissions,
+                (unsigned long long)r.dupsDropped,
+                (unsigned long long)r.watchdogFires,
+                r.recoveryLatencyMean);
 }
 
 } // namespace
@@ -254,6 +282,8 @@ main(int argc, char** argv)
                             ? " (byte-for-byte match)"
                             : "");
             printViolations(r);
+            if (opt.base.faults.enabled())
+                printFaultSummary(r);
             if (!r.ok())
                 ++totalViolatingSeeds;
         }
@@ -266,6 +296,10 @@ main(int argc, char** argv)
         std::uint64_t explored = 0;
         std::uint64_t violating = 0;
         std::uint64_t commits = 0;
+        std::uint64_t faults = 0;
+        std::uint64_t retx = 0;
+        std::uint64_t dupDrops = 0;
+        std::uint64_t watchdogs = 0;
 
         // Explore seeds concurrently (each run owns a private System and
         // EventQueue), then walk the results in seed order below. The
@@ -289,6 +323,10 @@ main(int argc, char** argv)
             ++explored;
             schedules.insert(r.traceHash);
             commits += r.commitsChecked;
+            faults += r.faultsInjected;
+            retx += r.retransmissions;
+            dupDrops += r.dupsDropped;
+            watchdogs += r.watchdogFires;
 
             if (!r.ok()) {
                 ++violating;
@@ -300,6 +338,8 @@ main(int argc, char** argv)
                             (unsigned long long)r.traceHash,
                             r.trace.decisions.size());
                 printViolations(r);
+                if (opt.base.faults.enabled())
+                    printFaultSummary(r);
 
                 const ShrinkResult shrunk = shrinkFailure(cfg, r.trace);
                 std::printf("  shrunk to decision prefix %zu/%zu (%zu "
@@ -318,6 +358,15 @@ main(int argc, char** argv)
                     protocolFlag(proto), (unsigned long long)explored,
                     schedules.size(), (unsigned long long)commits,
                     (unsigned long long)violating);
+        if (opt.base.faults.enabled()) {
+            std::printf("%-13s faults: %llu injected, %llu "
+                        "retransmission(s), %llu duplicate(s) dropped, "
+                        "%llu watchdog fire(s)\n",
+                        protocolFlag(proto), (unsigned long long)faults,
+                        (unsigned long long)retx,
+                        (unsigned long long)dupDrops,
+                        (unsigned long long)watchdogs);
+        }
         std::fflush(stdout);
     }
 

@@ -100,6 +100,8 @@ main(int argc, char** argv)
                 mine.push_back(std::move(f));
             for (lint::Finding& f : lint::auditGroupFormation(*spec))
                 mine.push_back(std::move(f));
+            for (lint::Finding& f : lint::auditRecovery(*spec))
+                mine.push_back(std::move(f));
         }
         for (lint::Finding& f : mine)
             findings.push_back(std::move(f));

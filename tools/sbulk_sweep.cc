@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.hh"
 #include "sim/parallel.hh"
 #include "system/experiment.hh"
 
@@ -72,6 +73,7 @@ main(int argc, char** argv)
     std::uint64_t chunks = 1280;
     std::uint64_t seed = 0;
     unsigned jobs = 1;
+    fault::FaultPlan faults;
 
     for (int i = 1; i < argc; ++i) {
         const char* a = argv[i];
@@ -108,11 +110,18 @@ main(int argc, char** argv)
             jobs = unsigned(std::atoi(need()));
             if (jobs == 0)
                 jobs = defaultJobs();
+        } else if (!std::strcmp(a, "--faults")) {
+            std::string err;
+            if (!fault::FaultPlan::parse(need(), faults, &err)) {
+                std::fprintf(stderr, "bad fault plan: %s\n", err.c_str());
+                return 2;
+            }
         } else {
             std::fprintf(
                 stderr,
                 "usage: sbulk-sweep [--apps A,B] [--protocols P,Q] "
-                "[--procs N,M] [--chunks N] [--seed N] [--jobs N]\n");
+                "[--procs N,M] [--chunks N] [--seed N] [--jobs N] "
+                "[--faults PLAN]\n");
             return 2;
         }
     }
@@ -144,14 +153,15 @@ main(int argc, char** argv)
         cfg.protocol = cell.proto;
         cfg.totalChunks = chunks;
         cfg.seedOverride = seed;
+        cfg.faults = faults;
         const RunResult r = runExperiment(cfg);
         const double total = r.breakdown.total();
-        char buf[512];
-        std::snprintf(
+        char buf[640];
+        int len = std::snprintf(
             buf, sizeof(buf),
             "%s,%s,%s,%u,%llu,%llu,%llu,%.4f,%.4f,%.4f,%.4f,%.1f,"
             "%llu,%.2f,%.2f,%.2f,%.2f,%llu,%llu,%llu,%llu,%llu,"
-            "%.4f\n",
+            "%.4f",
             r.app.c_str(), cell.app->suite.c_str(),
             protocolName(cell.proto), cell.procs,
             (unsigned long long)r.seed,
@@ -170,13 +180,31 @@ main(int argc, char** argv)
             (unsigned long long)r.commitRecalls,
             (unsigned long long)r.traffic.totalMessages(),
             r.loads ? double(r.l1Hits) / double(r.loads) : 0.0);
+        // Degradation columns exist only under --faults, so the default
+        // CSV stays byte-identical to the pre-fault sweep.
+        if (faults.enabled()) {
+            len += std::snprintf(
+                buf + len, sizeof(buf) - std::size_t(len),
+                ",%llu,%llu,%llu,%llu,%llu,%.1f",
+                (unsigned long long)r.faultsInjected,
+                (unsigned long long)r.retransmissions,
+                (unsigned long long)r.dupsDropped,
+                (unsigned long long)r.watchdogFires,
+                (unsigned long long)r.retryEscalations,
+                r.recoveryLatencyMean);
+        }
+        std::snprintf(buf + len, sizeof(buf) - std::size_t(len), "\n");
         rows[i] = buf;
     });
 
     std::printf("app,suite,protocol,procs,seed,makespan,commits,usefulFrac,"
                 "cacheMissFrac,commitFrac,squashFrac,latMean,latP90,dirs,"
                 "writeDirs,bottleneck,queue,failures,squashTrue,"
-                "squashAlias,recalls,messages,l1HitRate\n");
+                "squashAlias,recalls,messages,l1HitRate%s\n",
+                faults.enabled() ? ",faultsInjected,retransmissions,"
+                                   "dupsDropped,watchdogFires,"
+                                   "retryEscalations,recoveryLatMean"
+                                 : "");
     for (const std::string& row : rows)
         std::fputs(row.c_str(), stdout);
     return 0;
