@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Golden-trace smoke (see WORKLOADS.md): validates the committed scenario
+# traces, replays each one, and diffs the per-tenant replay CSV against
+# traces/GOLDEN_STATS.csv byte for byte. Scenario generation and replay
+# are deterministic, so any diff is a behaviour change that must either be
+# fixed or explicitly re-baselined with --update.
+#
+# Usage: scripts/trace_golden.sh [--update]
+#   BUILD_DIR  build tree holding tools/sbulk-trace (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+TRACE="$BUILD_DIR/tools/sbulk-trace"
+GOLDEN=traces/GOLDEN_STATS.csv
+
+if [ ! -x "$TRACE" ]; then
+    echo "error: $TRACE not built (set BUILD_DIR?)" >&2
+    exit 2
+fi
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+first=1
+for t in traces/*.sbt; do
+    # Strict end-to-end structural scan first: a corrupt golden must fail
+    # loudly, not replay garbage.
+    "$TRACE" validate "$t" >/dev/null
+    if [ "$first" = 1 ]; then
+        "$TRACE" replay "$t" --csv >>"$out"
+        first=0
+    else
+        "$TRACE" replay "$t" --csv | tail -n +2 >>"$out"
+    fi
+done
+
+if [ "${1:-}" = "--update" ]; then
+    mv "$out" "$GOLDEN"
+    trap - EXIT
+    echo "re-baselined $GOLDEN"
+    exit 0
+fi
+
+diff -u "$GOLDEN" "$out"
+
+# A fault-injected replay (see ROBUSTNESS.md) must still commit every
+# request: the recovery layer composes with trace-driven workloads.
+clean=$("$TRACE" replay traces/kv-zipf.sbt --csv | sed -n 2p | cut -d, -f6)
+faulted=$("$TRACE" replay traces/kv-zipf.sbt --csv \
+    --faults "seed=3,drop=0.02,dup=0.01" | sed -n 2p | cut -d, -f6)
+if [ "$clean" != "$faulted" ]; then
+    echo "error: fault-injected replay committed $faulted of $clean" >&2
+    exit 1
+fi
+
+echo "trace goldens OK (commits under faults: $faulted/$clean)"

@@ -31,6 +31,12 @@ struct MemOp
     std::uint32_t gap = 0;
     bool isWrite = false;
     Addr addr = 0;
+    /** Logical client this access serves (trace-driven workloads; the
+     *  synthetic models leave it 0). */
+    std::uint16_t tenant = 0;
+    /** The access closes its chunk: the core completes the chunk right
+     *  after it (how trace requests/transactions map onto chunks). */
+    bool endChunk = false;
 };
 
 /** Lifecycle of a chunk. */
@@ -154,10 +160,20 @@ class Chunk
         return false;
     }
 
+    /** Tenant attribution: the tenant of the chunk's first operation.
+     *  Stable across squash/replay (the op log survives). */
+    std::uint16_t tenant() const { return _tenant; }
+
     /// @name Replay support
     /// @{
     /** Append an operation to the replay log as it is first generated. */
-    void logOp(const MemOp& op) { _ops.push_back(op); }
+    void
+    logOp(const MemOp& op)
+    {
+        if (_ops.empty())
+            _tenant = op.tenant;
+        _ops.push_back(op);
+    }
     const std::vector<MemOp>& ops() const { return _ops; }
 
     /**
@@ -217,6 +233,7 @@ class Chunk
     std::unordered_map<NodeId, std::vector<Addr>> _writesByHome;
     std::vector<MemOp> _ops;
     std::uint32_t _timesSquashed = 0;
+    std::uint16_t _tenant = 0;
 };
 
 } // namespace sbulk

@@ -124,7 +124,7 @@ Core::executeOp()
             _caches.homeOf(op.addr);
             _stats.chunkOverflows.inc();
             // Give the op back; it belongs to whatever executes next.
-            _carryOp = MemOp{0, true, op.addr};
+            _carryOp = MemOp{0, true, op.addr, op.tenant, op.endChunk};
             if (!exec->writeSet().empty()) {
                 // Truncate: committing this chunk's own speculative lines
                 // frees its ways (the paper's reduced-chunk-size effect).
@@ -139,6 +139,11 @@ Core::executeOp()
         }
         exec->usefulCycles += work;
         _instrsInChunk += work;
+        if (op.endChunk) {
+            // Trace-marked transaction boundary: the next executeOp()
+            // completes the chunk regardless of the instruction budget.
+            _instrsInChunk = _cfg.chunkInstrs;
+        }
         exec->recordWrite(line, lazyHome);
         // Stores retire through the write buffer: no stall.
         scheduleNextOp(work);
@@ -147,6 +152,8 @@ Core::executeOp()
 
     exec->usefulCycles += work;
     _instrsInChunk += work;
+    if (op.endChunk)
+        _instrsInChunk = _cfg.chunkInstrs;
     exec->recordRead(line, lazyHome);
 
     // Probe for the (common) L1 hit before building the miss-completion
@@ -242,6 +249,9 @@ Core::chunkCommitted(ChunkTag tag)
     _stats.usefulCycles.inc(front->usefulCycles);
     _stats.missStallCycles.inc(front->missStallCycles);
     _stats.chunksCommitted.inc();
+    TenantAccum& tenant = _tenants[front->tenant()];
+    ++tenant.commits;
+    tenant.commitLatency.sample(front->committedAt - front->commitRequested);
     _chunks.pop_front();
 
     leaveCommitStall();
@@ -372,6 +382,7 @@ Core::squashFrom(std::size_t first_idx, bool true_conflict,
         chunk.rename(ChunkTag{_id, _nextSeq++});
         chunk.commitRequested = 0;
         _stats.chunksSquashed.inc();
+        ++_tenants[chunk.tenant()].squashes;
     }
 
     // If the core was idle waiting on a commit that just died, account the

@@ -14,6 +14,7 @@
 #define SBULK_CPU_CORE_HH
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 
@@ -98,6 +99,22 @@ class Core : public CoreHooks
     };
     const Stats& stats() const { return _stats; }
 
+    /** Per-tenant commit accounting (populated by trace-driven runs;
+     *  synthetic workloads put everything under tenant 0). */
+    struct TenantAccum
+    {
+        std::uint64_t commits = 0;
+        std::uint64_t squashes = 0;
+        /** Commit latency (commit request -> success), cycles. */
+        Distribution commitLatency{5, 1000};
+    };
+    /** Ordered by tenant id so reports are deterministic. */
+    const std::map<std::uint16_t, TenantAccum>&
+    tenantStats() const
+    {
+        return _tenants;
+    }
+
     /** Number of in-flight (uncommitted) chunks — test hook. */
     std::size_t activeChunks() const { return _chunks.size(); }
 
@@ -163,6 +180,7 @@ class Core : public CoreHooks
     unsigned _nextSlot = 0;
 
     Stats _stats;
+    std::map<std::uint16_t, TenantAccum> _tenants;
 };
 
 } // namespace sbulk

@@ -114,6 +114,24 @@ class Distribution
         return _max;
     }
 
+    /**
+     * Fold @p other into this distribution. Requires identical geometry
+     * (bucket width and count) — merging per-run histograms into a
+     * cross-run aggregate, as the per-tenant sweep reports do.
+     */
+    void
+    merge(const Distribution& other)
+    {
+        if (other._count == 0)
+            return;
+        for (std::size_t i = 0; i < _buckets.size(); ++i)
+            _buckets[i] += other._buckets[i];
+        _sum += other._sum;
+        _min = _count == 0 ? other._min : std::min(_min, other._min);
+        _max = std::max(_max, other._max);
+        _count += other._count;
+    }
+
     void
     reset()
     {

@@ -1,18 +1,56 @@
 #include "system/experiment.hh"
 
+#include <algorithm>
+#include <fstream>
+#include <map>
 #include <memory>
+#include <sstream>
 
 #include "fault/transport.hh"
+#include "trace/record.hh"
+#include "trace/source.hh"
 #include "workload/synthetic.hh"
 
 namespace sbulk
 {
 
+namespace
+{
+
+/** Non-owning ThreadStream adapter (System wants unique_ptr streams, the
+ *  replay and recorder own theirs). */
+class ForwardStream : public ThreadStream
+{
+  public:
+    explicit ForwardStream(ThreadStream* inner) : _inner(inner) {}
+    MemOp next() override { return _inner->next(); }
+
+  private:
+    ThreadStream* _inner;
+};
+
+std::string
+traceRunName(const std::string& path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    return "trace:" +
+           (slash == std::string::npos ? path : path.substr(slash + 1));
+}
+
+} // namespace
+
 RunResult
 runExperiment(const RunConfig& cfg)
 {
-    SBULK_ASSERT(cfg.app != nullptr, "experiment needs an application");
+    const bool from_scenario = !cfg.scenario.empty();
+    const bool from_trace = !cfg.tracePath.empty();
+    SBULK_ASSERT(int(cfg.app != nullptr) + int(from_scenario) +
+                         int(from_trace) == 1,
+                 "experiment needs exactly one workload source "
+                 "(app, trace, or scenario)");
     SBULK_ASSERT(cfg.procs >= 1 && cfg.procs <= 64);
+    SBULK_ASSERT(cfg.recordPath.empty() || cfg.app,
+                 "recording requires a synthetic app workload");
 
     SystemConfig sys_cfg;
     sys_cfg.numProcs = cfg.procs;
@@ -33,14 +71,109 @@ runExperiment(const RunConfig& cfg)
     sys_cfg.core.chunksToRun =
         std::max<std::uint64_t>(1, cfg.totalChunks / cfg.procs);
 
-    SyntheticParams params = streamParams(*cfg.app, cfg.procs);
-    if (cfg.seedOverride != 0)
-        params.seed = cfg.seedOverride;
+    // Trace/scenario plumbing. Everything that the per-core streams
+    // borrow from is declared before the System so it outlives it.
+    std::ifstream trace_file;
+    std::stringstream scenario_buf;
+    atrace::TraceReplay replay;
+    std::ofstream record_file;
+    std::unique_ptr<atrace::TraceRecorder> recorder;
+    /** Synthetic streams handed to the recorder (it borrows; we own). */
+    std::vector<std::unique_ptr<ThreadStream>> recorded_inner;
+
+    RunResult r;
+    std::uint64_t run_seed = 0;
+
     std::vector<std::unique_ptr<ThreadStream>> streams;
-    for (NodeId n = 0; n < cfg.procs; ++n) {
-        streams.push_back(std::make_unique<SyntheticStream>(
-            params, n, cfg.procs, sys_cfg.mem.l2.lineBytes,
-            sys_cfg.mem.pageBytes));
+    if (from_trace || from_scenario) {
+        std::istream* in = nullptr;
+        if (from_scenario) {
+            const atrace::ScenarioSpec* spec =
+                atrace::findScenario(cfg.scenario);
+            SBULK_ASSERT(spec, "unknown scenario '%s'",
+                         cfg.scenario.c_str());
+            atrace::ScenarioParams params = cfg.scenarioParams;
+            params.cores = cfg.procs;
+            std::string err;
+            if (!atrace::generateScenario(*spec, params, scenario_buf,
+                                          /*text=*/false, &err))
+                SBULK_PANIC("scenario %s: %s", spec->name, err.c_str());
+            in = &scenario_buf;
+            r.app = spec->name;
+        } else {
+            trace_file.open(cfg.tracePath, std::ios::binary);
+            if (!trace_file)
+                SBULK_PANIC("cannot open trace '%s'",
+                            cfg.tracePath.c_str());
+            in = &trace_file;
+            r.app = traceRunName(cfg.tracePath);
+        }
+        std::string err;
+        if (!replay.open(*in, &err))
+            SBULK_PANIC("trace replay: %s", err.c_str());
+        const atrace::TraceHeader& hdr = replay.header();
+        SBULK_ASSERT(hdr.numCores == cfg.procs,
+                     "trace drives %u cores but the run has %u procs "
+                     "(pass --procs %u)",
+                     hdr.numCores, cfg.procs, hdr.numCores);
+        SBULK_ASSERT(hdr.lineBytes == sys_cfg.mem.l2.lineBytes &&
+                         hdr.pageBytes == sys_cfg.mem.pageBytes,
+                     "trace address geometry (line %u page %u) does not "
+                     "match the machine (line %u page %u)",
+                     hdr.lineBytes, hdr.pageBytes,
+                     sys_cfg.mem.l2.lineBytes, sys_cfg.mem.pageBytes);
+        // Replay hints: a recorded/generated trace knows its chunk size
+        // and work budget; explicit RunConfig values still win where the
+        // caller set them (tools pass totalChunks=0 in trace mode to
+        // defer to the trace).
+        if (hdr.chunkInstrs != 0)
+            sys_cfg.core.chunkInstrs = hdr.chunkInstrs;
+        std::uint64_t total = cfg.totalChunks;
+        if (total == 0)
+            total = hdr.totalChunks != 0 ? hdr.totalChunks : 1280;
+        sys_cfg.core.chunksToRun =
+            std::max<std::uint64_t>(1, total / cfg.procs);
+        run_seed = hdr.seed != 0 ? hdr.seed : cfg.seedOverride;
+        for (NodeId n = 0; n < cfg.procs; ++n)
+            streams.push_back(
+                std::make_unique<ForwardStream>(replay.streamFor(n)));
+        r.traced = true;
+    } else {
+        SyntheticParams params = streamParams(*cfg.app, cfg.procs);
+        if (cfg.seedOverride != 0)
+            params.seed = cfg.seedOverride;
+        run_seed = params.seed;
+        r.app = cfg.app->name;
+        if (!cfg.recordPath.empty()) {
+            record_file.open(cfg.recordPath, std::ios::binary);
+            if (!record_file)
+                SBULK_PANIC("cannot open '%s' for recording",
+                            cfg.recordPath.c_str());
+            atrace::TraceHeader hdr;
+            hdr.numCores = cfg.procs;
+            hdr.numTenants = 1;
+            hdr.lineBytes = sys_cfg.mem.l2.lineBytes;
+            hdr.pageBytes = sys_cfg.mem.pageBytes;
+            hdr.chunkInstrs = sys_cfg.core.chunkInstrs;
+            hdr.seed = params.seed;
+            hdr.totalChunks = cfg.totalChunks;
+            recorder = std::make_unique<atrace::TraceRecorder>(
+                record_file, hdr, /*text=*/false);
+        }
+        for (NodeId n = 0; n < cfg.procs; ++n) {
+            streams.push_back(std::make_unique<SyntheticStream>(
+                params, n, cfg.procs, sys_cfg.mem.l2.lineBytes,
+                sys_cfg.mem.pageBytes));
+            if (recorder) {
+                ThreadStream* inner = streams.back().release();
+                streams.back() = std::make_unique<ForwardStream>(
+                    recorder->wrap(inner, std::uint16_t(n)));
+                // The recorder borrows the inner stream; re-own it so it
+                // lives as long as the run.
+                recorded_inner.push_back(
+                    std::unique_ptr<ThreadStream>(inner));
+            }
+        }
     }
 
     System sys(sys_cfg, std::move(streams));
@@ -48,18 +181,22 @@ runExperiment(const RunConfig& cfg)
     std::unique_ptr<fault::FaultTransport> transport;
     if (faulted) {
         transport = std::make_unique<fault::FaultTransport>(
-            sys.network(), cfg.faults, /*stream_salt=*/params.seed);
+            sys.network(), cfg.faults, /*stream_salt=*/run_seed);
         sys.network().setTransport(transport.get());
         sys.network().allowChannelReorder(cfg.faults.arq);
     }
 
     const Tick end = sys.run(cfg.tickLimit);
 
-    RunResult r;
-    r.app = cfg.app->name;
+    if (recorder) {
+        std::string err;
+        if (!recorder->finalize(&err))
+            SBULK_PANIC("trace record: %s", err.c_str());
+    }
+
     r.procs = cfg.procs;
     r.protocol = cfg.protocol;
-    r.seed = params.seed;
+    r.seed = run_seed;
     r.makespan = end;
     r.breakdown = sys.breakdown();
 
@@ -78,13 +215,23 @@ runExperiment(const RunConfig& cfg)
     r.commitRecalls = m.commitRecalls.value();
     r.traffic = sys.traffic();
 
+    std::map<std::uint16_t, RunResult::TenantStats> tenants;
     for (NodeId n = 0; n < cfg.procs; ++n) {
         r.chunksSquashed += sys.core(n).stats().chunksSquashed.value();
         const auto& h = sys.hierarchy(n).stats();
         r.loads += h.loads.value();
         r.l1Hits += h.l1Hits.value();
         r.l2Misses += h.misses.value();
+        for (const auto& [id, accum] : sys.core(n).tenantStats()) {
+            RunResult::TenantStats& t = tenants[id];
+            t.tenant = id;
+            t.commits += accum.commits;
+            t.squashes += accum.squashes;
+            t.commitLatency.merge(accum.commitLatency);
+        }
     }
+    for (auto& [id, t] : tenants)
+        r.tenants.push_back(std::move(t));
 
     if (faulted) {
         r.faultsInjected = transport->injected().size();

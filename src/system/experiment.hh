@@ -10,9 +10,11 @@
 #define SBULK_SYSTEM_EXPERIMENT_HH
 
 #include <string>
+#include <vector>
 
 #include "fault/fault_plan.hh"
 #include "system/system.hh"
+#include "trace/scenarios.hh"
 #include "workload/apps.hh"
 
 namespace sbulk
@@ -43,6 +45,28 @@ struct RunConfig
      * counters land in RunResult. Disabled plans leave the run untouched.
      */
     fault::FaultPlan faults{};
+
+    /// @name Trace-driven workloads (see WORKLOADS.md)
+    /// @{
+    /**
+     * Replay this access trace instead of a synthetic app (app must be
+     * null). The trace's core count must equal procs; its chunkInstrs /
+     * totalChunks / seed hints override the fields above when nonzero
+     * (totalChunks additionally falls back to 1280 when both are unset).
+     */
+    std::string tracePath;
+    /**
+     * Generate this serving scenario in memory and replay it (app and
+     * tracePath must be unset). scenarioParams.cores is forced to procs.
+     */
+    std::string scenario;
+    atrace::ScenarioParams scenarioParams{};
+    /**
+     * Tee the run's per-core op streams into this trace file (synthetic
+     * apps only); replaying the capture reproduces this run's statistics.
+     */
+    std::string recordPath;
+    /// @}
 };
 
 /** Everything the figures read out of one run. */
@@ -90,6 +114,22 @@ struct RunResult
     std::uint64_t watchdogFires = 0;
     std::uint64_t retryEscalations = 0;
     double recoveryLatencyMean = 0;
+    /// @}
+
+    /// @name Per-tenant serving metrics (trace/scenario runs)
+    /// @{
+    /** True when the run was trace- or scenario-driven. */
+    bool traced = false;
+    struct TenantStats
+    {
+        std::uint16_t tenant = 0;
+        std::uint64_t commits = 0;
+        std::uint64_t squashes = 0;
+        /** Commit latency (request -> success), merged across cores. */
+        Distribution commitLatency{5, 1000};
+    };
+    /** Sorted by tenant id; synthetic runs report one tenant (0). */
+    std::vector<TenantStats> tenants;
     /// @}
 };
 

@@ -1,0 +1,339 @@
+#include "trace/format.hh"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace sbulk::atrace
+{
+
+namespace
+{
+
+void
+put16(std::uint8_t* p, std::uint16_t v)
+{
+    p[0] = std::uint8_t(v);
+    p[1] = std::uint8_t(v >> 8);
+}
+
+void
+put32(std::uint8_t* p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = std::uint8_t(v >> (8 * i));
+}
+
+void
+put64(std::uint8_t* p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = std::uint8_t(v >> (8 * i));
+}
+
+std::uint16_t
+get16(const std::uint8_t* p)
+{
+    return std::uint16_t(p[0] | (std::uint16_t(p[1]) << 8));
+}
+
+std::uint32_t
+get32(const std::uint8_t* p)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+std::uint64_t
+get64(const std::uint8_t* p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+bool
+fail(std::string* err, const std::string& msg)
+{
+    if (err)
+        *err = msg;
+    return false;
+}
+
+std::string
+fmt(const char* f, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, f);
+    std::vsnprintf(buf, sizeof(buf), f, ap);
+    va_end(ap);
+    return buf;
+}
+
+} // namespace
+
+void
+encodeHeader(const TraceHeader& hdr, std::uint8_t* out)
+{
+    std::memcpy(out, kMagic, 4);
+    put16(out + 4, kVersion);
+    put16(out + 6, std::uint16_t(kHeaderBytes));
+    put32(out + 8, hdr.numCores);
+    put32(out + 12, hdr.numTenants);
+    put32(out + 16, hdr.lineBytes);
+    put32(out + 20, hdr.pageBytes);
+    put32(out + 24, hdr.chunkInstrs);
+    put32(out + 28, 0); // reserved
+    put64(out + 32, hdr.seed);
+    put64(out + 40, hdr.totalChunks);
+    put64(out + 48, hdr.recordCount);
+}
+
+bool
+decodeHeader(const std::uint8_t* in, TraceHeader& hdr, std::string* err)
+{
+    if (std::memcmp(in, kMagic, 4) != 0)
+        return fail(err, "header: bad magic (not an sbulk access trace)");
+    const std::uint16_t version = get16(in + 4);
+    if (version != kVersion) {
+        return fail(err, fmt("header: unsupported version %u (this build "
+                             "reads v%u)",
+                             version, kVersion));
+    }
+    const std::uint16_t hsize = get16(in + 6);
+    if (hsize != kHeaderBytes) {
+        return fail(err, fmt("header: declared size %u != %u", hsize,
+                             kHeaderBytes));
+    }
+    hdr.numCores = get32(in + 8);
+    hdr.numTenants = get32(in + 12);
+    hdr.lineBytes = get32(in + 16);
+    hdr.pageBytes = get32(in + 20);
+    hdr.chunkInstrs = get32(in + 24);
+    hdr.seed = get64(in + 32);
+    hdr.totalChunks = get64(in + 40);
+    hdr.recordCount = get64(in + 48);
+    return validateHeaderFields(hdr, err);
+}
+
+void
+encodeRecord(const TraceRecord& rec, std::uint8_t* out)
+{
+    put16(out, rec.tenant);
+    put16(out + 2, rec.core);
+    out[4] = rec.isWrite ? 1 : 0;
+    out[5] = rec.endChunk ? 1 : 0;
+    put16(out + 6, rec.size);
+    put32(out + 8, rec.gap);
+    put64(out + 12, rec.addr);
+}
+
+void
+decodeRecord(const std::uint8_t* in, TraceRecord& rec)
+{
+    rec.tenant = get16(in);
+    rec.core = get16(in + 2);
+    rec.isWrite = in[4] != 0;
+    rec.endChunk = in[5] != 0;
+    rec.size = get16(in + 6);
+    rec.gap = get32(in + 8);
+    rec.addr = get64(in + 12);
+    // Out-of-range op/flag bytes are folded to booleans above; strict
+    // byte-level checks live in the reader (which still has the raw bytes).
+}
+
+bool
+validateHeaderFields(const TraceHeader& hdr, std::string* err)
+{
+    if (hdr.numCores == 0 || hdr.numCores > 64) {
+        return fail(err, fmt("header: cores %u out of range [1,64]",
+                             hdr.numCores));
+    }
+    if (hdr.numTenants == 0 || hdr.numTenants > 65536) {
+        return fail(err, fmt("header: tenants %u out of range [1,65536]",
+                             hdr.numTenants));
+    }
+    if (hdr.lineBytes == 0 || (hdr.lineBytes & (hdr.lineBytes - 1)) != 0) {
+        return fail(err, fmt("header: line size %u is not a power of two",
+                             hdr.lineBytes));
+    }
+    if (hdr.pageBytes < hdr.lineBytes ||
+        (hdr.pageBytes & (hdr.pageBytes - 1)) != 0) {
+        return fail(err, fmt("header: page size %u is not a power of two "
+                             ">= line size %u",
+                             hdr.pageBytes, hdr.lineBytes));
+    }
+    return true;
+}
+
+bool
+validateRecordFields(const TraceRecord& rec, const TraceHeader& hdr,
+                     std::string* err)
+{
+    if (rec.core >= hdr.numCores) {
+        return fail(err, fmt("core %u out of range (trace has %u cores)",
+                             rec.core, hdr.numCores));
+    }
+    if (rec.tenant >= hdr.numTenants) {
+        return fail(err,
+                    fmt("tenant %u out of range (trace has %u tenants)",
+                        rec.tenant, hdr.numTenants));
+    }
+    if (rec.size == 0)
+        return fail(err, "access size 0 (must be >= 1 byte)");
+    return true;
+}
+
+std::string
+headerToText(const TraceHeader& hdr)
+{
+    return fmt("%s v%u cores=%u tenants=%u lines=%u pages=%u "
+               "chunk-instrs=%u seed=%" PRIu64 " chunks=%" PRIu64 "\n",
+               kTextMagic, kVersion, hdr.numCores, hdr.numTenants,
+               hdr.lineBytes, hdr.pageBytes, hdr.chunkInstrs, hdr.seed,
+               hdr.totalChunks);
+}
+
+std::string
+recordToText(const TraceRecord& rec)
+{
+    std::string line =
+        fmt("%u %u %c 0x%" PRIx64 " %u %u", rec.tenant, rec.core,
+            rec.isWrite ? 'W' : 'R', rec.addr, rec.size, rec.gap);
+    if (rec.endChunk)
+        line += " EOC";
+    return line;
+}
+
+namespace
+{
+
+/** Parse an unsigned field, rejecting junk and overflow. */
+bool
+parseU64(const std::string& tok, std::uint64_t max, std::uint64_t& out,
+         const char* what, std::string* err)
+{
+    if (tok.empty())
+        return fail(err, fmt("missing %s", what));
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(tok.c_str(), &end, 0);
+    if (errno != 0 || end != tok.c_str() + tok.size())
+        return fail(err, fmt("bad %s '%s'", what, tok.c_str()));
+    if (v > max)
+        return fail(err, fmt("%s %llu exceeds %llu", what, v,
+                             (unsigned long long)max));
+    out = v;
+    return true;
+}
+
+std::vector<std::string>
+tokens(const std::string& line)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos < line.size()) {
+        while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t'))
+            ++pos;
+        std::size_t end = pos;
+        while (end < line.size() && line[end] != ' ' && line[end] != '\t')
+            ++end;
+        if (end > pos)
+            out.push_back(line.substr(pos, end - pos));
+        pos = end;
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+recordFromText(const std::string& line, TraceRecord& rec, std::string* err)
+{
+    const std::vector<std::string> tok = tokens(line);
+    if (tok.size() < 6 || tok.size() > 7) {
+        return fail(err, fmt("expected 6 fields `tenant core op addr size "
+                             "gap [EOC]`, got %zu",
+                             tok.size()));
+    }
+    std::uint64_t v = 0;
+    if (!parseU64(tok[0], 65535, v, "tenant", err))
+        return false;
+    rec.tenant = std::uint16_t(v);
+    if (!parseU64(tok[1], 65535, v, "core", err))
+        return false;
+    rec.core = std::uint16_t(v);
+    if (tok[2] == "R" || tok[2] == "r") {
+        rec.isWrite = false;
+    } else if (tok[2] == "W" || tok[2] == "w") {
+        rec.isWrite = true;
+    } else {
+        return fail(err, fmt("unknown op '%s' (expected R or W)",
+                             tok[2].c_str()));
+    }
+    if (!parseU64(tok[3], std::uint64_t(-1), v, "address", err))
+        return false;
+    rec.addr = v;
+    if (!parseU64(tok[4], 65535, v, "size", err))
+        return false;
+    rec.size = std::uint16_t(v);
+    if (!parseU64(tok[5], 0xffffffffu, v, "gap", err))
+        return false;
+    rec.gap = std::uint32_t(v);
+    rec.endChunk = false;
+    if (tok.size() == 7) {
+        if (tok[6] != "EOC") {
+            return fail(err, fmt("unknown trailing field '%s' (expected "
+                                 "EOC)",
+                                 tok[6].c_str()));
+        }
+        rec.endChunk = true;
+    }
+    return true;
+}
+
+bool
+headerFromText(const std::string& line, TraceHeader& hdr, std::string* err)
+{
+    std::vector<std::string> tok = tokens(line);
+    if (tok.empty() || tok[0] != kTextMagic)
+        return fail(err, fmt("expected leading '%s' line", kTextMagic));
+    if (tok.size() < 2 || tok[1] != fmt("v%u", kVersion)) {
+        return fail(err, fmt("unsupported text trace version '%s' (this "
+                             "build reads v%u)",
+                             tok.size() < 2 ? "?" : tok[1].c_str(),
+                             kVersion));
+    }
+    hdr = TraceHeader{};
+    hdr.numCores = 0; // must be provided
+    for (std::size_t i = 2; i < tok.size(); ++i) {
+        const std::size_t eq = tok[i].find('=');
+        if (eq == std::string::npos)
+            return fail(err, fmt("bad header field '%s'", tok[i].c_str()));
+        const std::string key = tok[i].substr(0, eq);
+        const std::string val = tok[i].substr(eq + 1);
+        std::uint64_t v = 0;
+        if (!parseU64(val, std::uint64_t(-1), v, key.c_str(), err))
+            return false;
+        if (key == "cores") hdr.numCores = std::uint32_t(v);
+        else if (key == "tenants") hdr.numTenants = std::uint32_t(v);
+        else if (key == "lines") hdr.lineBytes = std::uint32_t(v);
+        else if (key == "pages") hdr.pageBytes = std::uint32_t(v);
+        else if (key == "chunk-instrs") hdr.chunkInstrs = std::uint32_t(v);
+        else if (key == "seed") hdr.seed = v;
+        else if (key == "chunks") hdr.totalChunks = v;
+        else
+            return fail(err, fmt("unknown header field '%s'", key.c_str()));
+    }
+    return validateHeaderFields(hdr, err);
+}
+
+} // namespace sbulk::atrace

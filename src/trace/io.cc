@@ -1,0 +1,270 @@
+#include "trace/io.hh"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+namespace sbulk::atrace
+{
+
+namespace
+{
+
+bool
+fail(std::string* err, const std::string& msg)
+{
+    if (err)
+        *err = msg;
+    return false;
+}
+
+std::string
+fmt(const char* f, ...)
+{
+    char buf[320];
+    va_list ap;
+    va_start(ap, f);
+    std::vsnprintf(buf, sizeof(buf), f, ap);
+    va_end(ap);
+    return buf;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(std::ostream& out, const TraceHeader& hdr,
+                         bool text)
+    : _out(out), _hdr(hdr), _text(text)
+{
+    if (_text) {
+        _out << headerToText(_hdr);
+    } else {
+        std::uint8_t buf[kHeaderBytes];
+        TraceHeader unfinalized = _hdr;
+        unfinalized.recordCount = 0; // patched by finalize()
+        encodeHeader(unfinalized, buf);
+        _out.write(reinterpret_cast<const char*>(buf), kHeaderBytes);
+    }
+}
+
+bool
+TraceWriter::append(const TraceRecord& rec, std::string* err)
+{
+    std::string why;
+    if (!validateRecordFields(rec, _hdr, &why))
+        return fail(err, fmt("record %" PRIu64 ": %s", _written,
+                             why.c_str()));
+    if (_text) {
+        _out << recordToText(rec) << '\n';
+    } else {
+        std::uint8_t buf[kRecordBytes];
+        encodeRecord(rec, buf);
+        _out.write(reinterpret_cast<const char*>(buf), kRecordBytes);
+    }
+    if (!_out)
+        return fail(err, fmt("write failed at record %" PRIu64, _written));
+    ++_written;
+    return true;
+}
+
+bool
+TraceWriter::finalize(std::string* err)
+{
+    if (!_text) {
+        // Patch the record count in place when the sink supports it; a
+        // pipe keeps recordCount 0 ("streamed"), which readers accept.
+        const std::streampos end = _out.tellp();
+        if (end != std::streampos(-1)) {
+            _hdr.recordCount = _written;
+            std::uint8_t buf[kHeaderBytes];
+            encodeHeader(_hdr, buf);
+            _out.seekp(0);
+            _out.write(reinterpret_cast<const char*>(buf), kHeaderBytes);
+            _out.seekp(end);
+        }
+    }
+    _out.flush();
+    if (!_out)
+        return fail(err, "finalize: flush failed");
+    return true;
+}
+
+bool
+TraceReader::open(std::istream& in, std::string* err)
+{
+    _in = &in;
+    _eof = false;
+    _index = 0;
+    _line = 0;
+
+    // Peek one byte to tell the forms apart: binary starts with 'S' of
+    // SBTR, text with '#' of #sbtrace. ('S' is unambiguous: a text trace
+    // always leads with the magic comment.)
+    const int first = in.peek();
+    if (first == std::char_traits<char>::eof())
+        return fail(err, "empty stream (no trace header)");
+    _text = char(first) == '#';
+
+    if (_text) {
+        std::string line;
+        if (!std::getline(in, line))
+            return fail(err, "line 1: missing header line");
+        _line = 1;
+        std::string why;
+        if (!headerFromText(line, _hdr, &why))
+            return fail(err, fmt("line 1: %s", why.c_str()));
+    } else {
+        std::uint8_t buf[kHeaderBytes];
+        in.read(reinterpret_cast<char*>(buf), kHeaderBytes);
+        if (in.gcount() != std::streamsize(kHeaderBytes)) {
+            return fail(err, fmt("truncated header: got %td of %u bytes",
+                                 std::ptrdiff_t(in.gcount()),
+                                 kHeaderBytes));
+        }
+        std::string why;
+        if (!decodeHeader(buf, _hdr, &why))
+            return fail(err, why);
+    }
+    _firstRecord = in.tellg();
+    return true;
+}
+
+bool
+TraceReader::next(TraceRecord& rec, std::string* err)
+{
+    if (_eof)
+        return false;
+    if (_text) {
+        std::string line;
+        while (std::getline(*_in, line)) {
+            ++_line;
+            // Strip a trailing CR (tolerate CRLF traces) and skip blank
+            // and comment lines.
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            std::size_t start = line.find_first_not_of(" \t");
+            if (start == std::string::npos || line[start] == '#')
+                continue;
+            std::string why;
+            if (!recordFromText(line, rec, &why))
+                return fail(err, fmt("line %" PRIu64 ": %s", _line,
+                                     why.c_str()));
+            if (!validateRecordFields(rec, _hdr, &why))
+                return fail(err, fmt("line %" PRIu64 ": %s", _line,
+                                     why.c_str()));
+            ++_index;
+            return true;
+        }
+        if (_hdr.recordCount != 0 && _index != _hdr.recordCount) {
+            return fail(err, fmt("trace ends after %" PRIu64 " records "
+                                 "but the header declares %" PRIu64,
+                                 _index, _hdr.recordCount));
+        }
+        _eof = true;
+        return false;
+    }
+
+    std::uint8_t buf[kRecordBytes];
+    _in->read(reinterpret_cast<char*>(buf), kRecordBytes);
+    const std::streamsize got = _in->gcount();
+    if (got == 0) {
+        if (_hdr.recordCount != 0 && _index != _hdr.recordCount) {
+            return fail(err, fmt("trace ends after %" PRIu64 " records "
+                                 "but the header declares %" PRIu64,
+                                 _index, _hdr.recordCount));
+        }
+        _eof = true;
+        return false;
+    }
+    const std::uint64_t offset =
+        std::uint64_t(kHeaderBytes) + _index * kRecordBytes;
+    if (got != std::streamsize(kRecordBytes)) {
+        return fail(err, fmt("truncated trace: record %" PRIu64 " (byte "
+                             "offset %" PRIu64 ") has %td of %u bytes",
+                             _index, offset, std::ptrdiff_t(got),
+                             kRecordBytes));
+    }
+    if (buf[4] > 1) {
+        return fail(err, fmt("record %" PRIu64 " (byte offset %" PRIu64
+                             "): bad op byte %u (0=read, 1=write)",
+                             _index, offset, buf[4]));
+    }
+    if (buf[5] > 1) {
+        return fail(err, fmt("record %" PRIu64 " (byte offset %" PRIu64
+                             "): bad flags byte %u (0 or 1)",
+                             _index, offset, buf[5]));
+    }
+    decodeRecord(buf, rec);
+    std::string why;
+    if (!validateRecordFields(rec, _hdr, &why)) {
+        return fail(err, fmt("record %" PRIu64 " (byte offset %" PRIu64
+                             "): %s",
+                             _index, offset, why.c_str()));
+    }
+    ++_index;
+    return true;
+}
+
+bool
+TraceReader::rewind(std::string* err)
+{
+    _in->clear();
+    _in->seekg(_firstRecord);
+    if (!*_in)
+        return fail(err, "rewind failed: stream is not seekable");
+    _eof = false;
+    _index = 0;
+    _line = _text ? 1 : 0;
+    return true;
+}
+
+bool
+scanTrace(std::istream& in, TraceSummary& sum, std::string* err)
+{
+    TraceReader reader;
+    if (!reader.open(in, err))
+        return false;
+    sum = TraceSummary{};
+    sum.header = reader.header();
+    sum.text = reader.isText();
+    sum.opsPerCore.assign(sum.header.numCores, 0);
+    sum.chunksPerCore.assign(sum.header.numCores, 0);
+    sum.opsPerTenant.assign(sum.header.numTenants, 0);
+
+    TraceRecord rec;
+    std::string why;
+    while (reader.next(rec, &why)) {
+        ++sum.records;
+        sum.writes += rec.isWrite ? 1 : 0;
+        sum.instrs += std::uint64_t(rec.gap) + 1;
+        ++sum.opsPerCore[rec.core];
+        ++sum.opsPerTenant[rec.tenant];
+        if (rec.endChunk)
+            ++sum.chunksPerCore[rec.core];
+    }
+    if (!why.empty())
+        return fail(err, why);
+    return true;
+}
+
+bool
+convertTrace(std::istream& in, std::ostream& out, bool to_text,
+             std::string* err)
+{
+    TraceReader reader;
+    if (!reader.open(in, err))
+        return false;
+    TraceWriter writer(out, reader.header(), to_text);
+    TraceRecord rec;
+    std::string why;
+    while (reader.next(rec, &why)) {
+        if (!writer.append(rec, err))
+            return false;
+    }
+    if (!why.empty())
+        return fail(err, why);
+    return writer.finalize(err);
+}
+
+} // namespace sbulk::atrace

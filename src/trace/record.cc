@@ -1,0 +1,61 @@
+#include "trace/record.hh"
+
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace sbulk::atrace
+{
+
+class TraceRecorder::Tee : public ThreadStream
+{
+  public:
+    Tee(TraceRecorder& rec, ThreadStream* inner, std::uint16_t core)
+        : _rec(rec), _inner(inner), _core(core)
+    {}
+
+    MemOp
+    next() override
+    {
+        MemOp op = _inner->next();
+        _rec.append(op, _core);
+        return op;
+    }
+
+  private:
+    TraceRecorder& _rec;
+    ThreadStream* _inner;
+    std::uint16_t _core;
+};
+
+TraceRecorder::TraceRecorder(std::ostream& out, const TraceHeader& hdr,
+                             bool text)
+    : _writer(out, hdr, text)
+{}
+
+TraceRecorder::~TraceRecorder() = default;
+
+ThreadStream*
+TraceRecorder::wrap(ThreadStream* inner, std::uint16_t core)
+{
+    _tees.push_back(std::make_unique<Tee>(*this, inner, core));
+    return _tees.back().get();
+}
+
+void
+TraceRecorder::append(const MemOp& op, std::uint16_t core)
+{
+    TraceRecord rec;
+    rec.tenant = op.tenant;
+    rec.core = core;
+    rec.isWrite = op.isWrite;
+    rec.endChunk = op.endChunk;
+    rec.size = 4;
+    rec.gap = op.gap;
+    rec.addr = op.addr;
+    std::string err;
+    if (!_writer.append(rec, &err))
+        SBULK_PANIC("trace record: %s", err.c_str());
+}
+
+} // namespace sbulk::atrace

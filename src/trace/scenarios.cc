@@ -1,0 +1,534 @@
+#include "trace/scenarios.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "sim/random.hh"
+#include "trace/io.hh"
+#include "workload/zipf.hh"
+
+namespace sbulk::atrace
+{
+
+namespace
+{
+
+/**
+ * Requests are bounded by EOC markers, not the instruction budget: the
+ * chunkInstrs replay hint is set high enough that no request ever splits
+ * across chunks (the largest scenario request is well under 2^18 instrs).
+ */
+constexpr std::uint32_t kScenarioChunkInstrs = 1u << 18;
+
+/** Hot-index lines per tenant (first page of the tenant's span). */
+constexpr std::uint32_t kIndexLines = 64;
+/** Key/row lines per tenant. */
+constexpr std::uint32_t kKeyLines = 4096;
+
+/** One core's record stream plus its virtual-time axis for merging. */
+struct CoreEmitter
+{
+    std::uint16_t core = 0;
+    std::uint64_t vtime = 0;
+    std::vector<TraceRecord> recs;
+    std::vector<std::uint64_t> at; ///< emission vtime per record
+
+    void
+    emit(std::uint16_t tenant, bool is_write, Addr addr, std::uint32_t gap,
+         bool eoc = false)
+    {
+        at.push_back(vtime);
+        recs.push_back(TraceRecord{tenant, core, is_write, eoc, 4, gap,
+                                   addr});
+        vtime += std::uint64_t(gap) + 1;
+    }
+};
+
+/**
+ * Interleave the per-core streams by virtual time (ties break by core,
+ * then emission order). The interleaving only affects file layout — the
+ * replay demultiplexes per core — but a time-sorted trace reads naturally
+ * in `sbulk-trace cat` and diffs stably.
+ */
+std::vector<TraceRecord>
+mergeCores(const std::vector<CoreEmitter>& cores)
+{
+    struct Cursor
+    {
+        std::uint64_t t;
+        std::uint16_t core;
+        std::uint32_t idx;
+    };
+    std::vector<Cursor> order;
+    std::size_t total = 0;
+    for (const CoreEmitter& c : cores)
+        total += c.recs.size();
+    order.reserve(total);
+    for (const CoreEmitter& c : cores)
+        for (std::uint32_t i = 0; i < c.recs.size(); ++i)
+            order.push_back(Cursor{c.at[i], c.core, i});
+    std::sort(order.begin(), order.end(),
+              [](const Cursor& a, const Cursor& b) {
+                  if (a.t != b.t)
+                      return a.t < b.t;
+                  if (a.core != b.core)
+                      return a.core < b.core;
+                  return a.idx < b.idx;
+              });
+    std::vector<TraceRecord> out;
+    out.reserve(total);
+    for (const Cursor& cur : order)
+        out.push_back(cores[cur.core].recs[cur.idx]);
+    return out;
+}
+
+/** Shared per-scenario address map: each tenant owns one page of hot
+ *  index lines then its key/row lines, page-aligned; a global region
+ *  (sequence counters, output buffers) follows all tenants. */
+struct AddrMap
+{
+    std::uint32_t lineBytes;
+    std::uint64_t linesPerPage;
+    std::uint64_t tenantSpanLines;
+
+    explicit AddrMap(const ScenarioParams& p)
+        : lineBytes(p.lineBytes), linesPerPage(p.pageBytes / p.lineBytes)
+    {
+        const std::uint64_t raw = kIndexLines + kKeyLines;
+        tenantSpanLines =
+            ((raw + linesPerPage - 1) / linesPerPage + 1) * linesPerPage;
+    }
+
+    Addr lineAddr(std::uint64_t line) const { return line * lineBytes; }
+    std::uint64_t tenantBase(std::uint32_t t) const
+    {
+        return std::uint64_t(t) * tenantSpanLines;
+    }
+    std::uint64_t indexLine(std::uint32_t t, std::uint32_t i) const
+    {
+        return tenantBase(t) + i;
+    }
+    std::uint64_t keyLine(std::uint32_t t, std::uint32_t k) const
+    {
+        return tenantBase(t) + kIndexLines + k;
+    }
+    std::uint64_t globalBase(std::uint32_t tenants) const
+    {
+        return tenantBase(tenants);
+    }
+};
+
+std::uint64_t
+requestsForCore(const ScenarioParams& p, std::uint32_t core)
+{
+    const std::uint64_t base = p.requests / p.cores;
+    const std::uint64_t extra = core < p.requests % p.cores ? 1 : 0;
+    // Every core must emit at least one request: replay panics on a core
+    // with no records.
+    return std::max<std::uint64_t>(1, base + extra);
+}
+
+void
+fillHeader(const ScenarioParams& p, TraceHeader& hdr, std::uint32_t tenants,
+           std::uint64_t total_requests)
+{
+    hdr = TraceHeader{};
+    hdr.numCores = p.cores;
+    hdr.numTenants = tenants;
+    hdr.lineBytes = p.lineBytes;
+    hdr.pageBytes = p.pageBytes;
+    hdr.chunkInstrs = kScenarioChunkInstrs;
+    hdr.seed = p.seed;
+    hdr.totalChunks = total_requests;
+}
+
+// --- kv family -----------------------------------------------------------
+
+/** One KV GET/PUT request body (shared by the kv and bursty scenarios). */
+void
+emitKvRequest(CoreEmitter& em, Rng& rng, const AddrMap& map,
+              std::uint16_t tenant, const ZipfSampler& key_zipf,
+              const ZipfSampler& idx_zipf, std::uint32_t key_offset,
+              std::uint32_t arrival_gap, double put_frac)
+{
+    // Index walk: 1-3 reads of the tenant's (Zipf-hot) index lines.
+    const std::uint32_t n_idx = 1 + std::uint32_t(rng.below(3));
+    for (std::uint32_t i = 0; i < n_idx; ++i) {
+        const std::uint32_t gap =
+            i == 0 ? arrival_gap : 2 + std::uint32_t(rng.below(8));
+        em.emit(tenant, false,
+                map.lineAddr(map.indexLine(tenant, idx_zipf.sample(rng))),
+                gap);
+    }
+    const std::uint32_t key =
+        (key_zipf.sample(rng) + key_offset) % kKeyLines;
+    const Addr key_addr = map.lineAddr(map.keyLine(tenant, key));
+    if (rng.chance(put_frac)) {
+        // PUT: write the value; hot-index maintenance on some puts is
+        // what makes same-tenant requests on different cores conflict.
+        em.emit(tenant, true, key_addr, 2 + std::uint32_t(rng.below(6)));
+        if (rng.chance(0.20)) {
+            em.emit(tenant, true,
+                    map.lineAddr(
+                        map.indexLine(tenant, idx_zipf.sample(rng))),
+                    1 + std::uint32_t(rng.below(4)), true);
+            return;
+        }
+        em.emit(tenant, false, key_addr + map.lineBytes,
+                1 + std::uint32_t(rng.below(3)), true);
+        return;
+    }
+    // GET: read the value (30% of values spill into a second line).
+    if (rng.chance(0.30)) {
+        em.emit(tenant, false, key_addr, 2 + std::uint32_t(rng.below(6)));
+        em.emit(tenant, false, key_addr + map.lineBytes,
+                1 + std::uint32_t(rng.below(3)), true);
+        return;
+    }
+    em.emit(tenant, false, key_addr, 2 + std::uint32_t(rng.below(6)), true);
+}
+
+void
+genKvZipf(const ScenarioParams& p, TraceHeader& hdr,
+          std::vector<TraceRecord>& out)
+{
+    const AddrMap map(p);
+    const ZipfSampler tenant_zipf(p.tenants, 0.9);
+    const ZipfSampler key_zipf(kKeyLines, 1.0);
+    const ZipfSampler idx_zipf(kIndexLines, 0.8);
+
+    std::vector<CoreEmitter> cores(p.cores);
+    std::uint64_t total = 0;
+    for (std::uint32_t c = 0; c < p.cores; ++c) {
+        CoreEmitter& em = cores[c];
+        em.core = std::uint16_t(c);
+        Rng rng(p.seed * 0x9e3779b9u + c);
+        const std::uint64_t n = requestsForCore(p, c);
+        total += n;
+        for (std::uint64_t r = 0; r < n; ++r) {
+            const std::uint16_t tenant =
+                std::uint16_t(tenant_zipf.sample(rng));
+            emitKvRequest(em, rng, map, tenant, key_zipf, idx_zipf, 0,
+                          20 + std::uint32_t(rng.below(100)), 0.10);
+        }
+    }
+    fillHeader(p, hdr, p.tenants, total);
+    out = mergeCores(cores);
+}
+
+void
+genKvOltp(const ScenarioParams& p, TraceHeader& hdr,
+          std::vector<TraceRecord>& out)
+{
+    const AddrMap map(p);
+    const ZipfSampler tenant_zipf(p.tenants, 0.6);
+    const ZipfSampler row_zipf(kKeyLines, 0.8);
+    // Per-tenant log tail (index line 0) plus one global sequence line:
+    // the classic OLTP hot spots.
+    const std::uint64_t global_seq = map.globalBase(p.tenants);
+
+    std::vector<CoreEmitter> cores(p.cores);
+    std::uint64_t total = 0;
+    for (std::uint32_t c = 0; c < p.cores; ++c) {
+        CoreEmitter& em = cores[c];
+        em.core = std::uint16_t(c);
+        Rng rng(p.seed * 0x2545f491u + c);
+        const std::uint64_t n = requestsForCore(p, c);
+        total += n;
+        for (std::uint64_t r = 0; r < n; ++r) {
+            const std::uint16_t tenant =
+                std::uint16_t(tenant_zipf.sample(rng));
+            // Read set: 3-6 rows.
+            const std::uint32_t n_rows = 3 + std::uint32_t(rng.below(4));
+            std::uint32_t rows[6];
+            for (std::uint32_t i = 0; i < n_rows; ++i) {
+                rows[i] = row_zipf.sample(rng);
+                em.emit(tenant, false,
+                        map.lineAddr(map.keyLine(tenant, rows[i])),
+                        i == 0 ? 30 + std::uint32_t(rng.below(120))
+                               : 3 + std::uint32_t(rng.below(10)));
+            }
+            // Write back 1-2 of the rows read.
+            const std::uint32_t n_upd =
+                1 + std::uint32_t(rng.below(std::uint64_t(2)));
+            for (std::uint32_t i = 0; i < n_upd; ++i) {
+                em.emit(tenant, true,
+                        map.lineAddr(map.keyLine(
+                            tenant, rows[rng.below(n_rows)])),
+                        2 + std::uint32_t(rng.below(6)));
+            }
+            // Occasionally bump the global sequence (cross-tenant hot
+            // line), always append to the tenant's log tail.
+            if (rng.chance(0.03)) {
+                em.emit(tenant, true, map.lineAddr(global_seq),
+                        1 + std::uint32_t(rng.below(3)));
+            }
+            em.emit(tenant, true,
+                    map.lineAddr(map.indexLine(tenant, 0)),
+                    1 + std::uint32_t(rng.below(4)), true);
+        }
+    }
+    fillHeader(p, hdr, p.tenants, total);
+    out = mergeCores(cores);
+}
+
+// --- bursty family -------------------------------------------------------
+
+void
+genBurstyOnOff(const ScenarioParams& p, TraceHeader& hdr,
+               std::vector<TraceRecord>& out)
+{
+    const AddrMap map(p);
+    const ZipfSampler tenant_zipf(p.tenants, 0.9);
+    const ZipfSampler key_zipf(kKeyLines, 1.0);
+    const ZipfSampler idx_zipf(kIndexLines, 0.8);
+
+    std::vector<CoreEmitter> cores(p.cores);
+    std::uint64_t total = 0;
+    for (std::uint32_t c = 0; c < p.cores; ++c) {
+        CoreEmitter& em = cores[c];
+        em.core = std::uint16_t(c);
+        Rng rng(p.seed * 0x85ebca6bu + c);
+        const std::uint64_t n = requestsForCore(p, c);
+        total += n;
+        // On/off arrivals: a burst of back-to-back requests from one
+        // tenant, then an idle gap (the off period) before the next
+        // burst — connection-level batching as seen by one worker.
+        std::uint64_t burst_left = 0;
+        std::uint16_t burst_tenant = 0;
+        for (std::uint64_t r = 0; r < n; ++r) {
+            std::uint32_t arrival = 3 + std::uint32_t(rng.below(12));
+            if (burst_left == 0) {
+                burst_left = 8 + rng.below(24);
+                burst_tenant = std::uint16_t(tenant_zipf.sample(rng));
+                if (r != 0)
+                    arrival = 4000 + std::uint32_t(rng.below(16000));
+            }
+            --burst_left;
+            emitKvRequest(em, rng, map, burst_tenant, key_zipf, idx_zipf,
+                          0, arrival, 0.15);
+        }
+    }
+    fillHeader(p, hdr, p.tenants, total);
+    out = mergeCores(cores);
+}
+
+void
+genPhaseChurn(const ScenarioParams& p, TraceHeader& hdr,
+              std::vector<TraceRecord>& out)
+{
+    const AddrMap map(p);
+    const ZipfSampler tenant_zipf(p.tenants, 0.9);
+    const ZipfSampler key_zipf(kKeyLines, 1.0);
+    const ZipfSampler idx_zipf(kIndexLines, 0.8);
+
+    // A diurnal ramp over the run: arrival gaps scale by the envelope
+    // (x16 at the trough, x1 at the peak), and the hot key set rotates
+    // each phase so the working set churns instead of staying resident.
+    constexpr std::uint32_t kPhases = 6;
+    constexpr std::uint32_t kEnvelope[kPhases] = {16, 6, 2, 1, 3, 10};
+
+    std::vector<CoreEmitter> cores(p.cores);
+    std::uint64_t total = 0;
+    for (std::uint32_t c = 0; c < p.cores; ++c) {
+        CoreEmitter& em = cores[c];
+        em.core = std::uint16_t(c);
+        Rng rng(p.seed * 0xc2b2ae35u + c);
+        const std::uint64_t n = requestsForCore(p, c);
+        total += n;
+        for (std::uint64_t r = 0; r < n; ++r) {
+            const std::uint32_t phase = std::uint32_t((r * kPhases) / n);
+            const std::uint32_t key_offset =
+                phase * (kKeyLines / kPhases);
+            const std::uint32_t arrival =
+                (20 + std::uint32_t(rng.below(80))) * kEnvelope[phase];
+            const std::uint16_t tenant =
+                std::uint16_t(tenant_zipf.sample(rng));
+            emitKvRequest(em, rng, map, tenant, key_zipf, idx_zipf,
+                          key_offset, arrival, 0.12);
+        }
+    }
+    fillHeader(p, hdr, p.tenants, total);
+    out = mergeCores(cores);
+}
+
+// --- pipeline family -----------------------------------------------------
+
+void
+genStagingPipeline(const ScenarioParams& p, TraceHeader& hdr,
+                   std::vector<TraceRecord>& out)
+{
+    const AddrMap map(p);
+    // Cores form pipelines of up to three stages (ingest -> transform ->
+    // publish); tenant = pipeline. Leftover cores join pipeline 0 as
+    // extra transform workers.
+    const std::uint32_t stages = std::min<std::uint32_t>(3, p.cores);
+    const std::uint32_t pipelines = std::max<std::uint32_t>(
+        1, p.cores / stages);
+
+    // Ring geometry: between stage s and s+1 of pipeline q sits a ring of
+    // kSlots slots, kSlotLines lines each, plus head/tail pointer lines on
+    // their own page — the pointer lines are the contended queue state.
+    constexpr std::uint32_t kSlots = 16;
+    constexpr std::uint32_t kSlotLines = 4;
+    const std::uint64_t ring_region = map.globalBase(pipelines);
+    const std::uint64_t ring_span =
+        ((kSlots * kSlotLines + map.linesPerPage - 1) / map.linesPerPage +
+         1) * map.linesPerPage;
+    const auto ringBase = [&](std::uint32_t q, std::uint32_t s) {
+        return ring_region + (std::uint64_t(q) * stages + s) * ring_span;
+    };
+    const auto headLine = [&](std::uint32_t q, std::uint32_t s) {
+        return ringBase(q, s) + kSlots * kSlotLines;
+    };
+    const auto tailLine = [&](std::uint32_t q, std::uint32_t s) {
+        return headLine(q, s) + 1;
+    };
+    // Per-core private output scratch beyond every ring.
+    const std::uint64_t out_region =
+        ringBase(pipelines, 0) + map.linesPerPage;
+
+    std::vector<CoreEmitter> cores(p.cores);
+    std::uint64_t total = 0;
+    for (std::uint32_t c = 0; c < p.cores; ++c) {
+        CoreEmitter& em = cores[c];
+        em.core = std::uint16_t(c);
+        Rng rng(p.seed * 0x27d4eb2fu + c);
+        std::uint32_t q = c / stages;
+        std::uint32_t stage = c % stages;
+        if (q >= pipelines) {
+            q = 0;
+            stage = std::min(1u, stages - 1); // extra transform worker
+        }
+        const std::uint16_t tenant = std::uint16_t(q);
+        const std::uint64_t n = requestsForCore(p, c);
+        total += n;
+        for (std::uint64_t item = 0; item < n; ++item) {
+            const std::uint32_t slot = std::uint32_t(item % kSlots);
+            // Stage imbalance: transform does ~2x the per-item work.
+            const std::uint32_t think = stage == 1 ? 12 : 6;
+            std::uint32_t gap =
+                think + std::uint32_t(rng.below(think + 1));
+            if (stage > 0) {
+                // Consume from the upstream ring: read the slot, retire
+                // it by advancing the shared tail pointer.
+                const std::uint64_t base =
+                    ringBase(q, stage - 1) + slot * kSlotLines;
+                for (std::uint32_t l = 0; l < kSlotLines; ++l) {
+                    em.emit(tenant, false, map.lineAddr(base + l), gap);
+                    gap = 1 + std::uint32_t(rng.below(4));
+                }
+                em.emit(tenant, true,
+                        map.lineAddr(tailLine(q, stage - 1)),
+                        1 + std::uint32_t(rng.below(3)));
+            }
+            if (stage + 1 < stages) {
+                // Produce into the downstream ring: fill the slot, then
+                // publish it by advancing the shared head pointer.
+                const std::uint64_t base =
+                    ringBase(q, stage) + slot * kSlotLines;
+                const std::uint32_t fill =
+                    2 + std::uint32_t(rng.below(kSlotLines - 1));
+                for (std::uint32_t l = 0; l < fill; ++l) {
+                    em.emit(tenant, true, map.lineAddr(base + l), gap);
+                    gap = 1 + std::uint32_t(rng.below(4));
+                }
+                em.emit(tenant, true, map.lineAddr(headLine(q, stage)),
+                        1 + std::uint32_t(rng.below(3)), true);
+            } else {
+                // Publish stage: write the finished item to the core's
+                // private output buffer.
+                const std::uint64_t base =
+                    out_region + std::uint64_t(c) * map.linesPerPage +
+                    (item * 2) % map.linesPerPage;
+                em.emit(tenant, true, map.lineAddr(base), gap);
+                em.emit(tenant, true, map.lineAddr(base + 1),
+                        1 + std::uint32_t(rng.below(3)), true);
+            }
+        }
+    }
+    fillHeader(p, hdr, pipelines, total);
+    out = mergeCores(cores);
+}
+
+const std::vector<ScenarioSpec> kScenarios = {
+    {"kv-zipf", "kv",
+     "multi-tenant KV store: Zipf tenants and hot keys, GET/PUT with "
+     "hot-index maintenance",
+     genKvZipf},
+    {"kv-oltp", "kv",
+     "multi-tenant OLTP: read-set/write-back transactions, per-tenant log "
+     "tails and a global sequence hot spot",
+     genKvOltp},
+    {"bursty-onoff", "bursty",
+     "KV serving under on/off arrivals: per-tenant bursts separated by "
+     "idle gaps",
+     genBurstyOnOff},
+    {"phase-churn", "bursty",
+     "KV serving under a diurnal ramp: arrival intensity follows a "
+     "6-phase envelope and the hot key set rotates each phase",
+     genPhaseChurn},
+    {"staging-pipeline", "pipeline",
+     "producer/consumer staging: 3-stage pipelines over ring buffers with "
+     "contended head/tail pointers; tenant = pipeline",
+     genStagingPipeline},
+};
+
+} // namespace
+
+const std::vector<ScenarioSpec>&
+allScenarios()
+{
+    return kScenarios;
+}
+
+const ScenarioSpec*
+findScenario(const std::string& name)
+{
+    for (const ScenarioSpec& s : kScenarios)
+        if (name == s.name)
+            return &s;
+    return nullptr;
+}
+
+bool
+validateScenarioParams(const ScenarioParams& p, std::string* err)
+{
+    const auto fail = [&](const std::string& msg) {
+        if (err)
+            *err = msg;
+        return false;
+    };
+    if (p.cores == 0 || p.cores > 64)
+        return fail("scenario cores out of range [1,64]");
+    if (p.tenants == 0 || p.tenants > 4096)
+        return fail("scenario tenants out of range [1,4096]");
+    if (p.requests == 0)
+        return fail("scenario requests must be >= 1");
+    if (p.lineBytes == 0 || (p.lineBytes & (p.lineBytes - 1)) != 0)
+        return fail("scenario line size is not a power of two");
+    if (p.pageBytes < p.lineBytes ||
+        (p.pageBytes & (p.pageBytes - 1)) != 0) {
+        return fail("scenario page size is not a power of two >= line "
+                    "size");
+    }
+    return true;
+}
+
+bool
+generateScenario(const ScenarioSpec& spec, const ScenarioParams& p,
+                 std::ostream& out, bool text, std::string* err)
+{
+    if (!validateScenarioParams(p, err))
+        return false;
+    TraceHeader hdr;
+    std::vector<TraceRecord> recs;
+    spec.generate(p, hdr, recs);
+    TraceWriter writer(out, hdr, text);
+    for (const TraceRecord& rec : recs)
+        if (!writer.append(rec, err))
+            return false;
+    return writer.finalize(err);
+}
+
+} // namespace sbulk::atrace

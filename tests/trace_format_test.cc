@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Access-trace format tests: binary and text round trips are lossless,
+ * the two forms convert into each other exactly, and every structural
+ * defect — truncation, corrupt fields, count mismatches, junk lines —
+ * fails with a record/byte-offset (binary) or line-precise (text) error.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/format.hh"
+#include "trace/io.hh"
+
+namespace sbulk::atrace
+{
+namespace
+{
+
+TraceHeader
+sampleHeader()
+{
+    TraceHeader hdr;
+    hdr.numCores = 4;
+    hdr.numTenants = 3;
+    hdr.chunkInstrs = 5000;
+    hdr.seed = 42;
+    hdr.totalChunks = 7;
+    return hdr;
+}
+
+std::vector<TraceRecord>
+sampleRecords()
+{
+    std::vector<TraceRecord> recs;
+    recs.push_back(TraceRecord{0, 0, false, false, 4, 3, 0x1000});
+    recs.push_back(TraceRecord{1, 1, true, false, 8, 0, 0xdeadbeefcafeull});
+    recs.push_back(TraceRecord{2, 3, true, true, 4, 4'000'000'000u,
+                               0xffffffffffffffc0ull});
+    recs.push_back(TraceRecord{0, 2, false, true, 1, 0, 0});
+    return recs;
+}
+
+std::string
+writeTrace(const TraceHeader& hdr, const std::vector<TraceRecord>& recs,
+           bool text)
+{
+    std::stringstream out;
+    TraceWriter writer(out, hdr, text);
+    std::string err;
+    for (const TraceRecord& rec : recs)
+        EXPECT_TRUE(writer.append(rec, &err)) << err;
+    EXPECT_TRUE(writer.finalize(&err)) << err;
+    return out.str();
+}
+
+std::vector<TraceRecord>
+readAll(const std::string& bytes, TraceHeader& hdr)
+{
+    std::stringstream in(bytes);
+    TraceReader reader;
+    std::string err;
+    EXPECT_TRUE(reader.open(in, &err)) << err;
+    hdr = reader.header();
+    std::vector<TraceRecord> recs;
+    TraceRecord rec;
+    while (reader.next(rec, &err))
+        recs.push_back(rec);
+    EXPECT_TRUE(err.empty()) << err;
+    EXPECT_TRUE(reader.atEnd());
+    return recs;
+}
+
+TEST(TraceFormat, BinaryRoundTripIsLossless)
+{
+    const TraceHeader hdr = sampleHeader();
+    const std::vector<TraceRecord> recs = sampleRecords();
+    const std::string bytes = writeTrace(hdr, recs, /*text=*/false);
+    ASSERT_EQ(bytes.size(), kHeaderBytes + recs.size() * kRecordBytes);
+
+    TraceHeader got;
+    const std::vector<TraceRecord> back = readAll(bytes, got);
+    ASSERT_EQ(back, recs);
+    // finalize() patched the true record count into the header.
+    EXPECT_EQ(got.recordCount, recs.size());
+    got.recordCount = hdr.recordCount;
+    EXPECT_EQ(got, hdr);
+}
+
+TEST(TraceFormat, TextRoundTripIsLossless)
+{
+    const TraceHeader hdr = sampleHeader();
+    const std::vector<TraceRecord> recs = sampleRecords();
+    const std::string text = writeTrace(hdr, recs, /*text=*/true);
+    EXPECT_EQ(text.rfind("#sbtrace v1 ", 0), 0u) << text;
+
+    TraceHeader got;
+    EXPECT_EQ(readAll(text, got), recs);
+    got.recordCount = hdr.recordCount;
+    EXPECT_EQ(got, hdr);
+}
+
+TEST(TraceFormat, BinaryToTextToBinaryIsIdentical)
+{
+    const std::string bin =
+        writeTrace(sampleHeader(), sampleRecords(), false);
+
+    std::stringstream in1(bin), text, in2, bin2;
+    std::string err;
+    ASSERT_TRUE(convertTrace(in1, text, /*to_text=*/true, &err)) << err;
+    in2.str(text.str());
+    ASSERT_TRUE(convertTrace(in2, bin2, /*to_text=*/false, &err)) << err;
+    EXPECT_EQ(bin2.str(), bin);
+}
+
+TEST(TraceFormat, TextToleratesCommentsBlanksAndCrlf)
+{
+    std::string text = headerToText(sampleHeader());
+    text += "\n# a comment\n  \n1 0 W 0x40 4 9 EOC\r\n";
+    TraceHeader hdr;
+    const std::vector<TraceRecord> recs = readAll(text, hdr);
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].tenant, 1);
+    EXPECT_TRUE(recs[0].isWrite);
+    EXPECT_TRUE(recs[0].endChunk);
+    EXPECT_EQ(recs[0].gap, 9u);
+}
+
+/** Expect open/next to fail with a message containing @p needle. */
+void
+expectError(const std::string& bytes, const std::string& needle)
+{
+    std::stringstream in(bytes);
+    TraceReader reader;
+    std::string err;
+    if (!reader.open(in, &err)) {
+        EXPECT_NE(err.find(needle), std::string::npos)
+            << "error was: " << err;
+        return;
+    }
+    TraceRecord rec;
+    while (reader.next(rec, &err)) {
+    }
+    ASSERT_FALSE(err.empty()) << "trace unexpectedly parsed clean";
+    EXPECT_NE(err.find(needle), std::string::npos) << "error was: " << err;
+}
+
+TEST(TraceFormat, RejectsBadMagicAndVersion)
+{
+    std::string bytes = writeTrace(sampleHeader(), sampleRecords(), false);
+    std::string bad = bytes;
+    bad[0] = 'X';
+    expectError(bad, "bad magic");
+
+    bad = bytes;
+    bad[4] = 9; // version
+    expectError(bad, "unsupported version 9");
+}
+
+TEST(TraceFormat, TruncationErrorsCarryRecordIndexAndByteOffset)
+{
+    const std::string bytes =
+        writeTrace(sampleHeader(), sampleRecords(), false);
+
+    // Cut the header itself.
+    expectError(bytes.substr(0, kHeaderBytes / 2), "truncated header");
+
+    // Cut record 2 (index 2) in half.
+    const std::size_t cut = kHeaderBytes + 2 * kRecordBytes + 7;
+    std::string msg = "record 2 (byte offset " +
+                      std::to_string(kHeaderBytes + 2 * kRecordBytes) +
+                      ") has 7 of 20 bytes";
+    expectError(bytes.substr(0, cut), msg);
+}
+
+TEST(TraceFormat, CountMismatchAndCorruptFieldsAreCaught)
+{
+    const std::string bytes =
+        writeTrace(sampleHeader(), sampleRecords(), false);
+
+    // Whole record missing (clean 20-byte boundary): count mismatch.
+    expectError(bytes.substr(0, bytes.size() - kRecordBytes),
+                "ends after 3 records but the header declares 4");
+
+    // Corrupt op byte of record 1.
+    std::string bad = bytes;
+    bad[kHeaderBytes + kRecordBytes + 4] = 7;
+    expectError(bad, "record 1");
+    expectError(bad, "bad op byte 7");
+
+    // Core out of the header's range.
+    bad = bytes;
+    bad[kHeaderBytes + 2] = 63; // record 0 core -> 63, trace has 4 cores
+    expectError(bad, "core 63 out of range");
+}
+
+TEST(TraceFormat, TextErrorsAreLinePrecise)
+{
+    std::string text = headerToText(sampleHeader());
+    text += "0 0 R 0x40 4 1\n";       // line 2: fine
+    text += "0 0 Q 0x80 4 1\n";       // line 3: bad op
+    expectError(text, "line 3");
+    expectError(text, "unknown op 'Q'");
+
+    text = headerToText(sampleHeader());
+    text += "0 0 W 0x40 4\n"; // line 2: missing gap
+    expectError(text, "line 2");
+    expectError(text, "expected 6 fields");
+
+    text = headerToText(sampleHeader());
+    text += "0 0 W 0xzz 4 1\n";
+    expectError(text, "bad address '0xzz'");
+}
+
+TEST(TraceFormat, WriterRejectsRecordsOutsideTheHeader)
+{
+    std::stringstream out;
+    TraceWriter writer(out, sampleHeader(), false);
+    std::string err;
+    TraceRecord rec;
+    rec.core = 4; // header has 4 cores: 0..3
+    EXPECT_FALSE(writer.append(rec, &err));
+    EXPECT_NE(err.find("core 4 out of range"), std::string::npos) << err;
+
+    rec.core = 0;
+    rec.tenant = 3; // header has 3 tenants
+    EXPECT_FALSE(writer.append(rec, &err));
+    EXPECT_NE(err.find("tenant 3 out of range"), std::string::npos) << err;
+}
+
+TEST(TraceFormat, HeaderValidationNamesTheField)
+{
+    TraceHeader hdr = sampleHeader();
+    std::string err;
+    hdr.numCores = 65;
+    EXPECT_FALSE(validateHeaderFields(hdr, &err));
+    EXPECT_NE(err.find("cores 65"), std::string::npos) << err;
+
+    hdr = sampleHeader();
+    hdr.lineBytes = 48;
+    EXPECT_FALSE(validateHeaderFields(hdr, &err));
+    EXPECT_NE(err.find("line size 48"), std::string::npos) << err;
+
+    hdr = sampleHeader();
+    hdr.pageBytes = 16; // < lineBytes
+    EXPECT_FALSE(validateHeaderFields(hdr, &err));
+    EXPECT_NE(err.find("page size 16"), std::string::npos) << err;
+}
+
+TEST(TraceFormat, RewindRestartsAtTheFirstRecord)
+{
+    const std::string bytes =
+        writeTrace(sampleHeader(), sampleRecords(), false);
+    std::stringstream in(bytes);
+    TraceReader reader;
+    std::string err;
+    ASSERT_TRUE(reader.open(in, &err)) << err;
+    TraceRecord rec;
+    while (reader.next(rec, &err)) {
+    }
+    ASSERT_TRUE(reader.atEnd());
+    ASSERT_TRUE(reader.rewind(&err)) << err;
+    ASSERT_TRUE(reader.next(rec, &err)) << err;
+    EXPECT_EQ(rec, sampleRecords()[0]);
+}
+
+} // namespace
+} // namespace sbulk::atrace

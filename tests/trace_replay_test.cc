@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Trace replay integration tests: recording a synthetic run and replaying
+ * the capture reproduces the run's statistics exactly (including under a
+ * parallel sweep), end-of-chunk markers drive chunk boundaries, chunks are
+ * attributed to the tenant of their first access, and short traces wrap
+ * around to fill the chunk budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/parallel.hh"
+#include "system/experiment.hh"
+#include "trace/io.hh"
+
+namespace sbulk
+{
+namespace
+{
+
+std::string
+tempPath(const std::string& name)
+{
+    return ::testing::TempDir() + "sbulk_replay_" + name;
+}
+
+/** Write a binary trace file and return its path. */
+std::string
+writeTraceFile(const std::string& name, const atrace::TraceHeader& hdr,
+               const std::vector<atrace::TraceRecord>& recs)
+{
+    const std::string path = tempPath(name);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    EXPECT_TRUE(out.is_open()) << path;
+    atrace::TraceWriter writer(out, hdr, /*text=*/false);
+    std::string err;
+    for (const atrace::TraceRecord& rec : recs)
+        EXPECT_TRUE(writer.append(rec, &err)) << err;
+    EXPECT_TRUE(writer.finalize(&err)) << err;
+    return path;
+}
+
+/** The metrics a sweep row reports, for exact run-equality checks. */
+std::string
+renderStats(const RunResult& r)
+{
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "%llu,%llu,%llu,%.6f,%.6f,%.6f,%.6f,%.4f,%llu,%llu,"
+                  "%llu,%llu,%llu",
+                  (unsigned long long)r.seed,
+                  (unsigned long long)r.makespan,
+                  (unsigned long long)r.commits, r.breakdown.useful,
+                  r.breakdown.cacheMiss, r.breakdown.commit,
+                  r.breakdown.squash, r.commitLatencyMean,
+                  (unsigned long long)r.chunksSquashed,
+                  (unsigned long long)r.commitFailures,
+                  (unsigned long long)r.traffic.totalMessages(),
+                  (unsigned long long)r.loads,
+                  (unsigned long long)r.l1Hits);
+    return buf;
+}
+
+TEST(TraceReplay, RecordThenReplayReproducesRunStats)
+{
+    const std::string path = tempPath("record.sbt");
+
+    RunConfig rec_cfg;
+    rec_cfg.app = &allApps().front();
+    rec_cfg.procs = 4;
+    rec_cfg.totalChunks = 48;
+    rec_cfg.chunkInstrs = 400;
+    rec_cfg.recordPath = path;
+    const RunResult recorded = runExperiment(rec_cfg);
+    EXPECT_FALSE(recorded.traced);
+    EXPECT_EQ(recorded.commits, 48u);
+
+    // Replay with everything derived from the trace header: chunk size,
+    // chunk budget, and seed must all round-trip through the file.
+    RunConfig rep_cfg;
+    rep_cfg.tracePath = path;
+    rep_cfg.procs = 4;
+    rep_cfg.totalChunks = 0;
+    const RunResult replayed = runExperiment(rep_cfg);
+    EXPECT_TRUE(replayed.traced);
+    EXPECT_EQ(renderStats(replayed), renderStats(recorded));
+
+    // The replay additionally reports per-tenant stats; a recorded
+    // synthetic app is single-tenant and must account for every commit.
+    ASSERT_EQ(replayed.tenants.size(), 1u);
+    EXPECT_EQ(replayed.tenants[0].tenant, 0);
+    EXPECT_EQ(replayed.tenants[0].commits, replayed.commits);
+    std::remove(path.c_str());
+}
+
+TEST(TraceReplay, ReplayIsByteIdenticalAcrossParallelJobs)
+{
+    const std::string path = tempPath("parallel.sbt");
+    RunConfig rec_cfg;
+    rec_cfg.app = &allApps().front();
+    rec_cfg.procs = 4;
+    rec_cfg.totalChunks = 24;
+    rec_cfg.chunkInstrs = 300;
+    rec_cfg.recordPath = path;
+    runExperiment(rec_cfg);
+
+    const ProtocolKind kProtos[] = {
+        ProtocolKind::ScalableBulk, ProtocolKind::TCC, ProtocolKind::SEQ,
+        ProtocolKind::BulkSC};
+
+    auto render = [&](unsigned jobs) {
+        std::vector<std::string> rows(std::size(kProtos));
+        parallelFor(rows.size(), jobs, [&](std::size_t i) {
+            RunConfig cfg;
+            cfg.tracePath = path;
+            cfg.procs = 4;
+            cfg.protocol = kProtos[i];
+            cfg.totalChunks = 0;
+            const RunResult r = runExperiment(cfg);
+            std::string row = renderStats(r);
+            for (const RunResult::TenantStats& t : r.tenants) {
+                char buf[96];
+                std::snprintf(buf, sizeof(buf), ";%u=%llu/%llu", t.tenant,
+                              (unsigned long long)t.commits,
+                              (unsigned long long)t.squashes);
+                row += buf;
+            }
+            rows[i] = row;
+        });
+        std::string out;
+        for (const std::string& row : rows)
+            out += row + '\n';
+        return out;
+    };
+
+    const std::string serial = render(1);
+    EXPECT_EQ(render(4), serial);
+    EXPECT_NE(serial.find(','), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceReplay, EndChunkMarkersBoundChunksAndTenants)
+{
+    // Two cores, each serving its own tenant with three explicit
+    // EOC-delimited requests. chunkInstrs is far above the op count, so
+    // only the markers can end a chunk.
+    atrace::TraceHeader hdr;
+    hdr.numCores = 2;
+    hdr.numTenants = 2;
+    hdr.chunkInstrs = 1u << 18;
+    hdr.totalChunks = 6;
+    hdr.seed = 7;
+
+    std::vector<atrace::TraceRecord> recs;
+    for (std::uint16_t core = 0; core < 2; ++core) {
+        for (std::uint32_t req = 0; req < 3; ++req) {
+            const Addr base = Addr(core) * 0x100000 + Addr(req) * 0x1000;
+            recs.push_back({core, core, false, false, 4, 10, base});
+            recs.push_back({core, core, true, false, 4, 5, base + 0x40});
+            recs.push_back({core, core, true, true, 4, 0, base + 0x80});
+        }
+    }
+    const std::string path = writeTraceFile("eoc.sbt", hdr, recs);
+
+    RunConfig cfg;
+    cfg.tracePath = path;
+    cfg.procs = 2;
+    cfg.totalChunks = 0; // derive the 6-chunk budget from the header
+    const RunResult r = runExperiment(cfg);
+    EXPECT_TRUE(r.traced);
+    EXPECT_EQ(r.seed, 7u);
+    EXPECT_EQ(r.commits, 6u);
+    EXPECT_EQ(r.chunksSquashed, 0u); // disjoint address ranges
+    ASSERT_EQ(r.tenants.size(), 2u);
+    for (std::uint16_t t = 0; t < 2; ++t) {
+        EXPECT_EQ(r.tenants[t].tenant, t);
+        EXPECT_EQ(r.tenants[t].commits, 3u);
+        EXPECT_EQ(r.tenants[t].squashes, 0u);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceReplay, ChunkTenantIsTheFirstAccessTenant)
+{
+    // One core, two chunks with mixed-tenant accesses: each chunk belongs
+    // to whichever tenant issued its first access.
+    atrace::TraceHeader hdr;
+    hdr.numCores = 1;
+    hdr.numTenants = 4;
+    hdr.chunkInstrs = 1u << 18;
+    hdr.totalChunks = 2;
+
+    std::vector<atrace::TraceRecord> recs;
+    recs.push_back({2, 0, false, false, 4, 0, 0x1000}); // chunk 1: tenant 2
+    recs.push_back({0, 0, true, false, 4, 0, 0x1040});
+    recs.push_back({0, 0, true, true, 4, 0, 0x1080});
+    recs.push_back({1, 0, true, false, 4, 0, 0x2000}); // chunk 2: tenant 1
+    recs.push_back({3, 0, true, true, 4, 0, 0x2040});
+    const std::string path = writeTraceFile("tenant.sbt", hdr, recs);
+
+    RunConfig cfg;
+    cfg.tracePath = path;
+    cfg.procs = 1;
+    cfg.totalChunks = 0;
+    const RunResult r = runExperiment(cfg);
+    EXPECT_EQ(r.commits, 2u);
+    ASSERT_EQ(r.tenants.size(), 2u);
+    EXPECT_EQ(r.tenants[0].tenant, 1);
+    EXPECT_EQ(r.tenants[0].commits, 1u);
+    EXPECT_EQ(r.tenants[1].tenant, 2);
+    EXPECT_EQ(r.tenants[1].commits, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceReplay, ShortTraceWrapsToFillTheChunkBudget)
+{
+    // A single one-request trace replayed for a 5-chunk budget: the
+    // reader rewinds at EOF and the request repeats.
+    atrace::TraceHeader hdr;
+    hdr.numCores = 1;
+    hdr.numTenants = 1;
+    hdr.chunkInstrs = 1u << 18;
+
+    std::vector<atrace::TraceRecord> recs;
+    recs.push_back({0, 0, false, false, 4, 3, 0x4000});
+    recs.push_back({0, 0, true, true, 4, 0, 0x4040});
+    const std::string path = writeTraceFile("wrap.sbt", hdr, recs);
+
+    RunConfig cfg;
+    cfg.tracePath = path;
+    cfg.procs = 1;
+    cfg.totalChunks = 5;
+    const RunResult r = runExperiment(cfg);
+    EXPECT_EQ(r.commits, 5u);
+    ASSERT_EQ(r.tenants.size(), 1u);
+    EXPECT_EQ(r.tenants[0].commits, 5u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceReplay, ScenarioRunMatchesItsEmittedTraceFile)
+{
+    // --scenario NAME and --trace <gen NAME> are two spellings of the
+    // same run: generating the trace to a file and replaying it must give
+    // identical statistics to the in-memory scenario path.
+    const atrace::ScenarioSpec* spec = atrace::findScenario("kv-zipf");
+    ASSERT_NE(spec, nullptr);
+
+    atrace::ScenarioParams params;
+    params.cores = 4;
+    params.tenants = 3;
+    params.requests = 96;
+    params.seed = 11;
+
+    const std::string path = tempPath("scenario.sbt");
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        std::string err;
+        ASSERT_TRUE(atrace::generateScenario(*spec, params, out,
+                                             /*text=*/false, &err))
+            << err;
+    }
+
+    RunConfig scen_cfg;
+    scen_cfg.scenario = "kv-zipf";
+    scen_cfg.scenarioParams = params;
+    scen_cfg.procs = 4;
+    scen_cfg.totalChunks = 0;
+    const RunResult from_scenario = runExperiment(scen_cfg);
+
+    RunConfig file_cfg;
+    file_cfg.tracePath = path;
+    file_cfg.procs = 4;
+    file_cfg.totalChunks = 0;
+    const RunResult from_file = runExperiment(file_cfg);
+
+    EXPECT_EQ(renderStats(from_file), renderStats(from_scenario));
+    ASSERT_EQ(from_file.tenants.size(), from_scenario.tenants.size());
+    std::uint64_t tenant_commits = 0;
+    for (std::size_t i = 0; i < from_file.tenants.size(); ++i) {
+        EXPECT_EQ(from_file.tenants[i].tenant,
+                  from_scenario.tenants[i].tenant);
+        EXPECT_EQ(from_file.tenants[i].commits,
+                  from_scenario.tenants[i].commits);
+        tenant_commits += from_file.tenants[i].commits;
+    }
+    // Per-tenant commits partition the run's commits.
+    EXPECT_EQ(tenant_commits, from_file.commits);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace sbulk

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Statistical tests for the Zipf sampler behind the synthetic workloads
+ * and the serving scenarios: draws are deterministic under a seed, and
+ * the empirical distribution matches the analytic Zipf(alpha) pmf (via a
+ * chi-square goodness-of-fit statistic) across the skews the workloads
+ * use — including alpha = 0, which must degenerate to uniform.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/random.hh"
+#include "workload/zipf.hh"
+
+namespace sbulk
+{
+namespace
+{
+
+constexpr std::uint32_t kItems = 50;
+constexpr std::uint64_t kDraws = 200'000;
+
+/** Analytic Zipf(alpha) pmf over [0, n): p(k) = (k+1)^-alpha / H. */
+std::vector<double>
+zipfPmf(std::uint32_t n, double alpha)
+{
+    std::vector<double> pmf(n);
+    double sum = 0.0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        pmf[i] = 1.0 / std::pow(double(i + 1), alpha);
+        sum += pmf[i];
+    }
+    for (double& p : pmf)
+        p /= sum;
+    return pmf;
+}
+
+std::vector<std::uint64_t>
+histogram(const ZipfSampler& zipf, std::uint64_t seed, std::uint64_t draws)
+{
+    std::vector<std::uint64_t> counts(zipf.size(), 0);
+    Rng rng(seed);
+    for (std::uint64_t i = 0; i < draws; ++i) {
+        const std::uint32_t rank = zipf.sample(rng);
+        EXPECT_LT(rank, zipf.size());
+        ++counts[rank];
+    }
+    return counts;
+}
+
+TEST(ZipfStat, SampleSequenceIsDeterministicUnderSeed)
+{
+    const ZipfSampler zipf(kItems, 0.9);
+    Rng a(1234), b(1234), c(99);
+    bool diverged = false;
+    for (int i = 0; i < 4096; ++i) {
+        const std::uint32_t ra = zipf.sample(a);
+        EXPECT_EQ(ra, zipf.sample(b)) << "draw " << i;
+        diverged = diverged || ra != zipf.sample(c);
+    }
+    // A different seed must actually change the sequence.
+    EXPECT_TRUE(diverged);
+}
+
+TEST(ZipfStat, ChiSquareMatchesTheAnalyticPmfAcrossSkews)
+{
+    // Chi-square goodness of fit with n-1 = 49 degrees of freedom: the
+    // 99.9th percentile is ~85.4. The draws are seeded, so each statistic
+    // is a fixed number — the bound guards against regressions in the
+    // sampler or the RNG, not against sampling noise.
+    for (const double alpha : {0.0, 0.5, 0.7, 0.9, 1.2}) {
+        const ZipfSampler zipf(kItems, alpha);
+        const std::vector<double> pmf = zipfPmf(kItems, alpha);
+        const std::vector<std::uint64_t> counts =
+            histogram(zipf, 42, kDraws);
+
+        double chi2 = 0.0;
+        for (std::uint32_t k = 0; k < kItems; ++k) {
+            const double expected = pmf[k] * double(kDraws);
+            ASSERT_GT(expected, 5.0) << "bin " << k << " too thin for "
+                                        "chi-square at alpha " << alpha;
+            const double diff = double(counts[k]) - expected;
+            chi2 += diff * diff / expected;
+        }
+        EXPECT_LT(chi2, 85.4) << "alpha " << alpha;
+    }
+}
+
+TEST(ZipfStat, SkewConcentratesMassOnTheHotRanks)
+{
+    // Rank 0's share must grow with alpha, and the head (top 10%) must
+    // dominate under production-like skew.
+    double prev_hot = 0.0;
+    for (const double alpha : {0.0, 0.5, 0.9, 1.2}) {
+        const std::vector<std::uint64_t> counts =
+            histogram(ZipfSampler(kItems, alpha), 7, kDraws);
+        const double hot = double(counts[0]) / double(kDraws);
+        EXPECT_GT(hot, prev_hot) << "alpha " << alpha;
+        prev_hot = hot;
+    }
+
+    const std::vector<std::uint64_t> counts =
+        histogram(ZipfSampler(kItems, 1.0), 7, kDraws);
+    std::uint64_t head = 0;
+    for (std::uint32_t k = 0; k < kItems / 10; ++k)
+        head += counts[k];
+    EXPECT_GT(double(head) / double(kDraws), 0.5);
+}
+
+TEST(ZipfStat, AlphaZeroIsUniform)
+{
+    const std::vector<std::uint64_t> counts =
+        histogram(ZipfSampler(kItems, 0.0), 3, kDraws);
+    const double expected = double(kDraws) / double(kItems);
+    for (std::uint32_t k = 0; k < kItems; ++k) {
+        EXPECT_NEAR(double(counts[k]), expected, expected * 0.10)
+            << "rank " << k;
+    }
+}
+
+} // namespace
+} // namespace sbulk

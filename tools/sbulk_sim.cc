@@ -18,12 +18,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include <iostream>
 
 #include "sim/trace.hh"
+#include "trace/io.hh"
 #include "system/experiment.hh"
+#include "trace/scenarios.hh"
 #include "workload/apps.hh"
 #include "workload/synthetic.hh"
 
@@ -37,7 +40,13 @@ struct CliOptions
     std::string app = "Radix";
     bool custom = false;
     SyntheticParams customParams{};
+    std::string tracePath;
+    std::string scenario;
+    atrace::ScenarioParams scen{};
+    std::string recordPath;
     std::uint32_t procs = 64;
+    bool procsSet = false;
+    bool chunksSet = false;
     ProtocolKind protocol = ProtocolKind::ScalableBulk;
     std::uint64_t totalChunks = 1280;
     std::uint32_t chunkInstrs = 2000;
@@ -55,9 +64,17 @@ usage(int code)
     std::fprintf(
         stderr,
         "usage: sbulk-sim [options]\n"
-        "  --list                     list the 18 application models\n"
+        "  --list, --list-apps        list the 18 application models\n"
+        "  --list-scenarios           list the serving-scenario library\n"
         "  --app NAME                 application model (default Radix)\n"
         "  --custom                   use a custom synthetic workload\n"
+        "  --trace FILE               replay an access trace "
+        "(WORKLOADS.md)\n"
+        "  --scenario NAME            generate + replay a serving "
+        "scenario\n"
+        "  --tenants N --requests N   scenario knobs (with --scenario)\n"
+        "  --record FILE              capture this run's op streams to a "
+        "trace\n"
         "  --procs N                  processors, 1..64 (default 64)\n"
         "  --protocol P               scalablebulk | tcc | seq | bulksc\n"
         "  --chunks N                 total chunks of work (default 1280)\n"
@@ -104,21 +121,39 @@ parseArgs(int argc, char** argv)
         const char* a = argv[i];
         if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h")) {
             usage(0);
-        } else if (!std::strcmp(a, "--list")) {
+        } else if (!std::strcmp(a, "--list") ||
+                   !std::strcmp(a, "--list-apps")) {
             for (const auto& app : allApps())
                 std::printf("%-14s %s\n", app.name.c_str(),
                             app.suite.c_str());
+            std::exit(0);
+        } else if (!std::strcmp(a, "--list-scenarios")) {
+            for (const atrace::ScenarioSpec& s : atrace::allScenarios())
+                std::printf("%-18s %-9s %s\n", s.name, s.family,
+                            s.summary);
             std::exit(0);
         } else if (!std::strcmp(a, "--app")) {
             opt.app = need(i);
         } else if (!std::strcmp(a, "--custom")) {
             opt.custom = true;
+        } else if (!std::strcmp(a, "--trace")) {
+            opt.tracePath = need(i);
+        } else if (!std::strcmp(a, "--scenario")) {
+            opt.scenario = need(i);
+        } else if (!std::strcmp(a, "--tenants")) {
+            opt.scen.tenants = std::uint32_t(std::atoi(need(i)));
+        } else if (!std::strcmp(a, "--requests")) {
+            opt.scen.requests = std::strtoull(need(i), nullptr, 10);
+        } else if (!std::strcmp(a, "--record")) {
+            opt.recordPath = need(i);
         } else if (!std::strcmp(a, "--procs")) {
             opt.procs = std::uint32_t(std::atoi(need(i)));
+            opt.procsSet = true;
         } else if (!std::strcmp(a, "--protocol")) {
             opt.protocol = parseProtocol(need(i));
         } else if (!std::strcmp(a, "--chunks")) {
             opt.totalChunks = std::strtoull(need(i), nullptr, 10);
+            opt.chunksSet = true;
         } else if (!std::strcmp(a, "--chunk-instrs")) {
             opt.chunkInstrs = std::uint32_t(std::atoi(need(i)));
         } else if (!std::strcmp(a, "--sig-bits")) {
@@ -221,6 +256,28 @@ printReport(const CliOptions& opt, const RunResult& r)
                 (unsigned long long)r.traffic.messages(
                     MsgClass::SmallCMessage));
 
+    if (r.traced && !r.tenants.empty()) {
+        std::printf("\n-- per-tenant serving metrics --\n");
+        std::printf("%-8s %10s %9s %8s %8s %8s %10s\n", "tenant",
+                    "commits", "squashes", "p50", "p99", "sqRate",
+                    "req/Mcyc");
+        for (const RunResult::TenantStats& t : r.tenants) {
+            const std::uint64_t attempts = t.commits + t.squashes;
+            std::printf("%-8u %10llu %9llu %8llu %8llu %8.4f %10.2f\n",
+                        t.tenant, (unsigned long long)t.commits,
+                        (unsigned long long)t.squashes,
+                        (unsigned long long)t.commitLatency.percentile(
+                            0.50),
+                        (unsigned long long)t.commitLatency.percentile(
+                            0.99),
+                        attempts ? double(t.squashes) / double(attempts)
+                                 : 0.0,
+                        r.makespan ? 1e6 * double(t.commits) /
+                                         double(r.makespan)
+                                   : 0.0);
+        }
+    }
+
     if (opt.histogram) {
         std::printf("\n-- commit latency histogram --\n");
         const auto& hist = r.commitLatency;
@@ -245,23 +302,53 @@ printCsv(const RunResult& r)
 {
     std::printf("app,protocol,procs,seed,makespan,commits,useful,cacheMiss,"
                 "commit,squash,latMean,dirs,writeDirs,bottleneck,queue,"
-                "failures,squashTrue,squashAlias,recalls,messages\n");
+                "failures,squashTrue,squashAlias,recalls,messages%s\n",
+                r.traced ? ",tenant,tenantCommits,tenantSquashes,"
+                           "tenantP50,tenantP99,tenantSquashRate,"
+                           "tenantTput"
+                         : "");
     const double total = r.breakdown.total();
-    std::printf("%s,%s,%u,%llu,%llu,%llu,%.4f,%.4f,%.4f,%.4f,%.1f,%.2f,%.2f,"
-                "%.2f,%.2f,%llu,%llu,%llu,%llu,%llu\n",
-                r.app.c_str(), protocolName(r.protocol), r.procs,
-                (unsigned long long)r.seed,
-                (unsigned long long)r.makespan,
-                (unsigned long long)r.commits, r.breakdown.useful / total,
-                r.breakdown.cacheMiss / total, r.breakdown.commit / total,
-                r.breakdown.squash / total, r.commitLatencyMean,
-                r.dirsPerCommitMean, r.writeDirsPerCommitMean,
-                r.bottleneckRatio, r.chunkQueueLength,
-                (unsigned long long)r.commitFailures,
-                (unsigned long long)r.squashesTrueConflict,
-                (unsigned long long)r.squashesAliasing,
-                (unsigned long long)r.commitRecalls,
-                (unsigned long long)r.traffic.totalMessages());
+    char base[512];
+    std::snprintf(base, sizeof(base),
+                  "%s,%s,%u,%llu,%llu,%llu,%.4f,%.4f,%.4f,%.4f,%.1f,%.2f,"
+                  "%.2f,%.2f,%.2f,%llu,%llu,%llu,%llu,%llu",
+                  r.app.c_str(), protocolName(r.protocol), r.procs,
+                  (unsigned long long)r.seed,
+                  (unsigned long long)r.makespan,
+                  (unsigned long long)r.commits, r.breakdown.useful / total,
+                  r.breakdown.cacheMiss / total, r.breakdown.commit / total,
+                  r.breakdown.squash / total, r.commitLatencyMean,
+                  r.dirsPerCommitMean, r.writeDirsPerCommitMean,
+                  r.bottleneckRatio, r.chunkQueueLength,
+                  (unsigned long long)r.commitFailures,
+                  (unsigned long long)r.squashesTrueConflict,
+                  (unsigned long long)r.squashesAliasing,
+                  (unsigned long long)r.commitRecalls,
+                  (unsigned long long)r.traffic.totalMessages());
+    if (!r.traced) {
+        std::printf("%s\n", base);
+        return;
+    }
+    const auto tenantRow = [&](const char* tenant, std::uint64_t commits,
+                               std::uint64_t squashes, std::uint64_t p50,
+                               std::uint64_t p99) {
+        const std::uint64_t attempts = commits + squashes;
+        std::printf("%s,%s,%llu,%llu,%llu,%llu,%.4f,%.4f\n", base, tenant,
+                    (unsigned long long)commits,
+                    (unsigned long long)squashes, (unsigned long long)p50,
+                    (unsigned long long)p99,
+                    attempts ? double(squashes) / double(attempts) : 0.0,
+                    r.makespan ? 1e6 * double(commits) / double(r.makespan)
+                               : 0.0);
+    };
+    tenantRow("all", r.commits, r.chunksSquashed,
+              r.commitLatency.percentile(0.50),
+              r.commitLatency.percentile(0.99));
+    for (const RunResult::TenantStats& t : r.tenants) {
+        tenantRow(std::to_string(t.tenant).c_str(), t.commits, t.squashes,
+                  t.commitLatency.percentile(0.50),
+                  t.commitLatency.percentile(0.99));
+    }
 }
 
 } // namespace
@@ -270,26 +357,73 @@ int
 main(int argc, char** argv)
 {
     using namespace sbulk;
-    const CliOptions opt = parseArgs(argc, argv);
+    CliOptions opt = parseArgs(argc, argv);
+
+    const bool traced = !opt.tracePath.empty() || !opt.scenario.empty();
+    if (!opt.tracePath.empty() && !opt.scenario.empty()) {
+        std::fprintf(stderr,
+                     "--trace and --scenario are mutually exclusive\n");
+        return 2;
+    }
+    if (traced && (opt.custom || !opt.recordPath.empty())) {
+        std::fprintf(stderr, "--trace/--scenario cannot combine with "
+                             "--custom or --record\n");
+        return 2;
+    }
 
     AppSpec custom{"custom", "user", opt.customParams};
-    const AppSpec* app = opt.custom ? &custom : findApp(opt.app);
-    if (!app) {
-        std::fprintf(stderr, "unknown application '%s' (--list)\n",
-                     opt.app.c_str());
+    const AppSpec* app = nullptr;
+    if (!traced) {
+        app = opt.custom ? &custom : findApp(opt.app);
+        if (!app) {
+            std::fprintf(stderr, "unknown application '%s' (--list)\n",
+                         opt.app.c_str());
+            return 1;
+        }
+    } else if (!opt.scenario.empty() &&
+               !atrace::findScenario(opt.scenario)) {
+        std::fprintf(stderr, "unknown scenario '%s' (--list-scenarios)\n",
+                     opt.scenario.c_str());
         return 1;
+    } else if (!opt.tracePath.empty()) {
+        // The trace dictates the machine size unless --procs was given.
+        std::ifstream in(opt.tracePath, std::ios::binary);
+        atrace::TraceReader reader;
+        std::string err;
+        if (!in) {
+            std::fprintf(stderr, "cannot open trace '%s'\n",
+                         opt.tracePath.c_str());
+            return 1;
+        }
+        if (!reader.open(in, &err)) {
+            std::fprintf(stderr, "%s: %s\n", opt.tracePath.c_str(),
+                         err.c_str());
+            return 1;
+        }
+        if (!opt.procsSet)
+            opt.procs = reader.header().numCores;
     }
 
     RunConfig cfg;
     cfg.app = app;
     cfg.procs = opt.procs;
     cfg.protocol = opt.protocol;
-    cfg.totalChunks = opt.totalChunks;
+    cfg.totalChunks = traced && !opt.chunksSet ? 0 : opt.totalChunks;
     cfg.chunkInstrs = opt.chunkInstrs;
     cfg.proto = opt.proto;
     cfg.sig = opt.sig;
     cfg.seedOverride = opt.seed;
+    cfg.tracePath = opt.tracePath;
+    cfg.scenario = opt.scenario;
+    cfg.scenarioParams = opt.scen;
+    if (opt.seed != 0)
+        cfg.scenarioParams.seed = opt.seed;
+    cfg.recordPath = opt.recordPath;
 
+    if (opt.fullStats && traced) {
+        std::fprintf(stderr, "--stats is synthetic-only\n");
+        return 2;
+    }
     if (opt.fullStats) {
         // Build the system directly so the full component statistics can
         // be dumped after the run.

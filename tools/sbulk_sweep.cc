@@ -8,6 +8,13 @@
  *   sbulk-sweep --apps Radix,LU --procs 16,32,64 --protocols scalablebulk
  *   sbulk-sweep --chunks 640 --jobs 8 > sweep.csv
  *
+ * Trace-driven sweeps (see WORKLOADS.md) swap the application axis for
+ * serving scenarios or a recorded trace, and add per-tenant columns (one
+ * "all" row plus one row per tenant, long format):
+ *
+ *   sbulk-sweep --scenario kv-zipf,staging-pipeline --procs 8 --tenants 4
+ *   sbulk-sweep --trace run.sbt --protocols scalablebulk,tcc
+ *
  * --jobs N runs up to N simulations concurrently; each worker owns a
  * private System and EventQueue, and rows are emitted in matrix order, so
  * the output is byte-identical to a serial run.
@@ -16,12 +23,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "fault/fault_plan.hh"
 #include "sim/parallel.hh"
 #include "system/experiment.hh"
+#include "trace/io.hh"
+#include "trace/scenarios.hh"
 
 namespace
 {
@@ -66,11 +76,16 @@ main(int argc, char** argv)
     using namespace sbulk;
 
     std::vector<const AppSpec*> apps;
+    std::vector<const atrace::ScenarioSpec*> scenarios;
+    std::string tracePath;
+    atrace::ScenarioParams scen;
     std::vector<ProtocolKind> protocols = {
         ProtocolKind::ScalableBulk, ProtocolKind::TCC, ProtocolKind::SEQ,
         ProtocolKind::BulkSC};
     std::vector<std::uint32_t> procs = {32, 64};
+    bool procsSet = false;
     std::uint64_t chunks = 1280;
+    bool chunksSet = false;
     std::uint64_t seed = 0;
     unsigned jobs = 1;
     fault::FaultPlan faults;
@@ -98,12 +113,43 @@ main(int argc, char** argv)
             protocols.clear();
             for (const std::string& name : split(need()))
                 protocols.push_back(parseProtocol(name));
+        } else if (!std::strcmp(a, "--scenario") ||
+                   !std::strcmp(a, "--scenarios")) {
+            for (const std::string& name : split(need())) {
+                const atrace::ScenarioSpec* spec =
+                    atrace::findScenario(name);
+                if (!spec) {
+                    std::fprintf(stderr, "unknown scenario '%s' "
+                                         "(--list-scenarios)\n",
+                                 name.c_str());
+                    return 2;
+                }
+                scenarios.push_back(spec);
+            }
+        } else if (!std::strcmp(a, "--trace")) {
+            tracePath = need();
+        } else if (!std::strcmp(a, "--tenants")) {
+            scen.tenants = std::uint32_t(std::atoi(need()));
+        } else if (!std::strcmp(a, "--requests")) {
+            scen.requests = std::strtoull(need(), nullptr, 10);
+        } else if (!std::strcmp(a, "--list-apps")) {
+            for (const AppSpec& app : allApps())
+                std::printf("%-14s %s\n", app.name.c_str(),
+                            app.suite.c_str());
+            return 0;
+        } else if (!std::strcmp(a, "--list-scenarios")) {
+            for (const atrace::ScenarioSpec& s : atrace::allScenarios())
+                std::printf("%-18s %-9s %s\n", s.name, s.family,
+                            s.summary);
+            return 0;
         } else if (!std::strcmp(a, "--procs")) {
             procs.clear();
             for (const std::string& item : split(need()))
                 procs.push_back(std::uint32_t(std::atoi(item.c_str())));
+            procsSet = true;
         } else if (!std::strcmp(a, "--chunks")) {
             chunks = std::strtoull(need(), nullptr, 10);
+            chunksSet = true;
         } else if (!std::strcmp(a, "--seed")) {
             seed = std::strtoull(need(), nullptr, 10);
         } else if (!std::strcmp(a, "--jobs")) {
@@ -121,25 +167,75 @@ main(int argc, char** argv)
                 stderr,
                 "usage: sbulk-sweep [--apps A,B] [--protocols P,Q] "
                 "[--procs N,M] [--chunks N] [--seed N] [--jobs N] "
-                "[--faults PLAN]\n");
+                "[--faults PLAN]\n"
+                "                   [--scenario S,T | --trace FILE] "
+                "[--tenants N] [--requests N]\n"
+                "                   [--list-apps] [--list-scenarios]\n");
             return 2;
         }
     }
-    if (apps.empty())
+    if (!scenarios.empty() && !tracePath.empty()) {
+        std::fprintf(stderr,
+                     "--scenario and --trace are mutually exclusive\n");
+        return 2;
+    }
+    const bool traced = !scenarios.empty() || !tracePath.empty();
+    if (!apps.empty() && traced) {
+        std::fprintf(stderr, "--apps cannot combine with --scenario or "
+                             "--trace\n");
+        return 2;
+    }
+    if (apps.empty() && !traced)
         for (const AppSpec& app : allApps())
             apps.push_back(&app);
+    if (traced) {
+        if (seed != 0)
+            scen.seed = seed;
+        if (!chunksSet)
+            chunks = 0; // defer to the trace's own work budget
+    }
+    if (!tracePath.empty()) {
+        // The trace dictates the machine size: read its header up front.
+        std::ifstream in(tracePath, std::ios::binary);
+        atrace::TraceReader reader;
+        std::string err;
+        if (!in) {
+            std::fprintf(stderr, "cannot open trace '%s'\n",
+                         tracePath.c_str());
+            return 1;
+        }
+        if (!reader.open(in, &err)) {
+            std::fprintf(stderr, "%s: %s\n", tracePath.c_str(),
+                         err.c_str());
+            return 1;
+        }
+        if (!procsSet)
+            procs = {reader.header().numCores};
+    }
 
     struct Cell
     {
         const AppSpec* app;
+        const atrace::ScenarioSpec* scenario;
         ProtocolKind proto;
         std::uint32_t procs;
     };
     std::vector<Cell> matrix;
-    for (const AppSpec* app : apps)
+    if (!scenarios.empty()) {
+        for (const atrace::ScenarioSpec* s : scenarios)
+            for (ProtocolKind proto : protocols)
+                for (std::uint32_t p : procs)
+                    matrix.push_back(Cell{nullptr, s, proto, p});
+    } else if (!tracePath.empty()) {
         for (ProtocolKind proto : protocols)
             for (std::uint32_t p : procs)
-                matrix.push_back(Cell{app, proto, p});
+                matrix.push_back(Cell{nullptr, nullptr, proto, p});
+    } else {
+        for (const AppSpec* app : apps)
+            for (ProtocolKind proto : protocols)
+                for (std::uint32_t p : procs)
+                    matrix.push_back(Cell{app, nullptr, proto, p});
+    }
 
     // Each worker simulates into a private System/EventQueue and renders
     // its row into the slot for its matrix index; rows are printed in
@@ -148,12 +244,22 @@ main(int argc, char** argv)
     parallelFor(matrix.size(), jobs, [&](std::size_t i) {
         const Cell& cell = matrix[i];
         RunConfig cfg;
-        cfg.app = cell.app;
         cfg.procs = cell.procs;
         cfg.protocol = cell.proto;
         cfg.totalChunks = chunks;
         cfg.seedOverride = seed;
         cfg.faults = faults;
+        const char* suite = "trace";
+        if (cell.scenario) {
+            cfg.scenario = cell.scenario->name;
+            cfg.scenarioParams = scen;
+            suite = cell.scenario->family;
+        } else if (!tracePath.empty()) {
+            cfg.tracePath = tracePath;
+        } else {
+            cfg.app = cell.app;
+            suite = cell.app->suite.c_str();
+        }
         const RunResult r = runExperiment(cfg);
         const double total = r.breakdown.total();
         char buf[640];
@@ -162,7 +268,7 @@ main(int argc, char** argv)
             "%s,%s,%s,%u,%llu,%llu,%llu,%.4f,%.4f,%.4f,%.4f,%.1f,"
             "%llu,%.2f,%.2f,%.2f,%.2f,%llu,%llu,%llu,%llu,%llu,"
             "%.4f",
-            r.app.c_str(), cell.app->suite.c_str(),
+            r.app.c_str(), suite,
             protocolName(cell.proto), cell.procs,
             (unsigned long long)r.seed,
             (unsigned long long)r.makespan,
@@ -193,18 +299,57 @@ main(int argc, char** argv)
                 (unsigned long long)r.retryEscalations,
                 r.recoveryLatencyMean);
         }
-        std::snprintf(buf + len, sizeof(buf) - std::size_t(len), "\n");
-        rows[i] = buf;
+        if (!traced) {
+            std::snprintf(buf + len, sizeof(buf) - std::size_t(len),
+                          "\n");
+            rows[i] = buf;
+            return;
+        }
+        // Per-tenant long format: every tenant (plus an "all" aggregate)
+        // repeats the run columns, so each line is self-describing.
+        const std::string base(buf, std::size_t(len));
+        const auto tenantLine = [&](const std::string& tenant,
+                                    std::uint64_t commits,
+                                    std::uint64_t squashes,
+                                    std::uint64_t p50, std::uint64_t p99) {
+            char tb[192];
+            const std::uint64_t attempts = commits + squashes;
+            std::snprintf(tb, sizeof(tb),
+                          ",%s,%llu,%llu,%llu,%llu,%.4f,%.4f\n",
+                          tenant.c_str(), (unsigned long long)commits,
+                          (unsigned long long)squashes,
+                          (unsigned long long)p50,
+                          (unsigned long long)p99,
+                          attempts ? double(squashes) / double(attempts)
+                                   : 0.0,
+                          r.makespan ? 1e6 * double(commits) /
+                                           double(r.makespan)
+                                     : 0.0);
+            return base + tb;
+        };
+        std::string out =
+            tenantLine("all", r.commits, r.chunksSquashed,
+                       r.commitLatency.percentile(0.50),
+                       r.commitLatency.percentile(0.99));
+        for (const RunResult::TenantStats& t : r.tenants) {
+            out += tenantLine(std::to_string(t.tenant), t.commits,
+                              t.squashes, t.commitLatency.percentile(0.50),
+                              t.commitLatency.percentile(0.99));
+        }
+        rows[i] = out;
     });
 
     std::printf("app,suite,protocol,procs,seed,makespan,commits,usefulFrac,"
                 "cacheMissFrac,commitFrac,squashFrac,latMean,latP90,dirs,"
                 "writeDirs,bottleneck,queue,failures,squashTrue,"
-                "squashAlias,recalls,messages,l1HitRate%s\n",
+                "squashAlias,recalls,messages,l1HitRate%s%s\n",
                 faults.enabled() ? ",faultsInjected,retransmissions,"
                                    "dupsDropped,watchdogFires,"
                                    "retryEscalations,recoveryLatMean"
-                                 : "");
+                                 : "",
+                traced ? ",tenant,tenantCommits,tenantSquashes,tenantP50,"
+                         "tenantP99,tenantSquashRate,tenantTput"
+                       : "");
     for (const std::string& row : rows)
         std::fputs(row.c_str(), stdout);
     return 0;
