@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Wall-clock harness for the parallel-in-run event kernel: one 256-tile
+ * simulation timed serial (--shards 1) and sharded (--shards 2/4/8), the
+ * figure-shape check (ScalableBulk < SEQ < TCC < BulkSC commit overhead)
+ * at the large machine size, and a 1024-tile scenario completion run.
+ * Feeds scripts/bench.py and the committed BENCH_parallel_kernel.json.
+ *
+ * Both timings simulate the *same* machine: the serial baseline runs with
+ * interleaved page homing (the sharded kernel's policy), so the wall-clock
+ * ratio isolates the kernel, not a workload-placement difference. Two
+ * speedup figures are reported:
+ *   - measured: serial wall / sharded wall on THIS host (meaningless on a
+ *     single-CPU host, where S worker threads time-slice one core);
+ *   - critical-path: serial wall / max per-shard busy seconds — the bound
+ *     a host with >= S idle cores converges to, computable on any host.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/parallel.hh"
+#include "system/experiment.hh"
+#include "workload/apps.hh"
+
+namespace
+{
+
+using namespace sbulk;
+
+struct Options
+{
+    std::uint32_t procs = 256;
+    std::uint64_t chunks = 2560;
+    std::vector<std::uint32_t> shardCounts = {2, 4, 8};
+    bool quick = false;
+    bool skipScale = false;
+    std::string jsonPath;
+};
+
+Options
+parseArgs(int argc, char** argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--quick")) {
+            // CI smoke: same 256-tile machine, less work, no side studies.
+            opt.quick = true;
+            opt.chunks = 768;
+            opt.skipScale = true;
+            opt.shardCounts = {8};
+        } else if (!std::strcmp(argv[i], "--procs") && i + 1 < argc) {
+            opt.procs = std::uint32_t(std::atoi(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--chunks") && i + 1 < argc) {
+            opt.chunks = std::strtoull(argv[++i], nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--skip-1024")) {
+            opt.skipScale = true;
+        } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+            opt.jsonPath = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--procs N] [--chunks N] "
+                         "[--skip-1024] [--json FILE]\n",
+                         argv[0]);
+            std::exit(2);
+        }
+    }
+    return opt;
+}
+
+RunResult
+timedRun(const Options& opt, std::uint32_t shards, ProtocolKind proto,
+         const char* app = "Radix") // scatter writes: the stress case
+{
+    RunConfig cfg;
+    cfg.app = findApp(app);
+    cfg.procs = opt.procs;
+    cfg.protocol = proto;
+    cfg.totalChunks = opt.chunks;
+    cfg.shards = shards;
+    cfg.interleavedPages = true; // match the sharded kernel's homing
+    return runExperiment(cfg);
+}
+
+double
+maxShardBusy(const RunResult& r)
+{
+    double m = 0;
+    for (const auto& s : r.shardStats)
+        m = std::max(m, s.busySec);
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace sbulk;
+    Options opt = parseArgs(argc, argv);
+
+    std::printf("parallel-in-run kernel harness: %u tiles, %llu chunks, "
+                "host has %u CPUs\n",
+                opt.procs, (unsigned long long)opt.chunks,
+                std::thread::hardware_concurrency());
+
+    // -- timing: serial vs sharded on the identical machine ------------
+    const RunResult serial = timedRun(opt, 1, ProtocolKind::ScalableBulk);
+    std::printf("%-10s %10s %12s %12s %12s\n", "shards", "wallSec",
+                "measured", "critPath", "commits/s");
+    std::printf("%-10u %10.2f %12s %12s %12.0f\n", 1u, serial.wallSec, "-",
+                "-", double(serial.commits) / serial.wallSec);
+
+    struct Sample
+    {
+        std::uint32_t shards;
+        double wall;
+        double critPath;
+        double measured;
+        double commitRate;
+    };
+    std::vector<Sample> samples;
+    for (std::uint32_t s : opt.shardCounts) {
+        setShardThreadFactor(s);
+        const RunResult r = timedRun(opt, s, ProtocolKind::ScalableBulk);
+        if (r.commits != serial.commits) {
+            std::fprintf(stderr,
+                         "FAIL: sharded run committed %llu chunks, serial "
+                         "%llu\n",
+                         (unsigned long long)r.commits,
+                         (unsigned long long)serial.commits);
+            return 1;
+        }
+        Sample smp;
+        smp.shards = s;
+        smp.wall = r.wallSec;
+        const double busy = maxShardBusy(r);
+        smp.critPath = busy > 0 ? serial.wallSec / busy : 0;
+        smp.measured = r.wallSec > 0 ? serial.wallSec / r.wallSec : 0;
+        smp.commitRate = r.wallSec > 0 ? double(r.commits) / r.wallSec : 0;
+        samples.push_back(smp);
+        std::printf("%-10u %10.2f %11.2fx %11.2fx %12.0f\n", s, smp.wall,
+                    smp.measured, smp.critPath, smp.commitRate);
+        std::fflush(stdout);
+    }
+    setShardThreadFactor(1);
+
+    // -- figure shape at the large size (full mode only) ---------------
+    // The claim re-validated here is the paper's commit-overhead ordering
+    // ScalableBulk < SEQ < TCC < BulkSC (mean commit latency, Figure 13).
+    // Measured on LU: EXPERIMENTS.md documents that this repo's SEQ model
+    // overshoots on scatter-heavy codes (Radix), where SEQ lands worst —
+    // the ordering claim is about the structured codes the paper averages.
+    struct ShapePoint
+    {
+        const char* name;
+        double commitFrac;
+        double commitLatency;
+    };
+    std::vector<ShapePoint> shape;
+    bool shapeHolds = true;
+    bool strictOrder = false;
+    if (!opt.quick) {
+        constexpr ProtocolKind kOrder[] = {
+            ProtocolKind::ScalableBulk, ProtocolKind::SEQ,
+            ProtocolKind::TCC, ProtocolKind::BulkSC};
+        setShardThreadFactor(8);
+        std::printf("\ncommit overhead at %u tiles, LU (--shards 8):\n",
+                    opt.procs);
+        for (ProtocolKind proto : kOrder) {
+            const RunResult r = timedRun(opt, 8, proto, "LU");
+            const double frac =
+                100.0 * r.breakdown.commit / r.breakdown.total();
+            shape.push_back(ShapePoint{protocolName(proto), frac,
+                                       r.commitLatencyMean});
+            std::printf("  %-13s commit %6.2f%%  latency %8.1f cycles\n",
+                        protocolName(proto), frac, r.commitLatencyMean);
+            std::fflush(stdout);
+        }
+        setShardThreadFactor(1);
+        // Two grades, matching EXPERIMENTS.md's verdict convention: the
+        // repo's reproducible claim is the endpoints (ScalableBulk lowest,
+        // BulkSC highest); the strict paper order additionally wants
+        // SEQ < TCC, which this testbed's SEQ model has always flipped
+        // (documented deviation: SEQ overshoots on occupation queueing).
+        const double sb = shape[0].commitLatency;
+        const double seq = shape[1].commitLatency;
+        const double tcc = shape[2].commitLatency;
+        const double bulksc = shape[3].commitLatency;
+        shapeHolds = sb < seq && sb < tcc && seq < bulksc && tcc < bulksc;
+        const bool strict = strictOrder =
+            sb < seq && seq < tcc && tcc < bulksc;
+        std::printf("figure shape: ScalableBulk lowest / BulkSC highest: "
+                    "%s; strict paper order (SB < SEQ < TCC < BulkSC): "
+                    "%s\n",
+                    shapeHolds ? "holds" : "VIOLATED",
+                    strict ? "holds" : "SEQ/TCC swapped (known deviation)");
+    }
+
+    // -- 1024-tile scenario completion ----------------------------------
+    double scaleWall = 0;
+    std::uint64_t scaleCommits = 0;
+    if (!opt.skipScale) {
+        RunConfig cfg;
+        cfg.procs = 1024;
+        cfg.protocol = ProtocolKind::ScalableBulk;
+        cfg.scenario = "kv-zipf";
+        cfg.scenarioParams.tenants = 16;
+        cfg.scenarioParams.requests = 8192;
+        cfg.shards = 8;
+        setShardThreadFactor(8);
+        const RunResult r = runExperiment(cfg);
+        setShardThreadFactor(1);
+        scaleWall = r.wallSec;
+        scaleCommits = r.commits;
+        std::printf("\n1024-tile kv-zipf scenario: %llu commits in %.2fs "
+                    "wall (%llu simulated cycles)\n",
+                    (unsigned long long)r.commits, r.wallSec,
+                    (unsigned long long)r.makespan);
+    }
+
+    // -- JSON ------------------------------------------------------------
+    if (!opt.jsonPath.empty()) {
+        FILE* f = std::fopen(opt.jsonPath.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", opt.jsonPath.c_str());
+            return 1;
+        }
+        std::fprintf(f, "{\n");
+        std::fprintf(f, "  \"host_cpus\": %u,\n",
+                     std::thread::hardware_concurrency());
+        std::fprintf(f, "  \"procs\": %u,\n", opt.procs);
+        std::fprintf(f, "  \"chunks\": %llu,\n",
+                     (unsigned long long)opt.chunks);
+        std::fprintf(f, "  \"serial_seconds\": %.3f,\n", serial.wallSec);
+        std::fprintf(f, "  \"serial_commits_per_sec\": %.0f,\n",
+                     double(serial.commits) / serial.wallSec);
+        for (const auto& s : samples) {
+            std::fprintf(f, "  \"sharded%u_seconds\": %.3f,\n", s.shards,
+                         s.wall);
+            std::fprintf(f, "  \"sharded%u_commits_per_sec\": %.0f,\n",
+                         s.shards, s.commitRate);
+            std::fprintf(f, "  \"speedup_measured_shards%u\": %.2f,\n",
+                         s.shards, s.measured);
+            std::fprintf(f, "  \"speedup_critical_path_shards%u\": %.2f,\n",
+                         s.shards, s.critPath);
+        }
+        if (!shape.empty()) {
+            std::fprintf(f, "  \"figure_shape_holds\": %s,\n",
+                         shapeHolds ? "true" : "false");
+            std::fprintf(f, "  \"figure_shape_paper_strict\": %s,\n",
+                         strictOrder ? "true" : "false");
+            for (const auto& p : shape) {
+                std::fprintf(f, "  \"commit_overhead_pct_%s\": %.2f,\n",
+                             p.name, p.commitFrac);
+                std::fprintf(f, "  \"commit_latency_%s\": %.1f,\n",
+                             p.name, p.commitLatency);
+            }
+        }
+        if (scaleWall > 0) {
+            std::fprintf(f, "  \"scale1024_seconds\": %.3f,\n", scaleWall);
+            std::fprintf(f, "  \"scale1024_commits\": %llu,\n",
+                         (unsigned long long)scaleCommits);
+        }
+        std::fprintf(f, "  \"benchmark\": \"bench/parallel_kernel\"\n");
+        std::fprintf(f, "}\n");
+        std::fclose(f);
+    }
+    return 0;
+}

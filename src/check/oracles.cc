@@ -248,7 +248,7 @@ OracleSuite::onChunkSquashed(NodeId proc, const Chunk& victim,
 
 void
 OracleSuite::onGroupFormed(NodeId dir, const CommitId& id,
-                           std::uint64_t g_vec)
+                           const NodeSet& g_vec)
 {
     (void)dir;
     (void)g_vec;

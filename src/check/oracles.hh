@@ -76,7 +76,7 @@ class OracleSuite : public ProtocolObserver
                          const ChunkTag& committer, const Signature* commit_w,
                          const std::vector<Addr>* commit_lines) override;
     void onGroupFormed(NodeId dir, const CommitId& id,
-                       std::uint64_t g_vec) override;
+                       const NodeSet& g_vec) override;
     void onGroupFailed(NodeId dir, const CommitId& id, GroupFailReason why,
                        const CommitId& winner) override;
     /// @}

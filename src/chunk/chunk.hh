@@ -19,6 +19,7 @@
 
 #include "sig/signature.hh"
 #include "sim/flat_hash.hh"
+#include "sim/node_set.hh"
 #include "sim/types.hh"
 
 namespace sbulk
@@ -95,7 +96,7 @@ class Chunk
         if (!_readSet.insert(line))
             return;
         _rSig.insert(line);
-        _dirsRead |= std::uint64_t(1) << home_of();
+        _dirsRead.insert(home_of());
     }
 
     void
@@ -114,7 +115,7 @@ class Chunk
             return;
         const NodeId home = home_of();
         _wSig.insert(line);
-        _dirsWritten |= std::uint64_t(1) << home;
+        _dirsWritten.insert(home);
         _writeLines.push_back(line);
         _writesByHome[home].push_back(line);
     }
@@ -125,12 +126,12 @@ class Chunk
         recordWrite(line, [home] { return home; });
     }
 
-    /** Home directories of all lines read (bit per tile). */
-    std::uint64_t dirsRead() const { return _dirsRead; }
-    /** Home directories of lines written (bit per tile). */
-    std::uint64_t dirsWritten() const { return _dirsWritten; }
+    /** Home directories of all lines read. */
+    const NodeSet& dirsRead() const { return _dirsRead; }
+    /** Home directories of lines written. */
+    const NodeSet& dirsWritten() const { return _dirsWritten; }
     /** The paper's g_vec: all participating directories. */
-    std::uint64_t gVec() const { return _dirsRead | _dirsWritten; }
+    NodeSet gVec() const { return _dirsRead | _dirsWritten; }
 
     /** Exact lines written (functional stand-in for W expansion). */
     const AddrSet& writeSet() const { return _writeSet; }
@@ -189,8 +190,8 @@ class Chunk
         _writeLines.clear();
         _readSet.clear();
         _writesByHome.clear();
-        _dirsRead = 0;
-        _dirsWritten = 0;
+        _dirsRead.clear();
+        _dirsWritten.clear();
         _state = ChunkState::Executing;
         ++_timesSquashed;
     }
@@ -217,8 +218,8 @@ class Chunk
     ChunkState _state = ChunkState::Executing;
     Signature _rSig;
     Signature _wSig;
-    std::uint64_t _dirsRead = 0;
-    std::uint64_t _dirsWritten = 0;
+    NodeSet _dirsRead;
+    NodeSet _dirsWritten;
     /**
      * Exact line sets, kept in flat open-addressing tables: one probe per
      * access beats unordered_set's node allocation, and clear() is O(1).

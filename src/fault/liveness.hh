@@ -13,6 +13,7 @@
 #ifndef SBULK_FAULT_LIVENESS_HH
 #define SBULK_FAULT_LIVENESS_HH
 
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -52,6 +53,7 @@ class LivenessMonitor : public ProtocolObserver
                       const Chunk& chunk) override
     {
         (void)chunk;
+        const std::lock_guard<std::mutex> lock(_mu);
         ++_attemptsSeen;
         _pending[id] = {proc, _eq ? _eq->now() : 0};
     }
@@ -60,6 +62,7 @@ class LivenessMonitor : public ProtocolObserver
     onCommitSuccess(NodeId proc, const CommitId& id) override
     {
         (void)proc;
+        const std::lock_guard<std::mutex> lock(_mu);
         _pending.erase(id);
     }
 
@@ -67,6 +70,7 @@ class LivenessMonitor : public ProtocolObserver
     onCommitFailure(NodeId proc, const CommitId& id) override
     {
         (void)proc;
+        const std::lock_guard<std::mutex> lock(_mu);
         _pending.erase(id);
     }
 
@@ -74,6 +78,7 @@ class LivenessMonitor : public ProtocolObserver
     onCommitAborted(NodeId proc, const CommitId& id) override
     {
         (void)proc;
+        const std::lock_guard<std::mutex> lock(_mu);
         _pending.erase(id);
     }
 
@@ -94,6 +99,9 @@ class LivenessMonitor : public ProtocolObserver
     };
 
     const EventQueue* _eq = nullptr;
+    /** Hooks fire concurrently from shard threads in sharded fault runs;
+     *  the monitor is the one observer documented thread-safe. */
+    std::mutex _mu;
     std::unordered_map<CommitId, Attempt> _pending;
     std::vector<StuckCommit> _stuck;
     std::uint64_t _attemptsSeen = 0;

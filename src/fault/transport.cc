@@ -39,7 +39,7 @@ FaultStats::record(StatSet& out, const std::string& prefix) const
 
 FaultTransport::FaultTransport(Network& net, const FaultPlan& plan,
                                std::uint64_t stream_salt)
-    : TransportLayer(net), _eq(net.eventQueue()), _plan(plan),
+    : TransportLayer(net), _plan(plan),
       _rng(plan.seed + stream_salt * 0x9e3779b97f4a7c15ull),
       _ruleMatches(plan.rules.size(), 0)
 {}
@@ -47,7 +47,7 @@ FaultTransport::FaultTransport(Network& net, const FaultPlan& plan,
 void
 FaultTransport::recordInjected(FaultAction a, const Message& msg)
 {
-    _injected.push_back({_eq.now(), a, msg.cls, msg.kind, msg.src, msg.dst,
+    _injected.push_back({eq().now(), a, msg.cls, msg.kind, msg.src, msg.dst,
                          msg.dstPort});
 }
 
@@ -55,7 +55,7 @@ FaultTransport::Decision
 FaultTransport::decide(const Message& msg, Channel& c)
 {
     Decision d;
-    const Tick now = _eq.now();
+    const Tick now = eq().now();
 
     // Targeted rules first: deterministic counters, no randomness.
     for (std::size_t i = 0; i < _plan.rules.size(); ++i) {
@@ -146,12 +146,13 @@ FaultTransport::wireDelayed(MessagePtr msg, Tick delay)
         return;
     }
     Message* raw = msg.release();
-    _eq.scheduleIn(delay, [this, raw] { wire(MessagePtr(raw)); });
+    eq().scheduleIn(delay, [this, raw] { wire(MessagePtr(raw)); });
 }
 
 void
 FaultTransport::onSend(MessagePtr msg)
 {
+    const std::lock_guard<std::recursive_mutex> lock(_mu);
     // Same-tile messages never cross the fabric: exempt from faults and
     // from sequencing (they cannot be lost or reordered).
     if (msg->src == msg->dst) {
@@ -161,7 +162,7 @@ FaultTransport::onSend(MessagePtr msg)
     const std::uint64_t key = channelKey(msg->src, msg->dst, msg->dstPort);
     Channel& c = _channels[key];
     Decision d = decide(*msg, c);
-    const Tick now = _eq.now();
+    const Tick now = eq().now();
     if (c.stallUntil > now)
         d.delay += c.stallUntil - now;
 
@@ -222,7 +223,7 @@ FaultTransport::handleAck(const NetAckMsg& ack)
     if (pit == cit->second.pending.end())
         return; // duplicate ack for an already-settled seq
     if (pit->second.attempts > 0)
-        _stats.recoveryLatency.sample(_eq.now() - pit->second.firstSent);
+        _stats.recoveryLatency.sample(eq().now() - pit->second.firstSent);
     cit->second.pending.erase(pit);
 }
 
@@ -231,12 +232,12 @@ FaultTransport::deliverToDst(MessagePtr msg)
 {
     if (msg->dstPort == Port::Dir) {
         auto git = _gates.find(msg->dst);
-        if (git != _gates.end() && _eq.now() < git->second.pausedUntil) {
+        if (git != _gates.end() && eq().now() < git->second.pausedUntil) {
             const NodeId node = msg->dst;
             git->second.held.push_back(std::move(msg));
             if (!git->second.flushArmed) {
                 git->second.flushArmed = true;
-                _eq.scheduleIn(git->second.pausedUntil - _eq.now(),
+                eq().scheduleIn(git->second.pausedUntil - eq().now(),
                                [this, node] { flushGate(node); });
             }
             return;
@@ -248,12 +249,13 @@ FaultTransport::deliverToDst(MessagePtr msg)
 void
 FaultTransport::flushGate(NodeId node)
 {
+    const std::lock_guard<std::recursive_mutex> lock(_mu);
     DirGate& gate = _gates[node];
     gate.flushArmed = false;
-    if (_eq.now() < gate.pausedUntil) {
+    if (eq().now() < gate.pausedUntil) {
         // The pause was extended while the flush was in flight.
         gate.flushArmed = true;
-        _eq.scheduleIn(gate.pausedUntil - _eq.now(),
+        eq().scheduleIn(gate.pausedUntil - eq().now(),
                        [this, node] { flushGate(node); });
         return;
     }
@@ -266,6 +268,7 @@ FaultTransport::flushGate(NodeId node)
 void
 FaultTransport::onArrive(MessagePtr msg)
 {
+    const std::lock_guard<std::recursive_mutex> lock(_mu);
     if (msg->kind == kNetAckKind) {
         handleAck(static_cast<const NetAckMsg&>(*msg));
         return;
@@ -338,28 +341,30 @@ FaultTransport::armRetx(std::uint64_t key)
     Tick earliest = c.pending.begin()->second.nextRetxAt;
     for (const auto& [seq, p] : c.pending)
         earliest = std::min(earliest, p.nextRetxAt);
-    const Tick now = _eq.now();
+    const Tick now = eq().now();
     c.timerArmed = true;
-    _eq.scheduleIn(earliest > now ? earliest - now : 1,
+    eq().scheduleIn(earliest > now ? earliest - now : 1,
                    [this, key] { retxFire(key); });
 }
 
 void
 FaultTransport::retxFire(std::uint64_t key)
 {
+    const std::lock_guard<std::recursive_mutex> lock(_mu);
     Channel& c = _channels[key];
     c.timerArmed = false;
     if (c.pending.empty())
         return; // everything acked while the timer was in flight
-    retransmitDue(c, _eq.now(), false);
+    retransmitDue(c, eq().now(), false);
     armRetx(key);
 }
 
 void
 FaultTransport::kick(NodeId node)
 {
+    const std::lock_guard<std::recursive_mutex> lock(_mu);
     _stats.kicks.inc();
-    const Tick now = _eq.now();
+    const Tick now = eq().now();
     for (auto& [key, c] : _channels) {
         if (NodeId(key >> 40) != node || c.pending.empty())
             continue;
@@ -371,6 +376,7 @@ FaultTransport::kick(NodeId node)
 bool
 FaultTransport::quiescent() const
 {
+    const std::lock_guard<std::recursive_mutex> lock(_mu);
     for (const auto& [key, c] : _channels)
         if (!c.pending.empty() || !c.holdback.empty())
             return false;
@@ -383,6 +389,7 @@ FaultTransport::quiescent() const
 std::string
 FaultTransport::describePending() const
 {
+    const std::lock_guard<std::recursive_mutex> lock(_mu);
     std::string out;
     char buf[160];
     for (const auto& [key, c] : _channels) {

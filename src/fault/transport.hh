@@ -19,6 +19,7 @@
 #define SBULK_FAULT_TRANSPORT_HH
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -209,7 +210,20 @@ class FaultTransport : public TransportLayer
     /** Retransmit every due pending entry of @p c; returns count sent. */
     std::size_t retransmitDue(Channel& c, Tick now, bool force);
 
-    EventQueue& _eq;
+    /** The calling thread's queue (its shard's under sharded PDES; the
+     *  global serial queue otherwise) — timers must fire where the
+     *  caller executes or no shard would ever run them. */
+    EventQueue& eq() const { return _net.eventQueue(); }
+
+    /**
+     * Serializes every entry point. The transport's channel/gate tables
+     * are machine-global, and under sharded PDES onSend/onArrive fire
+     * concurrently from shard threads. Recursive because dispatch()
+     * synchronously runs the destination handler, whose protocol code
+     * may immediately send — re-entering onSend on the same thread.
+     * Uncontended (the serial case) this is a single atomic exchange.
+     */
+    mutable std::recursive_mutex _mu;
     FaultPlan _plan;
     Rng _rng;
     FaultStats _stats;

@@ -10,12 +10,19 @@ CacheArray::CacheArray(CacheConfig cfg) : _cfg(cfg)
     SBULK_ASSERT(std::has_single_bit(_cfg.numSets()),
                  "cache sets must be a power of two (size %u assoc %u line %u)",
                  _cfg.sizeBytes, _cfg.assoc, _cfg.lineBytes);
-    _lines.resize(std::size_t(_cfg.numSets()) * _cfg.assoc);
+    // The tag array itself is allocated lazily by the first insert(): a
+    // 1024-tile machine carries ~0.4MB of tag state per tile, and paying
+    // it per-tile up front makes large-system construction both slow and
+    // memory-proportional to tiles that may never run (trace replays and
+    // scenarios routinely drive a subset). Until then every read-side
+    // path treats the array as all-invalid.
 }
 
 CacheLine*
 CacheArray::lookup(Addr line)
 {
+    if (_lines.empty())
+        return nullptr;
     CacheLine* ways = waysOf(line);
     for (std::uint32_t w = 0; w < _cfg.assoc; ++w) {
         if (ways[w].valid() && ways[w].line == line) {
@@ -29,6 +36,8 @@ CacheArray::lookup(Addr line)
 const CacheLine*
 CacheArray::probe(Addr line) const
 {
+    if (_lines.empty())
+        return nullptr;
     const CacheLine* ways = waysOf(line);
     for (std::uint32_t w = 0; w < _cfg.assoc; ++w)
         if (ways[w].valid() && ways[w].line == line)
@@ -39,6 +48,8 @@ CacheArray::probe(Addr line) const
 CacheLine*
 CacheArray::find(Addr line)
 {
+    if (_lines.empty())
+        return nullptr;
     CacheLine* ways = waysOf(line);
     for (std::uint32_t w = 0; w < _cfg.assoc; ++w)
         if (ways[w].valid() && ways[w].line == line)
@@ -49,6 +60,8 @@ CacheArray::find(Addr line)
 std::optional<Eviction>
 CacheArray::insert(Addr line, LineState state)
 {
+    if (_lines.empty())
+        _lines.resize(std::size_t(_cfg.numSets()) * _cfg.assoc);
     CacheLine* ways = waysOf(line);
 
     // Already present: refresh LRU; only ever upgrade the state (a refetch
@@ -100,6 +113,8 @@ CacheArray::insert(Addr line, LineState state)
 bool
 CacheArray::invalidate(Addr line)
 {
+    if (_lines.empty())
+        return false;
     CacheLine* ways = waysOf(line);
     for (std::uint32_t w = 0; w < _cfg.assoc; ++w) {
         if (ways[w].valid() && ways[w].line == line) {

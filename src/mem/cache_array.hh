@@ -142,6 +142,8 @@ class CacheArray
     CacheLine* find(Addr line);
 
     CacheConfig _cfg;
+    /** Tag entries, sets * assoc — empty (all-invalid) until the first
+     *  insert() allocates it (lazy per-tile state for 1024-tile runs). */
     std::vector<CacheLine> _lines;
     /**
      * Per-slot list of lines marked speculative, so commit/squash probe

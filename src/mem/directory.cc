@@ -47,45 +47,47 @@ Directory::handleReadReq(const ReadReqMsg& req)
     }
 
     DirEntry& entry = _entries[line];
-    auto& eq = _net.eventQueue();
 
     if (entry.dirty && entry.owner != requester) {
         // Dirty in a remote cache: forward; the owner sources the data and
         // downgrades. Presence: both become sharers, line no longer dirty.
         _stats.remoteDirtyReads.inc();
         const NodeId owner = entry.owner;
-        entry.sharers |= (ProcMask(1) << requester) | (ProcMask(1) << owner);
+        entry.sharers.insert(requester);
+        entry.sharers.insert(owner);
         entry.dirty = false;
         entry.owner = kInvalidNode;
-        eq.scheduleIn(kDirAccessLatency, [this, owner, line, requester] {
+        _net.scheduleAtTile(_self, kDirAccessLatency,
+                            [this, owner, line, requester] {
             _net.send(
                 std::make_unique<FwdReadMsg>(_self, owner, line, requester));
         });
         return;
     }
 
-    const ProcMask others = entry.sharers & ~(ProcMask(1) << requester);
-    entry.sharers |= ProcMask(1) << requester;
+    const bool others = !entry.sharers.without(requester).empty();
+    entry.sharers.insert(requester);
     if (entry.dirty && entry.owner == requester) {
         // Refetch by the owner itself (e.g. after a squash dropped it).
-        entry.sharers = ProcMask(1) << requester;
+        entry.sharers = NodeSet::of(requester);
     }
 
-    if (others != 0 || (entry.dirty && entry.owner == requester)) {
+    if (others || (entry.dirty && entry.owner == requester)) {
         // Some cache has it shared (or this very cache owns it): the data
         // comes from on-chip.
         _stats.remoteShReads.inc();
-        eq.scheduleIn(kDirAccessLatency, [this, line, requester] {
+        _net.scheduleAtTile(_self, kDirAccessLatency,
+                            [this, line, requester] {
             _net.send(std::make_unique<ReadReplyMsg>(
                 _self, requester, line, MsgClass::RemoteShRd));
         });
     } else {
         _stats.memReads.inc();
-        eq.scheduleIn(kDirAccessLatency + _cfg.memLatency,
-                      [this, line, requester] {
-                          _net.send(std::make_unique<ReadReplyMsg>(
-                              _self, requester, line, MsgClass::MemRd));
-                      });
+        _net.scheduleAtTile(_self, kDirAccessLatency + _cfg.memLatency,
+                            [this, line, requester] {
+                                _net.send(std::make_unique<ReadReplyMsg>(
+                                    _self, requester, line, MsgClass::MemRd));
+                            });
     }
 }
 
@@ -101,33 +103,33 @@ Directory::handleWriteback(const WritebackMsg& wb)
         entry.dirty = false;
         entry.owner = kInvalidNode;
     }
-    entry.sharers &= ~(ProcMask(1) << wb.src);
-    if (entry.sharers == 0)
+    entry.sharers.erase(wb.src);
+    if (entry.sharers.empty())
         _entries.erase(it);
 }
 
-ProcMask
+NodeSet
 Directory::commitLine(Addr line, NodeId committer)
 {
     _stats.commitLineUpdates.inc();
     DirEntry& entry = _entries[line];
-    const ProcMask victims = entry.sharers & ~(ProcMask(1) << committer);
-    entry.sharers = ProcMask(1) << committer;
+    NodeSet victims = entry.sharers.without(committer);
+    entry.sharers = NodeSet::of(committer);
     entry.dirty = true;
     entry.owner = committer;
     return victims;
 }
 
-ProcMask
+NodeSet
 Directory::sharersOf(Addr line, NodeId except) const
 {
     auto it = _entries.find(line);
     if (it == _entries.end())
-        return 0;
-    ProcMask mask = it->second.sharers;
+        return {};
+    NodeSet set = it->second.sharers;
     if (except != kInvalidNode)
-        mask &= ~(ProcMask(1) << except);
-    return mask;
+        set.erase(except);
+    return set;
 }
 
 const DirEntry*

@@ -17,19 +17,17 @@
 #include "mem/config.hh"
 #include "mem/messages.hh"
 #include "net/network.hh"
+#include "sim/node_set.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace sbulk
 {
 
-/** Sharer set as a bit mask; the simulator supports up to 64 tiles. */
-using ProcMask = std::uint64_t;
-
 /** Presence state of one line homed at this directory. */
 struct DirEntry
 {
-    ProcMask sharers = 0;
+    NodeSet sharers;
     /** Valid only when dirty: which cache owns the modified copy. */
     NodeId owner = kInvalidNode;
     bool dirty = false;
@@ -59,13 +57,13 @@ class Directory
      * Apply the directory-state side of committing one written line:
      * invalidate all other sharers, make @p committer the dirty owner.
      *
-     * @return mask of processors (excluding the committer) that held the
+     * @return the processors (excluding the committer) that held the
      *         line and must receive an invalidation.
      */
-    ProcMask commitLine(Addr line, NodeId committer);
+    NodeSet commitLine(Addr line, NodeId committer);
 
-    /** Sharers of @p line other than @p except (0 if line unknown). */
-    ProcMask sharersOf(Addr line, NodeId except = kInvalidNode) const;
+    /** Sharers of @p line other than @p except (empty if line unknown). */
+    NodeSet sharersOf(Addr line, NodeId except = kInvalidNode) const;
 
     /** Presence entry, or nullptr. */
     const DirEntry* peek(Addr line) const;

@@ -24,18 +24,45 @@ namespace sbulk
 /**
  * Assigns each page a home directory module: the tile of the first
  * processor to touch it. Shared by all tiles of a System.
+ *
+ * Sharded PDES runs switch the map to stateless interleaved homing
+ * (setInterleaved): first-touch assignment depends on which access
+ * globally reaches a page first, an order the parallel kernel does not
+ * totally define across shards, and the insert mutates state shared by
+ * every shard thread. hash(page) % nodes is a pure function — race-free
+ * and identical for every shard count. The hash (rather than plain
+ * page % nodes) matters for load balance: hot workload regions are a few
+ * *consecutive* pages, and shards own contiguous tile ranges, so modulo
+ * homing would park an entire hot region's directory traffic inside one
+ * shard. Serial runs keep first-touch, so the golden baselines are
+ * untouched.
  */
 class FirstTouchMap
 {
   public:
     explicit FirstTouchMap(std::uint32_t num_nodes) : _numNodes(num_nodes) {}
 
+    /** Switch to stateless interleaved homing (sharded mode). Must be set
+     *  before the first access; mixing policies mid-run would rehome. */
+    void
+    setInterleaved(bool on)
+    {
+        SBULK_ASSERT(_map.size() == 0,
+                     "page-homing policy change after %zu pages mapped",
+                     _map.size());
+        _interleaved = on;
+    }
+    bool interleaved() const { return _interleaved; }
+
     /**
-     * Home directory of @p page; assigns @p toucher 's tile on first touch.
+     * Home directory of @p page; assigns @p toucher 's tile on first touch
+     * (interleaved mode: page % nodes, no state).
      */
     NodeId
     homeOf(Addr page, NodeId toucher)
     {
+        if (_interleaved)
+            return interleavedHome(page);
         return _map.findOrInsert(page, toucher % _numNodes);
     }
 
@@ -43,13 +70,27 @@ class FirstTouchMap
     NodeId
     peek(Addr page) const
     {
+        if (_interleaved)
+            return interleavedHome(page);
         return _map.find(page);
     }
 
     std::size_t mappedPages() const { return _map.size(); }
 
   private:
+    /** splitmix64 finalizer: decorrelates consecutive page indices so a
+     *  hot run of pages never homes into a single shard's tile range. */
+    NodeId
+    interleavedHome(Addr page) const
+    {
+        std::uint64_t z = page + 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return NodeId((z ^ (z >> 31)) % _numNodes);
+    }
+
     std::uint32_t _numNodes;
+    bool _interleaved = false;
     AddrNodeMap _map;
 };
 

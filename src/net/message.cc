@@ -27,6 +27,7 @@
 
 #include "net/message.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <new>
 
@@ -44,16 +45,24 @@ constexpr std::size_t kBuckets = 32;
 /** Header value for blocks that bypassed the pool. */
 constexpr std::size_t kUnpooled = ~std::size_t(0);
 
-/** Block header: bucket index plus the live-list links. The payload
- *  follows at kHeader bytes, keeping its 16-byte alignment. */
+struct MsgPool;
+
+/** Block header: bucket index, the live-list links, the owning pool, and
+ *  a dedicated remote-return stack link (so a block freed on another
+ *  thread — sharded PDES runs deliver a message on a different shard
+ *  thread than allocated it — can be routed back to its owner without
+ *  touching the owner's live list). The payload follows at kHeader
+ *  bytes, keeping its 16-byte alignment. */
 struct BlockHeader
 {
     std::size_t bucket;
     BlockHeader* prev;
     BlockHeader* next;
+    MsgPool* owner;
+    BlockHeader* rlink;
 };
 
-constexpr std::size_t kHeader = 32;
+constexpr std::size_t kHeader = 48;
 static_assert(sizeof(BlockHeader) <= kHeader && kHeader % 16 == 0);
 
 struct FreeNode
@@ -65,10 +74,55 @@ struct MsgPool
 {
     FreeNode* head[kBuckets] = {};
     /** Sentinel of the circular doubly-linked list of live blocks. */
-    BlockHeader live{0, &live, &live};
+    BlockHeader live{0, &live, &live, nullptr, nullptr};
+    /**
+     * Blocks this pool owns that were freed on *another* thread: a
+     * lock-free MPSC stack (producers: foreign deleters; consumer: the
+     * owner, which drains it before falling back to malloc and at
+     * destruction). The blocks stay on the live list until the owner
+     * drains them, so there is no cross-thread live-list surgery.
+     */
+    std::atomic<BlockHeader*> remote{nullptr};
+
+    void
+    unlink(BlockHeader* hdr)
+    {
+        hdr->prev->next = hdr->next;
+        hdr->next->prev = hdr->prev;
+    }
+
+    void
+    release(BlockHeader* hdr)
+    {
+        if (hdr->bucket == kUnpooled) {
+            std::free(hdr);
+            return;
+        }
+        // The free-list node overlays the header; rewritten on reuse.
+        FreeNode* node = reinterpret_cast<FreeNode*>(hdr);
+        node->next = head[hdr->bucket];
+        head[hdr->bucket] = node;
+    }
+
+    /** Owner-side: reclaim foreign-freed blocks (dtor already ran). The
+     *  live-list links are untouched by the remote push, so a plain
+     *  unlink suffices. */
+    void
+    drainRemote()
+    {
+        BlockHeader* hdr = remote.exchange(nullptr,
+                                           std::memory_order_acquire);
+        while (hdr) {
+            BlockHeader* next = hdr->rlink;
+            unlink(hdr);
+            release(hdr);
+            hdr = next;
+        }
+    }
 
     ~MsgPool()
     {
+        drainRemote();
         // Reap messages still in flight (owned by event closures that
         // were dropped with their EventQueue). Their destructors unlink
         // them and push the blocks onto the free lists...
@@ -96,6 +150,7 @@ linkLive(BlockHeader* hdr)
     hdr->next = tls_pool.live.next;
     hdr->next->prev = hdr;
     tls_pool.live.next = hdr;
+    hdr->owner = &tls_pool;
 }
 
 } // namespace
@@ -111,9 +166,15 @@ Message::operator new(std::size_t size)
             tls_pool.head[bucket] = node->next;
             raw = node;
         } else {
-            raw = std::malloc((bucket + 1) * kGranule);
-            if (!raw)
-                throw std::bad_alloc{};
+            tls_pool.drainRemote();
+            if (FreeNode* drained = tls_pool.head[bucket]) {
+                tls_pool.head[bucket] = drained->next;
+                raw = drained;
+            } else {
+                raw = std::malloc((bucket + 1) * kGranule);
+                if (!raw)
+                    throw std::bad_alloc{};
+            }
         }
         auto* hdr = static_cast<BlockHeader*>(raw);
         hdr->bucket = bucket;
@@ -136,17 +197,21 @@ Message::operator delete(void* p) noexcept
         return;
     auto* hdr =
         reinterpret_cast<BlockHeader*>(static_cast<char*>(p) - kHeader);
-    hdr->prev->next = hdr->next;
-    hdr->next->prev = hdr->prev;
-    const std::size_t bucket = hdr->bucket;
-    if (bucket == kUnpooled) {
-        std::free(hdr);
+    MsgPool* owner = hdr->owner;
+    if (owner != &tls_pool) {
+        // Freed on a foreign thread (cross-shard delivery): push onto the
+        // owner's remote stack through the dedicated rlink, leaving the
+        // live-list links intact for the owner's later unlink.
+        BlockHeader* top = owner->remote.load(std::memory_order_relaxed);
+        do {
+            hdr->rlink = top;
+        } while (!owner->remote.compare_exchange_weak(
+            top, hdr, std::memory_order_release,
+            std::memory_order_relaxed));
         return;
     }
-    // The free-list node overlays the header; it is rewritten on reuse.
-    FreeNode* node = reinterpret_cast<FreeNode*>(hdr);
-    node->next = tls_pool.head[bucket];
-    tls_pool.head[bucket] = node;
+    owner->unlink(hdr);
+    owner->release(hdr);
 }
 
 void

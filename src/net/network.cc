@@ -60,6 +60,17 @@ Network::assertChannelFifo(const Message& msg, Tick arrive)
 void
 DirectNetwork::transmit(MessagePtr msg)
 {
+    if (sharded()) {
+        EventQueue& q = curQueue();
+        msg->sentAt = q.now();
+        curTraffic().record(msg->cls, msg->bytes,
+                            msg->src == msg->dst ? 0 : 1);
+        const Tick latency = msg->src == msg->dst ? 1 : _latency;
+        Message* raw = msg.release();
+        scheduleTileEvent(raw->dst, raw->src, latency,
+                          [this, raw] { deliver(MessagePtr(raw)); });
+        return;
+    }
     msg->sentAt = _eq.now();
     _traffic.record(msg->cls, msg->bytes, msg->src == msg->dst ? 0 : 1);
     Tick latency = msg->src == msg->dst ? 1 : _latency;
@@ -144,6 +155,23 @@ TorusNetwork::nextHop(NodeId cur, NodeId dst, Dir& dir_out) const
 void
 TorusNetwork::transmit(MessagePtr msg)
 {
+    if (sharded()) {
+        // Jitter hooks are asserted off in sharded mode (System enforces
+        // it); timing comes from the queue owning the sending tile.
+        EventQueue& q = curQueue();
+        msg->sentAt = q.now();
+        curTraffic().record(msg->cls, msg->bytes,
+                            hopCount(msg->src, msg->dst));
+        if (msg->src == msg->dst) {
+            Message* raw = msg.release();
+            scheduleTileEvent(raw->dst, raw->src, 1,
+                              [this, raw] { deliver(MessagePtr(raw)); });
+            return;
+        }
+        msg->netHop = msg->src;
+        route(msg.release());
+        return;
+    }
     msg->sentAt = _eq.now();
     _traffic.record(msg->cls, msg->bytes, hopCount(msg->src, msg->dst));
     const Tick jitter = jitterFor(*msg);
@@ -171,7 +199,7 @@ TorusNetwork::route(Message* msg)
     const Tick ser =
         std::max<Tick>(1, (msg->bytes + _cfg.flitBytes - 1) / _cfg.flitBytes);
     NodeId cur = msg->netHop;
-    Tick t = _eq.now();
+    Tick t = sharded() ? curQueue().now() : _eq.now();
 
     // One event per hop, reserving each link at the tick the message
     // physically reaches its router. Reservation order on a link therefore
@@ -192,10 +220,19 @@ TorusNetwork::route(Message* msg)
     _linkBusy[std::size_t(cur) * 4 + dir] += ser;
     const Tick arrive = depart + ser + _cfg.linkLatency;
     if (next == msg->dst) {
+        if (sharded()) {
+            scheduleTileEvent(msg->dst, cur, arrive - t,
+                              [this, msg] { deliver(MessagePtr(msg)); });
+            return;
+        }
         _eq.schedule(arrive, [this, msg] { deliver(MessagePtr(msg)); });
         return;
     }
     msg->netHop = next;
+    if (sharded()) {
+        scheduleTileEvent(next, cur, arrive - t, [this, msg] { route(msg); });
+        return;
+    }
     _eq.schedule(arrive, [this, msg] { route(msg); });
 }
 

@@ -16,6 +16,7 @@
 
 #include "net/message.hh"
 #include "sim/event_queue.hh"
+#include "sim/shard.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -52,6 +53,17 @@ class TrafficStats
     std::uint64_t messages(MsgClass cls) const { return _messages[index(cls)]; }
     std::uint64_t bytes(MsgClass cls) const { return _bytes[index(cls)]; }
     std::uint64_t hops(MsgClass cls) const { return _hops[index(cls)]; }
+
+    /** Fold another counter set in (sharded per-thread stats merge). */
+    void
+    merge(const TrafficStats& o)
+    {
+        for (std::size_t i = 0; i < kNumMsgClasses; ++i) {
+            _messages[i] += o._messages[i];
+            _bytes[i] += o._bytes[i];
+            _hops[i] += o._hops[i];
+        }
+    }
 
     std::uint64_t
     totalMessages() const
@@ -205,7 +217,62 @@ class Network
     std::uint32_t numNodes() const { return std::uint32_t(_handlers.size()); }
     const TrafficStats& traffic() const { return _traffic; }
     TrafficStats& traffic() { return _traffic; }
-    EventQueue& eventQueue() { return _eq; }
+    /** The queue tile-local work should schedule on: the calling shard's
+     *  queue in sharded mode, the single global queue otherwise. */
+    EventQueue& eventQueue() { return curQueue(); }
+
+    /// @name Sharded PDES mode (src/sim/shard.hh; serial when unset)
+    /// @{
+    /**
+     * Route deliveries through per-shard keyed queues and cross-shard
+     * channels. @p queues holds one keyed EventQueue per shard; none of
+     * the three referents are owned. Serial mode (never calling this)
+     * keeps the original single-queue code paths byte-identical.
+     */
+    void
+    configureShards(const ShardPlan* plan, std::vector<EventQueue*> queues,
+                    ShardChannels* chan)
+    {
+        _shardPlan = plan;
+        _shardQs = std::move(queues);
+        _shardChan = chan;
+        _trafficShards.assign(plan ? plan->shards() : 0, TrafficStats{});
+    }
+
+    bool sharded() const { return _shardPlan != nullptr; }
+
+    /**
+     * Conservative lookahead bound: the minimum delay of any cross-tile
+     * delivery. Shards may run this many cycles past the global minimum
+     * head tick between barriers without missing an inbound event.
+     */
+    virtual Tick lookahead() const { return 1; }
+
+    /** After a sharded run: fold the per-shard counters into traffic(). */
+    void
+    foldShardTraffic()
+    {
+        for (const TrafficStats& t : _trafficShards)
+            _traffic.merge(t);
+        _trafficShards.assign(_trafficShards.size(), TrafficStats{});
+    }
+
+    /**
+     * Schedule @p fn to run @p delay ticks from now at @p tile (it may
+     * only touch that tile's state). In serial mode this is exactly
+     * EventQueue::scheduleIn on the global queue; in sharded mode the
+     * event is keyed with the calling tile as origin and routed to the
+     * owning shard's queue or, across shards, into a window channel.
+     * Callers must be executing on @p tile's shard or scheduling an event
+     * *for* a tile they are allowed to message (network deliveries).
+     */
+    template <typename F>
+    void
+    scheduleAtTile(NodeId tile, Tick delay, F&& fn)
+    {
+        scheduleTileEvent(tile, tile, delay, std::forward<F>(fn));
+    }
+    /// @}
 
   protected:
     friend class TransportLayer;
@@ -236,9 +303,61 @@ class Network
      */
     void assertChannelFifo(const Message& msg, Tick arrive);
 
+    /** The queue the calling thread schedules on (its shard's, or the
+     *  global serial queue). */
+    EventQueue&
+    curQueue()
+    {
+        return _shardPlan ? *_shardQs[currentShard()] : _eq;
+    }
+
+    /** The traffic counters the calling thread records into. */
+    TrafficStats&
+    curTraffic()
+    {
+        return _shardPlan ? _trafficShards[currentShard()] : _traffic;
+    }
+
+    /**
+     * Sharded scheduling primitive: run @p fn at @p exec_tile after
+     * @p delay, with the canonical key drawn from @p origin_tile (which
+     * must be owned by the calling shard). Serial mode collapses to a
+     * plain scheduleIn on the global queue.
+     */
+    template <typename F>
+    void
+    scheduleTileEvent(NodeId exec_tile, NodeId origin_tile, Tick delay,
+                      F&& fn)
+    {
+        if (!_shardPlan) {
+            _eq.scheduleIn(delay, std::forward<F>(fn));
+            return;
+        }
+        const std::uint32_t src_shard = currentShard();
+        EventQueue& q = *_shardQs[src_shard];
+        const Tick when = q.now() + delay;
+        const std::uint64_t key = q.allocKey(origin_tile);
+        const std::uint32_t dst_shard = _shardPlan->shardOf(exec_tile);
+        if (dst_shard == src_shard) {
+            q.injectKeyed(when, key, exec_tile, std::forward<F>(fn));
+        } else {
+            _shardChan->push(
+                src_shard, dst_shard,
+                PendingEvent{when, key, exec_tile,
+                             EventFn(std::forward<F>(fn))});
+        }
+    }
+
     EventQueue& _eq;
     TrafficStats _traffic;
     std::function<Tick(const Message&)> _jitter;
+    /// @name Sharded-mode routing state (null/empty in serial mode)
+    /// @{
+    const ShardPlan* _shardPlan = nullptr;
+    std::vector<EventQueue*> _shardQs;
+    ShardChannels* _shardChan = nullptr;
+    std::vector<TrafficStats> _trafficShards;
+    /// @}
 
   private:
     std::vector<std::array<Handler, kNumPorts>> _handlers;
@@ -272,6 +391,9 @@ class DirectNetwork : public Network
     DirectNetwork(EventQueue& eq, std::uint32_t num_nodes, Tick latency = 10)
         : Network(eq, num_nodes), _latency(latency)
     {}
+
+    /** Every cross-tile delivery takes exactly the wire latency. */
+    Tick lookahead() const override { return _latency; }
 
   protected:
     void transmit(MessagePtr msg) override;
@@ -323,6 +445,14 @@ class TorusNetwork : public Network
 
     /** The most-utilized link's busy cycles (hot-spot detection). */
     Tick maxLinkBusy() const;
+
+    /**
+     * The 7-cycle link latency bounds the lookahead window: no cross-tile
+     * event lands sooner than router latency + serialization + one link
+     * traversal (>= 9 cycles), so linkLatency is a safe conservative
+     * horizon.
+     */
+    Tick lookahead() const override { return _cfg.linkLatency; }
 
   protected:
     void transmit(MessagePtr msg) override;

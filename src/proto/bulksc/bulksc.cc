@@ -24,7 +24,7 @@ BkArbiter::onArbRequest(MessagePtr msg)
 {
     // Serialize: one request occupies the arbiter for the service
     // time; later arrivals queue behind it.
-    ++_ctx.metrics.forming;
+    _ctx.metrics.addForming(1);
     const Tick start = std::max(_ctx.eq.now(), _nextFree);
     _nextFree = start + _ctx.cfg.arbiterServiceTime;
     Message* raw = msg.release();
@@ -42,16 +42,16 @@ BkArbiter::process(MessagePtr msg)
     // disjoint-W and R-clean required.
     for (const auto& [id, tx] : _committing) {
         if (req.wSig.intersects(tx.wSig) || req.rSig.intersects(tx.wSig)) {
-            --_ctx.metrics.forming;
+            _ctx.metrics.addForming(-1);
             _ctx.net.send(std::make_unique<ArbReplyMsg>(kArbDeny, _self,
                                                         req.src, req.id));
             return;
         }
     }
 
-    --_ctx.metrics.forming;
-    ++_ctx.metrics.committing;
-    _ctx.metrics.sampleOnGroupFormed();
+    _ctx.metrics.addForming(-1);
+    _ctx.metrics.addCommitting(1);
+    _ctx.metrics.sampleGroupFormedEvent();
     _ctx.net.send(
         std::make_unique<ArbReplyMsg>(kArbGrant, _self, req.src, req.id));
 
@@ -61,7 +61,7 @@ BkArbiter::process(MessagePtr msg)
     tx.dirsPending = std::uint32_t(req.writesByHome.size());
     if (tx.dirsPending == 0) {
         // Nothing to invalidate anywhere: complete immediately.
-        --_ctx.metrics.committing;
+        _ctx.metrics.addCommitting(-1);
         _ctx.net.send(std::make_unique<ArbReplyMsg>(kArbCommitOk, _self,
                                                     req.src, req.id));
         return;
@@ -83,7 +83,7 @@ BkArbiter::onDirDone(MessagePtr mp)
     if (--it->second.dirsPending == 0) {
         const NodeId committer = it->second.committer;
         _committing.erase(it);
-        --_ctx.metrics.committing;
+        _ctx.metrics.addCommitting(-1);
         _ctx.net.send(std::make_unique<ArbReplyMsg>(kArbCommitOk, _self,
                                                     committer, msg.id));
     }
@@ -171,7 +171,7 @@ BkDirCtrl::onDirCommit(MessagePtr mp)
 {
     const auto& msg = static_cast<const DirCommitMsg&>(*mp);
     // Gather invalidation targets, then apply the ownership updates.
-    ProcMask targets = 0;
+    NodeSet targets;
     for (Addr line : msg.writesHere)
         targets |= _dir.sharersOf(line, msg.committer);
     for (Addr line : msg.writesHere) {
@@ -180,7 +180,7 @@ BkDirCtrl::onDirCommit(MessagePtr mp)
             _ctx.observer->onLineCommitted(_self, line, msg.id);
     }
 
-    if (targets == 0) {
+    if (targets.empty()) {
         _ctx.net.send(std::make_unique<DirDoneMsg>(_self, _agent, msg.id));
         return;
     }
@@ -188,15 +188,13 @@ BkDirCtrl::onDirCommit(MessagePtr mp)
     active.wSig = msg.wSig;
     active.allWrites = msg.allWrites;
     active.committer = msg.committer;
-    active.acksPending = std::uint32_t(std::popcount(targets));
+    active.acksPending = targets.count();
     _active.emplace(msg.id, std::move(active));
-    for (NodeId proc = 0; proc < 64; ++proc) {
-        if (targets & (ProcMask(1) << proc)) {
-            _ctx.net.send(std::make_unique<BkBulkInvMsg>(
-                _self, proc, msg.id, msg.wSig, msg.allWrites,
-                msg.committer));
-        }
-    }
+    targets.forEach([&](NodeId proc) {
+        _ctx.net.send(std::make_unique<BkBulkInvMsg>(
+            _self, proc, msg.id, msg.wSig, msg.allWrites,
+            msg.committer));
+    });
 }
 
 // -------------------------------------------------------------- processor
@@ -212,7 +210,7 @@ BkProcCtrl::startCommit(Chunk& chunk)
     _chunk = &chunk;
     _granted = false;
 
-    if (chunk.gVec() == 0) {
+    if (chunk.gVec().empty()) {
         Chunk* c = _chunk;
         _chunk = nullptr;
         _ctx.eq.scheduleIn(1, [this, c] {

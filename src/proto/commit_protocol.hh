@@ -8,6 +8,7 @@
 #ifndef SBULK_PROTO_COMMIT_PROTOCOL_HH
 #define SBULK_PROTO_COMMIT_PROTOCOL_HH
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "net/network.hh"
 #include "sig/signature.hh"
 #include "sim/event_queue.hh"
+#include "sim/node_set.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -217,10 +219,44 @@ class BlockedChunkTracker
  * Gauges (forming/committing/queued) are maintained by the protocols;
  * sampling happens on every group-formation-like event, mirroring the
  * paper's methodology (Section 6.4).
+ *
+ * Sharded PDES mode: the gauges are *global* machine state (the number of
+ * chunks forming anywhere), so per-shard instances cannot maintain them
+ * directly without the result depending on the shard count. Instead each
+ * shard's instance journals its gauge operations tagged with the canonical
+ * event order token (tick, event key, per-event sub-counter); after the
+ * run the journals are merged, sorted — the canonical order is a pure
+ * function of the simulated machine — and replayed into the aggregate
+ * instance, reproducing the exact sample sequence of a one-queue run for
+ * every shard count. Counters and histograms are order-insensitive and
+ * merge additively. Serial mode never journals; call sites collapse to
+ * the original direct mutations.
  */
 class CommitMetrics
 {
   public:
+    /** One journaled gauge mutation (sharded mode only). */
+    enum class GaugeOp : std::uint8_t
+    {
+        Forming,           ///< forming += signed arg
+        Committing,        ///< committing += signed arg
+        Inflight,          ///< inflight += signed arg
+        Block,             ///< blocked.block(arg)
+        Unblock,           ///< blocked.unblock(arg)
+        ClearBlocked,      ///< blocked.clear(arg)
+        SampleGroupFormed, ///< sampleOnGroupFormed()
+        SampleQueue,       ///< sampleQueueProtocols()
+    };
+
+    /** A gauge op at its canonical position in the event order. */
+    struct JournalRec
+    {
+        Tick when = 0;
+        std::uint64_t key = 0;
+        std::uint32_t sub = 0;
+        GaugeOp op{};
+        std::uint64_t arg = 0;
+    };
     /// Distribution of commit latency, cycles (Figure 13).
     Distribution commitLatency{25, 400};
     /// Directories accessed per committed chunk (Figures 9-12).
@@ -293,10 +329,155 @@ class CommitMetrics
     {
         commits.inc();
         commitLatency.sample(success_tick - chunk.commitRequested);
-        dirsPerCommit.sample(std::uint64_t(std::popcount(chunk.gVec())));
-        writeDirsPerCommit.sample(
-            std::uint64_t(std::popcount(chunk.dirsWritten())));
+        dirsPerCommit.sample(chunk.gVec().count());
+        writeDirsPerCommit.sample(chunk.dirsWritten().count());
     }
+
+    /// @name Journaling gauge mutators (the protocols' only gauge writes)
+    /// @{
+    /**
+     * Route gauge mutations into a journal ordered by @p eq 's canonical
+     * event keys instead of mutating in place (sharded mode). Null — the
+     * default — restores direct mutation.
+     */
+    void journalTo(EventQueue* eq) { _journalEq = eq; }
+
+    void addForming(std::int32_t d)
+    {
+        if (_journalEq)
+            journal(GaugeOp::Forming, std::uint64_t(std::int64_t(d)));
+        else
+            forming += d;
+    }
+    void addCommitting(std::int32_t d)
+    {
+        if (_journalEq)
+            journal(GaugeOp::Committing, std::uint64_t(std::int64_t(d)));
+        else
+            committing += d;
+    }
+    void addInflight(std::int32_t d)
+    {
+        if (_journalEq)
+            journal(GaugeOp::Inflight, std::uint64_t(std::int64_t(d)));
+        else
+            inflight += d;
+    }
+    void blockChunk(std::size_t key)
+    {
+        if (_journalEq)
+            journal(GaugeOp::Block, key);
+        else
+            blocked.block(key);
+    }
+    void unblockChunk(std::size_t key)
+    {
+        if (_journalEq)
+            journal(GaugeOp::Unblock, key);
+        else
+            blocked.unblock(key);
+    }
+    void clearChunk(std::size_t key)
+    {
+        if (_journalEq)
+            journal(GaugeOp::ClearBlocked, key);
+        else
+            blocked.clear(key);
+    }
+    /** Group-formation sample point (journals in sharded mode). */
+    void sampleGroupFormedEvent()
+    {
+        if (_journalEq)
+            journal(GaugeOp::SampleGroupFormed, 0);
+        else
+            sampleOnGroupFormed();
+    }
+    /** TCC/SEQ commit-processing-start sample point. */
+    void sampleQueueEvent()
+    {
+        if (_journalEq)
+            journal(GaugeOp::SampleQueue, 0);
+        else
+            sampleQueueProtocols();
+    }
+    /// @}
+
+    /// @name Sharded-run aggregation
+    /// @{
+    /** Fold @p o 's order-insensitive counters and histograms into this. */
+    void
+    mergeCounters(const CommitMetrics& o)
+    {
+        commitLatency.merge(o.commitLatency);
+        dirsPerCommit.merge(o.dirsPerCommit);
+        writeDirsPerCommit.merge(o.writeDirsPerCommit);
+        bottleneckRatio.merge(o.bottleneckRatio);
+        chunkQueueLength.merge(o.chunkQueueLength);
+        commits.inc(o.commits.value());
+        commitFailures.inc(o.commitFailures.value());
+        commitRetries.inc(o.commitRetries.value());
+        squashesTrueConflict.inc(o.squashesTrueConflict.value());
+        squashesAliasing.inc(o.squashesAliasing.value());
+        commitRecalls.inc(o.commitRecalls.value());
+        starvationReservations.inc(o.starvationReservations.value());
+        readNacksAtDirs.inc(o.readNacksAtDirs.value());
+        watchdogFires.inc(o.watchdogFires.value());
+        retryEscalations.inc(o.retryEscalations.value());
+    }
+
+    /** Take (move out) the journaled gauge ops of a shard instance. */
+    std::vector<JournalRec> takeJournal() { return std::move(_journal); }
+
+    /**
+     * Replay a merged journal (sort first — (when, key, sub) is globally
+     * unique) through the direct-mutation paths, reproducing the serial
+     * gauge/sample sequence.
+     */
+    void
+    replayJournal(std::vector<JournalRec> recs)
+    {
+        std::sort(recs.begin(), recs.end(),
+                  [](const JournalRec& a, const JournalRec& b) {
+                      if (a.when != b.when)
+                          return a.when < b.when;
+                      if (a.key != b.key)
+                          return a.key < b.key;
+                      return a.sub < b.sub;
+                  });
+        for (const JournalRec& r : recs) {
+            switch (r.op) {
+              case GaugeOp::Forming:
+                forming += std::int32_t(std::int64_t(r.arg));
+                break;
+              case GaugeOp::Committing:
+                committing += std::int32_t(std::int64_t(r.arg));
+                break;
+              case GaugeOp::Inflight:
+                inflight += std::int32_t(std::int64_t(r.arg));
+                break;
+              case GaugeOp::Block: blocked.block(r.arg); break;
+              case GaugeOp::Unblock: blocked.unblock(r.arg); break;
+              case GaugeOp::ClearBlocked: blocked.clear(r.arg); break;
+              case GaugeOp::SampleGroupFormed: sampleOnGroupFormed(); break;
+              case GaugeOp::SampleQueue: sampleQueueProtocols(); break;
+            }
+        }
+    }
+    /// @}
+
+  private:
+    void
+    journal(GaugeOp op, std::uint64_t arg)
+    {
+        _journal.push_back(JournalRec{_journalEq->now(),
+                                      _journalEq->currentKey(),
+                                      _journalEq->nextJournalSub(), op,
+                                      arg});
+    }
+
+    /** Canonical-order token source (null = serial direct mutation). */
+    EventQueue* _journalEq = nullptr;
+    std::vector<JournalRec> _journal;
 };
 
 /**
@@ -433,7 +614,7 @@ class ProtocolObserver
     /// @{
     /** The leader module @p dir confirmed @p id's group (g returned). */
     virtual void
-    onGroupFormed(NodeId dir, const CommitId& id, std::uint64_t g_vec)
+    onGroupFormed(NodeId dir, const CommitId& id, const NodeSet& g_vec)
     {
         (void)dir; (void)id; (void)g_vec;
     }
@@ -532,7 +713,8 @@ class ObserverChain : public ProtocolObserver
                                commit_lines);
     }
     void
-    onGroupFormed(NodeId dir, const CommitId& id, std::uint64_t g_vec) override
+    onGroupFormed(NodeId dir, const CommitId& id,
+                  const NodeSet& g_vec) override
     {
         for (auto* o : _list)
             o->onGroupFormed(dir, id, g_vec);

@@ -155,12 +155,12 @@ SbDirCtrl::onCommitRequest(MessagePtr mp)
     // Expand W against the local directory state: sharers of the lines
     // written here are the module's inval_vec contribution (computed in
     // parallel with group formation — not on the critical path).
-    entry.myInval = 0;
+    entry.myInval.clear();
     for (Addr line : entry.writesHere)
         entry.myInval |= _dir.sharersOf(line, entry.committer);
 
     if (entry.leader)
-        ++_ctx.metrics.forming;
+        _ctx.metrics.addForming(1);
 
     tryAdmit(entry);
 }
@@ -261,7 +261,7 @@ SbDirCtrl::tryAdmit(CstEntry& entry)
 
     // Admitted: hold the module for this group and pass the g on.
     entry.hold = true;
-    const ProcMask inval = entry.grabInval | entry.myInval;
+    const NodeSet inval = entry.grabInval | entry.myInval;
 
     if (entry.leader && entry.order.size() == 1) {
         // Single-module group: formed on the spot.
@@ -311,7 +311,7 @@ SbDirCtrl::failGroup(CstEntry& entry, GroupFailReason why,
         _validator->note(entry.id, DirEvent::SendGFailure);
     multicastGFailure(entry, collision);
     if (entry.leader) {
-        --_ctx.metrics.forming;
+        _ctx.metrics.addForming(-1);
         if (_validator)
             _validator->note(entry.id, DirEvent::SendCommitFailure);
         _ctx.net.send(std::make_unique<CommitFailureMsg>(
@@ -334,7 +334,7 @@ SbDirCtrl::onGFailure(MessagePtr mp)
         noteFailure(entry);
     if (entry.haveRequest) {
         if (entry.leader) {
-            --_ctx.metrics.forming;
+            _ctx.metrics.addForming(-1);
             if (_validator)
                 _validator->note(msg.id, DirEvent::SendCommitFailure);
             _ctx.net.send(std::make_unique<CommitFailureMsg>(
@@ -354,9 +354,9 @@ SbDirCtrl::confirmAsLeader(CstEntry& entry)
                 "dir %u formed group for (%u,%llu): %zu members", _self,
                 entry.id.tag.proc, (unsigned long long)entry.id.tag.seq,
                 entry.order.size());
-    --_ctx.metrics.forming;
-    ++_ctx.metrics.committing;
-    _ctx.metrics.sampleOnGroupFormed();
+    _ctx.metrics.addForming(-1);
+    _ctx.metrics.addCommitting(1);
+    _ctx.metrics.sampleGroupFormedEvent();
     if (_ctx.observer)
         _ctx.observer->onGroupFormed(_self, entry.id, entry.gVec);
 
@@ -384,19 +384,16 @@ SbDirCtrl::confirmAsLeader(CstEntry& entry)
 void
 SbDirCtrl::sendBulkInvs(CstEntry& entry)
 {
-    const ProcMask targets =
-        (entry.grabInval | entry.myInval) &
-        ~(ProcMask(1) << entry.committer);
-    entry.acksPending = std::uint32_t(std::popcount(targets));
-    if (_validator && targets != 0)
+    const NodeSet targets =
+        (entry.grabInval | entry.myInval).without(entry.committer);
+    entry.acksPending = targets.count();
+    if (_validator && !targets.empty())
         _validator->note(entry.id, DirEvent::SendBulkInv);
-    for (NodeId proc = 0; proc < 64; ++proc) {
-        if (targets & (ProcMask(1) << proc)) {
-            _ctx.net.send(std::make_unique<BulkInvMsg>(
-                _self, proc, entry.id, entry.wSig, entry.allWrites,
-                entry.committer, _self));
-        }
-    }
+    targets.forEach([&](NodeId proc) {
+        _ctx.net.send(std::make_unique<BulkInvMsg>(
+            _self, proc, entry.id, entry.wSig, entry.allWrites,
+            entry.committer, _self));
+    });
 }
 
 void
@@ -437,9 +434,9 @@ SbDirCtrl::onBulkInvAck(MessagePtr mp)
         _ctx.metrics.commitRecalls.inc();
         // Route the recall to the Collision module: the lowest member
         // common to the winner (this group) and the loser (Section 3.4).
-        const std::uint64_t common = entry.gVec & msg.recall.gVec;
-        if (common != 0) {
-            const NodeId collision = NodeId(std::countr_zero(common));
+        const NodeSet common = entry.gVec.intersect(msg.recall.gVec);
+        if (!common.empty()) {
+            const NodeId collision = common.first();
             entry.recalls.push_back(RecallNote{msg.recall.id, collision});
         }
         // No common module: the two groups share no directory (the squash
@@ -479,7 +476,7 @@ SbDirCtrl::onBulkInvNack(MessagePtr mp)
 void
 SbDirCtrl::finishAsLeader(CstEntry& entry)
 {
-    --_ctx.metrics.committing;
+    _ctx.metrics.addCommitting(-1);
 
     if (_validator && entry.order.size() > 1)
         _validator->note(entry.id, DirEvent::SendCommitDone);

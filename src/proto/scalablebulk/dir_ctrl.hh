@@ -71,13 +71,13 @@ struct CstEntry
     CommitId id;
     Signature rSig;
     Signature wSig;
-    std::uint64_t gVec = 0;
+    NodeSet gVec;
     std::vector<NodeId> order;
     NodeId committer = kInvalidNode;
     /** Sharers of lines written *here* that need invalidation. */
-    ProcMask myInval = 0;
+    NodeSet myInval;
     /** inval_vec accumulated by the g message up to this module. */
-    ProcMask grabInval = 0;
+    NodeSet grabInval;
     /** Exact written lines homed at this module. */
     std::vector<Addr> writesHere;
     /** Every written line (leader keeps it for the bulk-inv payload). */

@@ -47,7 +47,7 @@ struct Recall
     CommitId id{};
     /** g_vec of the loser, so the winner's leader can locate the
      *  Collision module (lowest common member). */
-    std::uint64_t gVec = 0;
+    NodeSet gVec;
     bool valid = false;
 };
 
@@ -59,8 +59,8 @@ struct CommitRequestMsg : Message
     CommitId id;
     Signature rSig;
     Signature wSig;
-    /** Participating directories (bit per tile). */
-    std::uint64_t gVec;
+    /** Participating directories. */
+    NodeSet gVec;
     /** Traversal order (ascending priority); order[0] is the leader. */
     std::vector<NodeId> order;
     /** Exact lines written that are homed at the destination module. */
@@ -70,12 +70,13 @@ struct CommitRequestMsg : Message
 
     CommitRequestMsg(NodeId src_, NodeId dst_, CommitId id_,
                      const Signature& r, const Signature& w,
-                     std::uint64_t g_vec, std::vector<NodeId> order_,
+                     NodeSet g_vec, std::vector<NodeId> order_,
                      std::vector<Addr> writes_here,
                      std::vector<Addr> all_writes)
         : Message(src_, dst_, Port::Dir, MsgClass::LargeCMessage,
                   kCommitRequest, kLargeCBytes),
-          id(id_), rSig(r), wSig(w), gVec(g_vec), order(std::move(order_)),
+          id(id_), rSig(r), wSig(w), gVec(std::move(g_vec)),
+          order(std::move(order_)),
           writesHere(std::move(writes_here)),
           allWrites(std::move(all_writes))
     {}
@@ -91,14 +92,14 @@ struct CommitRequestMsg : Message
 struct GrabMsg : Message
 {
     CommitId id;
-    ProcMask invalVec;
+    NodeSet invalVec;
     std::vector<NodeId> order;
 
-    GrabMsg(NodeId src_, NodeId dst_, CommitId id_, ProcMask inval,
+    GrabMsg(NodeId src_, NodeId dst_, CommitId id_, NodeSet inval,
             std::vector<NodeId> order_)
         : Message(src_, dst_, Port::Dir, MsgClass::SmallCMessage, kGrab,
                   kSmallCBytes),
-          id(id_), invalVec(inval), order(std::move(order_))
+          id(id_), invalVec(std::move(inval)), order(std::move(order_))
     {}
 
     SBULK_MESSAGE_CLONE(GrabMsg)

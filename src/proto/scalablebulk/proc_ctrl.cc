@@ -10,7 +10,7 @@ namespace sb
 {
 
 std::vector<NodeId>
-LeaderPolicy::order(std::uint64_t g_vec, Tick now) const
+LeaderPolicy::order(const NodeSet& g_vec, Tick now) const
 {
     // Baseline: ascending module id (leader = lowest). With rotation, the
     // priority origin moves every interval (Section 3.2.2), giving
@@ -19,10 +19,7 @@ LeaderPolicy::order(std::uint64_t g_vec, Tick now) const
     if (_interval > 0)
         offset = std::uint32_t((now / _interval) % _numNodes);
 
-    std::vector<NodeId> members;
-    for (NodeId n = 0; n < _numNodes; ++n)
-        if (g_vec & (std::uint64_t(1) << n))
-            members.push_back(n);
+    std::vector<NodeId> members = g_vec.toVector();
     std::sort(members.begin(), members.end(),
               [this, offset](NodeId a, NodeId b) {
                   return (a + _numNodes - offset) % _numNodes <
@@ -44,7 +41,7 @@ SbProcCtrl::startCommit(Chunk& chunk)
                  "core %u started a commit while one is in flight", _self);
     _chunk = &chunk;
 
-    if (chunk.gVec() == 0) {
+    if (chunk.gVec().empty()) {
         // A chunk with no memory operations commits trivially.
         Chunk* c = _chunk;
         _chunk = nullptr;

@@ -43,7 +43,7 @@ class LeaderPolicy
      * Group members of @p g_vec sorted by current priority (highest
      * first); element 0 is the leader.
      */
-    std::vector<NodeId> order(std::uint64_t g_vec, Tick now) const;
+    std::vector<NodeId> order(const NodeSet& g_vec, Tick now) const;
 
   private:
     std::uint32_t _numNodes;
@@ -101,7 +101,7 @@ class SbProcCtrl : public ProcProtocol
     /** The chunk whose commit is in flight (one per core). */
     Chunk* _chunk = nullptr;
     CommitId _current{};
-    std::uint64_t _currentGVec = 0;
+    NodeSet _currentGVec;
     /** Set when the core squashed the in-flight chunk (OCI): discard the
      *  eventual failure (or stale success) for this id. */
     bool _aborted = false;

@@ -41,7 +41,7 @@ SeqDirCtrl::grantNext()
         return;
     Waiting next = _queue.front();
     _queue.pop_front();
-    _ctx.metrics.blocked.unblock(keyOf(next.id));
+    _ctx.metrics.unblockChunk(keyOf(next.id));
     _occupant = next.id;
     _occupantProc = next.proc;
     _ctx.net.send(std::make_unique<SeqCtrlMsg>(kOccupyGrant, _self,
@@ -69,7 +69,7 @@ SeqDirCtrl::onOccupy(MessagePtr msg)
     } else {
         // Taken: the transaction blocks (SEQ-PRO's serialization).
         _queue.push_back(Waiting{req.id, req.src});
-        _ctx.metrics.blocked.block(keyOf(req.id));
+        _ctx.metrics.blockChunk(keyOf(req.id));
     }
 }
 
@@ -85,7 +85,7 @@ SeqDirCtrl::onOccupyCancel(MessagePtr msg)
                                    return w.id == req.id;
                                });
         if (it != _queue.end()) {
-            _ctx.metrics.blocked.unblock(keyOf(req.id));
+            _ctx.metrics.unblockChunk(keyOf(req.id));
             _queue.erase(it);
         }
     }
@@ -97,7 +97,7 @@ SeqDirCtrl::onCommit(MessagePtr msg)
     auto& req = static_cast<SeqCommitMsg&>(*msg);
     SBULK_ASSERT(_occupant && *_occupant == req.id,
                  "SeqCommit from a non-occupant");
-    ProcMask targets = 0;
+    NodeSet targets;
     for (Addr line : req.writesHere)
         targets |= _dir.sharersOf(line, req.src);
     for (Addr line : req.writesHere) {
@@ -105,7 +105,7 @@ SeqDirCtrl::onCommit(MessagePtr msg)
         if (_ctx.observer)
             _ctx.observer->onLineCommitted(_self, line, req.id);
     }
-    if (targets == 0) {
+    if (targets.empty()) {
         _ctx.net.send(std::make_unique<SeqCtrlMsg>(
             kSeqDirDone, _self, req.src, Port::Proc, req.id));
         return;
@@ -114,14 +114,12 @@ SeqDirCtrl::onCommit(MessagePtr msg)
     active.wSig = req.wSig;
     active.allWrites = req.allWrites;
     active.committer = req.src;
-    active.acksPending = std::uint32_t(std::popcount(targets));
+    active.acksPending = targets.count();
     _active = std::move(active);
-    for (NodeId proc = 0; proc < 64; ++proc) {
-        if (targets & (ProcMask(1) << proc)) {
-            _ctx.net.send(std::make_unique<SeqBulkInvMsg>(
-                _self, proc, req.id, req.wSig, req.allWrites, req.src));
-        }
-    }
+    targets.forEach([&](NodeId proc) {
+        _ctx.net.send(std::make_unique<SeqBulkInvMsg>(
+            _self, proc, req.id, req.wSig, req.allWrites, req.src));
+    });
 }
 
 void
@@ -163,14 +161,8 @@ SeqProcCtrl::startCommit(Chunk& chunk)
     _nextToOccupy = 0;
     _donesPending = 0;
 
-    _members.clear();
-    _writeDirs.clear();
-    for (NodeId n = 0; n < 64; ++n) {
-        if (chunk.gVec() & (std::uint64_t(1) << n))
-            _members.push_back(n);
-        if (chunk.dirsWritten() & (std::uint64_t(1) << n))
-            _writeDirs.push_back(n);
-    }
+    _members = chunk.gVec().toVector();
+    _writeDirs = chunk.dirsWritten().toVector();
 
     if (_members.empty()) {
         Chunk* c = _chunk;
@@ -183,7 +175,7 @@ SeqProcCtrl::startCommit(Chunk& chunk)
     }
     if (_ctx.observer)
         _ctx.observer->onCommitRequested(_self, _current, chunk);
-    ++_ctx.metrics.inflight;
+    _ctx.metrics.addInflight(1);
     occupyNext();
 }
 
@@ -198,7 +190,7 @@ void
 SeqProcCtrl::onAllOccupied()
 {
     _allOccupied = true;
-    _ctx.metrics.sampleQueueProtocols();
+    _ctx.metrics.sampleQueueEvent();
 
     if (_writeDirs.empty()) {
         finish();
@@ -226,10 +218,10 @@ SeqProcCtrl::finish()
     }
     Chunk* chunk = _chunk;
     _chunk = nullptr;
-    --_ctx.metrics.inflight;
+    _ctx.metrics.addInflight(-1);
     if (_ctx.observer)
         _ctx.observer->onCommitSuccess(_self, _current);
-    _ctx.metrics.blocked.clear(keyOf(_current));
+    _ctx.metrics.clearChunk(keyOf(_current));
     _ctx.metrics.recordCommit(*chunk, _ctx.eq.now());
     _core->chunkCommitted(chunk->tag());
 }
@@ -242,8 +234,8 @@ SeqProcCtrl::cancelOccupations()
         _ctx.net.send(std::make_unique<SeqCtrlMsg>(
             kOccupyCancel, _self, _members[i], Port::Dir, _current));
     }
-    _ctx.metrics.blocked.clear(keyOf(_current));
-    --_ctx.metrics.inflight;
+    _ctx.metrics.clearChunk(keyOf(_current));
+    _ctx.metrics.addInflight(-1);
     if (_ctx.observer)
         _ctx.observer->onCommitAborted(_self, _current);
     _chunk = nullptr;

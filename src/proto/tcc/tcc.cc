@@ -138,7 +138,7 @@ TccDirCtrl::onProbe(MessagePtr mp)
     if (probe.tid > _nextTid && !tx.counted) {
         // Blocked behind older transactions at this module.
         tx.counted = true;
-        _ctx.metrics.blocked.block(keyOf(probe.id));
+        _ctx.metrics.blockChunk(keyOf(probe.id));
     }
     pump();
 }
@@ -175,7 +175,7 @@ TccDirCtrl::onAbort(MessagePtr mp)
     tx.aborted = true;
     if (tx.counted) {
         tx.counted = false;
-        _ctx.metrics.blocked.unblock(keyOf(abort.id));
+        _ctx.metrics.unblockChunk(keyOf(abort.id));
     }
     pump();
 }
@@ -216,7 +216,7 @@ TccDirCtrl::pump()
             tx.responded = true;
             if (tx.counted) {
                 tx.counted = false;
-                _ctx.metrics.blocked.unblock(keyOf(tx.id));
+                _ctx.metrics.unblockChunk(keyOf(tx.id));
             }
             _ctx.net.send(
                 std::make_unique<ProbeRespMsg>(_self, tx.proc, tx.id));
@@ -235,11 +235,11 @@ TccDirCtrl::startProcessing(PendingTx& tx)
 {
     if (tx.counted) {
         tx.counted = false;
-        _ctx.metrics.blocked.unblock(keyOf(tx.id));
+        _ctx.metrics.unblockChunk(keyOf(tx.id));
     }
-    _ctx.metrics.sampleQueueProtocols();
+    _ctx.metrics.sampleQueueEvent();
 
-    ProcMask targets = 0;
+    NodeSet targets;
     for (Addr line : tx.marks)
         targets |= _dir.sharersOf(line, tx.proc);
     for (Addr line : tx.marks) {
@@ -248,7 +248,7 @@ TccDirCtrl::startProcessing(PendingTx& tx)
             _ctx.observer->onLineCommitted(_self, line, tx.id);
     }
 
-    if (targets == 0) {
+    if (targets.empty()) {
         // Done on the spot.
         _ctx.net.send(
             std::make_unique<TccDirDoneMsg>(_self, tx.proc, tx.id));
@@ -258,15 +258,13 @@ TccDirCtrl::startProcessing(PendingTx& tx)
     }
 
     tx.processing = true;
-    tx.acksPending = std::uint32_t(std::popcount(targets));
+    tx.acksPending = targets.count();
     for (Addr line : tx.marks)
         _lockedLines.insert(line);
-    for (NodeId proc = 0; proc < 64; ++proc) {
-        if (targets & (ProcMask(1) << proc)) {
-            _ctx.net.send(std::make_unique<TccInvMsg>(
-                _self, proc, tx.id, tx.marks, tx.proc));
-        }
-    }
+    targets.forEach([&](NodeId proc) {
+        _ctx.net.send(std::make_unique<TccInvMsg>(
+            _self, proc, tx.id, tx.marks, tx.proc));
+    });
     return true;
 }
 
@@ -303,7 +301,7 @@ TccProcCtrl::startCommit(Chunk& chunk)
         _ctx.observer->onCommitRequested(_self, _current, chunk);
     // Even an empty chunk takes a TID: every transaction must order
     // itself (and plug its TID at every directory).
-    ++_ctx.metrics.inflight;
+    _ctx.metrics.addInflight(1);
     _ctx.net.send(
         std::make_unique<TidRequestMsg>(_self, _agent, _current));
 }
@@ -322,9 +320,9 @@ TccProcCtrl::onTidReply(MessagePtr mp)
         return;
     _tid = msg.tid;
 
-    const std::uint64_t members = _chunk->gVec();
+    const NodeSet members = _chunk->gVec();
     _memberVec = members;
-    _donesPending = std::uint32_t(std::popcount(members));
+    _donesPending = members.count();
     _respsPending = _donesPending;
 
     if (_donesPending == 0) {
@@ -333,7 +331,7 @@ TccProcCtrl::onTidReply(MessagePtr mp)
             _ctx.net.send(std::make_unique<SkipMsg>(_self, d, _tid));
         Chunk* chunk = _chunk;
         _chunk = nullptr;
-        --_ctx.metrics.inflight;
+        _ctx.metrics.addInflight(-1);
         if (_ctx.observer)
             _ctx.observer->onCommitSuccess(_self, msg.id);
         _ctx.metrics.recordCommit(*chunk, _ctx.eq.now());
@@ -344,7 +342,7 @@ TccProcCtrl::onTidReply(MessagePtr mp)
     // Probe the participating directories (with their mark counts), skip
     // all the others, and stream one mark per written line.
     for (NodeId d = 0; d < _numDirs; ++d) {
-        if (members & (std::uint64_t(1) << d)) {
+        if (members.contains(d)) {
             std::uint32_t marks = 0;
             if (auto it = _chunk->writesByHome().find(d);
                 it != _chunk->writesByHome().end()) {
@@ -371,16 +369,13 @@ TccProcCtrl::abortInFlight()
     } else {
         // Tell the participating directories to treat our TID as a skip
         // (the others already have a real skip).
-        for (NodeId d = 0; d < 64; ++d) {
-            if (_memberVec & (std::uint64_t(1) << d)) {
-                _ctx.net.send(std::make_unique<TccAbortMsg>(_self, d,
-                                                            _current,
-                                                            _tid));
-            }
-        }
+        _memberVec.forEach([&](NodeId d) {
+            _ctx.net.send(std::make_unique<TccAbortMsg>(_self, d, _current,
+                                                        _tid));
+        });
     }
-    _ctx.metrics.blocked.clear(keyOf(_current));
-    --_ctx.metrics.inflight;
+    _ctx.metrics.clearChunk(keyOf(_current));
+    _ctx.metrics.addInflight(-1);
     if (_ctx.observer)
         _ctx.observer->onCommitAborted(_self, _current);
     _chunk = nullptr;
@@ -411,12 +406,10 @@ TccProcCtrl::onProbeResp(MessagePtr mp)
     SBULK_ASSERT(_respsPending > 0);
     if (--_respsPending == 0) {
         // Every module is simultaneously at our TID: commit.
-        for (NodeId d = 0; d < 64; ++d) {
-            if (_memberVec & (std::uint64_t(1) << d)) {
-                _ctx.net.send(std::make_unique<CommitGoMsg>(_self, d,
-                                                            _current, _tid));
-            }
-        }
+        _memberVec.forEach([&](NodeId d) {
+            _ctx.net.send(std::make_unique<CommitGoMsg>(_self, d, _current,
+                                                        _tid));
+        });
     }
 }
 
@@ -431,10 +424,10 @@ TccProcCtrl::onDirDone(MessagePtr mp)
         Chunk* chunk = _chunk;
         _chunk = nullptr;
         _tid = 0;
-        --_ctx.metrics.inflight;
+        _ctx.metrics.addInflight(-1);
         if (_ctx.observer)
             _ctx.observer->onCommitSuccess(_self, done.id);
-        _ctx.metrics.blocked.clear(keyOf(done.id));
+        _ctx.metrics.clearChunk(keyOf(done.id));
         _ctx.metrics.recordCommit(*chunk, _ctx.eq.now());
         _core->chunkCommitted(chunk->tag());
     }

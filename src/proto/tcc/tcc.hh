@@ -378,7 +378,7 @@ class TccProcCtrl : public ProcProtocol
     Tid _tid = 0;
     /** Directories probed for the in-flight commit (stable copy: the core
      *  resets the chunk's own g_vec when it squashes it). */
-    std::uint64_t _memberVec = 0;
+    NodeSet _memberVec;
     /** Probe responses still outstanding (phase 1 of the commit). */
     std::uint32_t _respsPending = 0;
     std::uint32_t _donesPending = 0;

@@ -95,6 +95,115 @@ class EventQueue
     /** Current simulated time. */
     Tick now() const { return _now; }
 
+    /// @name Keyed canonical ordering (sharded PDES mode; see DESIGN.md)
+    /// @{
+    /**
+     * Switch the queue to keyed ordering for parallel-in-run simulation.
+     *
+     * In keyed mode every event's tie-break token is not a queue-local
+     * insertion sequence but a *canonical key*:
+     * (origin tile << 48) | per-origin-tile counter. Keys are globally
+     * unique and — because each tile's counter is only ever advanced by
+     * the shard that owns the tile — the (when, key) execution order is a
+     * pure function of the simulated machine, identical for any shard
+     * count. The calendar ring is bypassed (its FIFO buckets assume
+     * monotone sequence numbers); everything goes through the heap.
+     *
+     * @param tile_seq Per-tile key counters, shared by all shard queues
+     *        (each entry is written only by the owning shard's thread).
+     */
+    void
+    enableKeyedOrder(std::vector<std::uint64_t>* tile_seq)
+    {
+        SBULK_ASSERT(!_policy, "SchedulePolicy requires serial mode");
+        SBULK_ASSERT(empty(), "enable keyed ordering before scheduling");
+        _keyed = true;
+        _tileSeq = tile_seq;
+    }
+
+    bool keyed() const { return _keyed; }
+
+    /**
+     * Tile attribution for events scheduled outside any dispatch (system
+     * construction): subsequent schedule() calls originate at @p tile.
+     * During dispatch the attribution tracks the running event's tile.
+     */
+    void setExecTile(std::uint32_t tile) { _execTile = tile; }
+    std::uint32_t execTile() const { return _execTile; }
+
+    /** Allocate the next canonical key originating at @p tile. */
+    std::uint64_t
+    allocKey(std::uint32_t tile)
+    {
+        return (std::uint64_t(tile) << 48) | (*_tileSeq)[tile]++;
+    }
+
+    /**
+     * Insert an event with an explicit canonical key and execution tile
+     * (cross-tile schedules: network deliveries, window-boundary channel
+     * injection). The key must come from allocKey() on the *originating*
+     * tile's owner shard.
+     */
+    template <typename F>
+    void
+    injectKeyed(Tick when, std::uint64_t key, std::uint32_t exec_tile,
+                F&& fn)
+    {
+        SBULK_ASSERT(_keyed, "injectKeyed on a serial queue");
+        SBULK_ASSERT(when >= _now,
+                     "keyed injection in the past: when=%llu now=%llu",
+                     (unsigned long long)when, (unsigned long long)_now);
+        std::uint32_t idx;
+        if (!_free.empty()) {
+            idx = _free.back();
+            _free.pop_back();
+        } else {
+            idx = std::uint32_t(_slots.size());
+            _slots.emplace_back();
+        }
+        Slot& s = _slots[idx];
+        s.fn = std::forward<F>(fn);
+        s.cancelled = false;
+        s.execTile = exec_tile;
+        s.when = when;
+        s.seq = key;
+        heapPush(HeapEntry{when, key, idx});
+        ++_live;
+    }
+
+    /** Earliest pending tick (kMaxTick when the queue is empty). */
+    Tick
+    headTick()
+    {
+        const Src src = peekSource();
+        return src == Src::None ? kMaxTick : nextWhen(src);
+    }
+
+    /**
+     * Execute every pending event with when < @p end (one conservative
+     * lookahead window). Returns the number of events executed.
+     */
+    std::uint64_t
+    runUntil(Tick end)
+    {
+        std::uint64_t executed = 0;
+        while (true) {
+            const Src src = peekSource();
+            if (src == Src::None || nextWhen(src) >= end)
+                break;
+            dispatchSlot(popFrom(src));
+            ++executed;
+        }
+        return executed;
+    }
+
+    /** Canonical key of the event currently dispatching (keyed mode). */
+    std::uint64_t currentKey() const { return _curKey; }
+    /** Per-event record sub-counter for metric journaling (keyed mode):
+     *  monotone within one event's dispatch, reset at each dispatch. */
+    std::uint32_t nextJournalSub() { return _journalSub++; }
+    /// @}
+
     /**
      * Schedule @p fn to run at absolute time @p when.
      *
@@ -124,7 +233,17 @@ class EventQueue
         s.fn = std::forward<F>(fn);
         s.cancelled = false;
         const EventHandle h = (EventHandle(s.gen) << 32) | idx;
-        enqueueEntry(idx, when, _nextSeq++);
+        if (_keyed) {
+            // Keyed mode: the creating event's tile stamps the key, and
+            // locally-scheduled events always execute on the same tile
+            // (cross-tile scheduling goes through the network).
+            s.execTile = _execTile;
+            s.when = when;
+            s.seq = allocKey(_execTile);
+            heapPush(HeapEntry{when, s.seq, idx});
+        } else {
+            enqueueEntry(idx, when, _nextSeq++);
+        }
         ++_live;
         return h;
     }
@@ -175,7 +294,13 @@ class EventQueue
      * switching policies mid-run changes which interleaving is explored
      * but is otherwise safe.
      */
-    void setSchedulePolicy(SchedulePolicy* policy) { _policy = policy; }
+    void
+    setSchedulePolicy(SchedulePolicy* policy)
+    {
+        SBULK_ASSERT(!_keyed || !policy,
+                     "schedule-exploration policies are serial-only");
+        _policy = policy;
+    }
     SchedulePolicy* schedulePolicy() const { return _policy; }
 
     /**
@@ -241,6 +366,8 @@ class EventQueue
         std::uint32_t gen = 0;
         /** Next slot in the same ring bucket (kNilLink at the tail). */
         std::uint32_t next = kNilLink;
+        /** Tile the event executes on (keyed mode only). */
+        std::uint32_t execTile = 0;
         bool cancelled = false;
     };
 
@@ -450,6 +577,11 @@ class EventQueue
         // Move the callback out of the slab first: it may schedule new
         // events, which can grow _slots and invalidate references.
         EventFn fn = std::move(_slots[e.slot].fn);
+        if (_keyed) {
+            _execTile = _slots[e.slot].execTile;
+            _curKey = e.seq;
+            _journalSub = 0;
+        }
         freeSlot(e.slot);
         SBULK_ASSERT(_live > 0, "dispatch accounting underflow");
         --_live;
@@ -485,6 +617,18 @@ class EventQueue
     Tick _now = 0;
     std::uint64_t _nextSeq = 0;
     std::size_t _live = 0;
+    /// @name Keyed canonical ordering state (sharded mode)
+    /// @{
+    bool _keyed = false;
+    /** Shared per-tile key counters (owner-shard-written). */
+    std::vector<std::uint64_t>* _tileSeq = nullptr;
+    /** Tile attribution of the currently-running (or constructing) code. */
+    std::uint32_t _execTile = 0;
+    /** Canonical key of the dispatching event. */
+    std::uint64_t _curKey = 0;
+    /** Per-dispatch journal sub-counter. */
+    std::uint32_t _journalSub = 0;
+    /// @}
 };
 
 } // namespace sbulk

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Sparse set of tile/processor ids, replacing the old 64-bit presence
+ * masks (`ProcMask`, chunk g_vecs, directory sharer vectors) so systems
+ * larger than 64 tiles are representable.
+ *
+ * Representation: a small sorted inline array of ids (covering the common
+ * case — sharer sets and commit groups are almost always a handful of
+ * tiles) that spills to a heap-allocated bitmap once it outgrows the
+ * inline capacity. Iteration is always in ascending id order, so every
+ * loop over a NodeSet is deterministic and matches the order the old
+ * `for (proc = 0; proc < 64; ++proc) if (mask & (1 << proc))` scans
+ * produced.
+ */
+
+#ifndef SBULK_SIM_NODE_SET_HH
+#define SBULK_SIM_NODE_SET_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace sbulk
+{
+
+/** Sparse, order-deterministic set of node ids. */
+class NodeSet
+{
+  public:
+    NodeSet() = default;
+
+    /** The set {n, rest...}. */
+    template <typename... Ns>
+    static NodeSet
+    of(NodeId n, Ns... rest)
+    {
+        NodeSet s;
+        s.insert(n);
+        (s.insert(NodeId(rest)), ...);
+        return s;
+    }
+
+    void
+    insert(NodeId n)
+    {
+        SBULK_ASSERT(n <= 0xffffu, "NodeSet id out of range");
+        if (_spilled) {
+            const std::size_t w = n >> 6;
+            if (w >= _bits.size())
+                _bits.resize(w + 1, 0);
+            const std::uint64_t bit = std::uint64_t(1) << (n & 63);
+            if (!(_bits[w] & bit)) {
+                _bits[w] |= bit;
+                ++_count;
+            }
+            return;
+        }
+        std::uint32_t pos = 0;
+        while (pos < _count && _inl[pos] < n)
+            ++pos;
+        if (pos < _count && _inl[pos] == n)
+            return;
+        if (_count < kInlineCap) {
+            for (std::uint32_t i = _count; i > pos; --i)
+                _inl[i] = _inl[i - 1];
+            _inl[pos] = std::uint16_t(n);
+            ++_count;
+            return;
+        }
+        spill();
+        insert(n);
+    }
+
+    void
+    erase(NodeId n)
+    {
+        if (_spilled) {
+            const std::size_t w = n >> 6;
+            if (w >= _bits.size())
+                return;
+            const std::uint64_t bit = std::uint64_t(1) << (n & 63);
+            if (_bits[w] & bit) {
+                _bits[w] &= ~bit;
+                --_count;
+            }
+            return;
+        }
+        for (std::uint32_t i = 0; i < _count; ++i) {
+            if (_inl[i] == n) {
+                for (std::uint32_t j = i + 1; j < _count; ++j)
+                    _inl[j - 1] = _inl[j];
+                --_count;
+                return;
+            }
+        }
+    }
+
+    bool
+    contains(NodeId n) const
+    {
+        if (_spilled) {
+            const std::size_t w = n >> 6;
+            return w < _bits.size() &&
+                   (_bits[w] >> (n & 63)) & 1;
+        }
+        for (std::uint32_t i = 0; i < _count; ++i)
+            if (_inl[i] == n)
+                return true;
+        return false;
+    }
+
+    std::uint32_t count() const { return _count; }
+    bool empty() const { return _count == 0; }
+
+    void
+    clear()
+    {
+        _count = 0;
+        _spilled = false;
+        _bits.clear();
+    }
+
+    /** Lowest member (set must be non-empty). */
+    NodeId
+    first() const
+    {
+        SBULK_ASSERT(_count > 0, "first() on empty NodeSet");
+        if (!_spilled)
+            return _inl[0];
+        for (std::size_t w = 0; w < _bits.size(); ++w)
+            if (_bits[w])
+                return NodeId(w * 64 + std::countr_zero(_bits[w]));
+        SBULK_PANIC("NodeSet count/bitmap mismatch");
+    }
+
+    /** Visit members in ascending id order. */
+    template <typename F>
+    void
+    forEach(F&& fn) const
+    {
+        if (!_spilled) {
+            for (std::uint32_t i = 0; i < _count; ++i)
+                fn(NodeId(_inl[i]));
+            return;
+        }
+        for (std::size_t w = 0; w < _bits.size(); ++w) {
+            std::uint64_t bits = _bits[w];
+            while (bits) {
+                const int b = std::countr_zero(bits);
+                fn(NodeId(w * 64 + b));
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    NodeSet&
+    operator|=(const NodeSet& o)
+    {
+        o.forEach([&](NodeId n) { insert(n); });
+        return *this;
+    }
+
+    NodeSet
+    operator|(const NodeSet& o) const
+    {
+        NodeSet r = *this;
+        r |= o;
+        return r;
+    }
+
+    /** Members of both sets. */
+    NodeSet
+    intersect(const NodeSet& o) const
+    {
+        NodeSet r;
+        forEach([&](NodeId n) {
+            if (o.contains(n))
+                r.insert(n);
+        });
+        return r;
+    }
+
+    /** True if the sets share any member. */
+    bool
+    intersects(const NodeSet& o) const
+    {
+        if (!_spilled) {
+            for (std::uint32_t i = 0; i < _count; ++i)
+                if (o.contains(_inl[i]))
+                    return true;
+            return false;
+        }
+        bool hit = false;
+        o.forEach([&](NodeId n) { hit = hit || contains(n); });
+        return hit;
+    }
+
+    /** Copy of this set with @p n removed. */
+    NodeSet
+    without(NodeId n) const
+    {
+        NodeSet r = *this;
+        r.erase(n);
+        return r;
+    }
+
+    /** Remove every member of @p o from this set. */
+    NodeSet&
+    removeAll(const NodeSet& o)
+    {
+        o.forEach([&](NodeId n) { erase(n); });
+        return *this;
+    }
+
+    bool
+    operator==(const NodeSet& o) const
+    {
+        if (_count != o._count)
+            return false;
+        if (!_spilled) {
+            for (std::uint32_t i = 0; i < _count; ++i)
+                if (!o.contains(_inl[i]))
+                    return false;
+            return true;
+        }
+        bool eq = true;
+        forEach([&](NodeId n) { eq = eq && o.contains(n); });
+        return eq;
+    }
+    bool operator!=(const NodeSet& o) const { return !(*this == o); }
+
+    std::vector<NodeId>
+    toVector() const
+    {
+        std::vector<NodeId> v;
+        v.reserve(_count);
+        forEach([&](NodeId n) { v.push_back(n); });
+        return v;
+    }
+
+    /** Legacy bridge for ≤64-tile tests: the equivalent uint64 mask. */
+    std::uint64_t
+    toMask64() const
+    {
+        std::uint64_t m = 0;
+        forEach([&](NodeId n) {
+            SBULK_ASSERT(n < 64, "toMask64 on a >64-tile set");
+            m |= std::uint64_t(1) << n;
+        });
+        return m;
+    }
+
+  private:
+    static constexpr std::uint32_t kInlineCap = 6;
+
+    void
+    spill()
+    {
+        std::array<std::uint16_t, kInlineCap> saved = _inl;
+        const std::uint32_t n = _count;
+        _spilled = true;
+        _count = 0;
+        for (std::uint32_t i = 0; i < n; ++i)
+            insert(saved[i]);
+    }
+
+    std::array<std::uint16_t, kInlineCap> _inl{};
+    /** Member count (both representations). */
+    std::uint32_t _count = 0;
+    bool _spilled = false;
+    /** Bitmap words, allocated lazily on spill. */
+    std::vector<std::uint64_t> _bits;
+};
+
+} // namespace sbulk
+
+#endif // SBULK_SIM_NODE_SET_HH

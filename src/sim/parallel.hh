@@ -30,6 +30,44 @@ defaultJobs()
     return hw ? hw : 1;
 }
 
+namespace detail
+{
+/** Threads each simulation consumes beyond its runner (see
+ *  setShardThreadFactor). */
+inline std::atomic<unsigned>&
+shardFactorRef()
+{
+    static std::atomic<unsigned> f{1};
+    return f;
+}
+/** True while the calling thread is inside a parallelFor worker. */
+inline thread_local bool tls_in_parallel_region = false;
+} // namespace detail
+
+/**
+ * Declare that each unit of work run under parallelFor spins up @p shards
+ * simulation threads (`--shards`): parallelFor clamps its worker count so
+ * runner workers x shard threads never exceeds defaultJobs(). Tools call
+ * this once after parsing --shards; 1 (the default) restores the full
+ * worker budget.
+ */
+inline void
+setShardThreadFactor(unsigned shards)
+{
+    detail::shardFactorRef().store(shards ? shards : 1,
+                                   std::memory_order_relaxed);
+}
+
+/** Worker budget parallelFor grants after the shard-factor clamp. */
+inline unsigned
+clampedJobs(unsigned jobs)
+{
+    const unsigned factor =
+        detail::shardFactorRef().load(std::memory_order_relaxed);
+    const unsigned budget = std::max(1u, defaultJobs() / factor);
+    return std::min(jobs, budget);
+}
+
 /**
  * Invoke body(i) for every i in [0, n), spread over up to @p jobs threads.
  *
@@ -48,17 +86,24 @@ template <typename Body>
 void
 parallelFor(std::size_t n, unsigned jobs, Body&& body)
 {
-    if (jobs <= 1 || n <= 1) {
+    // Oversubscription guards: clamp the worker count against the shard
+    // thread factor (runner workers x shard threads <= defaultJobs()),
+    // and run nested parallelFor calls inline — a body that itself fans
+    // out would otherwise multiply thread counts unchecked.
+    jobs = clampedJobs(jobs);
+    if (jobs <= 1 || n <= 1 || detail::tls_in_parallel_region) {
         for (std::size_t i = 0; i < n; ++i)
             body(i);
         return;
     }
     std::atomic<std::size_t> next{0};
     auto worker = [&] {
+        detail::tls_in_parallel_region = true;
         for (std::size_t i = next.fetch_add(1); i < n;
              i = next.fetch_add(1)) {
             body(i);
         }
+        detail::tls_in_parallel_region = false;
     };
     const unsigned k = unsigned(std::min<std::size_t>(jobs, n));
     std::vector<std::thread> threads;

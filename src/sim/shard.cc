@@ -1,0 +1,141 @@
+#include "sim/shard.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace sbulk
+{
+
+namespace
+{
+
+thread_local std::uint32_t tls_shard = 0;
+
+/** RAII shard identity for the worker's lifetime on this thread. */
+struct ShardScope
+{
+    explicit ShardScope(std::uint32_t s) { tls_shard = s; }
+    ~ShardScope() { tls_shard = 0; }
+};
+
+} // namespace
+
+std::uint32_t
+currentShard()
+{
+    return tls_shard;
+}
+
+ShardEngine::ShardEngine(const ShardPlan& plan,
+                         std::vector<EventQueue*> queues,
+                         ShardChannels& chan, Tick lookahead,
+                         std::uint32_t total_cores,
+                         std::function<std::uint32_t(std::uint32_t)>
+                             done_cores)
+    : _plan(plan), _queues(std::move(queues)), _chan(chan),
+      _lookahead(lookahead), _totalCores(total_cores),
+      _doneCores(std::move(done_cores)), _barrier(plan.shards()),
+      _head(plan.shards()), _now(plan.shards()), _done(plan.shards()),
+      _stats(plan.shards())
+{
+    SBULK_ASSERT(_queues.size() == plan.shards(),
+                 "one queue per shard required");
+    SBULK_ASSERT(_lookahead >= 1, "lookahead must be positive");
+}
+
+Tick
+ShardEngine::run(Tick tick_limit)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint32_t S = _plan.shards();
+    std::vector<std::thread> threads;
+    threads.reserve(S - 1);
+    for (std::uint32_t s = 1; s < S; ++s)
+        threads.emplace_back([this, s, tick_limit] {
+            worker(s, tick_limit);
+        });
+    worker(0, tick_limit);
+    for (auto& th : threads)
+        th.join();
+    _wallSec = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    return _stopTick.load(std::memory_order_relaxed);
+}
+
+void
+ShardEngine::worker(std::uint32_t s, Tick tick_limit)
+{
+    ShardScope scope(s);
+    EventQueue& q = *_queues[s];
+    ShardStats& st = _stats[s];
+    const std::uint32_t S = _plan.shards();
+
+    while (true) {
+        // Phase A: all shards finished the previous run phase; drain the
+        // inbound channels into the local queue and publish this shard's
+        // head tick and finished-core count.
+        _barrier.arrive();
+        _chan.drain(s, [&](PendingEvent& ev) {
+            q.injectKeyed(ev.when, ev.key, ev.tile, std::move(ev.fn));
+        });
+        _head[s].store(q.headTick(), std::memory_order_relaxed);
+        _now[s].store(q.now(), std::memory_order_relaxed);
+        _done[s].store(_doneCores(s), std::memory_order_relaxed);
+
+        // Phase B: heads published everywhere; every shard computes the
+        // identical window decision from the shared arrays.
+        _barrier.arrive();
+        Tick min_head = kMaxTick;
+        std::uint32_t done_total = 0;
+        for (std::uint32_t i = 0; i < S; ++i) {
+            min_head = std::min(
+                min_head, _head[i].load(std::memory_order_relaxed));
+            done_total += _done[i].load(std::memory_order_relaxed);
+        }
+        if (min_head == kMaxTick) {
+            // Nothing left anywhere: every queue is empty and every
+            // channel was drained this window. With the cores finished,
+            // that is a clean, quiescent end of run (the serial loop
+            // stops at the final commit; windows keep going until the
+            // in-flight protocol tail has delivered). With cores still
+            // pending it is a machine deadlock, exactly as in serial.
+            if (done_total < _totalCores) {
+                SBULK_PANIC("sharded run deadlocked: all %u queues empty "
+                            "with %u/%u cores done",
+                            S, done_total, _totalCores);
+            }
+            if (s == 0) {
+                _completed = true;
+                Tick end = 0;
+                for (std::uint32_t i = 0; i < S; ++i)
+                    end = std::max(
+                        end, _now[i].load(std::memory_order_relaxed));
+                _stopTick.store(end, std::memory_order_relaxed);
+            }
+            break;
+        }
+        if (min_head >= tick_limit) {
+            if (s == 0)
+                _stopTick.store(min_head, std::memory_order_relaxed);
+            break;
+        }
+        const Tick window_end = min_head + _lookahead;
+
+        // Run phase: execute everything below the window boundary.
+        // Cross-shard schedules land in this shard's outboxes, drained by
+        // their destinations after the next barrier.
+        const auto w0 = std::chrono::steady_clock::now();
+        st.events += q.runUntil(window_end);
+        st.busySec += std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - w0)
+                          .count();
+        ++st.windows;
+    }
+    // All shards break out at the same window (the decision is a pure
+    // function of the shared head/done arrays), so no final barrier is
+    // needed; the join in run() is the last synchronization point.
+}
+
+} // namespace sbulk

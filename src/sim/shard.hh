@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Sharded conservative PDES scheduler for parallel-in-run simulation.
+ *
+ * The torus is partitioned into contiguous tile ranges (whole rows for
+ * square meshes); each shard owns one range, one keyed EventQueue, and one
+ * worker thread. Shards synchronize with conservative lookahead windows:
+ * no cross-tile interaction is faster than the network's minimum
+ * cross-tile delay (router latency + serialization + the 7-cycle link
+ * latency on the torus; the configured wire latency on DirectNetwork), so
+ * every shard can safely execute all events below
+ * `min(all shard heads) + lookahead` between barriers. Cross-shard events
+ * travel through per-(src,dst) timestamped channels that the destination
+ * drains at the next window boundary.
+ *
+ * Determinism: events are ordered by (tick, canonical key) — see
+ * EventQueue::enableKeyedOrder — which is a pure function of the simulated
+ * machine, so the executed event sequence per tile, the window boundary
+ * sequence, and all end-of-run statistics are identical for every shard
+ * count >= 2. (`--shards 1` never constructs any of this and keeps the
+ * byte-identical legacy serial path.)
+ */
+
+#ifndef SBULK_SIM_SHARD_HH
+#define SBULK_SIM_SHARD_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "sim/event_fn.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace sbulk
+{
+
+/** Shard the calling thread is currently simulating (0 outside engines). */
+std::uint32_t currentShard();
+
+/** Contiguous partition of tiles [0, tiles) into `shards` ranges. */
+class ShardPlan
+{
+  public:
+    ShardPlan(std::uint32_t tiles, std::uint32_t shards)
+        : _tiles(tiles), _shards(shards), _base(tiles / shards),
+          _rem(tiles % shards)
+    {
+        SBULK_ASSERT(shards >= 1 && shards <= tiles,
+                     "bad shard plan: %u shards over %u tiles", shards,
+                     tiles);
+    }
+
+    std::uint32_t tiles() const { return _tiles; }
+    std::uint32_t shards() const { return _shards; }
+
+    std::uint32_t
+    shardOf(std::uint32_t tile) const
+    {
+        const std::uint32_t big = _rem * (_base + 1);
+        if (tile < big)
+            return tile / (_base + 1);
+        return _rem + (tile - big) / _base;
+    }
+
+    std::uint32_t
+    firstTile(std::uint32_t s) const
+    {
+        return s < _rem ? s * (_base + 1)
+                        : _rem * (_base + 1) + (s - _rem) * _base;
+    }
+
+    std::uint32_t
+    tileCount(std::uint32_t s) const
+    {
+        return s < _rem ? _base + 1 : _base;
+    }
+
+  private:
+    std::uint32_t _tiles;
+    std::uint32_t _shards;
+    std::uint32_t _base;
+    std::uint32_t _rem;
+};
+
+/**
+ * Sense-reversing (generation-counting) spin barrier. All-atomic, so the
+ * cross-thread happens-before edges it provides are visible to TSan: a
+ * plain write before arrive() on one thread is ordered before any read
+ * after arrive() on every other thread.
+ */
+class SpinBarrier
+{
+  public:
+    explicit SpinBarrier(std::uint32_t parties) : _parties(parties) {}
+
+    void
+    arrive()
+    {
+        const std::uint32_t gen = _gen.load(std::memory_order_acquire);
+        if (_count.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            _parties) {
+            _count.store(0, std::memory_order_relaxed);
+            _gen.store(gen + 1, std::memory_order_release);
+            return;
+        }
+        // Spin briefly (windows are microseconds apart when every shard
+        // has its own CPU), then yield: on oversubscribed or single-CPU
+        // hosts the releasing shard needs our timeslice to make progress,
+        // and a hot spin would stall the whole window loop for a full
+        // scheduler quantum per crossing.
+        std::uint32_t spins = 0;
+        while (_gen.load(std::memory_order_acquire) == gen) {
+            if (++spins >= 128) {
+                std::this_thread::yield();
+                spins = 0;
+            }
+        }
+    }
+
+  private:
+    const std::uint32_t _parties;
+    std::atomic<std::uint32_t> _count{0};
+    std::atomic<std::uint32_t> _gen{0};
+};
+
+/** One cross-shard event in flight between window boundaries. */
+struct PendingEvent
+{
+    Tick when = 0;
+    /** Canonical ordering key (EventQueue::allocKey on the origin tile). */
+    std::uint64_t key = 0;
+    /** Tile the event executes on (decides the destination shard). */
+    std::uint32_t tile = 0;
+    EventFn fn;
+};
+
+/**
+ * Per-(src shard, dst shard) outboxes. A source appends during its run
+ * phase; the destination drains during its drain phase. The two phases
+ * are separated by a barrier, so no channel is ever touched by two
+ * threads at once.
+ */
+class ShardChannels
+{
+  public:
+    explicit ShardChannels(std::uint32_t shards)
+        : _shards(shards), _chan(std::size_t(shards) * shards)
+    {}
+
+    void
+    push(std::uint32_t src, std::uint32_t dst, PendingEvent ev)
+    {
+        _chan[std::size_t(src) * _shards + dst].push_back(std::move(ev));
+    }
+
+    /** Destination-side: move every inbound event into @p sink (ascending
+     *  source shard; order is irrelevant to execution, which re-sorts by
+     *  (when, key) in the heap). */
+    template <typename Sink>
+    void
+    drain(std::uint32_t dst, Sink&& sink)
+    {
+        for (std::uint32_t src = 0; src < _shards; ++src) {
+            auto& box = _chan[std::size_t(src) * _shards + dst];
+            for (PendingEvent& ev : box)
+                sink(ev);
+            box.clear();
+        }
+    }
+
+  private:
+    std::uint32_t _shards;
+    std::vector<std::vector<PendingEvent>> _chan;
+};
+
+/**
+ * The window loop: drives S shard queues on S threads (the caller's
+ * thread doubles as shard 0) until every core is done, the tick limit is
+ * hit, or the whole machine deadlocks.
+ */
+class ShardEngine
+{
+  public:
+    /** Per-shard utilization counters (scaling_study columns). */
+    struct ShardStats
+    {
+        std::uint64_t events = 0;
+        std::uint64_t windows = 0;
+        /** Wall seconds inside runUntil (vs. barrier/drain overhead). */
+        double busySec = 0;
+    };
+
+    /**
+     * @param queues One keyed EventQueue per shard.
+     * @param lookahead Conservative window width (cycles); must be <= the
+     *        network's minimum cross-tile delivery delay.
+     * @param total_cores Stop once this many cores report done.
+     * @param done_cores done_cores(s) -> finished cores among shard s's
+     *        tiles; called only from shard s's thread at window
+     *        boundaries.
+     */
+    ShardEngine(const ShardPlan& plan, std::vector<EventQueue*> queues,
+                ShardChannels& chan, Tick lookahead,
+                std::uint32_t total_cores,
+                std::function<std::uint32_t(std::uint32_t)> done_cores);
+
+    /**
+     * Run to completion: windows advance until every core is done AND
+     * every queue and channel has drained (in-flight protocol messages
+     * deliver, so the machine ends quiescent), or until @p tick_limit.
+     * @return The stop tick: the max tick any shard reached when the
+     *         machine drained, or >= tick_limit on limit.
+     */
+    Tick run(Tick tick_limit);
+
+    const std::vector<ShardStats>& stats() const { return _stats; }
+    /** Wall-clock seconds of the whole run() (utilization denominator). */
+    double wallSeconds() const { return _wallSec; }
+    /** True when run() stopped because every core finished. */
+    bool completed() const { return _completed; }
+
+  private:
+    void worker(std::uint32_t s, Tick tick_limit);
+
+    const ShardPlan& _plan;
+    std::vector<EventQueue*> _queues;
+    ShardChannels& _chan;
+    const Tick _lookahead;
+    const std::uint32_t _totalCores;
+    std::function<std::uint32_t(std::uint32_t)> _doneCores;
+
+    SpinBarrier _barrier;
+    std::vector<std::atomic<Tick>> _head;
+    /** Each shard's queue clock, published at window boundaries. */
+    std::vector<std::atomic<Tick>> _now;
+    std::vector<std::atomic<std::uint32_t>> _done;
+    std::vector<ShardStats> _stats;
+    std::atomic<Tick> _stopTick{0};
+    bool _completed = false;
+    double _wallSec = 0;
+};
+
+} // namespace sbulk
+
+#endif // SBULK_SIM_SHARD_HH

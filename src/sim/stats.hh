@@ -50,6 +50,14 @@ class Average
     double sum() const { return _sum; }
     void reset() { _sum = 0.0; _count = 0; }
 
+    /** Fold @p other 's samples in (per-shard stats aggregation). */
+    void
+    merge(const Average& other)
+    {
+        _sum += other._sum;
+        _count += other._count;
+    }
+
   private:
     double _sum = 0.0;
     std::uint64_t _count = 0;

@@ -1,6 +1,7 @@
 #include "system/experiment.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -48,7 +49,7 @@ runExperiment(const RunConfig& cfg)
                          int(from_trace) == 1,
                  "experiment needs exactly one workload source "
                  "(app, trace, or scenario)");
-    SBULK_ASSERT(cfg.procs >= 1 && cfg.procs <= 64);
+    SBULK_ASSERT(cfg.procs >= 1 && cfg.procs <= 4096);
     SBULK_ASSERT(cfg.recordPath.empty() || cfg.app,
                  "recording requires a synthetic app workload");
 
@@ -56,6 +57,8 @@ runExperiment(const RunConfig& cfg)
     sys_cfg.numProcs = cfg.procs;
     sys_cfg.protocol = cfg.protocol;
     sys_cfg.proto = cfg.proto;
+    sys_cfg.shards = cfg.shards;
+    sys_cfg.interleavedPages = cfg.interleavedPages;
     const bool faulted = cfg.faults.enabled();
     if (faulted) {
         // Arm the recovery layer the injected faults are aimed at (see
@@ -186,7 +189,13 @@ runExperiment(const RunConfig& cfg)
         sys.network().allowChannelReorder(cfg.faults.arq);
     }
 
+    const auto wall0 = std::chrono::steady_clock::now();
     const Tick end = sys.run(cfg.tickLimit);
+    r.wallSec = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wall0)
+                    .count();
+    r.shardStats = sys.shardStats();
+    r.shardWallSec = sys.shardWallSeconds();
 
     if (recorder) {
         std::string err;

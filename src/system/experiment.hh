@@ -40,6 +40,16 @@ struct RunConfig
     /** Safety stop. */
     Tick tickLimit = 4'000'000'000ull;
     /**
+     * Parallel-in-run event kernel shards (SystemConfig::shards). 1 —
+     * the default — keeps the byte-identical serial path; >= 2 runs the
+     * sharded PDES engine (identical statistics for any shard count).
+     */
+    std::uint32_t shards = 1;
+    /** Interleaved page homing for serial runs (see SystemConfig; always
+     *  on under shards >= 2). The parallel-kernel bench sets it on its
+     *  serial baseline so both timings simulate the same machine. */
+    bool interleavedPages = false;
+    /**
      * Transport fault plan (see ROBUSTNESS.md). When enabled() the run
      * attaches a FaultTransport and arms the recovery layer; degradation
      * counters land in RunResult. Disabled plans leave the run untouched.
@@ -114,6 +124,16 @@ struct RunResult
     std::uint64_t watchdogFires = 0;
     std::uint64_t retryEscalations = 0;
     double recoveryLatencyMean = 0;
+    /// @}
+
+    /// @name Parallel-kernel timing (bench/parallel_kernel, scaling_study)
+    /// @{
+    /** Wall-clock seconds of System::run() (host time, not simulated). */
+    double wallSec = 0;
+    /** Per-shard utilization counters (empty under shards = 1). */
+    std::vector<ShardEngine::ShardStats> shardStats;
+    /** Wall-clock seconds inside the sharded window loop. */
+    double shardWallSec = 0;
     /// @}
 
     /// @name Per-tenant serving metrics (trace/scenario runs)

@@ -26,10 +26,34 @@ System::System(SystemConfig cfg,
       _leaderPolicy(cfg.numProcs, cfg.proto.leaderRotationInterval),
       _streams(std::move(streams))
 {
-    SBULK_ASSERT(_cfg.numProcs > 0 && _cfg.numProcs <= 64,
-                 "1..64 processors supported (ProcMask width)");
+    SBULK_ASSERT(_cfg.numProcs > 0 && _cfg.numProcs <= 4096,
+                 "1..4096 processors supported");
     SBULK_ASSERT(_streams.size() == _cfg.numProcs,
                  "need one stream per core");
+    SBULK_ASSERT(_cfg.shards >= 1 && _cfg.shards <= _cfg.numProcs,
+                 "--shards must be in 1..numProcs (%u over %u tiles)",
+                 _cfg.shards, _cfg.numProcs);
+    SBULK_ASSERT(!(_cfg.shards > 1 && _cfg.validate),
+                 "the consistency oracle is serial-only; use --shards 1");
+
+    if (_cfg.shards > 1) {
+        _plan = std::make_unique<ShardPlan>(_cfg.numProcs, _cfg.shards);
+        _tileSeq.assign(_cfg.numProcs, 0);
+        _shardChan = std::make_unique<ShardChannels>(_cfg.shards);
+        for (std::uint32_t s = 0; s < _cfg.shards; ++s) {
+            auto q = std::make_unique<EventQueue>();
+            q->enableKeyedOrder(&_tileSeq);
+            _shardQs.push_back(std::move(q));
+            auto m = std::make_unique<CommitMetrics>();
+            m->journalTo(_shardQs.back().get());
+            _shardMetrics.push_back(std::move(m));
+        }
+        // First-touch homing is an order-dependent shared insert; the
+        // parallel kernel homes pages by interleaving instead.
+        _pages.setInterleaved(true);
+    } else if (_cfg.interleavedPages) {
+        _pages.setInterleaved(true);
+    }
 
     if (_cfg.directNetwork) {
         _net = std::make_unique<DirectNetwork>(_eq, _cfg.numProcs,
@@ -38,11 +62,22 @@ System::System(SystemConfig cfg,
         _net = std::make_unique<TorusNetwork>(_eq, _cfg.numProcs,
                                               _cfg.torus);
     }
+    if (_plan) {
+        std::vector<EventQueue*> qs;
+        for (auto& q : _shardQs)
+            qs.push_back(q.get());
+        _net->configureShards(_plan.get(), std::move(qs),
+                              _shardChan.get());
+    }
 
     if (_cfg.validate)
         _checker = std::make_unique<ConsistencyChecker>();
 
     for (NodeId n = 0; n < _cfg.numProcs; ++n) {
+        // Construction-time schedules (none today, but components are
+        // free to arm timers in their constructors) originate at tile n.
+        if (_plan)
+            eqOf(n).setExecTile(n);
         _caches.push_back(
             std::make_unique<CacheHierarchy>(n, *_net, _pages, _cfg.mem));
         _dirs.push_back(std::make_unique<Directory>(n, *_net, _cfg.mem));
@@ -53,7 +88,7 @@ System::System(SystemConfig cfg,
         core_cfg.startDelay =
             Tick(n) * (core_cfg.chunkInstrs / _cfg.numProcs + 1);
         _cores.push_back(
-            std::make_unique<Core>(n, _eq, *_caches[n], core_cfg));
+            std::make_unique<Core>(n, eqOf(n), *_caches[n], core_cfg));
         _cores[n]->setStream(_streams[n].get());
         _cores[n]->setChecker(_checker.get());
         _cores[n]->setObserver(_cfg.observer);
@@ -86,60 +121,82 @@ System::System(SystemConfig cfg,
 
 System::~System() = default;
 
+EventQueue&
+System::eqOf(NodeId n)
+{
+    return _plan ? *_shardQs[_plan->shardOf(n)] : _eq;
+}
+
+CommitMetrics&
+System::metricsOf(NodeId n)
+{
+    return _plan ? *_shardMetrics[_plan->shardOf(n)] : _metrics;
+}
+
 void
 System::buildProtocol()
 {
-    ProtoContext ctx{_eq, *_net, _metrics, _cfg.proto, _cfg.observer};
+    // One context per tile: in sharded mode each tile's controllers
+    // schedule on (and journal metrics through) the queue of the shard
+    // that owns the tile. Serial mode yields numProcs copies of the same
+    // {_eq, _metrics} wiring the single shared context used to provide.
+    auto ctxFor = [this](NodeId n) {
+        return ProtoContext{eqOf(n), *_net, metricsOf(n), _cfg.proto,
+                            _cfg.observer};
+    };
 
     switch (_cfg.protocol) {
       case ProtocolKind::ScalableBulk:
         for (NodeId n = 0; n < _cfg.numProcs; ++n) {
-            auto proc =
-                std::make_unique<sb::SbProcCtrl>(n, ctx, _leaderPolicy);
+            auto proc = std::make_unique<sb::SbProcCtrl>(n, ctxFor(n),
+                                                         _leaderPolicy);
             proc->setCore(_cores[n].get());
             _cores[n]->setProtocol(proc.get());
             _procProtos.push_back(std::move(proc));
             _dirProtos.push_back(
-                std::make_unique<sb::SbDirCtrl>(n, ctx, *_dirs[n]));
+                std::make_unique<sb::SbDirCtrl>(n, ctxFor(n), *_dirs[n]));
         }
         break;
       case ProtocolKind::BulkSC: {
         // The arbiter sits at the center of the die (Table 3).
         const NodeId agent_node = _cfg.numProcs / 2;
-        _agent = std::make_unique<bk::BkArbiter>(agent_node, ctx);
+        _agent = std::make_unique<bk::BkArbiter>(agent_node,
+                                                 ctxFor(agent_node));
         for (NodeId n = 0; n < _cfg.numProcs; ++n) {
-            auto proc = std::make_unique<bk::BkProcCtrl>(n, ctx, agent_node);
+            auto proc = std::make_unique<bk::BkProcCtrl>(n, ctxFor(n),
+                                                         agent_node);
             proc->setCore(_cores[n].get());
             _cores[n]->setProtocol(proc.get());
             _procProtos.push_back(std::move(proc));
             _dirProtos.push_back(std::make_unique<bk::BkDirCtrl>(
-                n, ctx, *_dirs[n], agent_node));
+                n, ctxFor(n), *_dirs[n], agent_node));
         }
         break;
       }
       case ProtocolKind::TCC: {
         // The TID vendor is the centralized agent (Section 2.1).
         const NodeId agent_node = _cfg.numProcs / 2;
-        _agent = std::make_unique<tcc::TccTidVendor>(agent_node, ctx);
+        _agent = std::make_unique<tcc::TccTidVendor>(agent_node,
+                                                     ctxFor(agent_node));
         for (NodeId n = 0; n < _cfg.numProcs; ++n) {
             auto proc = std::make_unique<tcc::TccProcCtrl>(
-                n, ctx, agent_node, _cfg.numProcs);
+                n, ctxFor(n), agent_node, _cfg.numProcs);
             proc->setCore(_cores[n].get());
             _cores[n]->setProtocol(proc.get());
             _procProtos.push_back(std::move(proc));
             _dirProtos.push_back(
-                std::make_unique<tcc::TccDirCtrl>(n, ctx, *_dirs[n]));
+                std::make_unique<tcc::TccDirCtrl>(n, ctxFor(n), *_dirs[n]));
         }
         break;
       }
       case ProtocolKind::SEQ:
         for (NodeId n = 0; n < _cfg.numProcs; ++n) {
-            auto proc = std::make_unique<sq::SeqProcCtrl>(n, ctx);
+            auto proc = std::make_unique<sq::SeqProcCtrl>(n, ctxFor(n));
             proc->setCore(_cores[n].get());
             _cores[n]->setProtocol(proc.get());
             _procProtos.push_back(std::move(proc));
             _dirProtos.push_back(
-                std::make_unique<sq::SeqDirCtrl>(n, ctx, *_dirs[n]));
+                std::make_unique<sq::SeqDirCtrl>(n, ctxFor(n), *_dirs[n]));
         }
         break;
     }
@@ -166,6 +223,9 @@ System::protocolQuiescent() const
 Tick
 System::run(Tick limit)
 {
+    if (_plan)
+        return runSharded(limit);
+
     for (auto& core : _cores)
         core->start();
 
@@ -179,6 +239,52 @@ System::run(Tick limit)
         }
     }
     return _eq.now();
+}
+
+Tick
+System::runSharded(Tick limit)
+{
+    SBULK_ASSERT(!_shardsRan, "a sharded System runs exactly once");
+    _shardsRan = true;
+
+    // Initial events originate at their core's tile so canonical keys are
+    // shard-count-invariant from the very first schedule.
+    for (NodeId n = 0; n < _cfg.numProcs; ++n) {
+        eqOf(n).setExecTile(n);
+        _cores[n]->start();
+    }
+
+    std::vector<EventQueue*> qs;
+    for (auto& q : _shardQs)
+        qs.push_back(q.get());
+    auto done_cores = [this](std::uint32_t s) {
+        const std::uint32_t first = _plan->firstTile(s);
+        const std::uint32_t count = _plan->tileCount(s);
+        std::uint32_t done = 0;
+        for (std::uint32_t t = first; t < first + count; ++t)
+            done += _cores[t]->done() ? 1 : 0;
+        return done;
+    };
+    ShardEngine engine(*_plan, std::move(qs), *_shardChan,
+                       _net->lookahead(), _cfg.numProcs, done_cores);
+    const Tick end = engine.run(limit);
+
+    _engineStats = engine.stats();
+    _engineWallSec = engine.wallSeconds();
+
+    // Fold the per-shard statistics into the aggregate views the serial
+    // accessors expose: traffic counters merge additively, metric
+    // counters/histograms likewise, and the journaled gauge ops replay in
+    // canonical order to reproduce the sample sequence.
+    _net->foldShardTraffic();
+    std::vector<CommitMetrics::JournalRec> journal;
+    for (auto& m : _shardMetrics) {
+        _metrics.mergeCounters(*m);
+        const auto recs = m->takeJournal();
+        journal.insert(journal.end(), recs.begin(), recs.end());
+    }
+    _metrics.replayJournal(std::move(journal));
+    return end;
 }
 
 System::Breakdown

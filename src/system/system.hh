@@ -53,6 +53,26 @@ struct SystemConfig
     /** Protocol-event observer wired into every controller (src/check/
      *  oracles; null for plain simulation runs). Not owned. */
     ProtocolObserver* observer = nullptr;
+    /**
+     * Parallel-in-run event kernel: partition the tiles into this many
+     * shards, each driven by its own worker thread under conservative
+     * lookahead windows (src/sim/shard.hh; DESIGN.md). 1 — the default —
+     * keeps the byte-identical single-threaded path. Requires
+     * shards <= numProcs; incompatible with validate, SchedulePolicy, and
+     * delivery jitter (all serial-only tooling). End-of-run statistics
+     * are identical for every shard count >= 2. Observers attached to a
+     * sharded run fire concurrently from shard threads and must be
+     * thread-safe (fault::LivenessMonitor is; the checker oracles are
+     * not — the checker is serial by design).
+     */
+    std::uint32_t shards = 1;
+    /**
+     * Use stateless interleaved page homing (page % nodes) instead of
+     * first-touch. Forced on when shards > 1 (see FirstTouchMap); opt-in
+     * for serial runs that want an apples-to-apples wall-clock baseline
+     * against a sharded run of the same config (bench/parallel_kernel).
+     */
+    bool interleavedPages = false;
 };
 
 /**
@@ -104,6 +124,19 @@ class System
         return dynamic_cast<const TorusNetwork*>(_net.get());
     }
 
+    /// @name Sharded-run introspection (empty/zero under --shards 1)
+    /// @{
+    std::uint32_t shards() const { return _cfg.shards; }
+    /** Per-shard utilization counters from the last sharded run(). */
+    const std::vector<ShardEngine::ShardStats>&
+    shardStats() const
+    {
+        return _engineStats;
+    }
+    /** Wall-clock seconds of the last sharded run()'s window loop. */
+    double shardWallSeconds() const { return _engineWallSec; }
+    /// @}
+
     /** Aggregate execution-time breakdown over all cores (Figures 7/8). */
     struct Breakdown
     {
@@ -134,12 +167,34 @@ class System
   private:
     void buildProtocol();
 
+    /** The queue tile @p n 's components live on (its shard's, or _eq). */
+    EventQueue& eqOf(NodeId n);
+    /** The metrics instance tile @p n 's controllers write (per-shard
+     *  journaling instance, or the aggregate in serial mode). */
+    CommitMetrics& metricsOf(NodeId n);
+    /** Sharded window-loop driver (run() when cfg.shards > 1). */
+    Tick runSharded(Tick limit);
+
     SystemConfig _cfg;
     EventQueue _eq;
     std::unique_ptr<Network> _net;
     FirstTouchMap _pages;
     CommitMetrics _metrics;
     sb::LeaderPolicy _leaderPolicy;
+
+    /// @name Parallel-in-run kernel state (unused under --shards 1)
+    /// @{
+    std::unique_ptr<ShardPlan> _plan;
+    /** Per-tile canonical-key counters, shared by every shard queue. */
+    std::vector<std::uint64_t> _tileSeq;
+    std::vector<std::unique_ptr<EventQueue>> _shardQs;
+    std::unique_ptr<ShardChannels> _shardChan;
+    /** Per-shard journaling metrics, folded into _metrics post-run. */
+    std::vector<std::unique_ptr<CommitMetrics>> _shardMetrics;
+    std::vector<ShardEngine::ShardStats> _engineStats;
+    double _engineWallSec = 0;
+    bool _shardsRan = false;
+    /// @}
 
     std::vector<std::unique_ptr<CacheHierarchy>> _caches;
     std::vector<std::unique_ptr<Directory>> _dirs;

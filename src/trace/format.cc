@@ -153,8 +153,8 @@ decodeRecord(const std::uint8_t* in, TraceRecord& rec)
 bool
 validateHeaderFields(const TraceHeader& hdr, std::string* err)
 {
-    if (hdr.numCores == 0 || hdr.numCores > 64) {
-        return fail(err, fmt("header: cores %u out of range [1,64]",
+    if (hdr.numCores == 0 || hdr.numCores > 4096) {
+        return fail(err, fmt("header: cores %u out of range [1,4096]",
                              hdr.numCores));
     }
     if (hdr.numTenants == 0 || hdr.numTenants > 65536) {

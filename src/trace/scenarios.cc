@@ -499,8 +499,8 @@ validateScenarioParams(const ScenarioParams& p, std::string* err)
             *err = msg;
         return false;
     };
-    if (p.cores == 0 || p.cores > 64)
-        return fail("scenario cores out of range [1,64]");
+    if (p.cores == 0 || p.cores > 4096)
+        return fail("scenario cores out of range [1,4096]");
     if (p.tenants == 0 || p.tenants > 4096)
         return fail("scenario tenants out of range [1,4096]");
     if (p.requests == 0)

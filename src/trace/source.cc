@@ -51,6 +51,7 @@ TraceReplay::streamFor(NodeId core)
 MemOp
 TraceReplay::pull(std::uint16_t core)
 {
+    const std::lock_guard<std::mutex> lock(_mu);
     if (_queues[core].empty())
         fill(core);
     MemOp op = _queues[core].front();

@@ -18,6 +18,7 @@
 
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,13 @@ class TraceReplay
     /** Read records until @p core has one queued; wraps at end-of-trace. */
     void fill(std::uint16_t core);
 
+    /**
+     * Serializes the shared demux (reader + queues) when per-core streams
+     * are pulled from different shard threads. Each core's op sequence is
+     * fixed by the trace content, so which thread happens to trigger a
+     * fill never changes what any core observes.
+     */
+    std::mutex _mu;
     TraceReader _reader;
     std::vector<std::deque<MemOp>> _queues;
     std::vector<std::unique_ptr<CoreStream>> _streams;

@@ -24,7 +24,7 @@ TEST(Chunk, StartsEmpty)
 {
     Chunk c = makeChunk();
     EXPECT_EQ(c.state(), ChunkState::Executing);
-    EXPECT_EQ(c.gVec(), 0u);
+    EXPECT_TRUE(c.gVec().empty());
     EXPECT_TRUE(c.writeSet().empty());
     EXPECT_TRUE(c.rSig().empty());
     EXPECT_TRUE(c.wSig().empty());
@@ -38,9 +38,9 @@ TEST(Chunk, RecordReadUpdatesSigAndDirs)
     Chunk c = makeChunk();
     c.recordRead(100, 5);
     EXPECT_TRUE(c.rSig().contains(100));
-    EXPECT_EQ(c.dirsRead(), 1ull << 5);
-    EXPECT_EQ(c.dirsWritten(), 0u);
-    EXPECT_EQ(c.gVec(), 1ull << 5);
+    EXPECT_EQ(c.dirsRead().toMask64(), 1ull << 5);
+    EXPECT_TRUE(c.dirsWritten().empty());
+    EXPECT_EQ(c.gVec().toMask64(), 1ull << 5);
 }
 
 TEST(Chunk, RecordWriteUpdatesEverything)
@@ -50,7 +50,7 @@ TEST(Chunk, RecordWriteUpdatesEverything)
     c.recordWrite(201, 2);
     c.recordWrite(300, 9);
     EXPECT_TRUE(c.wSig().contains(200));
-    EXPECT_EQ(c.dirsWritten(), (1ull << 2) | (1ull << 9));
+    EXPECT_EQ(c.dirsWritten().toMask64(), (1ull << 2) | (1ull << 9));
     EXPECT_EQ(c.writeSet().size(), 3u);
     ASSERT_EQ(c.writesByHome().count(2), 1u);
     EXPECT_EQ(c.writesByHome().at(2).size(), 2u);
@@ -98,7 +98,7 @@ TEST(Chunk, ResetForReplayClearsArchitecturalStateKeepsLog)
     EXPECT_EQ(c.state(), ChunkState::Executing);
     EXPECT_TRUE(c.wSig().empty());
     EXPECT_TRUE(c.rSig().empty());
-    EXPECT_EQ(c.gVec(), 0u);
+    EXPECT_TRUE(c.gVec().empty());
     EXPECT_TRUE(c.writeSet().empty());
     EXPECT_EQ(c.ops().size(), 1u); // the replay log survives
     EXPECT_EQ(c.timesSquashed(), 1u);

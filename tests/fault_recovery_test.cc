@@ -15,6 +15,7 @@
 
 #include "check/replay.hh"
 #include "fault/fault_plan.hh"
+#include "system/experiment.hh"
 
 namespace
 {
@@ -218,6 +219,56 @@ TEST(FaultRecovery, UnfaultedPlanLeavesTraceUntouched)
     EXPECT_EQ(a.endTick, b.endTick);
     EXPECT_EQ(b.faultsInjected, 0u);
     EXPECT_EQ(b.retransmissions, 0u);
+}
+
+// -- fault plans under the parallel-in-run kernel (--shards) -------------
+
+RunConfig
+faultedRun(std::uint32_t shards)
+{
+    RunConfig cfg;
+    cfg.app = findApp("LU");
+    cfg.procs = 16;
+    cfg.totalChunks = 64;
+    cfg.chunkInstrs = 500;
+    cfg.shards = shards;
+    cfg.faults = planFrom("seed=9, drop=0.02, dup=0.02");
+    return cfg;
+}
+
+TEST(FaultRecovery, FaultedSweepReplaysIdenticallySerial)
+{
+    // --shards 1 keeps the byte-identical serial path, faulted or not:
+    // the same (plan, seed) must reproduce the run exactly, down to the
+    // injection and recovery counters the sweep CSVs record.
+    const RunConfig cfg = faultedRun(1);
+    const RunResult a = runExperiment(cfg);
+    const RunResult b = runExperiment(cfg);
+    EXPECT_GT(a.faultsInjected, 0u);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.commits, b.commits);
+    EXPECT_EQ(a.faultsInjected, b.faultsInjected);
+    EXPECT_EQ(a.retransmissions, b.retransmissions);
+    EXPECT_EQ(a.dupsDropped, b.dupsDropped);
+    EXPECT_EQ(a.watchdogFires, b.watchdogFires);
+    EXPECT_EQ(a.chunksSquashed, b.chunksSquashed);
+}
+
+TEST(FaultRecovery, ShardedFaultedRunsRecoverAndStayLive)
+{
+    // The transport interposition survives sharding: faults still inject,
+    // ARQ still repairs them, and the run commits its full chunk budget
+    // (no stranded commit = liveness-clean) instead of wedging against
+    // the tick limit.
+    for (std::uint32_t shards : {2u, 4u}) {
+        SCOPED_TRACE(shards);
+        const RunConfig cfg = faultedRun(shards);
+        const RunResult r = runExperiment(cfg);
+        EXPECT_EQ(r.commits, cfg.totalChunks);
+        EXPECT_GT(r.faultsInjected, 0u);
+        EXPECT_GT(r.retransmissions, 0u);
+        EXPECT_LT(r.makespan, cfg.tickLimit);
+    }
 }
 
 } // namespace

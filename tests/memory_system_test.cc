@@ -189,8 +189,8 @@ TEST_F(MemBench, DirectoryCommitLineReturnsInvalidationVictims)
     loadAndWait(1, 0xb000);
     loadAndWait(2, 0xb000);
     Addr line = cfg.lineOf(0xb000);
-    ProcMask victims = dirs[0]->commitLine(line, 0);
-    EXPECT_EQ(victims, (ProcMask(1) << 1) | (ProcMask(1) << 2));
+    NodeSet victims = dirs[0]->commitLine(line, 0);
+    EXPECT_EQ(victims.toMask64(), (1ull << 1) | (1ull << 2));
     const DirEntry* entry = dirs[0]->peek(line);
     ASSERT_NE(entry, nullptr);
     EXPECT_TRUE(entry->dirty);

@@ -96,7 +96,7 @@ TEST(CommitMetrics, RecordCommitCapturesFootprintAndLatency)
 TEST(LeaderPolicy, BaselineIsAscendingIds)
 {
     sb::LeaderPolicy policy(8, /*rotation=*/0);
-    const std::uint64_t gvec = (1u << 6) | (1u << 1) | (1u << 4);
+    const NodeSet gvec = NodeSet::of(1, 4, 6);
     const auto order = policy.order(gvec, /*now=*/12345);
     ASSERT_EQ(order.size(), 3u);
     EXPECT_EQ(order[0], 1u); // leader = lowest id
@@ -107,7 +107,7 @@ TEST(LeaderPolicy, BaselineIsAscendingIds)
 TEST(LeaderPolicy, RotationMovesThePriorityOrigin)
 {
     sb::LeaderPolicy policy(8, /*rotation=*/1000);
-    const std::uint64_t gvec = (1u << 1) | (1u << 5);
+    const NodeSet gvec = NodeSet::of(1, 5);
     // Interval 0: origin 0 -> 1 leads.
     EXPECT_EQ(policy.order(gvec, 0)[0], 1u);
     // Origin 2..5: 5 leads (1 wraps to priority 7.. etc.).
@@ -122,13 +122,15 @@ TEST(LeaderPolicy, RotationKeepsOrderConsistentForAllMembers)
     // The traversal order must be a permutation of the members at every
     // interval (no duplicates, no omissions).
     sb::LeaderPolicy policy(16, 500);
-    const std::uint64_t gvec = 0b1010110010110010;
+    NodeSet gvec;
+    for (NodeId n : {1, 4, 5, 7, 10, 11, 13, 15})
+        gvec.insert(n);
     for (Tick now : {Tick(0), Tick(750), Tick(4999), Tick(123456)}) {
         auto order = policy.order(gvec, now);
-        std::uint64_t seen = 0;
+        NodeSet seen;
         for (NodeId n : order) {
-            EXPECT_EQ(seen & (1ull << n), 0u) << "duplicate member";
-            seen |= 1ull << n;
+            EXPECT_FALSE(seen.contains(n)) << "duplicate member";
+            seen.insert(n);
         }
         EXPECT_EQ(seen, gvec);
     }

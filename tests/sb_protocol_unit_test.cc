@@ -101,9 +101,9 @@ class SbUnit : public ::testing::Test
             r.insert(a);
         for (Addr a : writes)
             w.insert(a);
-        std::uint64_t gvec = 0;
+        NodeSet gvec;
         for (NodeId m : members)
-            gvec |= 1ull << m;
+            gvec.insert(m);
         // Home every line at the *first* member for simplicity; tests
         // that care pass per-dir write lists explicitly via writesHere.
         return std::make_unique<CommitRequestMsg>(
@@ -344,7 +344,7 @@ TEST_F(SbUnit, CommitRecallFailsTheLosersGroup)
     Recall recall;
     recall.valid = true;
     recall.id = loser;
-    recall.gVec = (1ull << 2) | (1ull << 4);
+    recall.gVec = NodeSet::of(2, 4);
     net->send(std::make_unique<BulkInvAckMsg>(5, inv.leader, inv.id,
                                               recall));
     eq.run();

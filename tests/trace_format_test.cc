@@ -233,9 +233,9 @@ TEST(TraceFormat, HeaderValidationNamesTheField)
 {
     TraceHeader hdr = sampleHeader();
     std::string err;
-    hdr.numCores = 65;
+    hdr.numCores = 4097;
     EXPECT_FALSE(validateHeaderFields(hdr, &err));
-    EXPECT_NE(err.find("cores 65"), std::string::npos) << err;
+    EXPECT_NE(err.find("cores 4097"), std::string::npos) << err;
 
     hdr = sampleHeader();
     hdr.lineBytes = 48;

@@ -23,6 +23,7 @@
 
 #include <iostream>
 
+#include "sim/parallel.hh"
 #include "sim/trace.hh"
 #include "trace/io.hh"
 #include "system/experiment.hh"
@@ -46,6 +47,7 @@ struct CliOptions
     std::string recordPath;
     std::uint32_t procs = 64;
     bool procsSet = false;
+    std::uint32_t shards = 1;
     bool chunksSet = false;
     ProtocolKind protocol = ProtocolKind::ScalableBulk;
     std::uint64_t totalChunks = 1280;
@@ -75,7 +77,10 @@ usage(int code)
         "  --tenants N --requests N   scenario knobs (with --scenario)\n"
         "  --record FILE              capture this run's op streams to a "
         "trace\n"
-        "  --procs N                  processors, 1..64 (default 64)\n"
+        "  --procs N                  processors, 1..4096 (default 64)\n"
+        "  --shards N                 parallel-in-run event-kernel shards\n"
+        "                             (default 1 = serial; stats identical\n"
+        "                             for any shard count >= 2)\n"
         "  --protocol P               scalablebulk | tcc | seq | bulksc\n"
         "  --chunks N                 total chunks of work (default 1280)\n"
         "  --chunk-instrs N           chunk size (default 2000)\n"
@@ -149,6 +154,8 @@ parseArgs(int argc, char** argv)
         } else if (!std::strcmp(a, "--procs")) {
             opt.procs = std::uint32_t(std::atoi(need(i)));
             opt.procsSet = true;
+        } else if (!std::strcmp(a, "--shards")) {
+            opt.shards = std::uint32_t(std::atoi(need(i)));
         } else if (!std::strcmp(a, "--protocol")) {
             opt.protocol = parseProtocol(need(i));
         } else if (!std::strcmp(a, "--chunks")) {
@@ -255,6 +262,22 @@ printReport(const CliOptions& opt, const RunResult& r)
                     MsgClass::LargeCMessage),
                 (unsigned long long)r.traffic.messages(
                     MsgClass::SmallCMessage));
+
+    if (!r.shardStats.empty()) {
+        std::printf("\n-- parallel kernel (%zu shards, %.3fs wall) --\n",
+                    r.shardStats.size(), r.shardWallSec);
+        std::printf("%-8s %12s %10s %9s %6s\n", "shard", "events",
+                    "windows", "busySec", "util");
+        for (std::size_t s = 0; s < r.shardStats.size(); ++s) {
+            const auto& st = r.shardStats[s];
+            std::printf("%-8zu %12llu %10llu %9.3f %5.1f%%\n", s,
+                        (unsigned long long)st.events,
+                        (unsigned long long)st.windows, st.busySec,
+                        r.shardWallSec > 0
+                            ? 100.0 * st.busySec / r.shardWallSec
+                            : 0.0);
+        }
+    }
 
     if (r.traced && !r.tenants.empty()) {
         std::printf("\n-- per-tenant serving metrics --\n");
@@ -413,6 +436,9 @@ main(int argc, char** argv)
     cfg.proto = opt.proto;
     cfg.sig = opt.sig;
     cfg.seedOverride = opt.seed;
+    cfg.shards = opt.shards;
+    // Keep runner workers x shard threads within the machine's cores.
+    setShardThreadFactor(opt.shards);
     cfg.tracePath = opt.tracePath;
     cfg.scenario = opt.scenario;
     cfg.scenarioParams = opt.scen;
@@ -431,6 +457,7 @@ main(int argc, char** argv)
         sys_cfg.numProcs = cfg.procs;
         sys_cfg.protocol = cfg.protocol;
         sys_cfg.proto = cfg.proto;
+        sys_cfg.shards = cfg.shards;
         sys_cfg.core.chunkInstrs = cfg.chunkInstrs;
         sys_cfg.core.sigCfg = cfg.sig;
         sys_cfg.core.chunksToRun =

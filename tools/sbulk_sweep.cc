@@ -88,6 +88,7 @@ main(int argc, char** argv)
     bool chunksSet = false;
     std::uint64_t seed = 0;
     unsigned jobs = 1;
+    std::uint32_t shards = 1;
     fault::FaultPlan faults;
 
     for (int i = 1; i < argc; ++i) {
@@ -156,6 +157,8 @@ main(int argc, char** argv)
             jobs = unsigned(std::atoi(need()));
             if (jobs == 0)
                 jobs = defaultJobs();
+        } else if (!std::strcmp(a, "--shards")) {
+            shards = std::uint32_t(std::atoi(need()));
         } else if (!std::strcmp(a, "--faults")) {
             std::string err;
             if (!fault::FaultPlan::parse(need(), faults, &err)) {
@@ -167,7 +170,7 @@ main(int argc, char** argv)
                 stderr,
                 "usage: sbulk-sweep [--apps A,B] [--protocols P,Q] "
                 "[--procs N,M] [--chunks N] [--seed N] [--jobs N] "
-                "[--faults PLAN]\n"
+                "[--shards N] [--faults PLAN]\n"
                 "                   [--scenario S,T | --trace FILE] "
                 "[--tenants N] [--requests N]\n"
                 "                   [--list-apps] [--list-scenarios]\n");
@@ -179,6 +182,10 @@ main(int argc, char** argv)
                      "--scenario and --trace are mutually exclusive\n");
         return 2;
     }
+    // Keep runner workers x shard threads within the machine's cores:
+    // each of the --jobs sweep workers spawns `shards` event threads.
+    setShardThreadFactor(shards);
+
     const bool traced = !scenarios.empty() || !tracePath.empty();
     if (!apps.empty() && traced) {
         std::fprintf(stderr, "--apps cannot combine with --scenario or "
@@ -248,6 +255,7 @@ main(int argc, char** argv)
         cfg.protocol = cell.proto;
         cfg.totalChunks = chunks;
         cfg.seedOverride = seed;
+        cfg.shards = shards;
         cfg.faults = faults;
         const char* suite = "trace";
         if (cell.scenario) {
