@@ -1,20 +1,27 @@
 /**
  * @file
  * Wall-clock harness for the parallel-in-run event kernel: one 256-tile
- * simulation timed serial (--shards 1) and sharded (--shards 2/4/8), the
+ * simulation timed serial (--shards 1) and sharded (--shards 2/4/8, each
+ * under both the contiguous and the profile-guided balanced map), the
  * figure-shape check (ScalableBulk < SEQ < TCC < BulkSC commit overhead)
  * at the large machine size, and a 1024-tile scenario completion run.
  * Feeds scripts/bench.py and the committed BENCH_parallel_kernel.json.
  *
  * Both timings simulate the *same* machine: the serial baseline runs with
  * interleaved page homing (the sharded kernel's policy), so the wall-clock
- * ratio isolates the kernel, not a workload-placement difference. Two
- * speedup figures are reported:
+ * ratio isolates the kernel, not a workload-placement difference. Every
+ * timed configuration (serial included) runs in a fresh forked child so
+ * allocator and cache state left by earlier configurations cannot skew
+ * later ones — without it the last configs in the sweep measure heap
+ * fragmentation, not the kernel. Two speedup figures are reported:
  *   - measured: serial wall / sharded wall on THIS host (meaningless on a
  *     single-CPU host, where S worker threads time-slice one core);
  *   - critical-path: serial wall / max per-shard busy seconds — the bound
  *     a host with >= S idle cores converges to, computable on any host.
  */
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -74,7 +81,8 @@ parseArgs(int argc, char** argv)
 
 RunResult
 timedRun(const Options& opt, std::uint32_t shards, ProtocolKind proto,
-         const char* app = "Radix") // scatter writes: the stress case
+         const char* app = "Radix", // scatter writes: the stress case
+         const char* shard_map = "contiguous")
 {
     RunConfig cfg;
     cfg.app = findApp(app);
@@ -82,6 +90,7 @@ timedRun(const Options& opt, std::uint32_t shards, ProtocolKind proto,
     cfg.protocol = proto;
     cfg.totalChunks = opt.chunks;
     cfg.shards = shards;
+    cfg.shardMap = shards > 1 ? shard_map : "";
     cfg.interleavedPages = true; // match the sharded kernel's homing
     return runExperiment(cfg);
 }
@@ -92,6 +101,96 @@ maxShardBusy(const RunResult& r)
     double m = 0;
     for (const auto& s : r.shardStats)
         m = std::max(m, s.busySec);
+    return m;
+}
+
+/** Mean fraction of the window loop a shard spent inside the barrier. */
+double
+barrierStallShare(const RunResult& r)
+{
+    if (r.shardStats.empty() || r.shardWallSec <= 0)
+        return 0;
+    double stall = 0;
+    for (const auto& s : r.shardStats)
+        stall += s.stallSec;
+    return stall / (double(r.shardStats.size()) * r.shardWallSec);
+}
+
+/** Fraction of windows that executed no events (horizon too tight). */
+double
+emptyWindowShare(const RunResult& r)
+{
+    std::uint64_t windows = 0, empty = 0;
+    for (const auto& s : r.shardStats) {
+        windows += s.windows;
+        empty += s.emptyWindows;
+    }
+    return windows ? double(empty) / double(windows) : 0;
+}
+
+/** The subset of RunResult the timing section needs — trivially copyable
+ *  so a forked child can ship it through a pipe. */
+struct TimedMetrics
+{
+    double wall = 0;
+    double maxBusy = 0;
+    double stallShare = 0;
+    double emptyShare = 0;
+    std::uint64_t commits = 0;
+};
+
+TimedMetrics
+metricsOf(const RunResult& r)
+{
+    TimedMetrics m;
+    m.wall = r.wallSec;
+    m.maxBusy = maxShardBusy(r);
+    m.stallShare = barrierStallShare(r);
+    m.emptyShare = emptyWindowShare(r);
+    m.commits = r.commits;
+    return m;
+}
+
+/** Run one timed configuration in a fresh child process and ship its
+ *  metrics back through a pipe. Exits the harness on any child failure —
+ *  a silently substituted number would poison the committed baseline. */
+TimedMetrics
+timedRunIsolated(const Options& opt, std::uint32_t shards,
+                 const char* shard_map)
+{
+    int fds[2];
+    if (pipe(fds) != 0) {
+        std::perror("pipe");
+        std::exit(1);
+    }
+    const pid_t pid = fork();
+    if (pid < 0) {
+        std::perror("fork");
+        std::exit(1);
+    }
+    if (pid == 0) {
+        close(fds[0]);
+        setShardThreadFactor(shards);
+        const TimedMetrics m = metricsOf(
+            timedRun(opt, shards, ProtocolKind::ScalableBulk, "Radix",
+                     shard_map));
+        const ssize_t put = write(fds[1], &m, sizeof m);
+        _exit(put == ssize_t(sizeof m) ? 0 : 1);
+    }
+    close(fds[1]);
+    TimedMetrics m;
+    const ssize_t got = read(fds[0], &m, sizeof m);
+    close(fds[0]);
+    int status = 0;
+    waitpid(pid, &status, 0);
+    if (got != ssize_t(sizeof m) || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+        std::fprintf(stderr,
+                     "FAIL: timed child (shards=%u, map=%s) died without "
+                     "reporting\n",
+                     shards, shard_map);
+        std::exit(1);
+    }
     return m;
 }
 
@@ -109,45 +208,59 @@ main(int argc, char** argv)
                 std::thread::hardware_concurrency());
 
     // -- timing: serial vs sharded on the identical machine ------------
-    const RunResult serial = timedRun(opt, 1, ProtocolKind::ScalableBulk);
-    std::printf("%-10s %10s %12s %12s %12s\n", "shards", "wallSec",
-                "measured", "critPath", "commits/s");
-    std::printf("%-10u %10.2f %12s %12s %12.0f\n", 1u, serial.wallSec, "-",
-                "-", double(serial.commits) / serial.wallSec);
+    const TimedMetrics serial = timedRunIsolated(opt, 1, "");
+    std::printf("%-10s %-12s %10s %12s %12s %12s %7s %7s\n", "shards",
+                "map", "wallSec", "measured", "critPath", "commits/s",
+                "stall", "emptyW");
+    std::printf("%-10u %-12s %10.2f %12s %12s %12.0f %7s %7s\n", 1u, "-",
+                serial.wall, "-", "-",
+                double(serial.commits) / serial.wall, "-", "-");
 
     struct Sample
     {
         std::uint32_t shards;
+        const char* map;
         double wall;
         double critPath;
         double measured;
         double commitRate;
+        double stallShare;
+        double emptyShare;
     };
     std::vector<Sample> samples;
+    // Both maps run at every shard count: "balanced" is the kernel's
+    // headline configuration, "contiguous" the comparison point — and
+    // identical commit counts across serial and both maps re-checks the
+    // determinism contract at bench scale.
     for (std::uint32_t s : opt.shardCounts) {
-        setShardThreadFactor(s);
-        const RunResult r = timedRun(opt, s, ProtocolKind::ScalableBulk);
-        if (r.commits != serial.commits) {
-            std::fprintf(stderr,
-                         "FAIL: sharded run committed %llu chunks, serial "
-                         "%llu\n",
-                         (unsigned long long)r.commits,
-                         (unsigned long long)serial.commits);
-            return 1;
+        for (const char* map : {"contiguous", "balanced"}) {
+            const TimedMetrics r = timedRunIsolated(opt, s, map);
+            if (r.commits != serial.commits) {
+                std::fprintf(stderr,
+                             "FAIL: sharded run (%s map) committed %llu "
+                             "chunks, serial %llu\n",
+                             map, (unsigned long long)r.commits,
+                             (unsigned long long)serial.commits);
+                return 1;
+            }
+            Sample smp;
+            smp.shards = s;
+            smp.map = map;
+            smp.wall = r.wall;
+            smp.critPath = r.maxBusy > 0 ? serial.wall / r.maxBusy : 0;
+            smp.measured = r.wall > 0 ? serial.wall / r.wall : 0;
+            smp.commitRate = r.wall > 0 ? double(r.commits) / r.wall : 0;
+            smp.stallShare = r.stallShare;
+            smp.emptyShare = r.emptyShare;
+            samples.push_back(smp);
+            std::printf("%-10u %-12s %10.2f %11.2fx %11.2fx %12.0f "
+                        "%6.1f%% %6.1f%%\n",
+                        s, map, smp.wall, smp.measured, smp.critPath,
+                        smp.commitRate, 100.0 * smp.stallShare,
+                        100.0 * smp.emptyShare);
+            std::fflush(stdout);
         }
-        Sample smp;
-        smp.shards = s;
-        smp.wall = r.wallSec;
-        const double busy = maxShardBusy(r);
-        smp.critPath = busy > 0 ? serial.wallSec / busy : 0;
-        smp.measured = r.wallSec > 0 ? serial.wallSec / r.wallSec : 0;
-        smp.commitRate = r.wallSec > 0 ? double(r.commits) / r.wallSec : 0;
-        samples.push_back(smp);
-        std::printf("%-10u %10.2f %11.2fx %11.2fx %12.0f\n", s, smp.wall,
-                    smp.measured, smp.critPath, smp.commitRate);
-        std::fflush(stdout);
     }
-    setShardThreadFactor(1);
 
     // -- figure shape at the large size (full mode only) ---------------
     // The claim re-validated here is the paper's commit-overhead ordering
@@ -236,18 +349,30 @@ main(int argc, char** argv)
         std::fprintf(f, "  \"procs\": %u,\n", opt.procs);
         std::fprintf(f, "  \"chunks\": %llu,\n",
                      (unsigned long long)opt.chunks);
-        std::fprintf(f, "  \"serial_seconds\": %.3f,\n", serial.wallSec);
+        std::fprintf(f, "  \"serial_seconds\": %.3f,\n", serial.wall);
         std::fprintf(f, "  \"serial_commits_per_sec\": %.0f,\n",
-                     double(serial.commits) / serial.wallSec);
+                     double(serial.commits) / serial.wall);
         for (const auto& s : samples) {
-            std::fprintf(f, "  \"sharded%u_seconds\": %.3f,\n", s.shards,
-                         s.wall);
-            std::fprintf(f, "  \"sharded%u_commits_per_sec\": %.0f,\n",
-                         s.shards, s.commitRate);
-            std::fprintf(f, "  \"speedup_measured_shards%u\": %.2f,\n",
-                         s.shards, s.measured);
-            std::fprintf(f, "  \"speedup_critical_path_shards%u\": %.2f,\n",
-                         s.shards, s.critPath);
+            // Balanced-map samples carry the headline keys (the kernel's
+            // configuration of record); contiguous keeps a _contiguous
+            // suffix for the partitioning comparison.
+            const bool headline = !std::strcmp(s.map, "balanced");
+            const char* sfx = headline ? "" : "_contiguous";
+            std::fprintf(f, "  \"sharded%u_seconds%s\": %.3f,\n", s.shards,
+                         sfx, s.wall);
+            std::fprintf(f, "  \"sharded%u_commits_per_sec%s\": %.0f,\n",
+                         s.shards, sfx, s.commitRate);
+            std::fprintf(f, "  \"speedup_measured_shards%u%s\": %.2f,\n",
+                         s.shards, sfx, s.measured);
+            std::fprintf(f,
+                         "  \"speedup_critical_path_shards%u%s\": %.2f,\n",
+                         s.shards, sfx, s.critPath);
+            std::fprintf(f,
+                         "  \"sharded%u_barrier_stall_share%s\": %.4f,\n",
+                         s.shards, sfx, s.stallShare);
+            std::fprintf(f,
+                         "  \"sharded%u_empty_window_share%s\": %.4f,\n",
+                         s.shards, sfx, s.emptyShare);
         }
         if (!shape.empty()) {
             std::fprintf(f, "  \"figure_shape_holds\": %s,\n",

@@ -32,6 +32,7 @@ struct StudyOptions
     Options base;
     std::vector<std::uint32_t> procs = {2, 4, 8, 16, 32, 64};
     std::uint32_t shards = 1;
+    std::string shardMap;
 };
 
 StudyOptions
@@ -51,6 +52,8 @@ parseStudy(int argc, char** argv)
             }
         } else if (!std::strcmp(argv[i], "--shards") && i + 1 < argc) {
             opt.shards = std::uint32_t(std::atoi(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--shard-map") && i + 1 < argc) {
+            opt.shardMap = argv[++i];
         } else {
             passthrough.push_back(argv[i]);
         }
@@ -78,6 +81,46 @@ utilColumn(const RunResult& r)
     return out + "%";
 }
 
+/** "3/5/2%" — barrier-stall share of the window loop, per shard. */
+std::string
+stallColumn(const RunResult& r)
+{
+    if (r.shardStats.empty())
+        return "-";
+    std::string out;
+    char buf[16];
+    for (std::size_t s = 0; s < r.shardStats.size(); ++s) {
+        const double stall =
+            r.shardWallSec > 0
+                ? 100.0 * r.shardStats[s].stallSec / r.shardWallSec
+                : 0.0;
+        std::snprintf(buf, sizeof(buf), "%s%.0f", s ? "/" : "", stall);
+        out += buf;
+    }
+    return out + "%";
+}
+
+/** "88/91/85%" — share of windows that executed at least one event. */
+std::string
+occupancyColumn(const RunResult& r)
+{
+    if (r.shardStats.empty())
+        return "-";
+    std::string out;
+    char buf[16];
+    for (std::size_t s = 0; s < r.shardStats.size(); ++s) {
+        const auto& st = r.shardStats[s];
+        const double occ =
+            st.windows
+                ? 100.0 * double(st.windows - st.emptyWindows) /
+                      double(st.windows)
+                : 0.0;
+        std::snprintf(buf, sizeof(buf), "%s%.0f", s ? "/" : "", occ);
+        out += buf;
+    }
+    return out + "%";
+}
+
 } // namespace
 
 int
@@ -95,9 +138,11 @@ main(int argc, char** argv)
         ProtocolKind::ScalableBulk, ProtocolKind::TCC, ProtocolKind::SEQ,
         ProtocolKind::BulkSC};
 
-    std::printf("%-10s %-13s %5s %10s %8s %9s %9s %8s %-14s\n", "app",
-                "protocol", "procs", "makespan", "speedup", "commit%",
-                "cmtLat", "wallSec", "shardUtil");
+    std::printf("%-10s %-13s %5s %10s %8s %9s %9s %8s %-12s %-10s "
+                "%-12s\n",
+                "app", "protocol", "procs", "makespan", "speedup",
+                "commit%", "cmtLat", "wallSec", "shardUtil", "stall",
+                "occupancy");
     for (const char* name : kApps) {
         if (!opt.base.onlyApp.empty() && opt.base.onlyApp != name)
             continue;
@@ -112,16 +157,20 @@ main(int argc, char** argv)
                 cfg.protocol = proto;
                 cfg.totalChunks = opt.base.chunks;
                 cfg.shards = std::min(opt.shards, procs);
+                if (cfg.shards > 1)
+                    cfg.shardMap = opt.shardMap;
                 const RunResult r = runExperiment(cfg);
                 std::printf("%-10s %-13s %5u %10llu %8.1f %8.1f%% %9.1f "
-                            "%8.2f %-14s\n",
+                            "%8.2f %-12s %-10s %-12s\n",
                             name, protocolName(proto), procs,
                             (unsigned long long)r.makespan,
                             speedup(base, r),
                             100.0 * r.breakdown.commit /
                                 r.breakdown.total(),
                             r.commitLatencyMean, r.wallSec,
-                            utilColumn(r).c_str());
+                            utilColumn(r).c_str(),
+                            stallColumn(r).c_str(),
+                            occupancyColumn(r).c_str());
                 std::fflush(stdout);
             }
         }

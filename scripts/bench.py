@@ -43,6 +43,10 @@ GATED = {
 PK_GATED = {
     "serial_commits_per_sec": +1,
     "sharded8_commits_per_sec": +1,
+    # Barrier-stall share of the sharded window loop (balanced map):
+    # lower is better; a jump means the tree barrier or the lookahead
+    # horizons regressed even if throughput hides it on a loaded host.
+    "sharded8_barrier_stall_share": -1,
 }
 TOLERANCE = 0.25
 
@@ -133,6 +137,10 @@ def run_parallel_kernel(args):
                 pk_failures.append(
                     f"{metric}: {got:.6g} is more than {TOLERANCE:.0%} "
                     f"below baseline {ref:.6g}")
+            if direction < 0 and got > ref * (1 + TOLERANCE):
+                pk_failures.append(
+                    f"{metric}: {got:.6g} is more than {TOLERANCE:.0%} "
+                    f"above baseline {ref:.6g}")
         if pk_failures:
             print("PERF REGRESSION:", file=sys.stderr)
             for f in pk_failures:

@@ -40,8 +40,7 @@ FaultStats::record(StatSet& out, const std::string& prefix) const
 FaultTransport::FaultTransport(Network& net, const FaultPlan& plan,
                                std::uint64_t stream_salt)
     : TransportLayer(net), _plan(plan),
-      _rng(plan.seed + stream_salt * 0x9e3779b97f4a7c15ull),
-      _ruleMatches(plan.rules.size(), 0)
+      _rng(plan.seed + stream_salt * 0x9e3779b97f4a7c15ull)
 {}
 
 void
@@ -57,14 +56,20 @@ FaultTransport::decide(const Message& msg, Channel& c)
     Decision d;
     const Tick now = eq().now();
 
-    // Targeted rules first: deterministic counters, no randomness.
+    // Targeted rules first: deterministic counters, no randomness. The
+    // counters live on the channel, not the transport: a channel's send
+    // order is canonical (single FIFO sender) while the global
+    // interleaving of sends across channels depends on shard count, so
+    // per-channel counting keeps rule=ACTION/SEL/n shard-invariant.
+    if (c.ruleMatches.empty() && !_plan.rules.empty())
+        c.ruleMatches.assign(_plan.rules.size(), 0);
     for (std::size_t i = 0; i < _plan.rules.size(); ++i) {
         const FaultRule& r = _plan.rules[i];
         if (r.hasClass && r.cls != msg.cls)
             continue;
         if (r.hasKind && r.kind != msg.kind)
             continue;
-        const std::uint64_t m = ++_ruleMatches[i];
+        const std::uint64_t m = ++c.ruleMatches[i];
         const bool fires =
             m == r.n || (r.every && m > r.n && (m - r.n) % r.every == 0);
         if (!fires)

@@ -168,6 +168,16 @@ class FaultTransport : public TransportLayer
         std::uint32_t nextDeliverSeq = 1;
         std::map<std::uint32_t, MessagePtr> holdback;
         /// @}
+
+        /**
+         * Matches seen per targeted rule (indexes FaultPlan::rules),
+         * counted on this channel alone. Per-channel counters make
+         * `rule=ACTION/SEL/n` select the same message at any shard
+         * count: each channel's send order is canonical (FIFO, one
+         * sender), whereas the machine-global interleaving of sends
+         * across channels is not. Lazily sized on first decide().
+         */
+        std::vector<std::uint64_t> ruleMatches;
     };
 
     /** Arrival-side gate of one directory module (Pause faults). */
@@ -229,8 +239,6 @@ class FaultTransport : public TransportLayer
     FaultStats _stats;
     std::unordered_map<std::uint64_t, Channel> _channels;
     std::unordered_map<NodeId, DirGate> _gates;
-    /** Matches seen per targeted rule (indexes _plan.rules). */
-    std::vector<std::uint64_t> _ruleMatches;
     std::vector<InjectedFault> _injected;
 };
 

@@ -1,5 +1,6 @@
 #include "net/network.hh"
 
+#include <algorithm>
 #include <cmath>
 
 namespace sbulk
@@ -55,6 +56,26 @@ Network::assertChannelFifo(const Message& msg, Tick arrive)
                  msg.src, msg.dst, unsigned(msg.dstPort),
                  (unsigned long long)arrive, (unsigned long long)last);
     last = arrive;
+}
+
+std::vector<Tick>
+Network::lookaheadMatrix(const ShardPlan& plan) const
+{
+    const std::uint32_t S = plan.shards();
+    std::vector<Tick> m(std::size_t(S) * S, 0);
+    for (std::uint32_t a = 0; a < S; ++a) {
+        for (std::uint32_t b = a + 1; b < S; ++b) {
+            Tick best = kMaxTick;
+            for (std::uint32_t ta : plan.tilesOf(a))
+                for (std::uint32_t tb : plan.tilesOf(b))
+                    best = std::min(best, pairLookahead(ta, tb));
+            // Symmetric by construction (both implementations' bounds
+            // are distance metrics); fill both triangles.
+            m[std::size_t(a) * S + b] = best;
+            m[std::size_t(b) * S + a] = best;
+        }
+    }
+    return m;
 }
 
 void

@@ -248,6 +248,19 @@ class Network
      */
     virtual Tick lookahead() const { return 1; }
 
+    /**
+     * Pairwise lookahead matrix for @p plan, shards x shards: entry
+     * [a * S + b] bounds from below the delay of any event a tile of
+     * shard a can schedule directly onto a tile of shard b, minimized
+     * over the tile pairs of the two regions (pairLookahead). Wider than
+     * the single lookahead() bound whenever the regions are not
+     * adjacent — the engine's per-shard window horizons come from this.
+     * The matrix is *raw*: diagonal entries are 0 and path effects are
+     * ignored; ShardEngine closes it over forwarding paths and computes
+     * the per-shard feedback-cycle diagonal itself.
+     */
+    std::vector<Tick> lookaheadMatrix(const ShardPlan& plan) const;
+
     /** After a sharded run: fold the per-shard counters into traffic(). */
     void
     foldShardTraffic()
@@ -288,6 +301,22 @@ class Network
 
     /** Hand @p msg to its destination handler (immediately). */
     void dispatch(MessagePtr msg);
+
+    /**
+     * Shard-pair distance primitive behind lookaheadMatrix(): a lower
+     * bound on the delay of any event a component at tile @p a can
+     * schedule *directly* onto tile @p b (a != b) — multi-hop chains pass
+     * through intermediate tiles and are bounded hop by hop. The base
+     * implementation returns the global lookahead() (exact for
+     * DirectNetwork, whose deliveries jump src->dst in one schedule).
+     */
+    virtual Tick
+    pairLookahead(NodeId a, NodeId b) const
+    {
+        (void)a;
+        (void)b;
+        return lookahead();
+    }
 
     /** Extra delivery delay for @p msg (0 without a jitter hook). */
     Tick jitterFor(const Message& msg) const
@@ -456,6 +485,21 @@ class TorusNetwork : public Network
 
   protected:
     void transmit(MessagePtr msg) override;
+
+    /**
+     * Distance-aware pairwise bound: hop routing schedules events only
+     * onto grid-adjacent tiles (each hop costs >= routerLatency +
+     * serialization + linkLatency), so hopCount x linkLatency is safe —
+     * adjacent tiles reproduce the single-link bound, and tile pairs
+     * further apart can never exchange a direct schedule at all, making
+     * the wider bound vacuous there yet exactly what region-min distance
+     * in lookaheadMatrix() needs.
+     */
+    Tick
+    pairLookahead(NodeId a, NodeId b) const override
+    {
+        return Tick(hopCount(a, b)) * _cfg.linkLatency;
+    }
 
   private:
     /** Directions of the four outgoing links of a router. */

@@ -106,8 +106,10 @@ class EventQueue
      * unique and — because each tile's counter is only ever advanced by
      * the shard that owns the tile — the (when, key) execution order is a
      * pure function of the simulated machine, identical for any shard
-     * count. The calendar ring is bypassed (its FIFO buckets assume
-     * monotone sequence numbers); everything goes through the heap.
+     * count. The calendar ring still serves the near-future window, but
+     * bucket insertion is by canonical key rather than FIFO append (a
+     * bucket holds exactly one tick's events, whose execution order is
+     * the key order, not insertion order — see enqueueKeyedEntry).
      *
      * @param tile_seq Per-tile key counters, shared by all shard queues
      *        (each entry is written only by the owning shard's thread).
@@ -122,6 +124,23 @@ class EventQueue
     }
 
     bool keyed() const { return _keyed; }
+
+    /**
+     * Count dispatched events per execution tile into @p counts (keyed
+     * mode only; null disables). Shard queues may share one vector: each
+     * tile's entry is only ever written by the shard that owns the tile.
+     * The canonical-order contract makes the counts a pure function of
+     * the simulated machine — the same for every shard count and map —
+     * which is what lets a warmup run's counts drive the balanced
+     * partitioner deterministically (see balancedShardMap).
+     */
+    void
+    collectTileCounts(std::vector<std::uint64_t>* counts)
+    {
+        SBULK_ASSERT(!counts || _keyed,
+                     "tile counts require keyed ordering");
+        _tileCounts = counts;
+    }
 
     /**
      * Tile attribution for events scheduled outside any dispatch (system
@@ -165,9 +184,7 @@ class EventQueue
         s.fn = std::forward<F>(fn);
         s.cancelled = false;
         s.execTile = exec_tile;
-        s.when = when;
-        s.seq = key;
-        heapPush(HeapEntry{when, key, idx});
+        enqueueKeyedEntry(idx, when, key);
         ++_live;
     }
 
@@ -238,9 +255,7 @@ class EventQueue
             // locally-scheduled events always execute on the same tile
             // (cross-tile scheduling goes through the network).
             s.execTile = _execTile;
-            s.when = when;
-            s.seq = allocKey(_execTile);
-            heapPush(HeapEntry{when, s.seq, idx});
+            enqueueKeyedEntry(idx, when, allocKey(_execTile));
         } else {
             enqueueEntry(idx, when, _nextSeq++);
         }
@@ -445,6 +460,49 @@ class EventQueue
         }
     }
 
+    /**
+     * Keyed-order counterpart of enqueueEntry. Same ring-vs-heap routing,
+     * but the ring bucket is kept sorted by canonical key instead of
+     * FIFO-appended: a bucket holds exactly one tick's events (uniqueness
+     * argument above), and in keyed mode the required execution order
+     * within a tick is the key order, not insertion order. Buckets average
+     * a couple of entries, so the linear insert is cheap; the common cases
+     * (empty bucket, key above the tail) are O(1). Keys are globally
+     * unique, so no equal-key tie exists.
+     */
+    void
+    enqueueKeyedEntry(std::uint32_t idx, Tick when, std::uint64_t key)
+    {
+        Slot& s = _slots[idx];
+        s.when = when;
+        s.seq = key;
+        if (when - _scanTick < kRingTicks) {
+            s.next = kNilLink;
+            Bucket& b = _ring[when & (kRingTicks - 1)];
+            if (b.tail == kNilLink) {
+                b.head = b.tail = idx;
+            } else if (_slots[b.tail].seq < key) {
+                _slots[b.tail].next = idx;
+                b.tail = idx;
+            } else {
+                std::uint32_t prev = kNilLink;
+                std::uint32_t cur = b.head;
+                while (cur != kNilLink && _slots[cur].seq < key) {
+                    prev = cur;
+                    cur = _slots[cur].next;
+                }
+                s.next = cur;
+                if (prev == kNilLink)
+                    b.head = idx;
+                else
+                    _slots[prev].next = idx;
+            }
+            ++_ringCount;
+        } else {
+            heapPush(HeapEntry{when, key, idx});
+        }
+    }
+
     /** Unlink and return the head slot of @p b (must be non-empty). */
     std::uint32_t
     ringPopHead(Bucket& b)
@@ -581,6 +639,8 @@ class EventQueue
             _execTile = _slots[e.slot].execTile;
             _curKey = e.seq;
             _journalSub = 0;
+            if (_tileCounts)
+                ++(*_tileCounts)[_execTile];
         }
         freeSlot(e.slot);
         SBULK_ASSERT(_live > 0, "dispatch accounting underflow");
@@ -622,6 +682,8 @@ class EventQueue
     bool _keyed = false;
     /** Shared per-tile key counters (owner-shard-written). */
     std::vector<std::uint64_t>* _tileSeq = nullptr;
+    /** Per-tile dispatch counters (warmup profiling; usually null). */
+    std::vector<std::uint64_t>* _tileCounts = nullptr;
     /** Tile attribution of the currently-running (or constructing) code. */
     std::uint32_t _execTile = 0;
     /** Canonical key of the dispatching event. */

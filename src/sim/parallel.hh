@@ -22,6 +22,13 @@
 namespace sbulk
 {
 
+/**
+ * Alignment granule for cross-thread hot state (barrier nodes, SPSC ring
+ * cursors, per-shard clock slots): one slot per cache line so two threads
+ * never false-share a line they both write at window rate.
+ */
+inline constexpr std::size_t kCacheLineBytes = 64;
+
 /** What `--jobs 0` (auto) resolves to: one worker per hardware thread. */
 inline unsigned
 defaultJobs()

@@ -2,23 +2,31 @@
  * @file
  * Sharded conservative PDES scheduler for parallel-in-run simulation.
  *
- * The torus is partitioned into contiguous tile ranges (whole rows for
- * square meshes); each shard owns one range, one keyed EventQueue, and one
- * worker thread. Shards synchronize with conservative lookahead windows:
- * no cross-tile interaction is faster than the network's minimum
- * cross-tile delay (router latency + serialization + the 7-cycle link
- * latency on the torus; the configured wire latency on DirectNetwork), so
- * every shard can safely execute all events below
- * `min(all shard heads) + lookahead` between barriers. Cross-shard events
- * travel through per-(src,dst) timestamped channels that the destination
- * drains at the next window boundary.
+ * The torus is partitioned into shard regions — contiguous tile ranges by
+ * default, or an arbitrary tile->shard map from the profile-guided
+ * balanced partitioner / `--shard-map file:` — and each shard owns one
+ * keyed EventQueue and one worker thread. Shards synchronize with
+ * conservative lookahead windows, but the bound is *pairwise*: no event a
+ * tile of shard A can schedule directly onto a tile of shard B lands
+ * sooner than the network's minimum A->B delivery delay (min region hop
+ * distance x link latency on the torus; the wire latency on
+ * DirectNetwork). The engine closes that raw matrix over forwarding
+ * paths (Floyd-Warshall), with the cheapest feedback cycle through each
+ * shard on the diagonal, and each shard runs to its own horizon
+ * `min over shards i with pending events of (head[i] + D[i][s])` —
+ * including its own self term, which stops a wide window from outrunning
+ * replies to its own sends. Far-apart shards therefore synchronize over
+ * much wider windows than the old single global `min_head + lookahead()`
+ * boundary.
+ * Cross-shard events travel through per-(src,dst) SPSC ring channels that
+ * the destination drains at the next window boundary.
  *
  * Determinism: events are ordered by (tick, canonical key) — see
  * EventQueue::enableKeyedOrder — which is a pure function of the simulated
- * machine, so the executed event sequence per tile, the window boundary
- * sequence, and all end-of-run statistics are identical for every shard
- * count >= 2. (`--shards 1` never constructs any of this and keeps the
- * byte-identical legacy serial path.)
+ * machine, so the executed event sequence per tile and all end-of-run
+ * statistics are identical for every shard count >= 2 and for every
+ * tile->shard map. (`--shards 1` never constructs any of this and keeps
+ * the byte-identical legacy serial path.)
  */
 
 #ifndef SBULK_SIM_SHARD_HH
@@ -27,12 +35,15 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "sim/event_fn.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 #include "sim/types.hh"
 
 namespace sbulk
@@ -41,72 +52,113 @@ namespace sbulk
 /** Shard the calling thread is currently simulating (0 outside engines). */
 std::uint32_t currentShard();
 
-/** Contiguous partition of tiles [0, tiles) into `shards` ranges. */
+/**
+ * Partition of tiles [0, tiles) into `shards` regions. The default
+ * constructor builds the contiguous equal-size split; the map constructor
+ * accepts any assignment in which every shard owns at least one tile
+ * (balanced partitioner, `--shard-map file:`).
+ */
 class ShardPlan
 {
   public:
-    ShardPlan(std::uint32_t tiles, std::uint32_t shards)
-        : _tiles(tiles), _shards(shards), _base(tiles / shards),
-          _rem(tiles % shards)
-    {
-        SBULK_ASSERT(shards >= 1 && shards <= tiles,
-                     "bad shard plan: %u shards over %u tiles", shards,
-                     tiles);
-    }
+    /** Contiguous split: the first tiles%shards shards get one extra. */
+    ShardPlan(std::uint32_t tiles, std::uint32_t shards);
 
-    std::uint32_t tiles() const { return _tiles; }
+    /** Explicit tile->shard map; every shard must own >= 1 tile. */
+    ShardPlan(std::vector<std::uint32_t> map, std::uint32_t shards);
+
+    std::uint32_t tiles() const { return std::uint32_t(_map.size()); }
     std::uint32_t shards() const { return _shards; }
 
-    std::uint32_t
-    shardOf(std::uint32_t tile) const
+    std::uint32_t shardOf(std::uint32_t tile) const { return _map[tile]; }
+
+    /** Tiles shard @p s owns, ascending. */
+    const std::vector<std::uint32_t>&
+    tilesOf(std::uint32_t s) const
     {
-        const std::uint32_t big = _rem * (_base + 1);
-        if (tile < big)
-            return tile / (_base + 1);
-        return _rem + (tile - big) / _base;
+        return _tilesOf[s];
     }
 
-    std::uint32_t
-    firstTile(std::uint32_t s) const
-    {
-        return s < _rem ? s * (_base + 1)
-                        : _rem * (_base + 1) + (s - _rem) * _base;
-    }
-
-    std::uint32_t
-    tileCount(std::uint32_t s) const
-    {
-        return s < _rem ? _base + 1 : _base;
-    }
+    /** The full tile->shard map (run-output echo / replayability). */
+    const std::vector<std::uint32_t>& map() const { return _map; }
 
   private:
-    std::uint32_t _tiles;
+    void buildTileLists();
+
     std::uint32_t _shards;
-    std::uint32_t _base;
-    std::uint32_t _rem;
+    std::vector<std::uint32_t> _map;
+    std::vector<std::vector<std::uint32_t>> _tilesOf;
 };
 
 /**
- * Sense-reversing (generation-counting) spin barrier. All-atomic, so the
- * cross-thread happens-before edges it provides are visible to TSan: a
- * plain write before arrive() on one thread is ordered before any read
- * after arrive() on every other thread.
+ * Profile-guided balanced partition: walk the width x height grid in
+ * boustrophedon (snake) order — so every shard region stays spatially
+ * compact and pairwise hop distances stay meaningful — and cut the walk
+ * into the contiguous split that minimizes the maximum bin weight (the
+ * painter's-partition optimum, found by binary search over the cap).
+ * Pure function of its inputs, hence deterministic; every shard receives
+ * at least one tile. Weights are per-tile event counts from a warmup run
+ * (each is used as weight+1 so zero-weight tiles still spread instead of
+ * all landing in the last bin).
  */
-class SpinBarrier
+std::vector<std::uint32_t> balancedShardMap(
+    const std::vector<std::uint64_t>& weights, std::uint32_t width,
+    std::uint32_t height, std::uint32_t shards);
+
+/**
+ * Parse a tile->shard map in the textual format run reports print:
+ * whitespace-separated `<shard>` or `<shard>x<count>` run-length tokens
+ * assigning tiles in ascending order, `#` to end of line is a comment.
+ * On failure returns false and sets *err to "<name>:<line>: <reason>".
+ */
+bool parseShardMap(std::istream& in, const std::string& name,
+                   std::uint32_t tiles, std::uint32_t shards,
+                   std::vector<std::uint32_t>& map_out, std::string* err);
+
+/** parseShardMap over a file path (the `--shard-map file:` escape hatch). */
+bool loadShardMapFile(const std::string& path, std::uint32_t tiles,
+                      std::uint32_t shards,
+                      std::vector<std::uint32_t>& map_out,
+                      std::string* err);
+
+/** Render @p map as the run-length text parseShardMap accepts. */
+std::string formatShardMap(const std::vector<std::uint32_t>& map);
+
+/**
+ * Per-shard clock publication slot, cache-line isolated: the owning shard
+ * stores its post-drain head tick, queue clock, and finished-core count
+ * before arriving at the decision barrier; every shard reads all slots
+ * after it. The barrier's generation flip carries the happens-before
+ * edge, so the slot fields themselves need only relaxed ordering.
+ */
+struct alignas(kCacheLineBytes) ShardClock
+{
+    std::atomic<Tick> head{0};
+    std::atomic<Tick> now{0};
+    std::atomic<std::uint32_t> done{0};
+};
+
+/**
+ * Sense-reversing combining-tree barrier with the per-shard ShardClock
+ * slots attached. Parties arrive at per-group leaf nodes (arity 4); the
+ * last arriver at each node propagates one arrival up, and the root flips
+ * a generation counter that waiters spin on. Splitting the arrival count
+ * across tree nodes keeps high shard counts off a single contended
+ * counter line, and the all-atomic implementation gives TSan-visible
+ * happens-before edges: a plain write before arrive() on one thread is
+ * ordered before any read after arrive() returns on every other thread.
+ */
+class TreeBarrier
 {
   public:
-    explicit SpinBarrier(std::uint32_t parties) : _parties(parties) {}
+    explicit TreeBarrier(std::uint32_t parties);
 
+    /** Arrive as party @p s; returns once all parties arrived. */
     void
-    arrive()
+    arrive(std::uint32_t s)
     {
         const std::uint32_t gen = _gen.load(std::memory_order_acquire);
-        if (_count.fetch_add(1, std::memory_order_acq_rel) + 1 ==
-            _parties) {
-            _count.store(0, std::memory_order_relaxed);
-            _gen.store(gen + 1, std::memory_order_release);
-            return;
-        }
+        signal(_leafOf[s]);
         // Spin briefly (windows are microseconds apart when every shard
         // has its own CPU), then yield: on oversubscribed or single-CPU
         // hosts the releasing shard needs our timeslice to make progress,
@@ -121,10 +173,49 @@ class SpinBarrier
         }
     }
 
+    ShardClock& slot(std::uint32_t s) { return _slots[s]; }
+    const ShardClock& slot(std::uint32_t s) const { return _slots[s]; }
+
   private:
-    const std::uint32_t _parties;
-    std::atomic<std::uint32_t> _count{0};
-    std::atomic<std::uint32_t> _gen{0};
+    /** Children folded per tree node; 4 keeps the tree shallow while the
+     *  per-node arrival counters stay on distinct cache lines. */
+    static constexpr std::uint32_t kArity = 4;
+
+    struct alignas(kCacheLineBytes) Node
+    {
+        std::atomic<std::uint32_t> count{0};
+        /** Arrivals (parties or child nodes) this node waits for. */
+        std::uint32_t parties = 0;
+        std::uint32_t parent = 0;
+        bool root = false;
+    };
+
+    void
+    signal(std::uint32_t n)
+    {
+        // The acq_rel RMW chain up the tree plus the root's release store
+        // forms the happens-before edge every waiter acquires through
+        // _gen: all writes preceding any party's arrive() are visible
+        // after the flip.
+        while (true) {
+            Node& node = _nodes[n];
+            if (node.count.fetch_add(1, std::memory_order_acq_rel) + 1 !=
+                node.parties)
+                return;
+            node.count.store(0, std::memory_order_relaxed);
+            if (node.root) {
+                _gen.fetch_add(1, std::memory_order_acq_rel);
+                return;
+            }
+            n = node.parent;
+        }
+    }
+
+    std::vector<Node> _nodes;
+    /** Leaf node each party arrives at. */
+    std::vector<std::uint32_t> _leafOf;
+    std::vector<ShardClock> _slots;
+    alignas(kCacheLineBytes) std::atomic<std::uint32_t> _gen{0};
 };
 
 /** One cross-shard event in flight between window boundaries. */
@@ -139,10 +230,70 @@ struct PendingEvent
 };
 
 /**
- * Per-(src shard, dst shard) outboxes. A source appends during its run
- * phase; the destination drains during its drain phase. The two phases
- * are separated by a barrier, so no channel is ever touched by two
- * threads at once.
+ * Lock-free SPSC channel for one (src shard, dst shard) pair: a fixed
+ * ring published with release stores and consumed with acquire loads, so
+ * the producer->consumer edge is explicit to TSan and the steady state
+ * allocates nothing. A full ring overflows into a spill vector, which is
+ * safe because the window protocol additionally separates the producer's
+ * run phase from the consumer's drain phase with a barrier.
+ */
+class SpscChannel
+{
+  public:
+    SpscChannel() : _ring(kCapacity) {}
+    SpscChannel(const SpscChannel&) = delete;
+    SpscChannel& operator=(const SpscChannel&) = delete;
+
+    /** Producer side (source shard's run phase). */
+    void
+    push(PendingEvent ev)
+    {
+        const std::size_t tail = _tail.load(std::memory_order_relaxed);
+        if (tail - _head.load(std::memory_order_acquire) < kCapacity) {
+            _ring[tail & (kCapacity - 1)] = std::move(ev);
+            _tail.store(tail + 1, std::memory_order_release);
+            return;
+        }
+        _spill.push_back(std::move(ev));
+    }
+
+    /** Consumer side (destination shard's drain phase). */
+    template <typename Sink>
+    void
+    drain(Sink&& sink)
+    {
+        const std::size_t tail = _tail.load(std::memory_order_acquire);
+        std::size_t head = _head.load(std::memory_order_relaxed);
+        for (; head != tail; ++head)
+            sink(_ring[head & (kCapacity - 1)]);
+        _head.store(head, std::memory_order_release);
+        if (_spill.empty())
+            return;
+        for (PendingEvent& ev : _spill)
+            sink(ev);
+        _spill.clear();
+    }
+
+  private:
+    /** Ring entries; power of two. A window rarely crosses more than a
+     *  few hundred events per channel, and the spill vector absorbs
+     *  bursts beyond it. */
+    static constexpr std::size_t kCapacity = 256;
+
+    alignas(kCacheLineBytes) std::atomic<std::size_t> _head{0};
+    alignas(kCacheLineBytes) std::atomic<std::size_t> _tail{0};
+    std::vector<PendingEvent> _ring;
+    /** Overflow outbox; producer-written in run phases, consumer-read in
+     *  drain phases, with a barrier between the two. */
+    std::vector<PendingEvent> _spill;
+};
+
+/**
+ * Per-(src shard, dst shard) outboxes. A source pushes during its run
+ * phase; the destination drains during its drain phase. Each channel is
+ * single-producer single-consumer by construction, and execution re-sorts
+ * drained events by (when, key) in the heap, so drain order across source
+ * shards is irrelevant.
  */
 class ShardChannels
 {
@@ -154,27 +305,21 @@ class ShardChannels
     void
     push(std::uint32_t src, std::uint32_t dst, PendingEvent ev)
     {
-        _chan[std::size_t(src) * _shards + dst].push_back(std::move(ev));
+        _chan[std::size_t(src) * _shards + dst].push(std::move(ev));
     }
 
-    /** Destination-side: move every inbound event into @p sink (ascending
-     *  source shard; order is irrelevant to execution, which re-sorts by
-     *  (when, key) in the heap). */
+    /** Destination-side: move every inbound event into @p sink. */
     template <typename Sink>
     void
     drain(std::uint32_t dst, Sink&& sink)
     {
-        for (std::uint32_t src = 0; src < _shards; ++src) {
-            auto& box = _chan[std::size_t(src) * _shards + dst];
-            for (PendingEvent& ev : box)
-                sink(ev);
-            box.clear();
-        }
+        for (std::uint32_t src = 0; src < _shards; ++src)
+            _chan[std::size_t(src) * _shards + dst].drain(sink);
     }
 
   private:
     std::uint32_t _shards;
-    std::vector<std::vector<PendingEvent>> _chan;
+    std::vector<SpscChannel> _chan;
 };
 
 /**
@@ -190,21 +335,37 @@ class ShardEngine
     {
         std::uint64_t events = 0;
         std::uint64_t windows = 0;
-        /** Wall seconds inside runUntil (vs. barrier/drain overhead). */
+        /** Windows in which this shard executed no events (its horizon
+         *  sat at or below its own head). */
+        std::uint64_t emptyWindows = 0;
+        /** Thread-CPU seconds inside runUntil (vs. boundary overhead).
+         *  Measured with the per-thread CPU clock, not wall time: on an
+         *  oversubscribed host a wall interval around runUntil also
+         *  counts preemption by sibling shard threads, double-charging
+         *  their work to this shard. serial wall / max busySec is the
+         *  dedicated-core critical-path speedup the perf harness gates. */
         double busySec = 0;
+        /** Wall seconds blocked in barrier arrivals (the synchronization
+         *  tax the pairwise lookahead and balanced maps shrink). */
+        double stallSec = 0;
     };
 
     /**
      * @param queues One keyed EventQueue per shard.
-     * @param lookahead Conservative window width (cycles); must be <= the
-     *        network's minimum cross-tile delivery delay.
+     * @param lookahead Raw pairwise lookahead matrix, shards x shards:
+     *        entry [i*S + s] is a conservative lower bound on the delay
+     *        of any event shard i schedules directly onto shard s
+     *        (Network::lookaheadMatrix). Off-diagonal entries must be
+     *        >= 1; the diagonal is ignored. The engine closes the matrix
+     *        over forwarding paths and derives the per-shard feedback
+     *        cycle bound itself.
      * @param total_cores Stop once this many cores report done.
      * @param done_cores done_cores(s) -> finished cores among shard s's
      *        tiles; called only from shard s's thread at window
      *        boundaries.
      */
     ShardEngine(const ShardPlan& plan, std::vector<EventQueue*> queues,
-                ShardChannels& chan, Tick lookahead,
+                ShardChannels& chan, std::vector<Tick> lookahead,
                 std::uint32_t total_cores,
                 std::function<std::uint32_t(std::uint32_t)> done_cores);
 
@@ -229,15 +390,12 @@ class ShardEngine
     const ShardPlan& _plan;
     std::vector<EventQueue*> _queues;
     ShardChannels& _chan;
-    const Tick _lookahead;
+    /** Pairwise lookahead matrix [src * shards + dst]. */
+    const std::vector<Tick> _lookahead;
     const std::uint32_t _totalCores;
     std::function<std::uint32_t(std::uint32_t)> _doneCores;
 
-    SpinBarrier _barrier;
-    std::vector<std::atomic<Tick>> _head;
-    /** Each shard's queue clock, published at window boundaries. */
-    std::vector<std::atomic<Tick>> _now;
-    std::vector<std::atomic<std::uint32_t>> _done;
+    TreeBarrier _barrier;
     std::vector<ShardStats> _stats;
     std::atomic<Tick> _stopTick{0};
     bool _completed = false;

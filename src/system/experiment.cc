@@ -38,6 +38,174 @@ traceRunName(const std::string& path)
            (slash == std::string::npos ? path : path.substr(slash + 1));
 }
 
+/** Everything the per-core streams borrow from. Declared before the
+ *  System it feeds so it outlives it. */
+struct StreamPlumbing
+{
+    std::ifstream traceFile;
+    std::stringstream scenarioBuf;
+    atrace::TraceReplay replay;
+    std::ofstream recordFile;
+    std::unique_ptr<atrace::TraceRecorder> recorder;
+    /** Synthetic streams handed to the recorder (it borrows; we own). */
+    std::vector<std::unique_ptr<ThreadStream>> recordedInner;
+};
+
+/**
+ * Build the run's per-core streams from whichever workload source cfg
+ * names, applying trace-header hints to @p sys_cfg. Callable more than
+ * once per experiment (each call gets fresh plumbing): the balanced
+ * shard-map warmup replays the same workload prefix the main run sees.
+ */
+std::vector<std::unique_ptr<ThreadStream>>
+buildStreams(const RunConfig& cfg, SystemConfig& sys_cfg,
+             StreamPlumbing& p, bool enable_record, RunResult& r,
+             std::uint64_t& run_seed)
+{
+    const bool from_scenario = !cfg.scenario.empty();
+    const bool from_trace = !cfg.tracePath.empty();
+    std::vector<std::unique_ptr<ThreadStream>> streams;
+    if (from_trace || from_scenario) {
+        std::istream* in = nullptr;
+        if (from_scenario) {
+            const atrace::ScenarioSpec* spec =
+                atrace::findScenario(cfg.scenario);
+            SBULK_ASSERT(spec, "unknown scenario '%s'",
+                         cfg.scenario.c_str());
+            atrace::ScenarioParams params = cfg.scenarioParams;
+            params.cores = cfg.procs;
+            std::string err;
+            if (!atrace::generateScenario(*spec, params, p.scenarioBuf,
+                                          /*text=*/false, &err))
+                SBULK_PANIC("scenario %s: %s", spec->name, err.c_str());
+            in = &p.scenarioBuf;
+            r.app = spec->name;
+        } else {
+            p.traceFile.open(cfg.tracePath, std::ios::binary);
+            if (!p.traceFile)
+                SBULK_PANIC("cannot open trace '%s'",
+                            cfg.tracePath.c_str());
+            in = &p.traceFile;
+            r.app = traceRunName(cfg.tracePath);
+        }
+        std::string err;
+        if (!p.replay.open(*in, &err))
+            SBULK_PANIC("trace replay: %s", err.c_str());
+        const atrace::TraceHeader& hdr = p.replay.header();
+        SBULK_ASSERT(hdr.numCores == cfg.procs,
+                     "trace drives %u cores but the run has %u procs "
+                     "(pass --procs %u)",
+                     hdr.numCores, cfg.procs, hdr.numCores);
+        SBULK_ASSERT(hdr.lineBytes == sys_cfg.mem.l2.lineBytes &&
+                         hdr.pageBytes == sys_cfg.mem.pageBytes,
+                     "trace address geometry (line %u page %u) does not "
+                     "match the machine (line %u page %u)",
+                     hdr.lineBytes, hdr.pageBytes,
+                     sys_cfg.mem.l2.lineBytes, sys_cfg.mem.pageBytes);
+        // Replay hints: a recorded/generated trace knows its chunk size
+        // and work budget; explicit RunConfig values still win where the
+        // caller set them (tools pass totalChunks=0 in trace mode to
+        // defer to the trace).
+        if (hdr.chunkInstrs != 0)
+            sys_cfg.core.chunkInstrs = hdr.chunkInstrs;
+        std::uint64_t total = cfg.totalChunks;
+        if (total == 0)
+            total = hdr.totalChunks != 0 ? hdr.totalChunks : 1280;
+        sys_cfg.core.chunksToRun =
+            std::max<std::uint64_t>(1, total / cfg.procs);
+        run_seed = hdr.seed != 0 ? hdr.seed : cfg.seedOverride;
+        for (NodeId n = 0; n < cfg.procs; ++n)
+            streams.push_back(
+                std::make_unique<ForwardStream>(p.replay.streamFor(n)));
+        r.traced = true;
+        return streams;
+    }
+
+    SyntheticParams params = streamParams(*cfg.app, cfg.procs);
+    if (cfg.seedOverride != 0)
+        params.seed = cfg.seedOverride;
+    run_seed = params.seed;
+    r.app = cfg.app->name;
+    if (enable_record && !cfg.recordPath.empty()) {
+        p.recordFile.open(cfg.recordPath, std::ios::binary);
+        if (!p.recordFile)
+            SBULK_PANIC("cannot open '%s' for recording",
+                        cfg.recordPath.c_str());
+        atrace::TraceHeader hdr;
+        hdr.numCores = cfg.procs;
+        hdr.numTenants = 1;
+        hdr.lineBytes = sys_cfg.mem.l2.lineBytes;
+        hdr.pageBytes = sys_cfg.mem.pageBytes;
+        hdr.chunkInstrs = sys_cfg.core.chunkInstrs;
+        hdr.seed = params.seed;
+        hdr.totalChunks = cfg.totalChunks;
+        p.recorder = std::make_unique<atrace::TraceRecorder>(
+            p.recordFile, hdr, /*text=*/false);
+    }
+    for (NodeId n = 0; n < cfg.procs; ++n) {
+        streams.push_back(std::make_unique<SyntheticStream>(
+            params, n, cfg.procs, sys_cfg.mem.l2.lineBytes,
+            sys_cfg.mem.pageBytes));
+        if (p.recorder) {
+            ThreadStream* inner = streams.back().release();
+            streams.back() = std::make_unique<ForwardStream>(
+                p.recorder->wrap(inner, std::uint16_t(n)));
+            // The recorder borrows the inner stream; re-own it so it
+            // lives as long as the run.
+            p.recordedInner.push_back(
+                std::unique_ptr<ThreadStream>(inner));
+        }
+    }
+    return streams;
+}
+
+/**
+ * Resolve cfg.shardMap into an explicit tile->shard assignment in
+ * sys_cfg.shardMap (left empty for the contiguous default).
+ *
+ * "balanced" runs a seeded warmup — same workload, contiguous map, the
+ * full chunk budget — collecting per-tile dispatch counts. Those counts
+ * are shard-count- and map-invariant (the canonical event order is a
+ * pure function of the machine), so the warmup profiles exactly the
+ * load the real run will carry and the resulting map is replayable.
+ * Profiling the full budget rather than a prefix matters: per-tile load
+ * drifts over a run, and a prefix-derived map mispredicts the tail.
+ */
+void
+resolveShardMap(const RunConfig& cfg, SystemConfig& sys_cfg)
+{
+    if (cfg.shardMap.empty() || cfg.shardMap == "contiguous")
+        return;
+    if (cfg.shardMap == "balanced") {
+        SystemConfig warm_cfg = sys_cfg;
+        warm_cfg.collectTileWeights = true;
+        StreamPlumbing warm_p;
+        RunResult warm_r;
+        std::uint64_t warm_seed = 0;
+        auto warm_streams = buildStreams(cfg, warm_cfg, warm_p,
+                                         /*enable_record=*/false, warm_r,
+                                         warm_seed);
+        System warm(warm_cfg, std::move(warm_streams));
+        warm.run(cfg.tickLimit);
+        const TorusNetwork* torus = warm.torus();
+        const std::uint32_t w = torus ? torus->width() : cfg.procs;
+        const std::uint32_t h = torus ? torus->height() : 1;
+        sys_cfg.shardMap =
+            balancedShardMap(warm.tileEventCounts(), w, h, cfg.shards);
+        return;
+    }
+    if (cfg.shardMap.rfind("file:", 0) == 0) {
+        std::string err;
+        if (!loadShardMapFile(cfg.shardMap.substr(5), cfg.procs,
+                              cfg.shards, sys_cfg.shardMap, &err))
+            SBULK_PANIC("--shard-map: %s", err.c_str());
+        return;
+    }
+    SBULK_PANIC("unknown shard map policy '%s' "
+                "(want contiguous, balanced, or file:<path>)",
+                cfg.shardMap.c_str());
+}
+
 } // namespace
 
 RunResult
@@ -74,110 +242,17 @@ runExperiment(const RunConfig& cfg)
     sys_cfg.core.chunksToRun =
         std::max<std::uint64_t>(1, cfg.totalChunks / cfg.procs);
 
-    // Trace/scenario plumbing. Everything that the per-core streams
-    // borrow from is declared before the System so it outlives it.
-    std::ifstream trace_file;
-    std::stringstream scenario_buf;
-    atrace::TraceReplay replay;
-    std::ofstream record_file;
-    std::unique_ptr<atrace::TraceRecorder> recorder;
-    /** Synthetic streams handed to the recorder (it borrows; we own). */
-    std::vector<std::unique_ptr<ThreadStream>> recorded_inner;
-
     RunResult r;
     std::uint64_t run_seed = 0;
 
-    std::vector<std::unique_ptr<ThreadStream>> streams;
-    if (from_trace || from_scenario) {
-        std::istream* in = nullptr;
-        if (from_scenario) {
-            const atrace::ScenarioSpec* spec =
-                atrace::findScenario(cfg.scenario);
-            SBULK_ASSERT(spec, "unknown scenario '%s'",
-                         cfg.scenario.c_str());
-            atrace::ScenarioParams params = cfg.scenarioParams;
-            params.cores = cfg.procs;
-            std::string err;
-            if (!atrace::generateScenario(*spec, params, scenario_buf,
-                                          /*text=*/false, &err))
-                SBULK_PANIC("scenario %s: %s", spec->name, err.c_str());
-            in = &scenario_buf;
-            r.app = spec->name;
-        } else {
-            trace_file.open(cfg.tracePath, std::ios::binary);
-            if (!trace_file)
-                SBULK_PANIC("cannot open trace '%s'",
-                            cfg.tracePath.c_str());
-            in = &trace_file;
-            r.app = traceRunName(cfg.tracePath);
-        }
-        std::string err;
-        if (!replay.open(*in, &err))
-            SBULK_PANIC("trace replay: %s", err.c_str());
-        const atrace::TraceHeader& hdr = replay.header();
-        SBULK_ASSERT(hdr.numCores == cfg.procs,
-                     "trace drives %u cores but the run has %u procs "
-                     "(pass --procs %u)",
-                     hdr.numCores, cfg.procs, hdr.numCores);
-        SBULK_ASSERT(hdr.lineBytes == sys_cfg.mem.l2.lineBytes &&
-                         hdr.pageBytes == sys_cfg.mem.pageBytes,
-                     "trace address geometry (line %u page %u) does not "
-                     "match the machine (line %u page %u)",
-                     hdr.lineBytes, hdr.pageBytes,
-                     sys_cfg.mem.l2.lineBytes, sys_cfg.mem.pageBytes);
-        // Replay hints: a recorded/generated trace knows its chunk size
-        // and work budget; explicit RunConfig values still win where the
-        // caller set them (tools pass totalChunks=0 in trace mode to
-        // defer to the trace).
-        if (hdr.chunkInstrs != 0)
-            sys_cfg.core.chunkInstrs = hdr.chunkInstrs;
-        std::uint64_t total = cfg.totalChunks;
-        if (total == 0)
-            total = hdr.totalChunks != 0 ? hdr.totalChunks : 1280;
-        sys_cfg.core.chunksToRun =
-            std::max<std::uint64_t>(1, total / cfg.procs);
-        run_seed = hdr.seed != 0 ? hdr.seed : cfg.seedOverride;
-        for (NodeId n = 0; n < cfg.procs; ++n)
-            streams.push_back(
-                std::make_unique<ForwardStream>(replay.streamFor(n)));
-        r.traced = true;
-    } else {
-        SyntheticParams params = streamParams(*cfg.app, cfg.procs);
-        if (cfg.seedOverride != 0)
-            params.seed = cfg.seedOverride;
-        run_seed = params.seed;
-        r.app = cfg.app->name;
-        if (!cfg.recordPath.empty()) {
-            record_file.open(cfg.recordPath, std::ios::binary);
-            if (!record_file)
-                SBULK_PANIC("cannot open '%s' for recording",
-                            cfg.recordPath.c_str());
-            atrace::TraceHeader hdr;
-            hdr.numCores = cfg.procs;
-            hdr.numTenants = 1;
-            hdr.lineBytes = sys_cfg.mem.l2.lineBytes;
-            hdr.pageBytes = sys_cfg.mem.pageBytes;
-            hdr.chunkInstrs = sys_cfg.core.chunkInstrs;
-            hdr.seed = params.seed;
-            hdr.totalChunks = cfg.totalChunks;
-            recorder = std::make_unique<atrace::TraceRecorder>(
-                record_file, hdr, /*text=*/false);
-        }
-        for (NodeId n = 0; n < cfg.procs; ++n) {
-            streams.push_back(std::make_unique<SyntheticStream>(
-                params, n, cfg.procs, sys_cfg.mem.l2.lineBytes,
-                sys_cfg.mem.pageBytes));
-            if (recorder) {
-                ThreadStream* inner = streams.back().release();
-                streams.back() = std::make_unique<ForwardStream>(
-                    recorder->wrap(inner, std::uint16_t(n)));
-                // The recorder borrows the inner stream; re-own it so it
-                // lives as long as the run.
-                recorded_inner.push_back(
-                    std::unique_ptr<ThreadStream>(inner));
-            }
-        }
-    }
+    StreamPlumbing plumbing;
+    auto streams = buildStreams(cfg, sys_cfg, plumbing,
+                                /*enable_record=*/true, r, run_seed);
+    if (cfg.shards > 1)
+        resolveShardMap(cfg, sys_cfg);
+    else
+        SBULK_ASSERT(cfg.shardMap.empty() || cfg.shardMap == "contiguous",
+                     "--shard-map requires --shards >= 2");
 
     System sys(sys_cfg, std::move(streams));
 
@@ -196,10 +271,15 @@ runExperiment(const RunConfig& cfg)
                     .count();
     r.shardStats = sys.shardStats();
     r.shardWallSec = sys.shardWallSeconds();
+    if (cfg.shards > 1) {
+        r.shardMapMode =
+            cfg.shardMap.empty() ? "contiguous" : cfg.shardMap;
+        r.shardMap = sys.shardMap();
+    }
 
-    if (recorder) {
+    if (plumbing.recorder) {
         std::string err;
-        if (!recorder->finalize(&err))
+        if (!plumbing.recorder->finalize(&err))
             SBULK_PANIC("trace record: %s", err.c_str());
     }
 

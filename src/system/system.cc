@@ -37,12 +37,25 @@ System::System(SystemConfig cfg,
                  "the consistency oracle is serial-only; use --shards 1");
 
     if (_cfg.shards > 1) {
-        _plan = std::make_unique<ShardPlan>(_cfg.numProcs, _cfg.shards);
+        if (_cfg.shardMap.empty()) {
+            _plan =
+                std::make_unique<ShardPlan>(_cfg.numProcs, _cfg.shards);
+        } else {
+            SBULK_ASSERT(_cfg.shardMap.size() == _cfg.numProcs,
+                         "shard map covers %zu of %u tiles",
+                         _cfg.shardMap.size(), _cfg.numProcs);
+            _plan = std::make_unique<ShardPlan>(_cfg.shardMap,
+                                                _cfg.shards);
+        }
         _tileSeq.assign(_cfg.numProcs, 0);
+        if (_cfg.collectTileWeights)
+            _tileWeights.assign(_cfg.numProcs, 0);
         _shardChan = std::make_unique<ShardChannels>(_cfg.shards);
         for (std::uint32_t s = 0; s < _cfg.shards; ++s) {
             auto q = std::make_unique<EventQueue>();
             q->enableKeyedOrder(&_tileSeq);
+            if (_cfg.collectTileWeights)
+                q->collectTileCounts(&_tileWeights);
             _shardQs.push_back(std::move(q));
             auto m = std::make_unique<CommitMetrics>();
             m->journalTo(_shardQs.back().get());
@@ -258,15 +271,14 @@ System::runSharded(Tick limit)
     for (auto& q : _shardQs)
         qs.push_back(q.get());
     auto done_cores = [this](std::uint32_t s) {
-        const std::uint32_t first = _plan->firstTile(s);
-        const std::uint32_t count = _plan->tileCount(s);
         std::uint32_t done = 0;
-        for (std::uint32_t t = first; t < first + count; ++t)
+        for (std::uint32_t t : _plan->tilesOf(s))
             done += _cores[t]->done() ? 1 : 0;
         return done;
     };
     ShardEngine engine(*_plan, std::move(qs), *_shardChan,
-                       _net->lookahead(), _cfg.numProcs, done_cores);
+                       _net->lookaheadMatrix(*_plan), _cfg.numProcs,
+                       done_cores);
     const Tick end = engine.run(limit);
 
     _engineStats = engine.stats();

@@ -271,4 +271,32 @@ TEST(FaultRecovery, ShardedFaultedRunsRecoverAndStayLive)
     }
 }
 
+TEST(FaultRecovery, RuleOnlyPlanIsShardCountInvariant)
+{
+    // Targeted-rule counters live per (src, dst, port) channel, and a
+    // channel's send order under the sharded kernel is canonical — a
+    // pure function of the config, not of the shard count — so a
+    // rule-only plan (no random rates) must select the exact same
+    // victims, and hence produce identical statistics, at every shard
+    // count >= 2 (ROBUSTNESS.md §8). (--shards 1 replays the *serial*
+    // event order instead, which is a different, equally deterministic
+    // interleaving.)
+    RunConfig cfg = faultedRun(2);
+    cfg.faults = planFrom("seed=9, rule=drop/class=SmallCMessage/n=3");
+    const RunResult base = runExperiment(cfg);
+    EXPECT_GT(base.faultsInjected, 0u);
+    EXPECT_EQ(base.commits, cfg.totalChunks);
+
+    for (std::uint32_t shards : {3u, 4u, 5u}) {
+        SCOPED_TRACE(shards);
+        cfg.shards = shards;
+        const RunResult r = runExperiment(cfg);
+        EXPECT_EQ(r.makespan, base.makespan);
+        EXPECT_EQ(r.commits, base.commits);
+        EXPECT_EQ(r.faultsInjected, base.faultsInjected);
+        EXPECT_EQ(r.retransmissions, base.retransmissions);
+        EXPECT_EQ(r.chunksSquashed, base.chunksSquashed);
+    }
+}
+
 } // namespace

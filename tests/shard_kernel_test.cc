@@ -105,6 +105,47 @@ TEST(ShardKernel, StatsIdenticalAcrossShardCounts)
     EXPECT_EQ(four, eight);
 }
 
+TEST(ShardKernel, StatsIdenticalForNonDividingShardCounts)
+{
+    // Nothing in the contract requires shards to divide the tile count:
+    // odd counts leave some shards one tile wider (contiguous) or get
+    // arbitrary region shapes (balanced), which is exactly where a
+    // lookahead matrix over tile *sets* is stressed. 16 tiles across
+    // 3/5/7 shards must still match the power-of-two snapshots.
+    const SyntheticParams p = conflictParams();
+    const auto two =
+        runAndSnapshot(shardedConfig(16, 2, ProtocolKind::ScalableBulk), p);
+    for (std::uint32_t shards : {3u, 5u, 7u}) {
+        SCOPED_TRACE(shards);
+        const auto odd = runAndSnapshot(
+            shardedConfig(16, shards, ProtocolKind::ScalableBulk), p);
+        EXPECT_EQ(two, odd);
+    }
+}
+
+TEST(ShardKernel, StatsIdenticalAcrossShardMaps)
+{
+    // The tile->shard map is a performance knob only: the balanced
+    // (profile-guided) partition must produce the same statistics as the
+    // default contiguous split at the same and at different shard counts.
+    const SyntheticParams p = conflictParams();
+    SystemConfig contiguous = shardedConfig(16, 4, ProtocolKind::ScalableBulk);
+    const auto base = runAndSnapshot(contiguous, p);
+
+    // An intentionally lopsided explicit map: shard 0 gets ten tiles,
+    // the rest get two each. Stats must not notice.
+    SystemConfig skewed = contiguous;
+    skewed.shardMap.assign({0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 2, 2, 3, 3});
+    EXPECT_EQ(base, runAndSnapshot(skewed, p));
+
+    // A striped (round-robin) map at a different shard count.
+    SystemConfig striped = shardedConfig(16, 3, ProtocolKind::ScalableBulk);
+    striped.shardMap.resize(16);
+    for (std::uint32_t t = 0; t < 16; ++t)
+        striped.shardMap[t] = t % 3;
+    EXPECT_EQ(base, runAndSnapshot(striped, p));
+}
+
 TEST(ShardKernel, StatsIdenticalAcrossShardCountsAllProtocols)
 {
     const SyntheticParams p = conflictParams();

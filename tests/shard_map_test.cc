@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests of the tile->shard partitioning layer (src/sim/shard.hh):
+ * the profile-guided balanced partitioner (deterministic, covers every
+ * tile exactly once, every shard nonempty, respects heavy-tile skew),
+ * the run-length text format (`--shard-map file:` input and the run
+ * report's echo), and its line-precise rejection of malformed input.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/shard.hh"
+
+namespace sbulk
+{
+namespace
+{
+
+/** Weights where tile t weighs t (heaviest tiles last in snake order). */
+std::vector<std::uint64_t>
+rampWeights(std::uint32_t tiles)
+{
+    std::vector<std::uint64_t> w(tiles);
+    for (std::uint32_t t = 0; t < tiles; ++t)
+        w[t] = t;
+    return w;
+}
+
+/** Per-shard total of weight+1, the quantity the packer balances. */
+std::vector<std::uint64_t>
+binLoads(const std::vector<std::uint32_t>& map,
+         const std::vector<std::uint64_t>& weights, std::uint32_t shards)
+{
+    std::vector<std::uint64_t> load(shards, 0);
+    for (std::size_t t = 0; t < map.size(); ++t)
+        load[map[t]] += weights[t] + 1;
+    return load;
+}
+
+void
+expectValidPartition(const std::vector<std::uint32_t>& map,
+                     std::uint32_t tiles, std::uint32_t shards)
+{
+    ASSERT_EQ(map.size(), tiles);
+    std::vector<std::uint32_t> population(shards, 0);
+    for (std::uint32_t t = 0; t < tiles; ++t) {
+        ASSERT_LT(map[t], shards) << "tile " << t;
+        ++population[map[t]];
+    }
+    for (std::uint32_t s = 0; s < shards; ++s)
+        EXPECT_GT(population[s], 0u) << "shard " << s << " owns no tiles";
+}
+
+TEST(ShardMap, BalancedIsDeterministic)
+{
+    const auto w = rampWeights(64);
+    const auto a = balancedShardMap(w, 8, 8, 4);
+    const auto b = balancedShardMap(w, 8, 8, 4);
+    EXPECT_EQ(a, b);
+}
+
+TEST(ShardMap, BalancedCoversEveryTileOnceAllShardsNonempty)
+{
+    // Including shard counts that do not divide the tile count and the
+    // degenerate all-zero-weight profile (packer falls back to weight+1
+    // so tiles still spread instead of piling into the last bin).
+    for (std::uint32_t shards : {2u, 3u, 4u, 5u, 7u, 8u}) {
+        SCOPED_TRACE(shards);
+        expectValidPartition(balancedShardMap(rampWeights(64), 8, 8, shards),
+                             64, shards);
+        expectValidPartition(
+            balancedShardMap(std::vector<std::uint64_t>(64, 0), 8, 8,
+                             shards),
+            64, shards);
+    }
+}
+
+TEST(ShardMap, BalancedSplitsHotspotBetterThanContiguous)
+{
+    // All weight on the last row: a contiguous split strands the whole
+    // hotspot in the final shard, the packer must spread the grid so
+    // that no bin carries more than half the total load.
+    std::vector<std::uint64_t> w(64, 0);
+    for (std::uint32_t t = 48; t < 64; ++t)
+        w[t] = 1000;
+    const auto map = balancedShardMap(w, 8, 8, 4);
+    expectValidPartition(map, 64, 4);
+    const auto load = binLoads(map, w, 4);
+    std::uint64_t total = 0, peak = 0;
+    for (std::uint64_t l : load) {
+        total += l;
+        peak = std::max(peak, l);
+    }
+    EXPECT_LT(peak, total / 2) << formatShardMap(map);
+}
+
+TEST(ShardMap, FormatRoundTripsThroughParse)
+{
+    const auto map = balancedShardMap(rampWeights(64), 8, 8, 5);
+    std::istringstream in(formatShardMap(map));
+    std::vector<std::uint32_t> reparsed;
+    std::string err;
+    ASSERT_TRUE(parseShardMap(in, "echo", 64, 5, reparsed, &err)) << err;
+    EXPECT_EQ(reparsed, map);
+}
+
+TEST(ShardMap, ParseAcceptsCommentsAndRunLengths)
+{
+    std::istringstream in(
+        "# snake-order assignment, two tokens per line\n"
+        "0x3 1\n"
+        "2x2 3x2 # trailing comment\n");
+    std::vector<std::uint32_t> map;
+    std::string err;
+    ASSERT_TRUE(parseShardMap(in, "inline", 8, 4, map, &err)) << err;
+    EXPECT_EQ(map, (std::vector<std::uint32_t>{0, 0, 0, 1, 2, 2, 3, 3}));
+}
+
+TEST(ShardMap, ParseRejectsMalformedInputWithLinePreciseErrors)
+{
+    struct Case
+    {
+        const char* text;
+        const char* expect; // substring of the "<name>:<line>: ..." error
+    };
+    const Case cases[] = {
+        {"0x2 1x2\nbogus\n", "map:2"},        // non-numeric token
+        {"0x2\n1xq\n", "map:2"},              // bad run length
+        {"0x2 1x2 2x2 3x2 0\n", "map:1"},     // too many tiles
+        {"0x2\n1x2 2x2\n", "map:2"},          // too few (last line read)
+        {"0x2 7x2 1x2 2x2\n", "map:1"},       // shard id out of range
+        {"0x0 0x2 1x2 2x2 3x2\n", "map:1"},   // zero run length
+        {"0x4 1x2 2x2\n", "map:1"},           // a shard owns no tiles
+    };
+    for (const Case& c : cases) {
+        SCOPED_TRACE(c.text);
+        std::istringstream in(c.text);
+        std::vector<std::uint32_t> map;
+        std::string err;
+        EXPECT_FALSE(parseShardMap(in, "map", 8, 4, map, &err));
+        EXPECT_NE(err.find(c.expect), std::string::npos) << err;
+    }
+}
+
+TEST(ShardMap, LoadRejectsMissingFile)
+{
+    std::vector<std::uint32_t> map;
+    std::string err;
+    EXPECT_FALSE(loadShardMapFile("/nonexistent/shard.map", 8, 4, map,
+                                  &err));
+    EXPECT_NE(err.find("/nonexistent/shard.map"), std::string::npos) << err;
+}
+
+} // namespace
+} // namespace sbulk

@@ -48,6 +48,7 @@ struct CliOptions
     std::uint32_t procs = 64;
     bool procsSet = false;
     std::uint32_t shards = 1;
+    std::string shardMap;
     bool chunksSet = false;
     ProtocolKind protocol = ProtocolKind::ScalableBulk;
     std::uint64_t totalChunks = 1280;
@@ -81,6 +82,12 @@ usage(int code)
         "  --shards N                 parallel-in-run event-kernel shards\n"
         "                             (default 1 = serial; stats identical\n"
         "                             for any shard count >= 2)\n"
+        "  --shard-map M              tile->shard map under --shards >= 2:\n"
+        "                             contiguous (default), balanced\n"
+        "                             (profile-guided warmup), or\n"
+        "                             file:<path> (stats identical for\n"
+        "                             every map; the report echoes the\n"
+        "                             map in file: format)\n"
         "  --protocol P               scalablebulk | tcc | seq | bulksc\n"
         "  --chunks N                 total chunks of work (default 1280)\n"
         "  --chunk-instrs N           chunk size (default 2000)\n"
@@ -156,6 +163,8 @@ parseArgs(int argc, char** argv)
             opt.procsSet = true;
         } else if (!std::strcmp(a, "--shards")) {
             opt.shards = std::uint32_t(std::atoi(need(i)));
+        } else if (!std::strcmp(a, "--shard-map")) {
+            opt.shardMap = need(i);
         } else if (!std::strcmp(a, "--protocol")) {
             opt.protocol = parseProtocol(need(i));
         } else if (!std::strcmp(a, "--chunks")) {
@@ -266,17 +275,27 @@ printReport(const CliOptions& opt, const RunResult& r)
     if (!r.shardStats.empty()) {
         std::printf("\n-- parallel kernel (%zu shards, %.3fs wall) --\n",
                     r.shardStats.size(), r.shardWallSec);
-        std::printf("%-8s %12s %10s %9s %6s\n", "shard", "events",
-                    "windows", "busySec", "util");
+        std::printf("%-8s %12s %10s %8s %9s %6s %6s\n", "shard",
+                    "events", "windows", "empty", "busySec", "util",
+                    "stall");
         for (std::size_t s = 0; s < r.shardStats.size(); ++s) {
             const auto& st = r.shardStats[s];
-            std::printf("%-8zu %12llu %10llu %9.3f %5.1f%%\n", s,
-                        (unsigned long long)st.events,
-                        (unsigned long long)st.windows, st.busySec,
+            std::printf("%-8zu %12llu %10llu %8llu %9.3f %5.1f%% "
+                        "%5.1f%%\n",
+                        s, (unsigned long long)st.events,
+                        (unsigned long long)st.windows,
+                        (unsigned long long)st.emptyWindows, st.busySec,
                         r.shardWallSec > 0
                             ? 100.0 * st.busySec / r.shardWallSec
+                            : 0.0,
+                        r.shardWallSec > 0
+                            ? 100.0 * st.stallSec / r.shardWallSec
                             : 0.0);
         }
+        // The echoed map is `--shard-map file:` input: paste it into a
+        // file to replay this exact partition.
+        std::printf("map (%s): %s\n", r.shardMapMode.c_str(),
+                    formatShardMap(r.shardMap).c_str());
     }
 
     if (r.traced && !r.tenants.empty()) {
@@ -437,6 +456,7 @@ main(int argc, char** argv)
     cfg.sig = opt.sig;
     cfg.seedOverride = opt.seed;
     cfg.shards = opt.shards;
+    cfg.shardMap = opt.shardMap;
     // Keep runner workers x shard threads within the machine's cores.
     setShardThreadFactor(opt.shards);
     cfg.tracePath = opt.tracePath;

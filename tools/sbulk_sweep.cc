@@ -89,6 +89,7 @@ main(int argc, char** argv)
     std::uint64_t seed = 0;
     unsigned jobs = 1;
     std::uint32_t shards = 1;
+    std::string shardMap;
     fault::FaultPlan faults;
 
     for (int i = 1; i < argc; ++i) {
@@ -159,6 +160,8 @@ main(int argc, char** argv)
                 jobs = defaultJobs();
         } else if (!std::strcmp(a, "--shards")) {
             shards = std::uint32_t(std::atoi(need()));
+        } else if (!std::strcmp(a, "--shard-map")) {
+            shardMap = need();
         } else if (!std::strcmp(a, "--faults")) {
             std::string err;
             if (!fault::FaultPlan::parse(need(), faults, &err)) {
@@ -170,7 +173,7 @@ main(int argc, char** argv)
                 stderr,
                 "usage: sbulk-sweep [--apps A,B] [--protocols P,Q] "
                 "[--procs N,M] [--chunks N] [--seed N] [--jobs N] "
-                "[--shards N] [--faults PLAN]\n"
+                "[--shards N] [--shard-map M] [--faults PLAN]\n"
                 "                   [--scenario S,T | --trace FILE] "
                 "[--tenants N] [--requests N]\n"
                 "                   [--list-apps] [--list-scenarios]\n");
@@ -256,6 +259,7 @@ main(int argc, char** argv)
         cfg.totalChunks = chunks;
         cfg.seedOverride = seed;
         cfg.shards = shards;
+        cfg.shardMap = shardMap;
         cfg.faults = faults;
         const char* suite = "trace";
         if (cell.scenario) {
